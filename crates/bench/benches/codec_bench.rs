@@ -1,0 +1,50 @@
+//! Criterion microbenchmarks of the coding substrate: fidelity degradation,
+//! segment encode/decode, GOP-skipping decode and container serialisation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use vstore_codec::codec::{decode_segment, decode_segment_sampled, encode_segment};
+use vstore_codec::frame::materialize_clip;
+use vstore_codec::SegmentData;
+use vstore_datasets::{Dataset, VideoSource};
+use vstore_types::{
+    CropFactor, Fidelity, FrameSampling, ImageQuality, KeyframeInterval, Resolution, SpeedStep,
+};
+
+fn storage_fidelity() -> Fidelity {
+    Fidelity::new(ImageQuality::Good, CropFactor::C100, Resolution::R360, FrameSampling::Full)
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let source = VideoSource::new(Dataset::Jackson);
+    let scenes = source.clip(0, 120);
+    let frames = materialize_clip(&scenes, storage_fidelity());
+    let segment = encode_segment(&frames, KeyframeInterval::K50, SpeedStep::Medium).unwrap();
+    let container = SegmentData::Encoded(segment.clone());
+    let bytes = container.to_bytes();
+
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(10);
+
+    group.bench_function("materialize_120_frames_360p", |b| {
+        b.iter(|| materialize_clip(&scenes, storage_fidelity()))
+    });
+    group.bench_function("encode_120_frames_gop50", |b| {
+        b.iter(|| encode_segment(&frames, KeyframeInterval::K50, SpeedStep::Medium).unwrap())
+    });
+    group.bench_function("decode_full", |b| b.iter(|| decode_segment(&segment).unwrap()));
+    group.bench_function("decode_sampled_1_30", |b| {
+        b.iter(|| decode_segment_sampled(&segment, FrameSampling::S1_30).unwrap())
+    });
+    group.bench_function("container_serialize", |b| b.iter(|| container.to_bytes()));
+    group.bench_function("container_deserialize", |b| {
+        b.iter_batched(
+            || bytes.clone(),
+            |bytes| SegmentData::from_bytes(&bytes).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion microbenchmarks of the configuration engine: consumption-format
+//! boundary search, storage-format coalescing and erosion planning. These
+//! are the kernels whose overhead §6.4 of the paper quantifies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use vstore_core::{CfSearch, Coalescer, ConfigurationEngine, EngineOptions};
+use vstore_ops::OperatorLibrary;
+use vstore_profiler::{Profiler, ProfilerConfig};
+use vstore_sim::CodingCostModel;
+use vstore_types::{ByteSize, Consumer, FidelitySpace, OperatorKind};
+
+fn fast_profiler() -> Profiler {
+    let mut config = ProfilerConfig::fast_test();
+    config.clip_frames = 60;
+    Profiler::new(OperatorLibrary::paper_testbed(), CodingCostModel::paper_testbed(), config)
+}
+
+fn bench_configuration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("configuration");
+    group.sample_size(10);
+
+    // Pre-warm one profiler so repeated derivations measure the search and
+    // coalescing logic over memoised profiles (the steady-state cost), and a
+    // cold path that includes profiling.
+    let warm = Arc::new(fast_profiler());
+    let consumers: Vec<Consumer> = [
+        (OperatorKind::FullNN, 0.9),
+        (OperatorKind::SpecializedNN, 0.9),
+        (OperatorKind::Diff, 0.9),
+        (OperatorKind::Motion, 0.9),
+        (OperatorKind::License, 0.8),
+        (OperatorKind::Ocr, 0.8),
+    ]
+    .into_iter()
+    .map(|(op, acc)| Consumer::new(op, acc))
+    .collect();
+    let search = CfSearch::with_space(&warm, FidelitySpace::reduced());
+    let cfs: Vec<_> = consumers.iter().map(|&c| search.derive(c).unwrap()).collect();
+
+    group.bench_function("cf_boundary_search_memoized", |b| {
+        b.iter(|| {
+            let search = CfSearch::with_space(&warm, FidelitySpace::reduced());
+            consumers.iter().map(|&c| search.derive(c).unwrap()).count()
+        })
+    });
+    group.bench_function("sf_coalescing_heuristic", |b| {
+        b.iter(|| Coalescer::new(&warm).derive(&cfs).unwrap())
+    });
+    group.bench_function("full_backward_derivation_memoized", |b| {
+        let engine = ConfigurationEngine::new(
+            Arc::clone(&warm),
+            EngineOptions {
+                fidelity_space: FidelitySpace::reduced(),
+                storage_budget: Some(ByteSize::from_tib(2.0)),
+                ..EngineOptions::default()
+            },
+        );
+        b.iter(|| engine.derive(&consumers).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_configuration);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion microbenchmarks of the segment store: put, get, range scan and
+//! recovery scan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vstore_storage::{SegmentKey, SegmentStore};
+use vstore_types::FormatId;
+
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segment_store");
+    group.sample_size(10);
+
+    // A store pre-populated with one hour of 8-second segments in two
+    // formats (450 segments each) of ~256 KiB.
+    let store = SegmentStore::open_temp("bench-populated").unwrap();
+    let value = vec![0xA5u8; 256 * 1024];
+    for seg in 0..450u64 {
+        store.put(&SegmentKey::new("jackson", FormatId(1), seg), &value).unwrap();
+        store.put(&SegmentKey::new("jackson", FormatId(2), seg), &value).unwrap();
+    }
+
+    group.bench_function("put_256KiB", |b| {
+        let mut seg = 10_000u64;
+        b.iter(|| {
+            seg += 1;
+            store.put(&SegmentKey::new("bench", FormatId(3), seg), &value).unwrap();
+        })
+    });
+    group.bench_function("get_256KiB", |b| {
+        let mut seg = 0u64;
+        b.iter(|| {
+            seg = (seg + 1) % 450;
+            store.get(&SegmentKey::new("jackson", FormatId(1), seg)).unwrap().unwrap()
+        })
+    });
+    group.bench_function("scan_stream_format", |b| {
+        b.iter(|| store.segments_of("jackson", FormatId(2)))
+    });
+    group.finish();
+
+    std::fs::remove_dir_all(store.dir()).ok();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Figure 3 — impacts of the coding knobs, measured on 100 seconds of
+//! `tucson`.
+//!
+//! (a) The speed step trades encoding speed against encoded size (decode
+//!     speed barely moves).
+//! (b) The keyframe interval trades video size against decode speed for a
+//!     sparsely-sampling consumer (GOP skipping); sequential decode is
+//!     mostly unaffected.
+
+use vstore_bench::{fmt_speed, print_table};
+use vstore_datasets::{Dataset, VideoSource};
+use vstore_sim::CodingCostModel;
+use vstore_types::{
+    CodingOption, Fidelity, FrameSampling, KeyframeInterval, SpeedStep, StorageFormat,
+};
+
+fn main() {
+    let model = CodingCostModel::paper_testbed();
+    let source = VideoSource::new(Dataset::Tucson);
+    let motion = source.motion_intensity();
+    let clip_seconds = 100.0;
+
+    // (a) Speed step sweep at the default keyframe interval (250).
+    let rows: Vec<Vec<String>> = SpeedStep::ALL
+        .iter()
+        .map(|&speed| {
+            let format = StorageFormat::new(
+                Fidelity::INGESTION,
+                CodingOption::Encoded { keyframe_interval: KeyframeInterval::K250, speed },
+            );
+            let encode = model.encode_speed(&format, motion);
+            let decode = model.sequential_decode_speed(&format, motion);
+            let size_mb =
+                model.bytes_per_video_second(&format, motion).bytes() as f64 * clip_seconds / 1e6;
+            vec![
+                speed.label().to_owned(),
+                fmt_speed(encode.factor()),
+                fmt_speed(decode.factor()),
+                format!("{size_mb:.1}"),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 3(a): speed step vs encode speed / decode speed / size (100 s of tucson)",
+        &["speed step", "encode speed", "decode speed", "video size (MB)"],
+        &rows,
+    );
+
+    // (b) Keyframe interval sweep at the medium speed step, decoding for a
+    //     consumer sampling 1 frame in 250 (as in the paper) and for a
+    //     consumer touching every frame.
+    let sparse = FrameSampling::S1_30; // sparsest sampling rate in Table 1
+    let rows: Vec<Vec<String>> = KeyframeInterval::ALL
+        .iter()
+        .rev()
+        .map(|&keyframe_interval| {
+            let format = StorageFormat::new(
+                Fidelity::INGESTION,
+                CodingOption::Encoded { keyframe_interval, speed: SpeedStep::Medium },
+            );
+            let sparse_decode = model.decode_speed(&format, motion, Some(sparse));
+            let full_decode = model.sequential_decode_speed(&format, motion);
+            let size_mb =
+                model.bytes_per_video_second(&format, motion).bytes() as f64 * clip_seconds / 1e6;
+            vec![
+                keyframe_interval.label().to_owned(),
+                fmt_speed(sparse_decode.factor()),
+                fmt_speed(full_decode.factor()),
+                format!("{size_mb:.1}"),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 3(b): keyframe interval vs decode speed (sparse / full sampling) and size",
+        &["keyframe interval", "decode spd (op sampling 1/30)", "decode spd (sampling 1)", "video size (MB)"],
+        &rows,
+    );
+}

@@ -1,0 +1,48 @@
+//! Figure 5 — fidelity options with near-identical operator accuracy can
+//! have very different resource costs. Operator: License, target ≈ 0.8,
+//! fixed coding 250-med.
+
+use vstore_bench::{paper_profiler, print_table};
+use vstore_types::{
+    CodingOption, CropFactor, Fidelity, FrameSampling, ImageQuality, KeyframeInterval,
+    OperatorKind, Resolution, SpeedStep, StorageFormat,
+};
+
+fn main() {
+    let profiler = paper_profiler();
+    let coding = CodingOption::Encoded {
+        keyframe_interval: KeyframeInterval::K250,
+        speed: SpeedStep::Medium,
+    };
+    // Three fidelity options chosen, as in the paper, to land near the same
+    // License accuracy while stressing different resources. (The paper's
+    // exact options are 100p-class; our detection substrate reaches ≈0.8 for
+    // License at somewhat richer fidelities, so the sweep uses the closest
+    // equivalents — the point is the disparity of costs at equal accuracy.)
+    let options = [
+        ("A (bad quality, every frame)", Fidelity::new(ImageQuality::Bad, CropFactor::C100, Resolution::R540, FrameSampling::S2_3)),
+        ("B (best quality, sparse sampling)", Fidelity::new(ImageQuality::Best, CropFactor::C100, Resolution::R400, FrameSampling::S1_30)),
+        ("C (good quality, half sampling)", Fidelity::new(ImageQuality::Good, CropFactor::C75, Resolution::R540, FrameSampling::S1_2)),
+    ];
+    let rows: Vec<Vec<String>> = options
+        .iter()
+        .map(|(label, fidelity)| {
+            let consumer = profiler.profile_consumer(OperatorKind::License, *fidelity);
+            let storage = profiler.profile_storage(StorageFormat::new(*fidelity, coding));
+            vec![
+                (*label).to_owned(),
+                fidelity.label(),
+                format!("{:.3}", consumer.accuracy),
+                format!("{:.2}", storage.encode_cores),
+                format!("{:.0}", storage.bytes_per_video_second.kib()),
+                format!("{:.4}", 1.0 / storage.sequential_retrieval_speed.factor()),
+                format!("{:.5}", 1.0 / consumer.consumption_speed.factor()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 5: disparate costs of fidelity options with similar License accuracy (coding 250-med)",
+        &["option", "fidelity", "accuracy", "ingest (cores)", "storage (KB/s)", "retrieval (s/s)", "consumption (s/s)"],
+        &rows,
+    );
+}

@@ -1,0 +1,134 @@
+//! Figure 11 — end-to-end comparison of VStore against the 1→1, 1→N and
+//! N→N configurations on the six datasets:
+//!
+//! (a) query speed (×realtime) as a function of target accuracy;
+//! (b) storage cost (GB/day per stream);
+//! (c) ingestion cost (CPU utilisation per stream, 100 % = one core).
+//!
+//! Query A (Diff+S-NN+NN) runs on jackson/miami/tucson, query B
+//! (Motion+License+OCR) on dashcam/park/airport, exactly as §6.1. Query
+//! speeds are measured by actually ingesting and querying a slice of each
+//! stream; storage/ingestion costs come from the calibrated cost model over
+//! the derived formats.
+
+use std::sync::Arc;
+use vstore_bench::{fast_profiler, fmt_speed, print_table, reduced_engine};
+use vstore_codec::Transcoder;
+use vstore_core::Alternative;
+use vstore_datasets::{Dataset, VideoSource};
+use vstore_ingest::IngestionPipeline;
+use vstore_ops::OperatorLibrary;
+use vstore_query::{QueryEngine, QuerySpec};
+use vstore_sim::VirtualClock;
+use vstore_storage::SegmentStore;
+use vstore_types::Consumer;
+
+const SEGMENTS: u64 = 2; // 16 s of video per stream keeps the sweep tractable
+
+fn main() {
+    let profiler = fast_profiler();
+    let engine = reduced_engine(Arc::clone(&profiler));
+    let accuracies = [1.0, 0.95, 0.9, 0.8];
+
+    let mut speed_rows = Vec::new();
+    let mut storage_rows = Vec::new();
+    let mut ingest_rows = Vec::new();
+
+    for dataset in Dataset::ALL {
+        let query_spec = |acc: f64| {
+            if Dataset::QUERY_A.contains(&dataset) {
+                QuerySpec::query_a(acc)
+            } else {
+                QuerySpec::query_b(acc)
+            }
+        };
+        // Consumers: the query's three operators at all requested accuracies.
+        let consumers: Vec<Consumer> = accuracies
+            .iter()
+            .flat_map(|&a| query_spec(a).consumers())
+            .collect();
+        let vstore_cfg = engine.derive(&consumers).expect("vstore configuration");
+        let one_to_one =
+            engine.derive_alternative(&consumers, Alternative::OneToOne).expect("1->1");
+        let one_to_n = engine.derive_alternative(&consumers, Alternative::OneToN).expect("1->N");
+        let n_to_n = engine.derive_alternative(&consumers, Alternative::NToN).expect("N->N");
+
+        // Storage and ingestion costs per configuration (model-based, like
+        // the paper's GB/day and CPU%).
+        let gb_day = |cfg: &vstore_types::Configuration| {
+            let motion = dataset.profile().motion_intensity;
+            cfg.storage_formats
+                .values()
+                .map(|sf| profiler.coding_model().gb_per_day(sf, motion))
+                .sum::<f64>()
+        };
+        let cores = |cfg: &vstore_types::Configuration| {
+            let motion = dataset.profile().motion_intensity;
+            cfg.storage_formats
+                .values()
+                .map(|sf| profiler.coding_model().encode_cores_for_realtime(sf, motion))
+                .sum::<f64>()
+                * 100.0
+        };
+        storage_rows.push(vec![
+            dataset.to_string(),
+            format!("{:.0}", gb_day(&one_to_one)),
+            format!("{:.0}", gb_day(&vstore_cfg)),
+            format!("{:.0}", gb_day(&n_to_n)),
+        ]);
+        ingest_rows.push(vec![
+            dataset.to_string(),
+            format!("{:.0}%", cores(&one_to_one)),
+            format!("{:.0}%", cores(&vstore_cfg)),
+            format!("{:.0}%", cores(&n_to_n)),
+        ]);
+
+        // Query-speed sweep: ingest once into the union of VStore + golden
+        // formats, then run each accuracy under each configuration.
+        let store = Arc::new(SegmentStore::open_temp("fig11").unwrap());
+        let clock = VirtualClock::new();
+        let ingest =
+            IngestionPipeline::new(Arc::clone(&store), Transcoder::default(), clock.clone());
+        let source = VideoSource::new(dataset);
+        ingest.ingest_segments(&source, 0, SEGMENTS, &vstore_cfg).unwrap();
+        ingest.ingest_segments(&source, 0, SEGMENTS, &one_to_n).unwrap();
+        let qe = QueryEngine::new(
+            Arc::clone(&store),
+            OperatorLibrary::paper_testbed(),
+            Transcoder::default(),
+            clock,
+        );
+        for &acc in &accuracies {
+            let spec = query_spec(acc);
+            let run = |cfg: &vstore_types::Configuration| {
+                qe.execute(source.name(), &spec, cfg, 0, SEGMENTS)
+                    .map(|r| fmt_speed(r.speed.factor()))
+                    .unwrap_or_else(|_| "-".into())
+            };
+            speed_rows.push(vec![
+                dataset.to_string(),
+                format!("{acc:.2}"),
+                run(&one_to_one),
+                run(&one_to_n),
+                run(&vstore_cfg),
+            ]);
+        }
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    print_table(
+        "Figure 11(a): query speed (x realtime) vs target accuracy",
+        &["dataset", "accuracy", "1->1", "1->N", "VStore"],
+        &speed_rows,
+    );
+    print_table(
+        "Figure 11(b): storage cost per stream (GB/day)",
+        &["dataset", "1->1 & 1->N", "VStore", "N->N"],
+        &storage_rows,
+    );
+    print_table(
+        "Figure 11(c): ingestion cost per stream (CPU utilisation, 100% = 1 core)",
+        &["dataset", "1->1 & 1->N", "VStore", "N->N"],
+        &ingest_rows,
+    );
+}

@@ -1,0 +1,32 @@
+//! Figure 12 — transcoding (ingestion) cost does not scale up with the
+//! number of operators: as operators are added in Table-2 order, new
+//! consumers share existing storage formats and the cost plateaus.
+
+use vstore_bench::{accuracy_levels, fast_profiler, print_table, reduced_engine};
+use vstore_types::{Consumer, OperatorKind};
+
+fn main() {
+    let profiler = fast_profiler();
+    let engine = reduced_engine(profiler.clone());
+    let mut rows = Vec::new();
+    let mut consumers: Vec<Consumer> = Vec::new();
+    rows.push(vec!["0".into(), "-".into(), "0".into(), "0%".into()]);
+    for (count, &op) in OperatorKind::ALL.iter().enumerate() {
+        for accuracy in accuracy_levels() {
+            consumers.push(Consumer::new(op, accuracy));
+        }
+        let cfs = engine.derive_consumption_formats(&consumers).expect("cf derivation");
+        let coalesced = engine.derive_storage_formats(&cfs).expect("sf derivation");
+        rows.push(vec![
+            (count + 1).to_string(),
+            op.to_string(),
+            coalesced.formats.len().to_string(),
+            format!("{:.0}%", coalesced.total_ingest_cores * 100.0),
+        ]);
+    }
+    print_table(
+        "Figure 12: transcoding cost vs number of operators (each at 4 accuracy levels)",
+        &["operators", "last added", "storage formats", "ingest CPU (100% = 1 core)"],
+        &rows,
+    );
+}

@@ -1,0 +1,101 @@
+//! Figure 13 — age-based data erosion:
+//!
+//! (a) the overall relative operator speed decays with video age, more
+//!     aggressively for tighter storage budgets (higher decay factor k);
+//! (b) residual video size per storage format as the video ages under the
+//!     tightest budget (the golden format is never eroded).
+
+use std::sync::Arc;
+use vstore_bench::{accuracy_levels, fast_profiler, print_table, query_operators};
+use vstore_core::{ConfigurationEngine, EngineOptions};
+use vstore_types::{ByteSize, Consumer, FidelitySpace};
+
+fn main() {
+    let profiler = fast_profiler();
+    let lifespan_days = 10u32;
+    let consumers: Vec<Consumer> = query_operators()
+        .iter()
+        .flat_map(|&op| accuracy_levels().into_iter().map(move |a| Consumer::new(op, a)))
+        .collect();
+
+    // Determine the unconstrained 10-day footprint first.
+    let base_engine = ConfigurationEngine::new(
+        Arc::clone(&profiler),
+        EngineOptions {
+            fidelity_space: FidelitySpace::reduced(),
+            lifespan_days,
+            ..EngineOptions::default()
+        },
+    );
+    let unconstrained = base_engine.derive(&consumers).expect("unconstrained configuration");
+    let per_second = base_engine.storage_bytes_per_second(&unconstrained).bytes() as f64;
+    let full_footprint = per_second * 86_400.0 * f64::from(lifespan_days);
+    println!(
+        "unconstrained footprint over {lifespan_days} days: {:.2} TB ({} storage formats)",
+        full_footprint / 1e12,
+        unconstrained.storage_formats.len()
+    );
+
+    // (a) Sweep storage budgets expressed as fractions of the unconstrained
+    //     footprint (the paper's 2 / 3.5 / 4 / 5 TB points).
+    let budget_fractions = [1.05, 0.95, 0.9, 0.85];
+    let mut rows = Vec::new();
+    let mut tightest = None;
+    for &fraction in &budget_fractions {
+        let budget = ByteSize((full_footprint * fraction) as u64);
+        let engine = ConfigurationEngine::new(
+            Arc::clone(&profiler),
+            EngineOptions {
+                fidelity_space: FidelitySpace::reduced(),
+                lifespan_days,
+                storage_budget: Some(budget),
+                ..EngineOptions::default()
+            },
+        );
+        let config = engine.derive(&consumers).expect("budgeted configuration");
+        let mut row = vec![
+            format!("{:.2} TB ({}%)", budget.bytes() as f64 / 1e12, (fraction * 100.0) as u32),
+            format!("k={:.2}", config.erosion.decay_factor),
+        ];
+        for age in 1..=lifespan_days {
+            let speed = config
+                .erosion
+                .step(age)
+                .map(|s| s.overall_relative_speed)
+                .unwrap_or(1.0);
+            row.push(format!("{speed:.2}"));
+        }
+        rows.push(row);
+        tightest = Some(config);
+    }
+    let mut headers = vec!["storage budget".to_owned(), "decay".to_owned()];
+    headers.extend((1..=lifespan_days).map(|d| format!("day {d}")));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table("Figure 13(a): overall relative speed vs video age", &header_refs, &rows);
+
+    // (b) Residual video size per format under the tightest budget.
+    let config = tightest.expect("at least one budgeted configuration");
+    let mut rows = Vec::new();
+    for (id, sf) in &config.storage_formats {
+        let per_day =
+            profiler.coding_model().gb_per_day(sf, profiler.coding_motion());
+        let mut row = vec![id.to_string(), sf.fidelity.label()];
+        for age in 1..=lifespan_days {
+            let deleted = config
+                .erosion
+                .step(age)
+                .map(|s| s.deleted_fraction(*id).value())
+                .unwrap_or(0.0);
+            row.push(format!("{:.0}", per_day * (1.0 - deleted)));
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["SF".to_owned(), "fidelity".to_owned()];
+    headers.extend((1..=lifespan_days).map(|d| format!("day {d} (GB)")));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table(
+        "Figure 13(b): residual per-day video size per storage format (tightest budget)",
+        &header_refs,
+        &rows,
+    );
+}

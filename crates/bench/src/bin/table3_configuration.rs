@@ -1,0 +1,81 @@
+//! Table 3 — the configuration of video formats automatically derived by
+//! VStore for the 24-consumer evaluation set (6 operators × 4 accuracy
+//! levels), searched over the full Table-1 knob space.
+
+use vstore_bench::{accuracy_levels, fmt_speed, paper_engine, paper_profiler, print_table, query_operators};
+use vstore_types::Consumer;
+
+fn main() {
+    let profiler = paper_profiler();
+    let engine = paper_engine(profiler.clone());
+    let consumers: Vec<Consumer> = query_operators()
+        .iter()
+        .flat_map(|&op| accuracy_levels().into_iter().map(move |a| Consumer::new(op, a)))
+        .collect();
+
+    let started = std::time::Instant::now();
+    let config = engine.derive(&consumers).expect("derivation succeeds");
+    let elapsed = started.elapsed();
+
+    // (a) Consumption formats.
+    let mut rows = Vec::new();
+    for &accuracy in &accuracy_levels() {
+        let mut row = vec![format!("F1={accuracy:.2}")];
+        for &op in &query_operators() {
+            let consumer = Consumer::new(op, accuracy);
+            match config.subscription(&consumer) {
+                Some(sub) => row.push(format!(
+                    "{} {} {}",
+                    sub.consumption.fidelity.label(),
+                    sub.storage,
+                    fmt_speed(sub.consumption_speed.factor())
+                )),
+                None => row.push("-".into()),
+            }
+        }
+        rows.push(row);
+    }
+    let headers: Vec<String> =
+        std::iter::once("target".to_owned()).chain(query_operators().iter().map(|o| o.to_string())).collect();
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table("Table 3(a): consumption formats (fidelity, subscribed SF, consumption speed)", &header_refs, &rows);
+
+    // (b) Storage formats.
+    let motion = profiler.coding_motion();
+    let rows: Vec<Vec<String>> = config
+        .storage_formats
+        .iter()
+        .map(|(id, sf)| {
+            let size = profiler.coding_model().bytes_per_video_second(sf, motion);
+            let retrieval = config
+                .retrieval_speeds
+                .get(id)
+                .map(|s| fmt_speed(s.factor()))
+                .unwrap_or_else(|| "?".into());
+            vec![
+                id.to_string(),
+                sf.fidelity.label(),
+                sf.coding.label(),
+                format!("{:.0} KB", size.kib()),
+                retrieval,
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 3(b): storage formats (fidelity, coding, size per video-second, sequential retrieval speed)",
+        &["SF", "fidelity", "coding", "size/s", "retrieval spd"],
+        &rows,
+    );
+
+    println!(
+        "\nconfiguration summary: {} consumers, {} unique CFs, {} SFs, {} knobs; derived in {:.1} s wall-clock ({} operator profiling runs, {} storage profiling runs, modelled profiling delay {:.0} s)",
+        config.subscriptions.len(),
+        config.unique_consumption_formats(),
+        config.storage_formats.len(),
+        config.knob_count(),
+        elapsed.as_secs_f64(),
+        profiler.stats().operator_runs,
+        profiler.stats().storage_runs,
+        profiler.stats().modeled_seconds,
+    );
+}

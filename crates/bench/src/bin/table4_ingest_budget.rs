@@ -1,0 +1,62 @@
+//! Table 4 — in response to a shrinking ingestion budget (cores available to
+//! transcode one stream), VStore tunes coding speed steps and stays under
+//! the budget at a modest storage cost increase.
+
+use vstore_bench::{accuracy_levels, paper_profiler, print_table, query_operators, reduced_engine};
+use vstore_core::adapt_to_ingest_budget;
+use vstore_types::Consumer;
+
+fn main() {
+    let profiler = paper_profiler();
+    let engine = reduced_engine(profiler.clone());
+    let consumers: Vec<Consumer> = query_operators()
+        .iter()
+        .flat_map(|&op| accuracy_levels().into_iter().map(move |a| Consumer::new(op, a)))
+        .collect();
+    let cfs = engine.derive_consumption_formats(&consumers).expect("cf derivation");
+    let coalesced = engine.derive_storage_formats(&cfs).expect("sf derivation");
+    let unconstrained_cores = coalesced.total_ingest_cores;
+
+    let budgets: Vec<(String, f64)> = vec![
+        (format!(">= {:.0}", unconstrained_cores.ceil()), unconstrained_cores.ceil()),
+        ("6".into(), 6.0),
+        ("3".into(), 3.0),
+        ("2".into(), 2.0),
+        ("1".into(), 1.0),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, budget) in budgets {
+        let adapted =
+            adapt_to_ingest_budget(&profiler, &coalesced.formats, budget).expect("adaptation");
+        let mb_per_s = adapted.total_bytes_per_video_second as f64 / 1e6;
+        let gb_per_day = mb_per_s * 86_400.0 / 1e3;
+        let mut row = vec![
+            label,
+            format!("{:.3}", mb_per_s),
+            format!("{:.1}", gb_per_day),
+            format!("{:.2}", adapted.total_ingest_cores),
+            if adapted.within_budget { "yes".into() } else { "NO".into() },
+        ];
+        for sf in &adapted.formats {
+            row.push(format!("{}={}", if sf.is_golden { "SFg" } else { "SF" }, sf.format.coding.label()));
+        }
+        rows.push(row);
+    }
+    let mut headers: Vec<String> = vec![
+        "cores for ingest".into(),
+        "storage MB/s".into(),
+        "storage GB/day".into(),
+        "used cores".into(),
+        "within budget".into(),
+    ];
+    for (i, sf) in coalesced.formats.iter().enumerate() {
+        headers.push(if sf.is_golden { "SFg coding".into() } else { format!("SF{i} coding") });
+    }
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table(
+        "Table 4: adapting coding knobs to the ingestion budget",
+        &header_refs,
+        &rows,
+    );
+}

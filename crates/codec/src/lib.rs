@@ -1,0 +1,39 @@
+//! # vstore-codec
+//!
+//! The video coding substrate: materialised frames, fidelity degradation,
+//! a real block codec with GOP structure (keyframe interval, chunk-skipping
+//! decode, RAW bypass), a binary segment container, and the transcoder that
+//! converts ingestion-fidelity frames into arbitrary storage formats.
+//!
+//! The codec genuinely compresses the synthetic block planes (delta + RLE
+//! entropy coding), so compression ratios, GOP skipping and RAW bypass are
+//! real behaviours, not constants. Throughput numbers reported by
+//! experiments, however, come from the calibrated
+//! [`CodingCostModel`](vstore_sim::CodingCostModel) — see `DESIGN.md` for the
+//! substitution rationale.
+//!
+//! ## Data flow
+//!
+//! ```text
+//! SceneFrame (datasets) ──▶ VideoFrame (ingestion fidelity)
+//!        │ degrade(fidelity)                │ encode(coding)
+//!        ▼                                  ▼
+//! VideoFrame (storage fidelity) ──▶ SegmentData ──▶ bytes (vstore-storage)
+//!                                        │ decode / decode_sampled
+//!                                        ▼
+//!                            VideoFrame (consumption fidelity)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod container;
+pub mod frame;
+pub mod transcode;
+pub mod wire;
+
+pub use codec::{decode_segment, decode_segment_sampled, encode_segment, EncodedSegment};
+pub use container::SegmentData;
+pub use frame::VideoFrame;
+pub use transcode::{TranscodeOutput, Transcoder};

@@ -1,0 +1,37 @@
+//! # vstore-datasets
+//!
+//! Synthetic video sources that stand in for the six benchmark videos of the
+//! paper (`jackson`, `miami`, `tucson`, `dashcam`, `park`, `airport`).
+//!
+//! Real camera footage is unavailable in this environment, so each dataset is
+//! replaced by a deterministic scene generator that reproduces the *content
+//! characteristics* the paper's trade-offs depend on:
+//!
+//! * **motion intensity** — dash-cam video has global motion that makes
+//!   coding less effective (§6.2 notes dashcam storage is ~2.6 TB/day under
+//!   N→N), surveillance video is mostly static;
+//! * **object density and size** — how many vehicles/pedestrians appear and
+//!   how large they are, which drives operator accuracy as fidelity drops;
+//! * **plate/colour attributes** — needed by the License, OCR and Color
+//!   operators;
+//! * **texture** — background complexity, which drives encoded size.
+//!
+//! Frames carry a coarse *block plane* (one sample per 8×8-pixel block at
+//! 720p, i.e. a 160×90 grid) plus exact object ground truth. The block plane
+//! is what the `vstore-codec` crate actually compresses and what pixel-level
+//! operators (Diff, Motion, Contour, Opflow) actually process; object-level
+//! operators use the ground-truth boxes through a fidelity-dependent
+//! detection model. See `DESIGN.md` for the substitution rationale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plane;
+pub mod profile;
+pub mod scene;
+pub mod source;
+
+pub use plane::BlockPlane;
+pub use profile::{Dataset, DatasetProfile};
+pub use scene::{BoundingBox, ObjectClass, ObjectColor, PlateText, SceneFrame, SceneObject};
+pub use source::{VideoSource, FRAME_RATE, SEGMENT_FRAMES, SEGMENT_SECONDS};

@@ -1,0 +1,227 @@
+//! Content profiles of the six benchmark datasets (§6.1 of the paper).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The six videos used in the paper's evaluation plus a synthetic custom
+/// profile for tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Dataset {
+    /// Surveillance camera at Jackson Town Square (moderate traffic).
+    Jackson,
+    /// Surveillance camera at a Miami Beach crosswalk (busy, pedestrians).
+    Miami,
+    /// Surveillance camera at Tucson 4th Avenue (light traffic).
+    Tucson,
+    /// Dash camera driving through a parking lot (high global motion).
+    Dashcam,
+    /// Stationary surveillance camera in a parking lot (near-static).
+    Park,
+    /// Surveillance camera at an airport parking lot (light activity).
+    Airport,
+}
+
+impl Dataset {
+    /// All six datasets in the order the paper lists them.
+    pub const ALL: [Dataset; 6] = [
+        Dataset::Jackson,
+        Dataset::Miami,
+        Dataset::Tucson,
+        Dataset::Dashcam,
+        Dataset::Park,
+        Dataset::Airport,
+    ];
+
+    /// Datasets evaluated with query A (Diff + S-NN + NN) in §6.1.
+    pub const QUERY_A: [Dataset; 3] = [Dataset::Jackson, Dataset::Miami, Dataset::Tucson];
+
+    /// Datasets evaluated with query B (Motion + License + OCR) in §6.1.
+    pub const QUERY_B: [Dataset; 3] = [Dataset::Dashcam, Dataset::Park, Dataset::Airport];
+
+    /// Dataset name as used in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Jackson => "jackson",
+            Dataset::Miami => "miami",
+            Dataset::Tucson => "tucson",
+            Dataset::Dashcam => "dashcam",
+            Dataset::Park => "park",
+            Dataset::Airport => "airport",
+        }
+    }
+
+    /// The content profile of this dataset.
+    pub fn profile(&self) -> DatasetProfile {
+        match self {
+            Dataset::Jackson => DatasetProfile {
+                seed: 0xA11CE | 1,
+                motion_intensity: 0.30,
+                object_arrivals_per_minute: 22.0,
+                mean_object_height: 0.16,
+                object_height_spread: 0.08,
+                vehicle_fraction: 0.75,
+                plate_visible_fraction: 0.55,
+                background_texture: 0.35,
+                mean_dwell_seconds: 6.0,
+            },
+            Dataset::Miami => DatasetProfile {
+                seed: 0xB0B_CAFE,
+                motion_intensity: 0.45,
+                object_arrivals_per_minute: 40.0,
+                mean_object_height: 0.13,
+                object_height_spread: 0.07,
+                vehicle_fraction: 0.45,
+                plate_visible_fraction: 0.40,
+                background_texture: 0.45,
+                mean_dwell_seconds: 8.0,
+            },
+            Dataset::Tucson => DatasetProfile {
+                seed: 0x7C_50AA,
+                motion_intensity: 0.35,
+                object_arrivals_per_minute: 14.0,
+                mean_object_height: 0.18,
+                object_height_spread: 0.09,
+                vehicle_fraction: 0.80,
+                plate_visible_fraction: 0.60,
+                background_texture: 0.30,
+                mean_dwell_seconds: 5.0,
+            },
+            Dataset::Dashcam => DatasetProfile {
+                seed: 0xDA5CA4,
+                motion_intensity: 0.85,
+                object_arrivals_per_minute: 26.0,
+                mean_object_height: 0.22,
+                object_height_spread: 0.12,
+                vehicle_fraction: 0.85,
+                plate_visible_fraction: 0.70,
+                background_texture: 0.60,
+                mean_dwell_seconds: 4.0,
+            },
+            Dataset::Park => DatasetProfile {
+                seed: 0x9A4F,
+                motion_intensity: 0.12,
+                object_arrivals_per_minute: 6.0,
+                mean_object_height: 0.20,
+                object_height_spread: 0.10,
+                vehicle_fraction: 0.70,
+                plate_visible_fraction: 0.65,
+                background_texture: 0.25,
+                mean_dwell_seconds: 12.0,
+            },
+            Dataset::Airport => DatasetProfile {
+                seed: 0xA1490,
+                motion_intensity: 0.18,
+                object_arrivals_per_minute: 10.0,
+                mean_object_height: 0.15,
+                object_height_spread: 0.07,
+                vehicle_fraction: 0.65,
+                plate_visible_fraction: 0.50,
+                background_texture: 0.28,
+                mean_dwell_seconds: 9.0,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Content parameters of one synthetic dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetProfile {
+    /// Seed for the deterministic generator.
+    pub seed: u64,
+    /// Camera / scene motion intensity in `[0, 1]` (dash-cam ≈ 0.85, static
+    /// parking lot ≈ 0.1). Drives coding efficiency.
+    pub motion_intensity: f64,
+    /// Mean number of new objects entering the scene per minute.
+    pub object_arrivals_per_minute: f64,
+    /// Mean object height as a fraction of the frame height.
+    pub mean_object_height: f64,
+    /// Spread (uniform half-width) of object heights.
+    pub object_height_spread: f64,
+    /// Fraction of objects that are vehicles (vs. pedestrians/cyclists).
+    pub vehicle_fraction: f64,
+    /// Fraction of vehicles whose plate faces the camera.
+    pub plate_visible_fraction: f64,
+    /// Background texture energy in `[0, 1]`.
+    pub background_texture: f64,
+    /// Mean time an object stays in the scene, in seconds.
+    pub mean_dwell_seconds: f64,
+}
+
+impl DatasetProfile {
+    /// A small synthetic profile for unit tests: busy enough that short
+    /// clips contain objects, static enough that coding behaves like
+    /// surveillance video.
+    pub fn test_profile(seed: u64) -> Self {
+        DatasetProfile {
+            seed,
+            motion_intensity: 0.3,
+            object_arrivals_per_minute: 60.0,
+            mean_object_height: 0.2,
+            object_height_spread: 0.08,
+            vehicle_fraction: 0.8,
+            plate_visible_fraction: 0.7,
+            background_texture: 0.35,
+            mean_dwell_seconds: 5.0,
+        }
+    }
+
+    /// Number of concurrent object "slots" the generator simulates, derived
+    /// from arrival rate and dwell time (Little's law, rounded up, at least
+    /// one).
+    pub fn object_slots(&self) -> u32 {
+        let mean_present = self.object_arrivals_per_minute / 60.0 * self.mean_dwell_seconds;
+        (mean_present.ceil() as u32).max(1) + 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_datasets_have_distinct_profiles() {
+        let mut seeds: Vec<u64> = Dataset::ALL.iter().map(|d| d.profile().seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), Dataset::ALL.len());
+    }
+
+    #[test]
+    fn dashcam_has_highest_motion() {
+        let dash = Dataset::Dashcam.profile().motion_intensity;
+        for d in Dataset::ALL {
+            assert!(d.profile().motion_intensity <= dash);
+        }
+        assert!(Dataset::Park.profile().motion_intensity < 0.2);
+    }
+
+    #[test]
+    fn query_split_matches_paper() {
+        assert_eq!(Dataset::QUERY_A.len(), 3);
+        assert_eq!(Dataset::QUERY_B.len(), 3);
+        assert!(Dataset::QUERY_A.contains(&Dataset::Jackson));
+        assert!(Dataset::QUERY_B.contains(&Dataset::Dashcam));
+    }
+
+    #[test]
+    fn object_slots_scale_with_density() {
+        let busy = Dataset::Miami.profile().object_slots();
+        let quiet = Dataset::Park.profile().object_slots();
+        assert!(busy > quiet);
+        assert!(quiet >= 1);
+    }
+
+    #[test]
+    fn names_are_lowercase_identifiers() {
+        for d in Dataset::ALL {
+            assert!(d.name().chars().all(|c| c.is_ascii_lowercase()));
+            assert_eq!(d.to_string(), d.name());
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! The deterministic video source: generates [`SceneFrame`]s for a dataset.
+//!
+//! Generation is a pure function of `(profile.seed, frame index)`, so any
+//! component can re-derive any frame at any time without coordination — the
+//! property the profiler and the tests rely on.
+
+use crate::plane::BlockPlane;
+use crate::profile::{Dataset, DatasetProfile};
+use crate::scene::{BoundingBox, ObjectClass, ObjectColor, PlateText, SceneFrame, SceneObject};
+use serde::{Deserialize, Serialize};
+use vstore_sim::DeterministicHasher;
+use vstore_types::Resolution;
+
+/// Ingestion frame rate (frames per second).
+pub const FRAME_RATE: u32 = 30;
+
+/// Segment length in seconds (§4.1: 8-second segments).
+pub const SEGMENT_SECONDS: u32 = 8;
+
+/// Frames per segment.
+pub const SEGMENT_FRAMES: u32 = FRAME_RATE * SEGMENT_SECONDS;
+
+/// A deterministic synthetic video stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VideoSource {
+    name: String,
+    profile: DatasetProfile,
+}
+
+impl VideoSource {
+    /// The source for one of the paper's six datasets.
+    pub fn new(dataset: Dataset) -> Self {
+        VideoSource { name: dataset.name().to_owned(), profile: dataset.profile() }
+    }
+
+    /// A source with a custom profile (used by tests and examples).
+    pub fn from_profile(name: impl Into<String>, profile: DatasetProfile) -> Self {
+        VideoSource { name: name.into(), profile }
+    }
+
+    /// The stream name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The content profile.
+    pub fn profile(&self) -> &DatasetProfile {
+        &self.profile
+    }
+
+    /// Motion intensity of the content, used by the coding cost model.
+    pub fn motion_intensity(&self) -> f64 {
+        self.profile.motion_intensity
+    }
+
+    // ------------------------------------------------------------------
+    // Object generation
+    // ------------------------------------------------------------------
+
+    fn cycle_len_frames(&self) -> u64 {
+        let slots = f64::from(self.profile.object_slots());
+        let arrivals_per_frame = self.profile.object_arrivals_per_minute / 60.0 / 30.0;
+        // Each slot produces one arrival per cycle.
+        ((slots / arrivals_per_frame.max(1e-6)).round() as u64).max(60)
+    }
+
+    fn object_for_slot(&self, slot: u32, frame_index: u64) -> Option<SceneObject> {
+        let cycle_len = self.cycle_len_frames();
+        let cycle = frame_index / cycle_len;
+        let offset = frame_index % cycle_len;
+
+        let h = DeterministicHasher::new(self.profile.seed)
+            .mix(0x0B9E_C75)
+            .mix(u64::from(slot))
+            .mix(cycle);
+
+        // Dwell time of this particular object, jittered ±40 %.
+        let dwell_frames =
+            (self.profile.mean_dwell_seconds * 30.0 * h.mix(1).uniform(0.6, 1.4)).max(15.0);
+        // Phase within the cycle at which the object enters.
+        let entry = h.mix(2).unit() * (cycle_len as f64 - dwell_frames).max(1.0);
+        let local = offset as f64 - entry;
+        if local < 0.0 || local >= dwell_frames {
+            return None;
+        }
+        let progress = (local / dwell_frames) as f32;
+
+        let id = h.mix(3).value();
+        let is_vehicle = h.mix(4).bernoulli(self.profile.vehicle_fraction);
+        let class = if is_vehicle {
+            ObjectClass::Vehicle {
+                plate_visible: h.mix(5).bernoulli(self.profile.plate_visible_fraction),
+            }
+        } else if h.mix(6).bernoulli(0.7) {
+            ObjectClass::Pedestrian
+        } else {
+            ObjectClass::Cyclist
+        };
+        let height = (self.profile.mean_object_height
+            + h.mix(7).uniform(-1.0, 1.0) * self.profile.object_height_spread)
+            .clamp(0.03, 0.6) as f32;
+        let width = height * if is_vehicle { 1.8 } else { 0.5 };
+        let color = ObjectColor::ALL[h.mix(8).below(ObjectColor::ALL.len() as u64) as usize];
+        let plate = if is_vehicle { Some(PlateText::from_hash(h.mix(9).value())) } else { None };
+        let salience = h.mix(10).uniform(0.45, 1.0) as f32;
+        // Object crosses the frame horizontally over its dwell time; lane
+        // position (y) is stable per object.
+        let direction = if h.mix(11).bernoulli(0.5) { 1.0 } else { -1.0 };
+        let x_start = if direction > 0.0 { -width } else { 1.0 };
+        let travel = 1.0 + 2.0 * width;
+        let x = x_start + direction * travel * progress;
+        let y = h.mix(12).uniform(0.35, 0.75) as f32;
+        let speed = (travel / (dwell_frames as f32 / 30.0)) * direction.abs();
+
+        Some(SceneObject {
+            id,
+            class,
+            bbox: BoundingBox::new(x, y, width, height),
+            color,
+            plate,
+            salience,
+            speed,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Plane generation
+    // ------------------------------------------------------------------
+
+    fn background_value(&self, x: u32, y: u32, frame_index: u64) -> u8 {
+        // Camera motion shifts the sampling grid; static cameras keep it
+        // fixed so consecutive frames are nearly identical.
+        let shift =
+            (frame_index as f64 * self.profile.motion_intensity * 1.8).round() as i64;
+        let sx = i64::from(x) + shift;
+        let sy = i64::from(y) + (shift / 3);
+        // Smooth vertical gradient (sky → road) plus hashed texture.
+        let base = 70.0 + 110.0 * (f64::from(y) / 90.0);
+        let texture_amp = 55.0 * self.profile.background_texture;
+        let noise = DeterministicHasher::new(self.profile.seed)
+            .mix(0xBAC4_6000)
+            .mix(sx as u64)
+            .mix(sy as u64)
+            .unit();
+        (base + texture_amp * (noise - 0.5) * 2.0).clamp(0.0, 255.0) as u8
+    }
+
+    fn render_plane(&self, frame_index: u64, objects: &[SceneObject]) -> BlockPlane {
+        let (w, h) = BlockPlane::dimensions_for(Resolution::R720);
+        let mut samples = Vec::with_capacity((w * h) as usize);
+        for y in 0..h {
+            for x in 0..w {
+                samples.push(self.background_value(x, y, frame_index));
+            }
+        }
+        let mut plane = BlockPlane::from_samples(w, h, samples)
+            .expect("sample count matches dimensions by construction");
+        // Rasterise objects over the background.
+        for obj in objects {
+            let luma = obj.color.luma();
+            let x0 = (obj.bbox.x * w as f32) as i64;
+            let y0 = (obj.bbox.y * h as f32) as i64;
+            let bw = ((obj.bbox.w * w as f32).ceil() as i64).max(1);
+            let bh = ((obj.bbox.h * h as f32).ceil() as i64).max(1);
+            for yy in y0..(y0 + bh) {
+                for xx in x0..(x0 + bw) {
+                    if xx >= 0 && yy >= 0 && (xx as u32) < w && (yy as u32) < h {
+                        // Blend by salience so faint objects leave a fainter
+                        // footprint.
+                        let bg = plane.get(xx as u32, yy as u32);
+                        let blended = f32::from(bg) * (1.0 - obj.salience)
+                            + f32::from(luma) * obj.salience;
+                        plane.set(xx as u32, yy as u32, blended as u8);
+                    }
+                }
+            }
+        }
+        plane
+    }
+
+    // ------------------------------------------------------------------
+    // Public frame access
+    // ------------------------------------------------------------------
+
+    /// Generate the frame at the given index (30 fps).
+    pub fn frame(&self, index: u64) -> SceneFrame {
+        let mut objects = Vec::new();
+        for slot in 0..self.profile.object_slots() {
+            if let Some(obj) = self.object_for_slot(slot, index) {
+                objects.push(obj);
+            }
+        }
+        let plane = self.render_plane(index, &objects);
+        let jitter = DeterministicHasher::new(self.profile.seed)
+            .mix(0x90710)
+            .mix(index)
+            .uniform(-0.05, 0.05);
+        SceneFrame {
+            index,
+            plane,
+            objects,
+            global_motion: (self.profile.motion_intensity + jitter).clamp(0.0, 1.0) as f32,
+        }
+    }
+
+    /// Generate a contiguous clip of frames.
+    pub fn clip(&self, start_frame: u64, num_frames: u32) -> Vec<SceneFrame> {
+        (start_frame..start_frame + u64::from(num_frames)).map(|i| self.frame(i)).collect()
+    }
+
+    /// Generate all frames of the `segment_index`-th 8-second segment.
+    pub fn segment(&self, segment_index: u64) -> Vec<SceneFrame> {
+        self.clip(segment_index * u64::from(SEGMENT_FRAMES), SEGMENT_FRAMES)
+    }
+
+    /// An iterator over frames starting at `start_frame`.
+    pub fn frames_from(&self, start_frame: u64) -> impl Iterator<Item = SceneFrame> + '_ {
+        (start_frame..).map(move |i| self.frame(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_are_deterministic() {
+        let src = VideoSource::new(Dataset::Jackson);
+        let a = src.frame(123);
+        let b = src.frame(123);
+        assert_eq!(a, b);
+        let c = src.frame(124);
+        assert_ne!(a.plane, c.plane);
+    }
+
+    #[test]
+    fn plane_has_720p_block_dimensions() {
+        let src = VideoSource::new(Dataset::Park);
+        let f = src.frame(0);
+        assert_eq!(f.plane.width(), 160);
+        assert_eq!(f.plane.height(), 90);
+    }
+
+    #[test]
+    fn object_density_tracks_profile() {
+        // Count mean objects per frame over a minute of video and compare
+        // datasets: miami (busy) should exceed park (quiet).
+        fn mean_objects(dataset: Dataset) -> f64 {
+            let src = VideoSource::new(dataset);
+            let frames = 600; // 20 s, sampled every other frame for speed
+            let total: usize = (0..frames).step_by(2).map(|i| src.frame(i).objects.len()).sum();
+            total as f64 / (frames / 2) as f64
+        }
+        let miami = mean_objects(Dataset::Miami);
+        let park = mean_objects(Dataset::Park);
+        assert!(miami > park, "miami {miami} <= park {park}");
+        assert!(miami > 0.5, "miami too sparse: {miami}");
+    }
+
+    #[test]
+    fn static_scene_has_smaller_frame_deltas_than_dashcam() {
+        let park = VideoSource::new(Dataset::Park);
+        let dash = VideoSource::new(Dataset::Dashcam);
+        let park_delta = park.frame(10).plane.mean_abs_diff(&park.frame(11).plane);
+        let dash_delta = dash.frame(10).plane.mean_abs_diff(&dash.frame(11).plane);
+        assert!(
+            dash_delta > park_delta * 2.0,
+            "dashcam delta {dash_delta} vs park delta {park_delta}"
+        );
+    }
+
+    #[test]
+    fn objects_persist_across_adjacent_frames() {
+        let src = VideoSource::new(Dataset::Jackson);
+        // Find a frame with at least one object, then check the same id is
+        // present in the next frame (objects dwell for seconds).
+        let mut checked = false;
+        for i in 0..900 {
+            let f = src.frame(i);
+            if let Some(obj) = f.objects.first() {
+                let next = src.frame(i + 1);
+                assert!(
+                    next.objects.iter().any(|o| o.id == obj.id),
+                    "object {} vanished after one frame",
+                    obj.id
+                );
+                checked = true;
+                break;
+            }
+        }
+        assert!(checked, "no object found in 30 s of jackson");
+    }
+
+    #[test]
+    fn vehicles_carry_plates_with_profile_probability() {
+        let src = VideoSource::new(Dataset::Dashcam);
+        let mut vehicles = 0usize;
+        let mut with_plate = 0usize;
+        for i in (0..3000).step_by(10) {
+            for obj in src.frame(i).objects {
+                if obj.class.is_vehicle() {
+                    vehicles += 1;
+                    if obj.has_visible_plate() {
+                        with_plate += 1;
+                    }
+                }
+            }
+        }
+        assert!(vehicles > 20, "too few vehicles: {vehicles}");
+        let frac = with_plate as f64 / vehicles as f64;
+        assert!((frac - 0.70).abs() < 0.25, "plate fraction {frac}");
+    }
+
+    #[test]
+    fn segment_has_240_frames() {
+        let src = VideoSource::new(Dataset::Airport);
+        let seg = src.segment(2);
+        assert_eq!(seg.len(), SEGMENT_FRAMES as usize);
+        assert_eq!(seg[0].index, 2 * u64::from(SEGMENT_FRAMES));
+        assert_eq!(SEGMENT_FRAMES, 240);
+    }
+
+    #[test]
+    fn frames_from_iterator_matches_frame() {
+        let src = VideoSource::new(Dataset::Tucson);
+        let mut it = src.frames_from(5);
+        assert_eq!(it.next().unwrap(), src.frame(5));
+        assert_eq!(it.next().unwrap(), src.frame(6));
+    }
+}

@@ -1,0 +1,17 @@
+//! # vstore-ingest
+//!
+//! The ingestion pipeline (§2.2, Figure 1 left): incoming 720p/30 fps video
+//! is transcoded into every storage format of the active configuration and
+//! written, as 8-second segments, into the segment store.
+//!
+//! Ingestion cost (CPU-core-seconds spent transcoding) and disk traffic are
+//! charged to a [`VirtualClock`](vstore_sim::VirtualClock) so experiments can
+//! report the paper's per-stream figures (cores of transcoding, GB/day of
+//! new video) regardless of the host machine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pipeline;
+
+pub use pipeline::{IngestReport, IngestionPipeline};

@@ -1,0 +1,301 @@
+//! The ingestion pipeline implementation.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use vstore_codec::Transcoder;
+use vstore_datasets::VideoSource;
+use vstore_sim::{ResourceKind, VirtualClock};
+use vstore_storage::{SegmentKey, SegmentStore};
+use vstore_types::{
+    ByteSize, Configuration, CoreSeconds, FormatId, Result, StorageFormat, VStoreError,
+    VideoSeconds,
+};
+
+/// The report of one ingestion run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IngestReport {
+    /// Video content ingested.
+    pub video: VideoSeconds,
+    /// Segments written (across all storage formats).
+    pub segments_written: usize,
+    /// Transcoding work spent.
+    pub transcode_work: CoreSeconds,
+    /// Bytes written per storage format, as predicted by the calibrated cost
+    /// model (the figure experiments report).
+    pub modeled_bytes: BTreeMap<FormatId, ByteSize>,
+    /// Bytes actually written to the segment store.
+    pub actual_bytes: ByteSize,
+}
+
+impl IngestReport {
+    /// Total modelled bytes across all storage formats.
+    pub fn total_modeled_bytes(&self) -> ByteSize {
+        self.modeled_bytes.values().copied().sum()
+    }
+
+    /// Average CPU cores kept busy transcoding, assuming ingestion keeps up
+    /// with real time (the paper's "CPU utilisation" of Figure 11(c): 100 %
+    /// = one core).
+    pub fn transcode_cores(&self) -> f64 {
+        self.transcode_work.cores_over(self.video.seconds().max(1e-9))
+    }
+
+    /// Storage growth rate in GB per day of continuous ingestion
+    /// (Figure 11(b)).
+    pub fn gb_per_day(&self) -> f64 {
+        let per_second =
+            self.total_modeled_bytes().bytes() as f64 / self.video.seconds().max(1e-9);
+        per_second * 86_400.0 / 1e9
+    }
+
+    fn merge(&mut self, other: &IngestReport) {
+        self.video += other.video;
+        self.segments_written += other.segments_written;
+        self.transcode_work += other.transcode_work;
+        for (id, bytes) in &other.modeled_bytes {
+            *self.modeled_bytes.entry(*id).or_insert(ByteSize::ZERO) += *bytes;
+        }
+        self.actual_bytes += other.actual_bytes;
+    }
+}
+
+/// The ingestion pipeline: transcodes incoming segments into every storage
+/// format of the configuration and persists them.
+pub struct IngestionPipeline {
+    store: Arc<SegmentStore>,
+    transcoder: Transcoder,
+    clock: VirtualClock,
+}
+
+impl IngestionPipeline {
+    /// A pipeline writing into the given store.
+    pub fn new(store: Arc<SegmentStore>, transcoder: Transcoder, clock: VirtualClock) -> Self {
+        IngestionPipeline { store, transcoder, clock }
+    }
+
+    /// The segment store being written to.
+    pub fn store(&self) -> &Arc<SegmentStore> {
+        &self.store
+    }
+
+    /// The virtual clock charged by this pipeline.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// The storage formats of a configuration, keyed by id.
+    fn formats_of(config: &Configuration) -> Vec<(FormatId, StorageFormat)> {
+        config.storage_formats.iter().map(|(id, sf)| (*id, *sf)).collect()
+    }
+
+    /// Ingest one 8-second segment of a stream into every storage format of
+    /// the configuration.
+    pub fn ingest_segment(
+        &self,
+        source: &VideoSource,
+        segment_index: u64,
+        config: &Configuration,
+    ) -> Result<IngestReport> {
+        let formats = Self::formats_of(config);
+        if formats.is_empty() {
+            return Err(VStoreError::InvalidState(
+                "configuration has no storage formats to ingest into".into(),
+            ));
+        }
+        let scenes = source.segment(segment_index);
+        let motion = source.motion_intensity();
+        let mut report = IngestReport {
+            video: VideoSeconds(scenes.len() as f64 / 30.0),
+            ..IngestReport::default()
+        };
+        for (id, format) in formats {
+            let out = self.transcoder.transcode_segment(&scenes, &format, motion)?;
+            let bytes = out.data.to_bytes();
+            let key = SegmentKey::new(source.name(), id, segment_index);
+            self.store.put(&key, &bytes)?;
+            self.clock
+                .charge_background_seconds(ResourceKind::TranscodeCpu, out.encode_core_seconds);
+            self.clock.charge_bytes(ResourceKind::DiskWrite, ByteSize(bytes.len() as u64));
+            self.clock.charge_bytes(ResourceKind::DiskSpace, out.modeled_bytes);
+            report.segments_written += 1;
+            report.transcode_work += CoreSeconds(out.encode_core_seconds);
+            *report.modeled_bytes.entry(id).or_insert(ByteSize::ZERO) += out.modeled_bytes;
+            report.actual_bytes += ByteSize(bytes.len() as u64);
+        }
+        Ok(report)
+    }
+
+    /// Ingest a contiguous range of segments.
+    pub fn ingest_segments(
+        &self,
+        source: &VideoSource,
+        first_segment: u64,
+        count: u64,
+        config: &Configuration,
+    ) -> Result<IngestReport> {
+        let mut total = IngestReport::default();
+        for seg in first_segment..first_segment + count {
+            let report = self.ingest_segment(source, seg, config)?;
+            total.merge(&report);
+        }
+        Ok(total)
+    }
+
+    /// Apply one age step of the erosion plan to a stream: delete the planned
+    /// fraction of segments (oldest first) from each non-golden storage
+    /// format.
+    pub fn apply_erosion(
+        &self,
+        stream: &str,
+        config: &Configuration,
+        age_days: u32,
+    ) -> Result<usize> {
+        let step = match config.erosion.step(age_days) {
+            Some(step) => step.clone(),
+            None => return Ok(0),
+        };
+        let mut deleted = 0usize;
+        for (id, fraction) in &step.deleted {
+            if id.is_golden() {
+                continue;
+            }
+            let keys = self.store.segments_of(stream, *id);
+            let to_delete = (keys.len() as f64 * fraction.value()).floor() as usize;
+            for key in keys.iter().take(to_delete) {
+                self.store.delete(key)?;
+                deleted += 1;
+            }
+        }
+        Ok(deleted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap as Map;
+    use vstore_datasets::Dataset;
+    use vstore_types::{
+        CodingOption, Consumer, ConsumptionFormat, ErosionPlan, ErosionStep, Fidelity, Fraction,
+        OperatorKind, Speed, Subscription,
+    };
+
+    fn two_format_config() -> Configuration {
+        let golden = StorageFormat::new(Fidelity::INGESTION, CodingOption::SMALLEST);
+        let raw = StorageFormat::new(
+            Fidelity::new(
+                vstore_types::ImageQuality::Best,
+                vstore_types::CropFactor::C100,
+                vstore_types::Resolution::R200,
+                vstore_types::FrameSampling::Full,
+            ),
+            CodingOption::Raw,
+        );
+        let mut storage_formats = Map::new();
+        storage_formats.insert(FormatId::GOLDEN, golden);
+        storage_formats.insert(FormatId(1), raw);
+        let mut retrieval_speeds = Map::new();
+        retrieval_speeds.insert(FormatId::GOLDEN, Speed(23.0));
+        retrieval_speeds.insert(FormatId(1), Speed(1100.0));
+        Configuration {
+            storage_formats,
+            retrieval_speeds,
+            subscriptions: vec![Subscription {
+                consumer: Consumer::new(OperatorKind::FullNN, 0.9),
+                consumption: ConsumptionFormat::new(Fidelity::INGESTION),
+                consumption_speed: Speed(4.0),
+                expected_accuracy: 1.0,
+                storage: FormatId::GOLDEN,
+                retrieval_speed: Speed(23.0),
+            }],
+            erosion: ErosionPlan::no_erosion(10, 0.1),
+        }
+    }
+
+    fn pipeline(tag: &str) -> IngestionPipeline {
+        IngestionPipeline::new(
+            Arc::new(SegmentStore::open_temp(tag).unwrap()),
+            Transcoder::default(),
+            VirtualClock::new(),
+        )
+    }
+
+    #[test]
+    fn ingest_writes_one_segment_per_format() {
+        let p = pipeline("ingest-basic");
+        let source = VideoSource::new(Dataset::Jackson);
+        let config = two_format_config();
+        let report = p.ingest_segment(&source, 0, &config).unwrap();
+        assert_eq!(report.segments_written, 2);
+        assert!((report.video.seconds() - 8.0).abs() < 1e-9);
+        assert!(report.transcode_cores() > 0.5, "cores {}", report.transcode_cores());
+        assert!(report.gb_per_day() > 1.0);
+        assert_eq!(p.store().len(), 2);
+        assert!(p.store().contains(&SegmentKey::new("jackson", FormatId::GOLDEN, 0)));
+        assert!(p.store().contains(&SegmentKey::new("jackson", FormatId(1), 0)));
+        std::fs::remove_dir_all(p.store().dir()).ok();
+    }
+
+    #[test]
+    fn ingest_multiple_segments_accumulates() {
+        let p = pipeline("ingest-multi");
+        let source = VideoSource::new(Dataset::Park);
+        let config = two_format_config();
+        let report = p.ingest_segments(&source, 0, 3, &config).unwrap();
+        assert_eq!(report.segments_written, 6);
+        assert!((report.video.seconds() - 24.0).abs() < 1e-9);
+        assert_eq!(p.store().segments_of("park", FormatId::GOLDEN).len(), 3);
+        let usage = p.clock().usage();
+        assert!(usage.transcode_work().0 > 0.0);
+        assert!(usage.bytes(ResourceKind::DiskWrite).bytes() > 0);
+        std::fs::remove_dir_all(p.store().dir()).ok();
+    }
+
+    #[test]
+    fn stored_bytes_round_trip_through_the_store() {
+        let p = pipeline("ingest-roundtrip");
+        let source = VideoSource::new(Dataset::Dashcam);
+        let config = two_format_config();
+        p.ingest_segment(&source, 2, &config).unwrap();
+        let key = SegmentKey::new("dashcam", FormatId(1), 2);
+        let bytes = p.store().get(&key).unwrap().unwrap();
+        let segment = vstore_codec::SegmentData::from_bytes(&bytes).unwrap();
+        assert_eq!(segment.frame_count(), 240);
+        assert!(segment.storage_format().coding.is_raw());
+        std::fs::remove_dir_all(p.store().dir()).ok();
+    }
+
+    #[test]
+    fn erosion_deletes_planned_fraction_but_never_golden() {
+        let p = pipeline("ingest-erosion");
+        let source = VideoSource::new(Dataset::Airport);
+        let mut config = two_format_config();
+        p.ingest_segments(&source, 0, 4, &config).unwrap();
+        // Plan: at age 3 days, half of SF1 is gone.
+        let mut deleted = Map::new();
+        deleted.insert(FormatId(1), Fraction::new(0.5));
+        config.erosion.steps[2] =
+            ErosionStep { age_days: 3, deleted, overall_relative_speed: 0.8 };
+        let removed = p.apply_erosion("airport", &config, 3).unwrap();
+        assert_eq!(removed, 2);
+        assert_eq!(p.store().segments_of("airport", FormatId(1)).len(), 2);
+        assert_eq!(p.store().segments_of("airport", FormatId::GOLDEN).len(), 4);
+        // Ages without planned deletion are a no-op.
+        assert_eq!(p.apply_erosion("airport", &config, 1).unwrap(), 0);
+        std::fs::remove_dir_all(p.store().dir()).ok();
+    }
+
+    #[test]
+    fn empty_configuration_is_rejected() {
+        let p = pipeline("ingest-empty");
+        let source = VideoSource::new(Dataset::Tucson);
+        let config = Configuration {
+            storage_formats: Map::new(),
+            retrieval_speeds: Map::new(),
+            subscriptions: vec![],
+            erosion: ErosionPlan::no_erosion(1, 0.1),
+        };
+        assert!(p.ingest_segment(&source, 0, &config).is_err());
+        std::fs::remove_dir_all(p.store().dir()).ok();
+    }
+}

@@ -1,0 +1,48 @@
+//! # vstore-ops
+//!
+//! The operator library (Table 2 of the paper): nine video-analytics
+//! operators spanning the two ported query engines (NoScope-style GPU
+//! operators and OpenALPR-style CPU operators), plus the machinery VStore
+//! needs around them — an F1 scorer and a consumption cost model.
+//!
+//! ## How operators are simulated
+//!
+//! The paper's operators are OpenCV pipelines and TensorFlow networks; here
+//! each operator is reproduced as:
+//!
+//! * a **real algorithm over the block plane** where that is the essence of
+//!   the operator (Diff's frame differencing, Motion's background
+//!   subtraction, Contour's edge energy, Opflow's block displacement), and
+//! * a **deterministic, fidelity-dependent detection model** for the
+//!   object-recognition operators (S-NN, NN, License, OCR, Color): an object
+//!   is detected when its detection probability — a monotone function of
+//!   apparent pixel size, image-quality signal retention and object salience
+//!   — exceeds a per-object pseudo-random draw. Using one draw per
+//!   `(operator, object, frame)` across all fidelities makes detections at a
+//!   poorer fidelity a *subset* of detections at a richer one, which yields
+//!   the monotone accuracy behaviour (observation O1) the paper's search
+//!   relies on.
+//!
+//! Accuracy is never hard-coded: it is *measured* as the F1 score of the
+//! operator's output at the consumption fidelity against its own output at
+//! the ingestion fidelity, exactly as §6.1 defines ground truth.
+//!
+//! Consumption cost likewise follows the paper's structure: a per-frame
+//! setup cost plus a per-pixel cost (so crop/resolution/sampling change cost
+//! while image quality does not — observation O2), converted to ×realtime by
+//! the calibrated machine model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod library;
+pub mod model;
+pub mod operator;
+pub mod ops;
+pub mod scoring;
+
+pub use cost::ConsumptionCostModel;
+pub use library::OperatorLibrary;
+pub use operator::{Detection, FrameResult, Operator, OperatorOutput};
+pub use scoring::{expand_to_timeline, f1_score, ScoreReport};

@@ -1,0 +1,568 @@
+//! The nine operator implementations (Table 2).
+
+use crate::model::{detects, ocr_char_draw, ocr_char_probability, plate_apparent_height};
+use crate::operator::{Detection, FrameResult, Operator, OperatorOutput};
+use vstore_codec::VideoFrame;
+use vstore_datasets::{ObjectColor, PlateText};
+use vstore_types::OperatorKind;
+
+// ---------------------------------------------------------------------------
+// Pixel-level operators
+// ---------------------------------------------------------------------------
+
+/// Frame-difference detector (NoScope's cheap early filter): flags frames
+/// that differ sufficiently from the previously consumed frame.
+#[derive(Debug, Default, Clone)]
+pub struct DiffOperator {
+    /// Mean-absolute-difference threshold (block luma units) above which a
+    /// frame counts as "changed".
+    pub threshold: f64,
+}
+
+impl DiffOperator {
+    /// Operator with the default threshold.
+    pub fn new() -> Self {
+        DiffOperator { threshold: 1.5 }
+    }
+}
+
+impl Operator for DiffOperator {
+    fn kind(&self) -> OperatorKind {
+        OperatorKind::Diff
+    }
+
+    fn run(&self, frames: &[VideoFrame]) -> OperatorOutput {
+        let mut out = Vec::with_capacity(frames.len());
+        let mut prev: Option<&VideoFrame> = None;
+        for frame in frames {
+            let positive = match prev {
+                // The first frame of a clip is always interesting.
+                None => true,
+                Some(p) => frame.plane.mean_abs_diff(&p.plane) > self.threshold,
+            };
+            out.push(FrameResult {
+                source_index: frame.source_index,
+                positive,
+                detections: Vec::new(),
+            });
+            prev = Some(frame);
+        }
+        OperatorOutput { frames: out }
+    }
+}
+
+/// Contour-boundary detector: flags frames whose edge energy exceeds a
+/// threshold.
+#[derive(Debug, Clone)]
+pub struct ContourOperator {
+    /// Gradient-energy threshold.
+    pub threshold: f64,
+}
+
+impl Default for ContourOperator {
+    fn default() -> Self {
+        ContourOperator { threshold: 8.0 }
+    }
+}
+
+impl Operator for ContourOperator {
+    fn kind(&self) -> OperatorKind {
+        OperatorKind::Contour
+    }
+
+    fn run(&self, frames: &[VideoFrame]) -> OperatorOutput {
+        let frames = frames
+            .iter()
+            .map(|frame| {
+                let energy = frame.plane.gradient_energy();
+                FrameResult {
+                    source_index: frame.source_index,
+                    positive: energy > self.threshold,
+                    detections: vec![Detection::Contour { energy: energy as f32 }],
+                }
+            })
+            .collect();
+        OperatorOutput { frames }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Object-level operators
+// ---------------------------------------------------------------------------
+
+/// A generic object-detection operator driven by the shared detection model.
+/// Used directly for S-NN and NN (detect any vehicle) and reused internally
+/// by Motion, License and Opflow.
+#[derive(Debug, Clone)]
+struct DetectionRun {
+    kind: OperatorKind,
+}
+
+impl DetectionRun {
+    fn detections_for(&self, frame: &VideoFrame) -> Vec<u64> {
+        frame
+            .objects
+            .iter()
+            .filter(|o| {
+                detects(self.kind, o, &frame.fidelity, frame.signal_retention, frame.source_index)
+            })
+            .map(|o| o.id)
+            .collect()
+    }
+}
+
+/// Specialised shallow NN: rapidly detects vehicles but needs them large and
+/// clear.
+#[derive(Debug, Default, Clone)]
+pub struct SpecializedNNOperator;
+
+impl Operator for SpecializedNNOperator {
+    fn kind(&self) -> OperatorKind {
+        OperatorKind::SpecializedNN
+    }
+
+    fn run(&self, frames: &[VideoFrame]) -> OperatorOutput {
+        let run = DetectionRun { kind: self.kind() };
+        let frames = frames
+            .iter()
+            .map(|frame| {
+                let ids = run.detections_for(frame);
+                FrameResult {
+                    source_index: frame.source_index,
+                    positive: !ids.is_empty(),
+                    detections: ids.into_iter().map(|object_id| Detection::Object { object_id }).collect(),
+                }
+            })
+            .collect();
+        OperatorOutput { frames }
+    }
+}
+
+/// Generic full NN (YOLO-class): the expensive, accurate detector.
+#[derive(Debug, Default, Clone)]
+pub struct FullNNOperator;
+
+impl Operator for FullNNOperator {
+    fn kind(&self) -> OperatorKind {
+        OperatorKind::FullNN
+    }
+
+    fn run(&self, frames: &[VideoFrame]) -> OperatorOutput {
+        let run = DetectionRun { kind: self.kind() };
+        let frames = frames
+            .iter()
+            .map(|frame| {
+                let ids = run.detections_for(frame);
+                FrameResult {
+                    source_index: frame.source_index,
+                    positive: !ids.is_empty(),
+                    detections: ids.into_iter().map(|object_id| Detection::Object { object_id }).collect(),
+                }
+            })
+            .collect();
+        OperatorOutput { frames }
+    }
+}
+
+/// Motion detector (background subtraction): flags frames containing moving
+/// objects. The background model is maintained over the consumed frames so
+/// the pixel work is real; the decision uses the shared detection model.
+#[derive(Debug, Default, Clone)]
+pub struct MotionOperator;
+
+impl Operator for MotionOperator {
+    fn kind(&self) -> OperatorKind {
+        OperatorKind::Motion
+    }
+
+    fn run(&self, frames: &[VideoFrame]) -> OperatorOutput {
+        let run = DetectionRun { kind: self.kind() };
+        let mut background: Option<Vec<f32>> = None;
+        let mut out = Vec::with_capacity(frames.len());
+        for frame in frames {
+            // Running-average background update (the real algorithmic work).
+            let samples = frame.plane.samples();
+            match &mut background {
+                Some(bg) if bg.len() == samples.len() => {
+                    for (b, &s) in bg.iter_mut().zip(samples) {
+                        *b = 0.9 * *b + 0.1 * f32::from(s);
+                    }
+                }
+                _ => background = Some(samples.iter().map(|&s| f32::from(s)).collect()),
+            }
+            let ids = run.detections_for(frame);
+            out.push(FrameResult {
+                source_index: frame.source_index,
+                positive: !ids.is_empty(),
+                detections: ids
+                    .into_iter()
+                    .map(|object_id| Detection::MotionRegion { object_id })
+                    .collect(),
+            });
+        }
+        OperatorOutput { frames: out }
+    }
+}
+
+/// Licence-plate region detector.
+#[derive(Debug, Default, Clone)]
+pub struct LicenseOperator;
+
+impl Operator for LicenseOperator {
+    fn kind(&self) -> OperatorKind {
+        OperatorKind::License
+    }
+
+    fn run(&self, frames: &[VideoFrame]) -> OperatorOutput {
+        let run = DetectionRun { kind: self.kind() };
+        let frames = frames
+            .iter()
+            .map(|frame| {
+                let ids = run.detections_for(frame);
+                FrameResult {
+                    source_index: frame.source_index,
+                    positive: !ids.is_empty(),
+                    detections: ids
+                        .into_iter()
+                        .map(|object_id| Detection::PlateRegion { object_id })
+                        .collect(),
+                }
+            })
+            .collect();
+        OperatorOutput { frames }
+    }
+}
+
+/// Optical character recognition over detected plate regions. A frame is
+/// positive when at least one plate is read with every character correct.
+#[derive(Debug, Default, Clone)]
+pub struct OcrOperator;
+
+impl Operator for OcrOperator {
+    fn kind(&self) -> OperatorKind {
+        OperatorKind::Ocr
+    }
+
+    fn run(&self, frames: &[VideoFrame]) -> OperatorOutput {
+        let run = DetectionRun { kind: self.kind() };
+        let frames = frames
+            .iter()
+            .map(|frame| {
+                let mut detections = Vec::new();
+                let mut any_correct = false;
+                for object in &frame.objects {
+                    if !run.detections_for_object(frame, object) {
+                        continue;
+                    }
+                    let truth = match object.plate {
+                        Some(p) => p,
+                        None => continue,
+                    };
+                    let plate_px = plate_apparent_height(object, &frame.fidelity);
+                    let mut read = truth.0;
+                    let mut all_correct = true;
+                    for (i, ch) in read.iter_mut().enumerate() {
+                        let p = ocr_char_probability(plate_px, frame.signal_retention);
+                        if ocr_char_draw(object.id, frame.source_index, i) >= p {
+                            // Substitute a deterministic wrong character.
+                            let alphabet = PlateText::ALPHABET;
+                            let substitute = alphabet
+                                [(usize::from(*ch) + 1 + i) % alphabet.len()];
+                            *ch = if substitute == *ch { alphabet[0] } else { substitute };
+                            all_correct = false;
+                        }
+                    }
+                    any_correct |= all_correct;
+                    detections.push(Detection::PlateText {
+                        object_id: object.id,
+                        text: PlateText(read),
+                    });
+                }
+                FrameResult {
+                    source_index: frame.source_index,
+                    positive: any_correct,
+                    detections,
+                }
+            })
+            .collect();
+        OperatorOutput { frames }
+    }
+}
+
+impl DetectionRun {
+    fn detections_for_object(
+        &self,
+        frame: &VideoFrame,
+        object: &vstore_datasets::SceneObject,
+    ) -> bool {
+        detects(self.kind, object, &frame.fidelity, frame.signal_retention, frame.source_index)
+    }
+}
+
+/// Optical-flow tracker: estimates per-object displacement between
+/// consecutive consumed frames and flags frames with tracked movement.
+#[derive(Debug, Default, Clone)]
+pub struct OpticalFlowOperator;
+
+impl Operator for OpticalFlowOperator {
+    fn kind(&self) -> OperatorKind {
+        OperatorKind::OpticalFlow
+    }
+
+    fn run(&self, frames: &[VideoFrame]) -> OperatorOutput {
+        let run = DetectionRun { kind: self.kind() };
+        let mut prev: Option<&VideoFrame> = None;
+        let mut out = Vec::with_capacity(frames.len());
+        for frame in frames {
+            // The real flow magnitude estimate: how much the plane moved.
+            let frame_delta = prev.map(|p| frame.plane.mean_abs_diff(&p.plane)).unwrap_or(0.0);
+            let ids = run.detections_for(frame);
+            out.push(FrameResult {
+                source_index: frame.source_index,
+                positive: !ids.is_empty(),
+                detections: ids
+                    .into_iter()
+                    .map(|object_id| Detection::Flow {
+                        object_id,
+                        magnitude: frame_delta as f32,
+                    })
+                    .collect(),
+            });
+            prev = Some(frame);
+        }
+        OperatorOutput { frames: out }
+    }
+}
+
+/// Colour filter: detects objects of one target colour.
+#[derive(Debug, Clone)]
+pub struct ColorOperator {
+    /// The colour the query is looking for.
+    pub target: ObjectColor,
+}
+
+impl Default for ColorOperator {
+    fn default() -> Self {
+        ColorOperator { target: ObjectColor::Blue }
+    }
+}
+
+impl Operator for ColorOperator {
+    fn kind(&self) -> OperatorKind {
+        OperatorKind::Color
+    }
+
+    fn run(&self, frames: &[VideoFrame]) -> OperatorOutput {
+        let frames = frames
+            .iter()
+            .map(|frame| {
+                let detections: Vec<Detection> = frame
+                    .objects
+                    .iter()
+                    .filter(|o| o.color == self.target)
+                    .filter(|o| {
+                        detects(
+                            OperatorKind::Color,
+                            o,
+                            &frame.fidelity,
+                            frame.signal_retention,
+                            frame.source_index,
+                        )
+                    })
+                    .map(|o| Detection::ColorMatch { object_id: o.id, color: o.color })
+                    .collect();
+                FrameResult {
+                    source_index: frame.source_index,
+                    positive: !detections.is_empty(),
+                    detections,
+                }
+            })
+            .collect();
+        OperatorOutput { frames }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstore_codec::frame::materialize_clip;
+    use vstore_datasets::{Dataset, VideoSource};
+    use vstore_types::{CropFactor, Fidelity, FrameSampling, ImageQuality, Resolution};
+
+    fn clip(dataset: Dataset, fidelity: Fidelity, frames: u32) -> Vec<VideoFrame> {
+        let src = VideoSource::new(dataset);
+        materialize_clip(&src.clip(0, frames), fidelity)
+    }
+
+    fn ingestion_clip(dataset: Dataset, frames: u32) -> Vec<VideoFrame> {
+        clip(dataset, Fidelity::INGESTION, frames)
+    }
+
+    #[test]
+    fn diff_flags_dashcam_more_than_park() {
+        let diff = DiffOperator::new();
+        let dash = diff.run(&ingestion_clip(Dataset::Dashcam, 90));
+        let park = diff.run(&ingestion_clip(Dataset::Park, 90));
+        assert!(dash.selectivity() > park.selectivity());
+        assert!(dash.frames[0].positive, "first frame is always positive");
+    }
+
+    #[test]
+    fn nn_detects_vehicles_at_ingestion_fidelity() {
+        let nn = FullNNOperator;
+        let out = nn.run(&ingestion_clip(Dataset::Jackson, 300));
+        assert!(out.positives() > 0, "NN found nothing in 10 s of jackson");
+        // Every detection refers to a real object.
+        for f in &out.frames {
+            for d in &f.detections {
+                assert!(d.object_id().is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn snn_detects_no_more_than_nn_at_low_fidelity() {
+        let low = Fidelity::new(
+            ImageQuality::Bad,
+            CropFactor::C100,
+            Resolution::R200,
+            FrameSampling::Full,
+        );
+        let frames = clip(Dataset::Jackson, low, 300);
+        let snn = SpecializedNNOperator.run(&frames);
+        let nn_hi = FullNNOperator.run(&ingestion_clip(Dataset::Jackson, 300));
+        // The cheap specialised NN at poor fidelity must not "see" more
+        // frames than the full NN at full fidelity.
+        assert!(snn.positives() <= nn_hi.positives());
+    }
+
+    #[test]
+    fn motion_ignores_static_frames_but_fires_on_traffic() {
+        let motion = MotionOperator;
+        let out = motion.run(&ingestion_clip(Dataset::Jackson, 600));
+        let sel = out.selectivity();
+        assert!(sel > 0.0 && sel < 1.0, "motion selectivity {sel}");
+    }
+
+    #[test]
+    fn license_and_ocr_need_rich_fidelity() {
+        let poor = Fidelity::new(
+            ImageQuality::Worst,
+            CropFactor::C100,
+            Resolution::R100,
+            FrameSampling::Full,
+        );
+        let rich_frames = ingestion_clip(Dataset::Dashcam, 300);
+        let poor_frames = clip(Dataset::Dashcam, poor, 300);
+        let license_rich = LicenseOperator.run(&rich_frames).positives();
+        let license_poor = LicenseOperator.run(&poor_frames).positives();
+        assert!(license_rich > 0);
+        assert!(license_poor < license_rich, "rich {license_rich} poor {license_poor}");
+        let ocr_rich = OcrOperator.run(&rich_frames).positives();
+        let ocr_poor = OcrOperator.run(&poor_frames).positives();
+        assert!(ocr_poor <= ocr_rich);
+        assert!(ocr_rich <= license_rich, "OCR should not out-detect License");
+    }
+
+    #[test]
+    fn ocr_emits_texts_with_errors_at_poor_quality() {
+        let poor = Fidelity::new(
+            ImageQuality::Bad,
+            CropFactor::C100,
+            Resolution::R360,
+            FrameSampling::Full,
+        );
+        let frames = clip(Dataset::Dashcam, poor, 300);
+        let out = OcrOperator.run(&frames);
+        let mut read_any = false;
+        let mut error_seen = false;
+        for (f, frame) in out.frames.iter().zip(frames.iter()) {
+            for d in &f.detections {
+                if let Detection::PlateText { object_id, text } = d {
+                    read_any = true;
+                    let truth = frame
+                        .objects
+                        .iter()
+                        .find(|o| o.id == *object_id)
+                        .and_then(|o| o.plate)
+                        .expect("plate text exists for detected object");
+                    if text.char_errors(&truth) > 0 {
+                        error_seen = true;
+                    }
+                }
+            }
+        }
+        assert!(read_any, "OCR never attempted a read");
+        assert!(error_seen, "poor quality should introduce at least one character error");
+    }
+
+    #[test]
+    fn color_operator_only_reports_target_color() {
+        let op = ColorOperator { target: ObjectColor::Red };
+        let frames = ingestion_clip(Dataset::Miami, 600);
+        let out = op.run(&frames);
+        for (f, frame) in out.frames.iter().zip(frames.iter()) {
+            for d in &f.detections {
+                if let Detection::ColorMatch { object_id, color } = d {
+                    assert_eq!(*color, ObjectColor::Red);
+                    let obj = frame.objects.iter().find(|o| o.id == *object_id).unwrap();
+                    assert_eq!(obj.color, ObjectColor::Red);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contour_energy_drops_with_resolution() {
+        let rich = ContourOperator::default().run(&ingestion_clip(Dataset::Tucson, 30));
+        let low_fid = Fidelity::new(
+            ImageQuality::Best,
+            CropFactor::C100,
+            Resolution::R100,
+            FrameSampling::Full,
+        );
+        let low = ContourOperator::default().run(&clip(Dataset::Tucson, low_fid, 30));
+        let energy = |out: &OperatorOutput| -> f32 {
+            out.frames
+                .iter()
+                .flat_map(|f| &f.detections)
+                .filter_map(|d| match d {
+                    Detection::Contour { energy } => Some(*energy),
+                    _ => None,
+                })
+                .sum::<f32>()
+                / out.frames.len() as f32
+        };
+        assert!(energy(&rich) > 0.0);
+        assert!(energy(&rich) >= energy(&low) * 0.8);
+    }
+
+    #[test]
+    fn opflow_reports_motion_magnitudes() {
+        let out = OpticalFlowOperator.run(&ingestion_clip(Dataset::Dashcam, 60));
+        let magnitudes: Vec<f32> = out
+            .frames
+            .iter()
+            .flat_map(|f| &f.detections)
+            .filter_map(|d| match d {
+                Detection::Flow { magnitude, .. } => Some(*magnitude),
+                _ => None,
+            })
+            .collect();
+        assert!(!magnitudes.is_empty());
+        assert!(magnitudes.iter().any(|m| *m > 0.0));
+    }
+
+    #[test]
+    fn operators_report_their_kind() {
+        assert_eq!(DiffOperator::new().kind(), OperatorKind::Diff);
+        assert_eq!(SpecializedNNOperator.kind(), OperatorKind::SpecializedNN);
+        assert_eq!(FullNNOperator.kind(), OperatorKind::FullNN);
+        assert_eq!(MotionOperator.kind(), OperatorKind::Motion);
+        assert_eq!(LicenseOperator.kind(), OperatorKind::License);
+        assert_eq!(OcrOperator.kind(), OperatorKind::Ocr);
+        assert_eq!(OpticalFlowOperator.kind(), OperatorKind::OpticalFlow);
+        assert_eq!(ColorOperator::default().kind(), OperatorKind::Color);
+        assert_eq!(ContourOperator::default().kind(), OperatorKind::Contour);
+    }
+}

@@ -1,0 +1,363 @@
+//! Query execution over the segment store.
+
+use crate::cascade::QuerySpec;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use vstore_codec::Transcoder;
+use vstore_ops::OperatorLibrary;
+use vstore_sim::{ResourceKind, VirtualClock};
+use vstore_storage::{SegmentKey, SegmentStore};
+use vstore_types::{
+    ByteSize, Configuration, Consumer, OperatorKind, Result, Speed, VStoreError, VideoSeconds,
+};
+
+/// Per-stage execution statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageReport {
+    /// The operator of this stage.
+    pub op: OperatorKind,
+    /// Segments this stage processed.
+    pub segments_processed: usize,
+    /// Segments this stage flagged as positive (passed to the next stage).
+    pub segments_passed: usize,
+    /// Frames the operator consumed.
+    pub frames_consumed: usize,
+    /// Modelled processing seconds charged to this stage (retrieval +
+    /// consumption, whichever is slower governs).
+    pub processing_seconds: f64,
+    /// Segments whose data had to be served by a fallback (richer) format
+    /// because the subscribed format's segment was eroded.
+    pub fallback_segments: usize,
+}
+
+/// The result of executing one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// The query that ran.
+    pub query: QuerySpec,
+    /// Video timespan covered by the query.
+    pub video: VideoSeconds,
+    /// End-to-end query speed in ×realtime.
+    pub speed: Speed,
+    /// Source frame indices the final cascade stage flagged as positive.
+    pub positive_frames: Vec<u64>,
+    /// Per-stage statistics.
+    pub stages: Vec<StageReport>,
+    /// Bytes read from the segment store.
+    pub bytes_read: ByteSize,
+}
+
+impl QueryResult {
+    /// Selectivity of the full cascade: positive segments of the last stage
+    /// over segments scanned by the first stage.
+    pub fn selectivity(&self) -> f64 {
+        match (self.stages.first(), self.stages.last()) {
+            (Some(first), Some(last)) if first.segments_processed > 0 => {
+                last.segments_passed as f64 / first.segments_processed as f64
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// The query engine.
+pub struct QueryEngine {
+    store: Arc<SegmentStore>,
+    library: OperatorLibrary,
+    transcoder: Transcoder,
+    clock: VirtualClock,
+}
+
+impl QueryEngine {
+    /// An engine reading from the given store.
+    pub fn new(
+        store: Arc<SegmentStore>,
+        library: OperatorLibrary,
+        transcoder: Transcoder,
+        clock: VirtualClock,
+    ) -> Self {
+        QueryEngine { store, library, transcoder, clock }
+    }
+
+    /// The virtual clock charged by query execution.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Execute a query over a contiguous range of segments of one stream,
+    /// using the consumption/storage formats of the given configuration.
+    pub fn execute(
+        &self,
+        stream: &str,
+        query: &QuerySpec,
+        config: &Configuration,
+        first_segment: u64,
+        segment_count: u64,
+    ) -> Result<QueryResult> {
+        if segment_count == 0 {
+            return Err(VStoreError::invalid_argument("query covers zero segments"));
+        }
+        let mut active: BTreeSet<u64> = (first_segment..first_segment + segment_count).collect();
+        let mut stages = Vec::with_capacity(query.cascade.len());
+        let mut total_seconds = 0.0f64;
+        let mut bytes_read = ByteSize::ZERO;
+        let mut positive_frames = Vec::new();
+
+        for (stage_idx, &op) in query.cascade.iter().enumerate() {
+            let consumer = Consumer { op, accuracy: query.accuracy };
+            let sub = config.subscription(&consumer).ok_or_else(|| {
+                VStoreError::InvalidState(format!(
+                    "configuration has no subscription for {consumer}"
+                ))
+            })?;
+            let operator = self.library.instantiate(op);
+            let mut report = StageReport {
+                op,
+                segments_processed: 0,
+                segments_passed: 0,
+                frames_consumed: 0,
+                processing_seconds: 0.0,
+                fallback_segments: 0,
+            };
+            let mut next_active = BTreeSet::new();
+            let mut stage_positive_frames = Vec::new();
+            for &segment in &active {
+                // Fetch the subscribed storage format's segment, falling back
+                // to any richer stored format (ultimately the golden one)
+                // when it has been eroded.
+                let (data, used_fallback, read_bytes) =
+                    self.fetch_segment(stream, config, sub.storage, segment, &sub.consumption)?;
+                let data = match data {
+                    Some(d) => d,
+                    None => continue, // segment not ingested at all
+                };
+                bytes_read += read_bytes;
+                report.segments_processed += 1;
+                if used_fallback {
+                    report.fallback_segments += 1;
+                }
+                // Decode only the frames the consumption format samples.
+                let (stored_frames, _) =
+                    data.decode_sampled(sub.consumption.fidelity.sampling)?;
+                let frames =
+                    self.transcoder.convert_for_consumption(&stored_frames, &sub.consumption)?;
+                report.frames_consumed += frames.len();
+                let output = operator.run(&frames);
+                // Charge modelled time: the stage runs at the lower of the
+                // consumption speed and the (possibly fallback-degraded)
+                // retrieval speed.
+                let retrieval = if used_fallback {
+                    // Re-profile retrieval against the format actually used.
+                    self.transcoder.retrieval_speed(
+                        &data.storage_format(),
+                        0.3,
+                        &sub.consumption,
+                    )
+                } else {
+                    sub.retrieval_speed
+                };
+                let effective = sub.consumption_speed.min(retrieval);
+                let segment_seconds = data.frame_count() as f64
+                    / (30.0 * data.fidelity().sampling.fraction()).max(1e-9);
+                report.processing_seconds +=
+                    segment_seconds / effective.factor().max(1e-9);
+                if output.positives() > 0 {
+                    report.segments_passed += 1;
+                    next_active.insert(segment);
+                }
+                if stage_idx + 1 == query.cascade.len() {
+                    stage_positive_frames.extend(output.positive_indices());
+                }
+                self.clock.charge_bytes(ResourceKind::DiskRead, read_bytes);
+                let compute = self.library.compute_seconds(
+                    op,
+                    &sub.consumption.fidelity,
+                    segment_seconds,
+                );
+                let kind = if op.runs_on_gpu() {
+                    ResourceKind::GpuCompute
+                } else {
+                    ResourceKind::OperatorCpu
+                };
+                self.clock.charge_background_seconds(kind, compute);
+            }
+            total_seconds += report.processing_seconds;
+            if stage_idx + 1 == query.cascade.len() {
+                positive_frames = stage_positive_frames;
+            }
+            stages.push(report);
+            active = next_active;
+            if active.is_empty() && stage_idx + 1 < query.cascade.len() {
+                // Nothing left for later stages; record them as idle.
+                for &op in &query.cascade[stage_idx + 1..] {
+                    stages.push(StageReport {
+                        op,
+                        segments_processed: 0,
+                        segments_passed: 0,
+                        frames_consumed: 0,
+                        processing_seconds: 0.0,
+                        fallback_segments: 0,
+                    });
+                }
+                break;
+            }
+        }
+
+        let video = VideoSeconds(segment_count as f64 * 8.0);
+        self.clock.add_video_processed(video);
+        self.clock.advance(total_seconds);
+        Ok(QueryResult {
+            query: query.clone(),
+            video,
+            speed: Speed::from_durations(video.seconds(), total_seconds),
+            positive_frames,
+            stages,
+            bytes_read,
+        })
+    }
+
+    /// Fetch one segment in the subscribed format, falling back to a richer
+    /// stored format when it is missing (eroded).
+    fn fetch_segment(
+        &self,
+        stream: &str,
+        config: &Configuration,
+        preferred: vstore_types::FormatId,
+        segment: u64,
+        consumption: &vstore_types::ConsumptionFormat,
+    ) -> Result<(Option<vstore_codec::SegmentData>, bool, ByteSize)> {
+        let key = SegmentKey::new(stream, preferred, segment);
+        if let Some(bytes) = self.store.get(&key)? {
+            let size = ByteSize(bytes.len() as u64);
+            return Ok((Some(vstore_codec::SegmentData::from_bytes(&bytes)?), false, size));
+        }
+        // Fallback: any stored format with satisfiable fidelity, preferring
+        // the cheapest (fewest bytes would be nice, but richer-or-equal and
+        // present is the requirement; iterate in id order so the golden
+        // format is the last resort only if numbered formats fail).
+        let mut candidates: Vec<_> = config
+            .storage_formats
+            .iter()
+            .filter(|(id, sf)| **id != preferred && sf.satisfies(consumption))
+            .collect();
+        candidates.sort_by_key(|(id, _)| std::cmp::Reverse(id.0));
+        for (id, _) in candidates {
+            let key = SegmentKey::new(stream, *id, segment);
+            if let Some(bytes) = self.store.get(&key)? {
+                let size = ByteSize(bytes.len() as u64);
+                return Ok((Some(vstore_codec::SegmentData::from_bytes(&bytes)?), true, size));
+            }
+        }
+        Ok((None, false, ByteSize::ZERO))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vstore_core::{Alternative, ConfigurationEngine, EngineOptions};
+    use vstore_datasets::{Dataset, VideoSource};
+    use vstore_ingest::IngestionPipeline;
+    use vstore_ops::OperatorLibrary;
+    use vstore_profiler::{Profiler, ProfilerConfig};
+    use vstore_sim::CodingCostModel;
+    use vstore_types::FidelitySpace;
+
+    struct Fixture {
+        store: Arc<SegmentStore>,
+        config: Configuration,
+        one_to_n: Configuration,
+        engine: QueryEngine,
+    }
+
+    fn fixture(consumer_accuracy: f64) -> Fixture {
+        let profiler = Arc::new(Profiler::new(
+            OperatorLibrary::paper_testbed(),
+            CodingCostModel::paper_testbed(),
+            ProfilerConfig::fast_test(),
+        ));
+        let options =
+            EngineOptions { fidelity_space: FidelitySpace::reduced(), ..EngineOptions::default() };
+        let engine = ConfigurationEngine::new(Arc::clone(&profiler), options);
+        let query = QuerySpec::query_a(consumer_accuracy);
+        let consumers = query.consumers();
+        let config = engine.derive(&consumers).unwrap();
+        let one_to_n = engine.derive_alternative(&consumers, Alternative::OneToN).unwrap();
+
+        let store = Arc::new(SegmentStore::open_temp("query-engine").unwrap());
+        let ingest = IngestionPipeline::new(
+            Arc::clone(&store),
+            Transcoder::default(),
+            VirtualClock::new(),
+        );
+        let source = VideoSource::new(Dataset::Jackson);
+        // Ingest into the union of both configurations' formats by ingesting
+        // twice (ids overlap only for the golden format, which is identical).
+        ingest.ingest_segments(&source, 0, 2, &config).unwrap();
+        ingest.ingest_segments(&source, 0, 2, &one_to_n).unwrap();
+
+        let engine = QueryEngine::new(
+            Arc::clone(&store),
+            OperatorLibrary::paper_testbed(),
+            Transcoder::default(),
+            VirtualClock::new(),
+        );
+        Fixture { store, config, one_to_n, engine }
+    }
+
+    #[test]
+    fn query_a_runs_end_to_end_and_reports_speed() {
+        let fx = fixture(0.8);
+        let query = QuerySpec::query_a(0.8);
+        let result = fx.engine.execute("jackson", &query, &fx.config, 0, 2).unwrap();
+        assert_eq!(result.stages.len(), 3);
+        assert_eq!(result.stages[0].segments_processed, 2);
+        assert!((result.video.seconds() - 16.0).abs() < 1e-9);
+        assert!(result.speed.factor() > 1.0, "query speed {}", result.speed);
+        assert!(result.bytes_read.bytes() > 0);
+        // Later stages never process more segments than earlier ones.
+        for w in result.stages.windows(2) {
+            assert!(w[1].segments_processed <= w[0].segments_passed);
+        }
+        std::fs::remove_dir_all(fx.store.dir()).ok();
+    }
+
+    #[test]
+    fn vstore_configuration_is_faster_than_one_to_n() {
+        let fx = fixture(0.8);
+        let query = QuerySpec::query_a(0.8);
+        let vstore = fx.engine.execute("jackson", &query, &fx.config, 0, 2).unwrap();
+        let baseline = fx.engine.execute("jackson", &query, &fx.one_to_n, 0, 2).unwrap();
+        assert!(
+            vstore.speed.factor() > baseline.speed.factor(),
+            "VStore {} should beat 1→N {}",
+            vstore.speed,
+            baseline.speed
+        );
+        std::fs::remove_dir_all(fx.store.dir()).ok();
+    }
+
+    #[test]
+    fn missing_subscription_is_an_error() {
+        let fx = fixture(0.8);
+        let query = QuerySpec::query_b(0.8); // configuration was built for query A
+        let err = fx.engine.execute("jackson", &query, &fx.config, 0, 2).unwrap_err();
+        assert!(matches!(err, VStoreError::InvalidState(_)));
+        assert!(fx
+            .engine
+            .execute("jackson", &QuerySpec::query_a(0.8), &fx.config, 0, 0)
+            .is_err());
+        std::fs::remove_dir_all(fx.store.dir()).ok();
+    }
+
+    #[test]
+    fn queries_over_missing_streams_return_empty_results() {
+        let fx = fixture(0.8);
+        let query = QuerySpec::query_a(0.8);
+        let result = fx.engine.execute("nonexistent", &query, &fx.config, 0, 2).unwrap();
+        assert_eq!(result.stages[0].segments_processed, 0);
+        assert!(result.positive_frames.is_empty());
+        std::fs::remove_dir_all(fx.store.dir()).ok();
+    }
+}

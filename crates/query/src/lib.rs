@@ -1,0 +1,25 @@
+//! # vstore-query
+//!
+//! The query engine ported onto VStore (§5): operator cascades executed over
+//! video segments retrieved from the segment store, decoded, converted to
+//! each operator's consumption format, and consumed.
+//!
+//! The two end-to-end queries of the paper are provided:
+//!
+//! * **Query A** (NoScope-style car detection): Diff → S-NN → NN;
+//! * **Query B** (OpenALPR-style plate recognition): Motion → License → OCR.
+//!
+//! Early operators scan every segment of the queried timespan; later
+//! operators only touch the segments their predecessor flagged. Per-stage
+//! time is charged as `video processed ÷ min(retrieval speed, consumption
+//! speed)` on the calibrated models, which is how the paper's ×realtime
+//! query speeds are measured.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cascade;
+pub mod engine;
+
+pub use cascade::{QuerySpec, STAGE_A, STAGE_B};
+pub use engine::{QueryEngine, QueryResult, StageReport};

@@ -1,0 +1,30 @@
+//! # vstore-sim
+//!
+//! The simulation substrate that stands in for the paper's hardware:
+//!
+//! * [`hash`] — deterministic splittable hashing used wherever the synthetic
+//!   substrate needs reproducible pseudo-randomness (content generation,
+//!   detection draws) without threading RNG state everywhere;
+//! * [`machine`] — the machine model (CPU cores, decoder, disk bandwidth)
+//!   mirroring the paper's evaluation platform;
+//! * [`resources`] — resource usage accounting (CPU-core-seconds, decoder
+//!   seconds, disk bytes) and a virtual clock, so experiments report costs in
+//!   the paper's units (×realtime, cores, GB/day) independent of the host;
+//! * [`coding_cost`] — the calibrated encode/decode/size model for the block
+//!   codec, shaped on Figure 3 and Table 3(b) of the paper.
+//!
+//! See `DESIGN.md` ("Substitutions") for why each model exists and how it was
+//! calibrated.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coding_cost;
+pub mod hash;
+pub mod machine;
+pub mod resources;
+
+pub use coding_cost::CodingCostModel;
+pub use hash::DeterministicHasher;
+pub use machine::MachineSpec;
+pub use resources::{ResourceKind, ResourceUsage, VirtualClock};

@@ -1,0 +1,122 @@
+//! Segment keys: `(stream, storage format, segment index)`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use vstore_types::{FormatId, Result, VStoreError};
+
+/// The key of one stored segment.
+///
+/// Keys order by `(stream, format, segment_index)`, so a range scan over one
+/// `(stream, format)` pair returns segments in time order — the access
+/// pattern of query execution.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SegmentKey {
+    /// The ingested stream this segment belongs to.
+    pub stream: String,
+    /// The storage format this segment is stored in.
+    pub format: FormatId,
+    /// The index of the 8-second segment within the stream (segment 0 covers
+    /// seconds 0–8, segment 1 covers 8–16, …).
+    pub segment_index: u64,
+}
+
+impl SegmentKey {
+    /// Construct a key.
+    pub fn new(stream: impl Into<String>, format: FormatId, segment_index: u64) -> Self {
+        SegmentKey { stream: stream.into(), format, segment_index }
+    }
+
+    /// Serialise the key for the value log.
+    pub fn encode(&self) -> Vec<u8> {
+        let stream_bytes = self.stream.as_bytes();
+        let mut out = Vec::with_capacity(stream_bytes.len() + 16);
+        out.extend_from_slice(&(stream_bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(stream_bytes);
+        out.extend_from_slice(&self.format.0.to_le_bytes());
+        out.extend_from_slice(&self.segment_index.to_le_bytes());
+        out
+    }
+
+    /// Deserialise a key previously produced by [`encode`](Self::encode).
+    pub fn decode(bytes: &[u8]) -> Result<SegmentKey> {
+        if bytes.len() < 4 {
+            return Err(VStoreError::corruption("segment key too short"));
+        }
+        let stream_len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        let expected = 4 + stream_len + 4 + 8;
+        if bytes.len() != expected {
+            return Err(VStoreError::corruption(format!(
+                "segment key length {} does not match expected {}",
+                bytes.len(),
+                expected
+            )));
+        }
+        let stream = std::str::from_utf8(&bytes[4..4 + stream_len])
+            .map_err(|_| VStoreError::corruption("segment key stream is not UTF-8"))?
+            .to_owned();
+        let mut format_bytes = [0u8; 4];
+        format_bytes.copy_from_slice(&bytes[4 + stream_len..8 + stream_len]);
+        let mut index_bytes = [0u8; 8];
+        index_bytes.copy_from_slice(&bytes[8 + stream_len..16 + stream_len]);
+        Ok(SegmentKey {
+            stream,
+            format: FormatId(u32::from_le_bytes(format_bytes)),
+            segment_index: u64::from_le_bytes(index_bytes),
+        })
+    }
+}
+
+impl fmt::Display for SegmentKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/{}", self.stream, self.format, self.segment_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let key = SegmentKey::new("jackson", FormatId(3), 17);
+        let bytes = key.encode();
+        assert_eq!(SegmentKey::decode(&bytes).unwrap(), key);
+        let golden = SegmentKey::new("dashcam", FormatId::GOLDEN, u64::MAX);
+        assert_eq!(SegmentKey::decode(&golden.encode()).unwrap(), golden);
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_keys() {
+        assert!(SegmentKey::decode(&[]).is_err());
+        assert!(SegmentKey::decode(&[1, 2, 3]).is_err());
+        let mut bytes = SegmentKey::new("x", FormatId(1), 2).encode();
+        bytes.pop();
+        assert!(SegmentKey::decode(&bytes).is_err());
+        // Invalid UTF-8 stream name.
+        let mut bad = SegmentKey::new("ab", FormatId(1), 2).encode();
+        bad[4] = 0xFF;
+        bad[5] = 0xFE;
+        assert!(SegmentKey::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn ordering_groups_stream_then_format_then_time() {
+        let mut keys = vec![
+            SegmentKey::new("b", FormatId(0), 0),
+            SegmentKey::new("a", FormatId(1), 5),
+            SegmentKey::new("a", FormatId(0), 9),
+            SegmentKey::new("a", FormatId(0), 2),
+        ];
+        keys.sort();
+        assert_eq!(keys[0], SegmentKey::new("a", FormatId(0), 2));
+        assert_eq!(keys[1], SegmentKey::new("a", FormatId(0), 9));
+        assert_eq!(keys[2], SegmentKey::new("a", FormatId(1), 5));
+        assert_eq!(keys[3], SegmentKey::new("b", FormatId(0), 0));
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let key = SegmentKey::new("park", FormatId(2), 7);
+        assert_eq!(key.to_string(), "park/SF2/7");
+    }
+}

@@ -1,0 +1,30 @@
+//! # vstore-storage
+//!
+//! The embedded segment store backing VStore — the stand-in for the LMDB
+//! key-value store the paper uses (§5).
+//!
+//! VStore's storage workload is simple but specific: MB-sized values
+//! (8-second video segments), keyed by `(stream, storage format, segment
+//! index)`, written append-only at ingestion, read back by range at query
+//! time, and deleted in bulk by the erosion planner. The store is therefore
+//! a log-structured key-value store in the Bitcask style:
+//!
+//! * values live in append-only **value log** files with CRC-guarded
+//!   records;
+//! * an **in-memory index** maps keys to (file, offset, length) and is
+//!   rebuilt by scanning the logs at open (tombstones supersede puts);
+//! * **deletes** append tombstones; **compaction** rewrites live records
+//!   into fresh logs and drops the garbage.
+//!
+//! All operations are thread-safe behind a [`parking_lot`] lock, mirroring
+//! how VStore's single-writer, multi-reader ingestion and query paths use it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod key;
+pub mod log;
+pub mod store;
+
+pub use key::SegmentKey;
+pub use store::{SegmentStore, StoreStats};

@@ -1,0 +1,369 @@
+//! The append-only value log: record framing, appending, scanning.
+//!
+//! Record layout (all integers little-endian):
+//!
+//! ```text
+//! ┌────────┬───────┬───────┬───────┬────────────┬──────────────┐
+//! │ magic  │ flags │ klen  │ vlen  │ key bytes  │ value bytes  │ crc32
+//! │ u32    │ u8    │ u32   │ u32   │ klen       │ vlen         │ u32
+//! └────────┴───────┴───────┴───────┴────────────┴──────────────┘
+//! ```
+//!
+//! The CRC covers flags, lengths, key and value. A record with `flags = 1`
+//! is a tombstone (its value is empty). A torn tail (partial record after a
+//! crash) is detected by the CRC or a truncated read and the scan stops at
+//! the last complete record — earlier records stay readable.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use vstore_types::{Result, VStoreError};
+
+/// Magic number at the start of every record.
+const RECORD_MAGIC: u32 = 0x5653_4C47; // "VSLG"
+
+/// Record flag: this record deletes the key.
+pub const FLAG_TOMBSTONE: u8 = 1;
+
+/// A parsed record returned by the scanner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Byte offset of the record header within the file.
+    pub offset: u64,
+    /// Total on-disk length of the record, including framing.
+    pub total_len: u64,
+    /// Encoded key bytes.
+    pub key: Vec<u8>,
+    /// Value bytes (empty for tombstones).
+    pub value: Vec<u8>,
+    /// `true` when the record is a tombstone.
+    pub is_tombstone: bool,
+}
+
+/// Compute the CRC-32 (IEEE) of the record body.
+fn record_crc(flags: u8, key: &[u8], value: &[u8]) -> u32 {
+    // Reuse the same polynomial as the codec's wire module, implemented
+    // locally to avoid a dependency edge from storage to codec.
+    let mut crc = 0xFFFF_FFFFu32;
+    let mut feed = |data: &[u8]| {
+        for &byte in data {
+            crc ^= u32::from(byte);
+            for _ in 0..8 {
+                let mask = (crc & 1).wrapping_neg();
+                crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            }
+        }
+    };
+    feed(&[flags]);
+    feed(&(key.len() as u32).to_le_bytes());
+    feed(&(value.len() as u32).to_le_bytes());
+    feed(key);
+    feed(value);
+    !crc
+}
+
+/// On-disk size of a record with the given key/value lengths.
+pub fn record_size(key_len: usize, value_len: usize) -> u64 {
+    4 + 1 + 4 + 4 + key_len as u64 + value_len as u64 + 4
+}
+
+/// An append-only log file.
+#[derive(Debug)]
+pub struct LogFile {
+    path: PathBuf,
+    file: File,
+    len: u64,
+    /// Numeric id used to order log files.
+    pub id: u64,
+}
+
+impl LogFile {
+    /// File name for a log id.
+    pub fn file_name(id: u64) -> String {
+        format!("vlog-{id:08}.dat")
+    }
+
+    /// Parse a log id from a file name, if it is a value log.
+    pub fn parse_id(name: &str) -> Option<u64> {
+        let rest = name.strip_prefix("vlog-")?.strip_suffix(".dat")?;
+        rest.parse().ok()
+    }
+
+    /// Create a new, empty log file (truncating any existing file).
+    pub fn create(dir: &Path, id: u64) -> Result<LogFile> {
+        let path = dir.join(Self::file_name(id));
+        let file = OpenOptions::new().create(true).write(true).truncate(true).open(&path)?;
+        Ok(LogFile { path, file, len: 0, id })
+    }
+
+    /// Open an existing log file for appending.
+    pub fn open(dir: &Path, id: u64) -> Result<LogFile> {
+        let path = dir.join(Self::file_name(id));
+        let file = OpenOptions::new().create(true).write(true).open(&path)?;
+        let len = file.metadata()?.len();
+        let mut log = LogFile { path, file, len, id };
+        log.file.seek(SeekFrom::End(0))?;
+        Ok(log)
+    }
+
+    /// The file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current file length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` when no record has been written.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append a record; returns its offset and total length.
+    pub fn append(&mut self, key: &[u8], value: &[u8], is_tombstone: bool) -> Result<(u64, u64)> {
+        let flags = if is_tombstone { FLAG_TOMBSTONE } else { 0 };
+        let crc = record_crc(flags, key, value);
+        let mut buf =
+            Vec::with_capacity(record_size(key.len(), value.len()) as usize);
+        buf.extend_from_slice(&RECORD_MAGIC.to_le_bytes());
+        buf.push(flags);
+        buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        buf.extend_from_slice(key);
+        buf.extend_from_slice(value);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        let offset = self.len;
+        self.file.write_all(&buf)?;
+        self.len += buf.len() as u64;
+        Ok((offset, buf.len() as u64))
+    }
+
+    /// Flush buffered writes and fsync to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.flush()?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Read the value of a record given its offset and total length, and
+    /// verify its CRC.
+    pub fn read_value(&self, offset: u64, total_len: u64) -> Result<Vec<u8>> {
+        let mut file = File::open(&self.path)?;
+        file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; total_len as usize];
+        file.read_exact(&mut buf)?;
+        let record = parse_record(&buf, offset)?
+            .ok_or_else(|| VStoreError::corruption("record truncated on read"))?;
+        Ok(record.value)
+    }
+
+    /// Parse the complete records contained in an in-memory buffer whose
+    /// first byte sits at `base_offset` within its file. Stops cleanly at a
+    /// truncated or CRC-failing record.
+    pub fn scan_buffer(buf: &[u8], base_offset: u64) -> Result<Vec<LogRecord>> {
+        let mut records = Vec::new();
+        let mut offset = 0usize;
+        while offset < buf.len() {
+            match parse_record(&buf[offset..], base_offset + offset as u64)? {
+                Some(record) => {
+                    let advance = record.total_len as usize;
+                    records.push(record);
+                    offset += advance;
+                }
+                None => break,
+            }
+        }
+        Ok(records)
+    }
+
+    /// Scan all complete records in the file. Stops cleanly at a torn tail.
+    pub fn scan(path: &Path) -> Result<Vec<LogRecord>> {
+        let file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        let mut reader = BufReader::new(file);
+        let mut data = Vec::new();
+        reader.read_to_end(&mut data)?;
+        let mut records = Vec::new();
+        let mut offset = 0u64;
+        while (offset as usize) < data.len() {
+            match parse_record(&data[offset as usize..], offset)? {
+                Some(record) => {
+                    let advance = record.total_len;
+                    records.push(record);
+                    offset += advance;
+                }
+                None => break, // torn tail
+            }
+        }
+        Ok(records)
+    }
+}
+
+/// Parse one record from the start of `buf`; `Ok(None)` means the buffer
+/// ends in a truncated record (torn tail).
+fn parse_record(buf: &[u8], offset: u64) -> Result<Option<LogRecord>> {
+    const HEADER: usize = 4 + 1 + 4 + 4;
+    if buf.len() < HEADER {
+        return Ok(None);
+    }
+    let magic = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    if magic != RECORD_MAGIC {
+        return Err(VStoreError::corruption(format!(
+            "bad record magic {magic:#x} at offset {offset}"
+        )));
+    }
+    let flags = buf[4];
+    let klen = u32::from_le_bytes([buf[5], buf[6], buf[7], buf[8]]) as usize;
+    let vlen = u32::from_le_bytes([buf[9], buf[10], buf[11], buf[12]]) as usize;
+    let total = HEADER + klen + vlen + 4;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let key = buf[HEADER..HEADER + klen].to_vec();
+    let value = buf[HEADER + klen..HEADER + klen + vlen].to_vec();
+    let stored_crc = u32::from_le_bytes([
+        buf[total - 4],
+        buf[total - 3],
+        buf[total - 2],
+        buf[total - 1],
+    ]);
+    if stored_crc != record_crc(flags, &key, &value) {
+        // A CRC mismatch on the last record is a torn write; report it as a
+        // torn tail rather than corruption so recovery keeps earlier data.
+        return Ok(None);
+    }
+    Ok(Some(LogRecord {
+        offset,
+        total_len: total as u64,
+        key,
+        value,
+        is_tombstone: flags & FLAG_TOMBSTONE != 0,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "vstore-log-test-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now().elapsed().map(|d| d.subsec_nanos()).unwrap_or(0)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_and_scan_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let mut log = LogFile::create(&dir, 1).unwrap();
+        let (off1, len1) = log.append(b"key-a", b"value-a", false).unwrap();
+        let (off2, _) = log.append(b"key-b", &vec![7u8; 10_000], false).unwrap();
+        let (_, _) = log.append(b"key-a", b"", true).unwrap();
+        log.sync().unwrap();
+        assert_eq!(off2, off1 + len1);
+
+        let records = LogFile::scan(log.path()).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].key, b"key-a");
+        assert_eq!(records[0].value, b"value-a");
+        assert!(!records[0].is_tombstone);
+        assert_eq!(records[1].value.len(), 10_000);
+        assert!(records[2].is_tombstone);
+
+        // Random access read of the second value.
+        let value = log.read_value(records[1].offset, records[1].total_len).unwrap();
+        assert_eq!(value, vec![7u8; 10_000]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_but_earlier_records_survive() {
+        let dir = temp_dir("torn");
+        let mut log = LogFile::create(&dir, 1).unwrap();
+        log.append(b"k1", b"v1", false).unwrap();
+        let (off2, len2) = log.append(b"k2", b"v2", false).unwrap();
+        log.sync().unwrap();
+        // Truncate the file mid-way through the second record.
+        let path = log.path().to_path_buf();
+        drop(log);
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(off2 + len2 / 2).unwrap();
+        drop(file);
+        let records = LogFile::scan(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].key, b"k1");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_value_fails_crc_and_is_dropped() {
+        let dir = temp_dir("crc");
+        let mut log = LogFile::create(&dir, 1).unwrap();
+        log.append(b"k1", b"v1", false).unwrap();
+        let (off2, len2) = log.append(b"k2", b"AAAAAAAA", false).unwrap();
+        log.sync().unwrap();
+        let path = log.path().to_path_buf();
+        drop(log);
+        // Flip a byte inside the second record's value.
+        let mut data = fs::read(&path).unwrap();
+        let value_pos = (off2 + len2 - 5) as usize;
+        data[value_pos] ^= 0xFF;
+        fs::write(&path, &data).unwrap();
+        let records = LogFile::scan(&path).unwrap();
+        assert_eq!(records.len(), 1, "corrupt record should not be returned");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_of_missing_file_is_empty() {
+        let dir = temp_dir("missing");
+        let records = LogFile::scan(&dir.join("vlog-99999999.dat")).unwrap();
+        assert!(records.is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_reported_as_corruption() {
+        let dir = temp_dir("magic");
+        let path = dir.join(LogFile::file_name(1));
+        fs::write(&path, [0u8; 64]).unwrap();
+        assert!(LogFile::scan(&path).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_name_round_trip() {
+        assert_eq!(LogFile::file_name(42), "vlog-00000042.dat");
+        assert_eq!(LogFile::parse_id("vlog-00000042.dat"), Some(42));
+        assert_eq!(LogFile::parse_id("manifest"), None);
+        assert_eq!(LogFile::parse_id("vlog-xx.dat"), None);
+    }
+
+    #[test]
+    fn reopen_appends_after_existing_records() {
+        let dir = temp_dir("reopen");
+        {
+            let mut log = LogFile::create(&dir, 3).unwrap();
+            log.append(b"k1", b"v1", false).unwrap();
+            log.sync().unwrap();
+        }
+        {
+            let mut log = LogFile::open(&dir, 3).unwrap();
+            assert!(!log.is_empty());
+            log.append(b"k2", b"v2", false).unwrap();
+            log.sync().unwrap();
+        }
+        let records = LogFile::scan(&dir.join(LogFile::file_name(3))).unwrap();
+        assert_eq!(records.len(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

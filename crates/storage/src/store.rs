@@ -1,0 +1,493 @@
+//! The segment store: a thread-safe, log-structured key-value store for
+//! MB-sized video segments.
+
+use crate::key::SegmentKey;
+use crate::log::{record_size, LogFile};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use vstore_types::{ByteSize, FormatId, Result, VStoreError};
+
+/// Target maximum size of one value log file before the store rolls over to
+/// a new one (64 MiB keeps compaction granular without creating thousands of
+/// files).
+const LOG_ROLL_BYTES: u64 = 64 * 1024 * 1024;
+
+/// Where a live value lives on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ValueLocation {
+    file_id: u64,
+    offset: u64,
+    total_len: u64,
+    value_len: u64,
+}
+
+/// Aggregate statistics about the store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of live segments.
+    pub live_segments: usize,
+    /// Total bytes of live segment values.
+    pub live_bytes: u64,
+    /// Total bytes occupied on disk by all value logs (including garbage).
+    pub disk_bytes: u64,
+    /// Number of value log files.
+    pub log_files: usize,
+    /// Records written since the store was opened (puts + deletes).
+    pub writes: u64,
+    /// Reads served since the store was opened.
+    pub reads: u64,
+}
+
+impl StoreStats {
+    /// Live bytes as a [`ByteSize`].
+    pub fn live_size(&self) -> ByteSize {
+        ByteSize(self.live_bytes)
+    }
+
+    /// Fraction of on-disk bytes that are garbage (superseded or deleted).
+    pub fn garbage_ratio(&self) -> f64 {
+        if self.disk_bytes == 0 {
+            0.0
+        } else {
+            1.0 - (self.live_bytes as f64 / self.disk_bytes as f64).min(1.0)
+        }
+    }
+}
+
+#[derive(Debug)]
+struct StoreInner {
+    dir: PathBuf,
+    index: BTreeMap<SegmentKey, ValueLocation>,
+    active: LogFile,
+    sealed: BTreeMap<u64, PathBuf>,
+    stats_writes: u64,
+    stats_reads: u64,
+    disk_bytes: u64,
+}
+
+/// The segment store.
+///
+/// Cloneable handles share one underlying store; all operations are
+/// internally synchronised.
+#[derive(Debug)]
+pub struct SegmentStore {
+    inner: Mutex<StoreInner>,
+}
+
+impl SegmentStore {
+    /// Open (or create) a store rooted at `dir`, rebuilding the index by
+    /// scanning the value logs.
+    pub fn open(dir: impl AsRef<Path>) -> Result<SegmentStore> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        // Discover existing log files in id order.
+        let mut ids: Vec<u64> = fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().to_str().and_then(LogFile::parse_id))
+            .collect();
+        ids.sort_unstable();
+
+        let mut index = BTreeMap::new();
+        let mut sealed = BTreeMap::new();
+        let mut disk_bytes = 0u64;
+        for &id in &ids {
+            let path = dir.join(LogFile::file_name(id));
+            let records = LogFile::scan(&path)?;
+            for record in records {
+                let key = SegmentKey::decode(&record.key)?;
+                if record.is_tombstone {
+                    index.remove(&key);
+                } else {
+                    index.insert(
+                        key,
+                        ValueLocation {
+                            file_id: id,
+                            offset: record.offset,
+                            total_len: record.total_len,
+                            value_len: record.value.len() as u64,
+                        },
+                    );
+                }
+            }
+            disk_bytes += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            sealed.insert(id, path);
+        }
+        // The active log is a fresh file after the highest existing id; this
+        // keeps recovery simple (sealed files are never appended to again).
+        let next_id = ids.last().map(|id| id + 1).unwrap_or(1);
+        let active = LogFile::create(&dir, next_id)?;
+        Ok(SegmentStore {
+            inner: Mutex::new(StoreInner {
+                dir,
+                index,
+                active,
+                sealed,
+                stats_writes: 0,
+                stats_reads: 0,
+                disk_bytes,
+            }),
+        })
+    }
+
+    /// Open a store in a fresh temporary directory (tests, examples and
+    /// benchmarks). The directory is *not* cleaned up automatically.
+    pub fn open_temp(tag: &str) -> Result<SegmentStore> {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0);
+        let dir = std::env::temp_dir().join(format!("vstore-{tag}-{}-{nanos}", std::process::id()));
+        SegmentStore::open(dir)
+    }
+
+    /// The root directory of the store.
+    pub fn dir(&self) -> PathBuf {
+        self.inner.lock().dir.clone()
+    }
+
+    /// Store a segment, replacing any previous value under the same key.
+    pub fn put(&self, key: &SegmentKey, value: &[u8]) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.roll_if_needed()?;
+        let encoded_key = key.encode();
+        let (offset, total_len) = inner.active.append(&encoded_key, value, false)?;
+        let file_id = inner.active.id;
+        inner.index.insert(
+            key.clone(),
+            ValueLocation { file_id, offset, total_len, value_len: value.len() as u64 },
+        );
+        inner.stats_writes += 1;
+        inner.disk_bytes += total_len;
+        Ok(())
+    }
+
+    /// Fetch a segment. Returns `Ok(None)` when the key does not exist.
+    pub fn get(&self, key: &SegmentKey) -> Result<Option<Vec<u8>>> {
+        let mut inner = self.inner.lock();
+        inner.stats_reads += 1;
+        let location = match inner.index.get(key) {
+            Some(loc) => *loc,
+            None => return Ok(None),
+        };
+        let value = inner.read_at(location)?;
+        Ok(Some(value))
+    }
+
+    /// `true` if the key exists.
+    pub fn contains(&self, key: &SegmentKey) -> bool {
+        self.inner.lock().index.contains_key(key)
+    }
+
+    /// Delete a segment. Deleting a missing key is a no-op.
+    pub fn delete(&self, key: &SegmentKey) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.index.remove(key).is_none() {
+            return Ok(());
+        }
+        inner.roll_if_needed()?;
+        let encoded_key = key.encode();
+        let (_, total_len) = inner.active.append(&encoded_key, &[], true)?;
+        inner.stats_writes += 1;
+        inner.disk_bytes += total_len;
+        Ok(())
+    }
+
+    /// All keys for one `(stream, format)` pair, in segment order.
+    pub fn segments_of(&self, stream: &str, format: FormatId) -> Vec<SegmentKey> {
+        let lo = SegmentKey::new(stream, format, 0);
+        let hi = SegmentKey::new(stream, format, u64::MAX);
+        self.inner.lock().index.range(lo..=hi).map(|(k, _)| k.clone()).collect()
+    }
+
+    /// All live keys, in key order.
+    pub fn keys(&self) -> Vec<SegmentKey> {
+        self.inner.lock().index.keys().cloned().collect()
+    }
+
+    /// Number of live segments.
+    pub fn len(&self) -> usize {
+        self.inner.lock().index.len()
+    }
+
+    /// `true` when no live segment exists.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes of live values stored for one `(stream, format)` pair.
+    pub fn bytes_of(&self, stream: &str, format: FormatId) -> ByteSize {
+        let lo = SegmentKey::new(stream, format, 0);
+        let hi = SegmentKey::new(stream, format, u64::MAX);
+        ByteSize(self.inner.lock().index.range(lo..=hi).map(|(_, v)| v.value_len).sum())
+    }
+
+    /// Store statistics.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock();
+        StoreStats {
+            live_segments: inner.index.len(),
+            live_bytes: inner.index.values().map(|v| v.value_len).sum(),
+            disk_bytes: inner.disk_bytes,
+            log_files: inner.sealed.len() + 1,
+            writes: inner.stats_writes,
+            reads: inner.stats_reads,
+        }
+    }
+
+    /// Flush and fsync the active log.
+    pub fn sync(&self) -> Result<()> {
+        self.inner.lock().active.sync()
+    }
+
+    /// Rewrite all live records into fresh log files and delete the old
+    /// ones, reclaiming space left by deletions and overwrites. Returns the
+    /// number of bytes reclaimed.
+    pub fn compact(&self) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        let before = inner.disk_bytes;
+        // Collect live key/value pairs (reading through the old files).
+        let entries: Vec<(SegmentKey, ValueLocation)> =
+            inner.index.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        let mut values = Vec::with_capacity(entries.len());
+        for (key, loc) in &entries {
+            values.push((key.clone(), inner.read_at(*loc)?));
+        }
+        // Remember the old files, then start a new generation.
+        let old_files: Vec<PathBuf> = inner
+            .sealed
+            .values()
+            .cloned()
+            .chain(std::iter::once(inner.active.path().to_path_buf()))
+            .collect();
+        let next_id = inner.active.id + 1;
+        inner.sealed.clear();
+        inner.active = LogFile::create(&inner.dir, next_id)?;
+        inner.index.clear();
+        inner.disk_bytes = 0;
+        for (key, value) in values {
+            inner.roll_if_needed()?;
+            let encoded = key.encode();
+            let (offset, total_len) = inner.active.append(&encoded, &value, false)?;
+            let file_id = inner.active.id;
+            inner.index.insert(
+                key,
+                ValueLocation { file_id, offset, total_len, value_len: value.len() as u64 },
+            );
+            inner.disk_bytes += total_len;
+        }
+        inner.active.sync()?;
+        for path in old_files {
+            fs::remove_file(&path).ok();
+        }
+        Ok(before.saturating_sub(inner.disk_bytes))
+    }
+
+    /// Approximate on-disk cost of storing a value of `value_len` bytes under
+    /// `key` (framing included). Used by capacity planning.
+    pub fn on_disk_cost(key: &SegmentKey, value_len: usize) -> u64 {
+        record_size(key.encode().len(), value_len)
+    }
+}
+
+impl StoreInner {
+    fn roll_if_needed(&mut self) -> Result<()> {
+        if self.active.len() >= LOG_ROLL_BYTES {
+            self.active.sync()?;
+            let old_id = self.active.id;
+            let old_path = self.active.path().to_path_buf();
+            self.sealed.insert(old_id, old_path);
+            self.active = LogFile::create(&self.dir, old_id + 1)?;
+        }
+        Ok(())
+    }
+
+    fn read_at(&self, location: ValueLocation) -> Result<Vec<u8>> {
+        let path = if location.file_id == self.active.id {
+            self.active.path().to_path_buf()
+        } else {
+            self.sealed
+                .get(&location.file_id)
+                .cloned()
+                .ok_or_else(|| {
+                    VStoreError::corruption(format!("missing log file {}", location.file_id))
+                })?
+        };
+        // Reads go through a scoped LogFile-style read to keep CRC checking.
+        let log = LogFileReadHandle { path };
+        log.read_value(location.offset, location.total_len)
+    }
+}
+
+/// A read-only handle for random access into a log file.
+struct LogFileReadHandle {
+    path: PathBuf,
+}
+
+impl LogFileReadHandle {
+    fn read_value(&self, offset: u64, total_len: u64) -> Result<Vec<u8>> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = fs::File::open(&self.path)?;
+        file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; total_len as usize];
+        file.read_exact(&mut buf)?;
+        // Re-parse the record to verify the CRC.
+        let records = crate::log::LogFile::scan_buffer(&buf, offset)?;
+        records
+            .into_iter()
+            .next()
+            .map(|r| r.value)
+            .ok_or_else(|| VStoreError::corruption("record failed CRC on read"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn store(tag: &str) -> SegmentStore {
+        SegmentStore::open_temp(tag).unwrap()
+    }
+
+    fn cleanup(store: &SegmentStore) {
+        fs::remove_dir_all(store.dir()).ok();
+    }
+
+    fn key(stream: &str, format: u32, index: u64) -> SegmentKey {
+        SegmentKey::new(stream, FormatId(format), index)
+    }
+
+    #[test]
+    fn put_get_delete_round_trip() {
+        let s = store("crud");
+        let k = key("jackson", 1, 0);
+        assert_eq!(s.get(&k).unwrap(), None);
+        s.put(&k, b"segment-bytes").unwrap();
+        assert_eq!(s.get(&k).unwrap().unwrap(), b"segment-bytes");
+        assert!(s.contains(&k));
+        // Overwrite.
+        s.put(&k, b"new-bytes").unwrap();
+        assert_eq!(s.get(&k).unwrap().unwrap(), b"new-bytes");
+        // Delete.
+        s.delete(&k).unwrap();
+        assert_eq!(s.get(&k).unwrap(), None);
+        assert!(!s.contains(&k));
+        // Deleting again is fine.
+        s.delete(&k).unwrap();
+        cleanup(&s);
+    }
+
+    #[test]
+    fn range_scan_by_stream_and_format() {
+        let s = store("scan");
+        for i in 0..10 {
+            s.put(&key("a", 1, i), &[1u8; 10]).unwrap();
+            s.put(&key("a", 2, i), &[2u8; 20]).unwrap();
+            s.put(&key("b", 1, i), &[3u8; 30]).unwrap();
+        }
+        let a1 = s.segments_of("a", FormatId(1));
+        assert_eq!(a1.len(), 10);
+        assert!(a1.windows(2).all(|w| w[0].segment_index < w[1].segment_index));
+        assert_eq!(s.segments_of("a", FormatId(2)).len(), 10);
+        assert_eq!(s.segments_of("c", FormatId(1)).len(), 0);
+        assert_eq!(s.bytes_of("a", FormatId(2)).bytes(), 200);
+        assert_eq!(s.len(), 30);
+        cleanup(&s);
+    }
+
+    #[test]
+    fn recovery_after_reopen() {
+        let s = store("recover");
+        let dir = s.dir();
+        for i in 0..20 {
+            s.put(&key("park", 0, i), &vec![i as u8; 1000]).unwrap();
+        }
+        s.delete(&key("park", 0, 3)).unwrap();
+        s.sync().unwrap();
+        drop(s);
+
+        let reopened = SegmentStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 19);
+        assert!(!reopened.contains(&key("park", 0, 3)));
+        assert_eq!(reopened.get(&key("park", 0, 7)).unwrap().unwrap(), vec![7u8; 1000]);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn stats_track_live_and_garbage() {
+        let s = store("stats");
+        let k = key("x", 1, 1);
+        s.put(&k, &[0u8; 1000]).unwrap();
+        s.put(&k, &[0u8; 1000]).unwrap(); // supersedes the first record
+        let stats = s.stats();
+        assert_eq!(stats.live_segments, 1);
+        assert_eq!(stats.live_bytes, 1000);
+        assert!(stats.disk_bytes > 2000);
+        assert!(stats.garbage_ratio() > 0.3);
+        assert_eq!(stats.writes, 2);
+        cleanup(&s);
+    }
+
+    #[test]
+    fn compaction_reclaims_space_and_preserves_data() {
+        let s = store("compact");
+        for i in 0..50 {
+            s.put(&key("y", 1, i), &vec![9u8; 2000]).unwrap();
+        }
+        for i in 0..40 {
+            s.delete(&key("y", 1, i)).unwrap();
+        }
+        let before = s.stats();
+        assert!(before.garbage_ratio() > 0.5);
+        let reclaimed = s.compact().unwrap();
+        assert!(reclaimed > 0);
+        let after = s.stats();
+        assert_eq!(after.live_segments, 10);
+        assert!(after.garbage_ratio() < 0.05, "garbage {:.2}", after.garbage_ratio());
+        for i in 40..50 {
+            assert_eq!(s.get(&key("y", 1, i)).unwrap().unwrap(), vec![9u8; 2000]);
+        }
+        cleanup(&s);
+    }
+
+    #[test]
+    fn large_values_round_trip() {
+        let s = store("large");
+        // A couple of MB-sized segments, as VStore stores.
+        let big = vec![0xABu8; 3 * 1024 * 1024];
+        s.put(&key("big", 0, 0), &big).unwrap();
+        s.put(&key("big", 0, 1), &big).unwrap();
+        assert_eq!(s.get(&key("big", 0, 1)).unwrap().unwrap().len(), big.len());
+        cleanup(&s);
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        use std::sync::Arc;
+        let s = Arc::new(store("concurrent"));
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    let k = key("stream", t, i);
+                    s.put(&k, &vec![t as u8; 500]).unwrap();
+                    assert_eq!(s.get(&k).unwrap().unwrap(), vec![t as u8; 500]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 200);
+        cleanup(&s);
+    }
+
+    #[test]
+    fn on_disk_cost_exceeds_value_length() {
+        let k = key("jackson", 1, 5);
+        assert!(SegmentStore::on_disk_cost(&k, 1000) > 1000);
+    }
+}

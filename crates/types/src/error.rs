@@ -1,0 +1,108 @@
+//! The error type shared by all VStore crates.
+
+use std::fmt;
+use std::io;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, VStoreError>;
+
+/// Errors surfaced by VStore components.
+#[derive(Debug)]
+pub enum VStoreError {
+    /// An I/O error from the storage backend or the ingestion pipeline.
+    Io(io::Error),
+    /// A stored record failed its integrity check (CRC mismatch, truncated
+    /// record, bad magic).
+    Corruption(String),
+    /// A requested key (stream, format, segment) does not exist.
+    NotFound(String),
+    /// The requested video format cannot be produced from the available
+    /// source (e.g. requesting a fidelity richer than the stored one).
+    FidelityUnsatisfiable(String),
+    /// The configuration engine could not satisfy a resource budget.
+    BudgetUnsatisfiable(String),
+    /// A consumer's target accuracy cannot be met by any fidelity option.
+    AccuracyUnreachable(String),
+    /// An argument violated an interface contract.
+    InvalidArgument(String),
+    /// The store or a component is in a state that does not permit the
+    /// requested operation (e.g. querying before any configuration exists).
+    InvalidState(String),
+}
+
+impl VStoreError {
+    /// Build an [`VStoreError::InvalidArgument`] from anything displayable.
+    pub fn invalid_argument(msg: impl fmt::Display) -> Self {
+        VStoreError::InvalidArgument(msg.to_string())
+    }
+
+    /// Build an [`VStoreError::NotFound`] from anything displayable.
+    pub fn not_found(msg: impl fmt::Display) -> Self {
+        VStoreError::NotFound(msg.to_string())
+    }
+
+    /// Build an [`VStoreError::Corruption`] from anything displayable.
+    pub fn corruption(msg: impl fmt::Display) -> Self {
+        VStoreError::Corruption(msg.to_string())
+    }
+
+    /// `true` if the error indicates a missing key rather than a failure.
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, VStoreError::NotFound(_))
+    }
+}
+
+impl fmt::Display for VStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VStoreError::Io(e) => write!(f, "I/O error: {e}"),
+            VStoreError::Corruption(m) => write!(f, "data corruption: {m}"),
+            VStoreError::NotFound(m) => write!(f, "not found: {m}"),
+            VStoreError::FidelityUnsatisfiable(m) => write!(f, "fidelity unsatisfiable: {m}"),
+            VStoreError::BudgetUnsatisfiable(m) => write!(f, "budget unsatisfiable: {m}"),
+            VStoreError::AccuracyUnreachable(m) => write!(f, "accuracy unreachable: {m}"),
+            VStoreError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            VStoreError::InvalidState(m) => write!(f, "invalid state: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VStoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VStoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for VStoreError {
+    fn from(e: io::Error) -> Self {
+        VStoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = VStoreError::not_found("segment 42");
+        assert_eq!(e.to_string(), "not found: segment 42");
+        assert!(e.is_not_found());
+        let e = VStoreError::invalid_argument("empty consumer set");
+        assert!(e.to_string().contains("invalid argument"));
+        assert!(!e.is_not_found());
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        use std::error::Error;
+        let io_err = io::Error::new(io::ErrorKind::Other, "disk on fire");
+        let e: VStoreError = io_err.into();
+        assert!(e.to_string().contains("disk on fire"));
+        assert!(e.source().is_some());
+        assert!(VStoreError::corruption("bad crc").source().is_none());
+    }
+}

@@ -1,0 +1,46 @@
+//! # vstore-types
+//!
+//! Foundational types shared by every VStore crate: the video format *knobs*
+//! (Table 1 of the paper), fidelity and coding options, the *richer-than*
+//! partial order, consumption/storage formats, consumers, knob spaces, and
+//! the configuration data model produced by backward derivation.
+//!
+//! The knob vocabulary follows Table 1 of the paper:
+//!
+//! | Fidelity knob | Values |
+//! |---|---|
+//! | Image quality | worst, bad, good, best (x264 CRF 50, 40, 23, 0) |
+//! | Crop factor   | 50 %, 75 %, 100 % |
+//! | Resolution    | 60×60 … 720p (10 values) |
+//! | Frame sampling| 1/30, 1/6, 1/2, 2/3, 1 |
+//!
+//! | Coding knob | Values |
+//! |---|---|
+//! | Speed step        | slowest, slow, medium, fast, fastest |
+//! | Keyframe interval | 5, 10, 50, 100, 250 |
+//! | Bypass            | encoded or RAW frames |
+//!
+//! This gives `4 × 3 × 10 × 5 = 600` fidelity options and
+//! `600 × (5 × 5) = 15 000` storage formats — the "15K possible combinations"
+//! quoted by the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod consumer;
+pub mod error;
+pub mod fidelity;
+pub mod format;
+pub mod knobs;
+pub mod space;
+pub mod units;
+
+pub use config::{power_law_target, Configuration, ErosionPlan, ErosionStep, Subscription};
+pub use consumer::{AccuracyLevel, Consumer, OperatorKind, DEFAULT_ACCURACY_LEVELS};
+pub use error::{Result, VStoreError};
+pub use fidelity::{Fidelity, Richness};
+pub use format::{CodingOption, ConsumptionFormat, FormatId, StorageFormat};
+pub use knobs::{CropFactor, FrameSampling, ImageQuality, KeyframeInterval, Resolution, SpeedStep};
+pub use space::{CodingSpace, FidelitySpace};
+pub use units::{ByteSize, CoreSeconds, Fraction, Speed, VideoSeconds};

@@ -1,0 +1,88 @@
+//! Operating under resource budgets: derive a configuration with an
+//! ingestion (transcoding) budget and a storage budget, inspect the coding
+//! adaptations and the resulting erosion plan, then apply the plan to aged
+//! video and watch queries fall back to richer formats.
+//!
+//! ```sh
+//! cargo run --release --example budgeted_store
+//! ```
+
+use vstore::{ConfigurationEngine, EngineOptions, QuerySpec, VStore, VStoreOptions};
+use vstore_datasets::{Dataset, VideoSource};
+use vstore_types::{ByteSize, FidelitySpace};
+
+fn main() -> vstore::Result<()> {
+    // First derive an unconstrained configuration to learn the natural
+    // resource appetite of the workload.
+    let query = QuerySpec::query_b(0.9);
+    let mut consumers = query.consumers();
+    consumers.extend(QuerySpec::query_b(0.7).consumers());
+
+    let unconstrained = VStore::open_temp("budget-probe", VStoreOptions::fast())?;
+    let engine: &ConfigurationEngine = unconstrained.engine();
+    let baseline = engine.derive(&consumers)?;
+    let cores = engine.ingest_cores(&baseline);
+    let per_second = engine.storage_bytes_per_second(&baseline);
+    let ten_day_footprint = ByteSize(per_second.bytes() * 86_400 * 10);
+    println!(
+        "unconstrained: {:.1} transcode cores, {per_second}/s of video, {ten_day_footprint} over a 10-day lifespan",
+        cores
+    );
+
+    // Now impose budgets: half the transcoding cores, and a storage budget
+    // that forces roughly half of the non-golden video versions to be eroded
+    // away over the lifespan. VStore tunes coding speed steps for ingestion
+    // and plans age-based erosion for storage.
+    let golden_per_second = unconstrained
+        .profiler()
+        .profile_storage(*baseline.golden().expect("golden format exists"))
+        .bytes_per_video_second;
+    let non_golden_footprint =
+        (per_second.bytes().saturating_sub(golden_per_second.bytes())) * 86_400 * 10;
+    let storage_budget = ByteSize(ten_day_footprint.bytes() - non_golden_footprint / 2);
+    let mut options = VStoreOptions::fast();
+    options.engine = EngineOptions {
+        fidelity_space: FidelitySpace::reduced(),
+        ingest_budget_cores: Some(cores * 0.5),
+        storage_budget: Some(storage_budget),
+        lifespan_days: 10,
+        ..EngineOptions::default()
+    };
+    let mut store = VStore::open_temp("budgeted", options)?;
+    let config = store.configure(&consumers)?.clone();
+    println!("\nbudgeted configuration:\n{config}");
+    println!(
+        "erosion plan: decay factor k = {:.2}, Pmin = {:.2}",
+        config.erosion.decay_factor, config.erosion.p_min
+    );
+    for step in &config.erosion.steps {
+        if !step.deleted.is_empty() {
+            let detail: Vec<String> =
+                step.deleted.iter().map(|(id, f)| format!("{id}: {f}")).collect();
+            println!(
+                "  day {:>2}: overall speed {:.2}, deleted {{{}}}",
+                step.age_days,
+                step.overall_relative_speed,
+                detail.join(", ")
+            );
+        }
+    }
+
+    // Ingest some airport footage and age it: apply the erosion plan, then
+    // query — consumers whose segments were deleted transparently fall back
+    // to richer formats (slower, but still accurate).
+    let source = VideoSource::new(Dataset::Airport);
+    store.ingest(&source, 0, 4)?;
+    let fresh = store.query("airport", &query, 0, 4)?;
+    let mut deleted_total = 0;
+    for age in 1..=10 {
+        deleted_total += store.erode("airport", age)?;
+    }
+    let aged = store.query("airport", &query, 0, 4)?;
+    let fallbacks: usize = aged.stages.iter().map(|s| s.fallback_segments).sum();
+    println!(
+        "\nquery B @0.9 on fresh video: {}; after eroding {} segments: {} ({} fallback segment reads)",
+        fresh.speed, deleted_total, aged.speed, fallbacks
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Quickstart: configure VStore for a car-detection query, ingest a slice of
+//! the `jackson` surveillance stream, and run the query at two accuracy
+//! targets.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use vstore::{QuerySpec, VStore, VStoreOptions};
+use vstore_datasets::{Dataset, VideoSource};
+
+fn main() -> vstore::Result<()> {
+    // A store in a temporary directory, with the fast (reduced-space)
+    // configuration options so the example finishes in seconds.
+    let mut store = VStore::open_temp("quickstart", VStoreOptions::fast())?;
+
+    // Query A of the paper: Diff → specialised NN → full NN, at two target
+    // accuracies. VStore configures consumption and storage formats for all
+    // of these consumers at once.
+    let precise = QuerySpec::query_a(0.9);
+    let sloppy = QuerySpec::query_a(0.8);
+    let mut consumers = precise.consumers();
+    consumers.extend(sloppy.consumers());
+    let config = store.configure(&consumers)?;
+    println!("derived configuration:\n{config}");
+
+    // Ingest 4 segments (32 seconds) of the jackson stream into every
+    // derived storage format.
+    let source = VideoSource::new(Dataset::Jackson);
+    let report = store.ingest(&source, 0, 4)?;
+    println!(
+        "ingested {} of video: {} segments, {:.1} transcode cores, {:.1} GB/day storage growth",
+        report.video,
+        report.segments_written,
+        report.transcode_cores(),
+        report.gb_per_day()
+    );
+
+    // Run the query at both accuracies; the lower target runs much faster
+    // because its operators subscribe to cheaper formats.
+    for query in [&precise, &sloppy] {
+        let result = store.query("jackson", query, 0, 4)?;
+        println!(
+            "query A @ F1≥{}: speed {}, {} positive frames, cascade selectivity {:.0}%",
+            query.accuracy,
+            result.speed,
+            result.positive_frames.len(),
+            result.selectivity() * 100.0
+        );
+    }
+    Ok(())
+}

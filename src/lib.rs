@@ -1,0 +1,236 @@
+//! # vstore
+//!
+//! The top-level facade over the VStore system: a data store for analytics
+//! on large videos (EuroSys '19), reproduced in Rust.
+//!
+//! This crate re-exports every component crate and provides [`VStore`], the
+//! handle that ties them together the way the paper's prototype does:
+//!
+//! * **configure** — run backward derivation for a set of
+//!   `<operator, accuracy>` consumers (§4), producing the global set of
+//!   consumption and storage formats plus the erosion plan;
+//! * **ingest** — transcode incoming video into every storage format and
+//!   persist 8-second segments (§2.2);
+//! * **query** — execute operator cascades over the stored video at a chosen
+//!   accuracy, streaming segments from disk through the decoder to the
+//!   operators (§6.2);
+//! * **erode** — apply the age-based erosion plan to keep storage under
+//!   budget (§4.4).
+//!
+//! ```no_run
+//! use vstore::{QuerySpec, VStore, VStoreOptions};
+//! use vstore_datasets::{Dataset, VideoSource};
+//!
+//! let mut store = VStore::open_temp("quickstart", VStoreOptions::default()).unwrap();
+//! let query = QuerySpec::query_a(0.9);
+//! store.configure(&query.consumers()).unwrap();
+//! store.ingest(&VideoSource::new(Dataset::Jackson), 0, 4).unwrap();
+//! let result = store.query("jackson", &query, 0, 4).unwrap();
+//! println!("query A ran at {}", result.speed);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use vstore_codec as codec;
+pub use vstore_core as core;
+pub use vstore_datasets as datasets;
+pub use vstore_ingest as ingest;
+pub use vstore_ops as ops;
+pub use vstore_profiler as profiler;
+pub use vstore_query as query;
+pub use vstore_sim as sim;
+pub use vstore_storage as storage;
+pub use vstore_types as types;
+
+pub use vstore_core::{Alternative, ConfigurationEngine, EngineOptions};
+pub use vstore_query::{QueryResult, QuerySpec};
+pub use vstore_types::{Configuration, Consumer, OperatorKind, Result, VStoreError};
+
+use std::path::Path;
+use std::sync::Arc;
+use vstore_codec::Transcoder;
+use vstore_datasets::VideoSource;
+use vstore_ingest::{IngestReport, IngestionPipeline};
+use vstore_ops::OperatorLibrary;
+use vstore_profiler::{Profiler, ProfilerConfig};
+use vstore_query::QueryEngine;
+use vstore_sim::{CodingCostModel, VirtualClock};
+use vstore_storage::{SegmentStore, StoreStats};
+
+/// Options controlling a [`VStore`] instance.
+#[derive(Debug, Clone)]
+pub struct VStoreOptions {
+    /// Configuration-engine options (spaces, strategy, budgets, lifespan).
+    pub engine: EngineOptions,
+    /// Profiler configuration (clip length, per-operator datasets).
+    pub profiler: ProfilerConfig,
+}
+
+impl Default for VStoreOptions {
+    fn default() -> Self {
+        VStoreOptions {
+            engine: EngineOptions::default(),
+            profiler: ProfilerConfig::paper_evaluation(),
+        }
+    }
+}
+
+impl VStoreOptions {
+    /// Options sized for fast tests and examples: the reduced fidelity space
+    /// and 3-second profiling clips.
+    pub fn fast() -> Self {
+        VStoreOptions {
+            engine: EngineOptions {
+                fidelity_space: vstore_types::FidelitySpace::reduced(),
+                ..EngineOptions::default()
+            },
+            profiler: ProfilerConfig::fast_test(),
+        }
+    }
+}
+
+/// The VStore handle.
+pub struct VStore {
+    profiler: Arc<Profiler>,
+    engine: ConfigurationEngine,
+    store: Arc<SegmentStore>,
+    ingest: IngestionPipeline,
+    queries: QueryEngine,
+    configuration: Option<Configuration>,
+    clock: VirtualClock,
+}
+
+impl VStore {
+    /// Open a store rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>, options: VStoreOptions) -> Result<VStore> {
+        let store = Arc::new(SegmentStore::open(dir)?);
+        Ok(Self::assemble(store, options))
+    }
+
+    /// Open a store in a fresh temporary directory (tests and examples).
+    pub fn open_temp(tag: &str, options: VStoreOptions) -> Result<VStore> {
+        let store = Arc::new(SegmentStore::open_temp(tag)?);
+        Ok(Self::assemble(store, options))
+    }
+
+    fn assemble(store: Arc<SegmentStore>, options: VStoreOptions) -> VStore {
+        let clock = VirtualClock::new();
+        let library = OperatorLibrary::paper_testbed();
+        let coding = CodingCostModel::paper_testbed();
+        let profiler = Arc::new(Profiler::new(library.clone(), coding, options.profiler));
+        let engine = ConfigurationEngine::new(Arc::clone(&profiler), options.engine);
+        let ingest = IngestionPipeline::new(
+            Arc::clone(&store),
+            Transcoder::new(coding),
+            clock.clone(),
+        );
+        let queries =
+            QueryEngine::new(Arc::clone(&store), library, Transcoder::new(coding), clock.clone());
+        VStore { profiler, engine, store, ingest, queries, configuration: None, clock }
+    }
+
+    /// The profiler (exposed for experiments that report profiling cost).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// The configuration engine.
+    pub fn engine(&self) -> &ConfigurationEngine {
+        &self.engine
+    }
+
+    /// The segment store statistics.
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// The shared virtual clock (ingestion + query resource ledger).
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// The active configuration, if one has been derived.
+    pub fn configuration(&self) -> Option<&Configuration> {
+        self.configuration.as_ref()
+    }
+
+    /// Derive (or re-derive) the video format configuration for a consumer
+    /// set via backward derivation, and make it the active configuration.
+    pub fn configure(&mut self, consumers: &[Consumer]) -> Result<&Configuration> {
+        let config = self.engine.derive(consumers)?;
+        self.configuration = Some(config);
+        Ok(self.configuration.as_ref().expect("just set"))
+    }
+
+    /// Install an externally derived configuration (e.g. one of the §6.2
+    /// baselines) as the active configuration.
+    pub fn install_configuration(&mut self, configuration: Configuration) {
+        self.configuration = Some(configuration);
+    }
+
+    fn active(&self) -> Result<&Configuration> {
+        self.configuration.as_ref().ok_or_else(|| {
+            VStoreError::InvalidState("no configuration derived yet; call configure()".into())
+        })
+    }
+
+    /// Ingest `count` consecutive 8-second segments of a stream, starting at
+    /// `first_segment`, into every storage format of the active
+    /// configuration.
+    pub fn ingest(
+        &self,
+        source: &VideoSource,
+        first_segment: u64,
+        count: u64,
+    ) -> Result<IngestReport> {
+        let config = self.active()?;
+        self.ingest.ingest_segments(source, first_segment, count, config)
+    }
+
+    /// Execute a query over stored segments of a stream.
+    pub fn query(
+        &self,
+        stream: &str,
+        query: &QuerySpec,
+        first_segment: u64,
+        count: u64,
+    ) -> Result<QueryResult> {
+        let config = self.active()?;
+        self.queries.execute(stream, query, config, first_segment, count)
+    }
+
+    /// Apply the erosion plan of the active configuration to a stream at a
+    /// given video age, deleting the planned fraction of segments. Returns
+    /// the number of segments deleted.
+    pub fn erode(&self, stream: &str, age_days: u32) -> Result<usize> {
+        let config = self.active()?;
+        self.ingest.apply_erosion(stream, config, age_days)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstore_datasets::Dataset;
+
+    #[test]
+    fn facade_lifecycle() {
+        let mut store = VStore::open_temp("facade", VStoreOptions::fast()).unwrap();
+        assert!(store.configuration().is_none());
+        assert!(store.ingest(&VideoSource::new(Dataset::Jackson), 0, 1).is_err());
+
+        let query = QuerySpec::query_a(0.8);
+        store.configure(&query.consumers()).unwrap();
+        assert!(store.configuration().is_some());
+
+        let source = VideoSource::new(Dataset::Jackson);
+        let report = store.ingest(&source, 0, 1).unwrap();
+        assert!(report.segments_written >= 1);
+        assert!(store.store_stats().live_segments >= 1);
+
+        let result = store.query("jackson", &query, 0, 1).unwrap();
+        assert!(result.speed.factor() > 0.0);
+        std::fs::remove_dir_all(store.store.dir()).ok();
+    }
+}
