@@ -11,7 +11,12 @@ use vstore_types::{
 };
 
 fn storage_fidelity() -> Fidelity {
-    Fidelity::new(ImageQuality::Good, CropFactor::C100, Resolution::R360, FrameSampling::Full)
+    Fidelity::new(
+        ImageQuality::Good,
+        CropFactor::C100,
+        Resolution::R360,
+        FrameSampling::Full,
+    )
 }
 
 fn bench_codec(c: &mut Criterion) {
@@ -31,7 +36,9 @@ fn bench_codec(c: &mut Criterion) {
     group.bench_function("encode_120_frames_gop50", |b| {
         b.iter(|| encode_segment(&frames, KeyframeInterval::K50, SpeedStep::Medium).unwrap())
     });
-    group.bench_function("decode_full", |b| b.iter(|| decode_segment(&segment).unwrap()));
+    group.bench_function("decode_full", |b| {
+        b.iter(|| decode_segment(&segment).unwrap())
+    });
     group.bench_function("decode_sampled_1_30", |b| {
         b.iter(|| decode_segment_sampled(&segment, FrameSampling::S1_30).unwrap())
     });

@@ -13,7 +13,11 @@ use vstore_types::{ByteSize, Consumer, FidelitySpace, OperatorKind};
 fn fast_profiler() -> Profiler {
     let mut config = ProfilerConfig::fast_test();
     config.clip_frames = 60;
-    Profiler::new(OperatorLibrary::paper_testbed(), CodingCostModel::paper_testbed(), config)
+    Profiler::new(
+        OperatorLibrary::paper_testbed(),
+        CodingCostModel::paper_testbed(),
+        config,
+    )
 }
 
 fn bench_configuration(c: &mut Criterion) {
@@ -36,12 +40,17 @@ fn bench_configuration(c: &mut Criterion) {
     .map(|(op, acc)| Consumer::new(op, acc))
     .collect();
     let search = CfSearch::with_space(&warm, FidelitySpace::reduced());
-    let cfs: Vec<_> = consumers.iter().map(|&c| search.derive(c).unwrap()).collect();
+    let cfs: Vec<_> = consumers
+        .iter()
+        .map(|&c| search.derive(c).unwrap())
+        .collect();
 
     group.bench_function("cf_boundary_search_memoized", |b| {
         b.iter(|| {
             let search = CfSearch::with_space(&warm, FidelitySpace::reduced());
-            consumers.iter().map(|&c| search.derive(c).unwrap()).count()
+            consumers.iter().for_each(|&c| {
+                search.derive(c).unwrap();
+            })
         })
     });
     group.bench_function("sf_coalescing_heuristic", |b| {

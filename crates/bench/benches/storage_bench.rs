@@ -1,9 +1,20 @@
-//! Criterion microbenchmarks of the segment store: put, get, range scan and
-//! recovery scan.
+//! Criterion microbenchmarks of the segment store: put, get, range scan —
+//! plus the shard-scaling experiment (1/2/4/8 shards under parallel
+//! writers), whose results are exported to `BENCH_storage.json` at the
+//! repository root as the performance baseline for this host.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Instant;
 use vstore_storage::{SegmentKey, SegmentStore};
 use vstore_types::FormatId;
+
+/// 256 KiB values: the size class of one encoded 8-second segment.
+const VALUE_BYTES: usize = 256 * 1024;
+/// Writer threads in the scaling experiment.
+const WRITERS: u64 = 4;
+/// Puts per writer per configuration.
+const PUTS_PER_WRITER: u64 = 120;
 
 fn bench_storage(c: &mut Criterion) {
     let mut group = c.benchmark_group("segment_store");
@@ -12,24 +23,33 @@ fn bench_storage(c: &mut Criterion) {
     // A store pre-populated with one hour of 8-second segments in two
     // formats (450 segments each) of ~256 KiB.
     let store = SegmentStore::open_temp("bench-populated").unwrap();
-    let value = vec![0xA5u8; 256 * 1024];
+    let value = vec![0xA5u8; VALUE_BYTES];
     for seg in 0..450u64 {
-        store.put(&SegmentKey::new("jackson", FormatId(1), seg), &value).unwrap();
-        store.put(&SegmentKey::new("jackson", FormatId(2), seg), &value).unwrap();
+        store
+            .put(&SegmentKey::new("jackson", FormatId(1), seg), &value)
+            .unwrap();
+        store
+            .put(&SegmentKey::new("jackson", FormatId(2), seg), &value)
+            .unwrap();
     }
 
     group.bench_function("put_256KiB", |b| {
         let mut seg = 10_000u64;
         b.iter(|| {
             seg += 1;
-            store.put(&SegmentKey::new("bench", FormatId(3), seg), &value).unwrap();
+            store
+                .put(&SegmentKey::new("bench", FormatId(3), seg), &value)
+                .unwrap();
         })
     });
     group.bench_function("get_256KiB", |b| {
         let mut seg = 0u64;
         b.iter(|| {
             seg = (seg + 1) % 450;
-            store.get(&SegmentKey::new("jackson", FormatId(1), seg)).unwrap().unwrap()
+            store
+                .get(&SegmentKey::new("jackson", FormatId(1), seg))
+                .unwrap()
+                .unwrap()
         })
     });
     group.bench_function("scan_stream_format", |b| {
@@ -40,5 +60,83 @@ fn bench_storage(c: &mut Criterion) {
     std::fs::remove_dir_all(store.dir()).ok();
 }
 
-criterion_group!(benches, bench_storage);
+/// One shard-scaling measurement: `WRITERS` threads each appending
+/// `PUTS_PER_WRITER` 256 KiB segments into a store with `shards` shards.
+/// Returns (elapsed seconds, aggregate puts/sec).
+fn measure_parallel_puts(shards: usize) -> (f64, f64) {
+    let store = Arc::new(
+        SegmentStore::open_temp_with_shards(&format!("bench-scale-{shards}"), shards).unwrap(),
+    );
+    let value = Arc::new(vec![0x5Au8; VALUE_BYTES]);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for writer in 0..WRITERS {
+            let store = Arc::clone(&store);
+            let value = Arc::clone(&value);
+            scope.spawn(move || {
+                for i in 0..PUTS_PER_WRITER {
+                    let key = SegmentKey::new(format!("writer-{writer}"), FormatId(1), i);
+                    store.put(&key, &value).unwrap();
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let total_puts = (WRITERS * PUTS_PER_WRITER) as f64;
+    assert_eq!(store.len() as u64, WRITERS * PUTS_PER_WRITER);
+    std::fs::remove_dir_all(store.dir()).ok();
+    (elapsed, total_puts / elapsed)
+}
+
+fn bench_shard_scaling(_c: &mut Criterion) {
+    // A bare (non-flag, non-flag-value) CLI argument is a bench name filter:
+    // such a run wants one of the criterion benches above, not a full scaling
+    // sweep (which also rewrites the BENCH_storage.json baseline).
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let filter_given = args
+        .iter()
+        .enumerate()
+        .any(|(i, a)| !a.starts_with('-') && (i == 0 || !args[i - 1].starts_with("--")));
+    if filter_given {
+        println!("segment_store/scaling: skipped (bench filter given)");
+        return;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut rows = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        // Warm-up pass, then the measured pass.
+        measure_parallel_puts(shards);
+        let (seconds, puts_per_sec) = measure_parallel_puts(shards);
+        let mib_per_sec = puts_per_sec * VALUE_BYTES as f64 / (1024.0 * 1024.0);
+        println!(
+            "segment_store/scaling shards={shards} writers={WRITERS}: \
+             {puts_per_sec:>8.0} puts/s ({mib_per_sec:>7.0} MiB/s, {seconds:.3}s)"
+        );
+        rows.push(format!(
+            "    {{ \"shards\": {shards}, \"writers\": {WRITERS}, \"puts\": {}, \
+             \"value_bytes\": {VALUE_BYTES}, \"seconds\": {seconds:.6}, \
+             \"puts_per_sec\": {puts_per_sec:.1}, \"mib_per_sec\": {mib_per_sec:.1} }}",
+            WRITERS * PUTS_PER_WRITER
+        ));
+    }
+
+    // Record the baseline next to the workspace root so runs are comparable
+    // across PRs. Override the destination with VSTORE_BENCH_JSON.
+    let path = std::env::var("VSTORE_BENCH_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_storage.json", env!("CARGO_MANIFEST_DIR")));
+    let json = format!(
+        "{{\n  \"bench\": \"segment_store_shard_scaling\",\n  \"host_cores\": {cores},\n  \
+         \"cases\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("shard-scaling baseline written to {path}");
+    }
+}
+
+criterion_group!(benches, bench_storage, bench_shard_scaling);
 criterion_main!(benches);

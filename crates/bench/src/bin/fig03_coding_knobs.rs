@@ -26,7 +26,10 @@ fn main() {
         .map(|&speed| {
             let format = StorageFormat::new(
                 Fidelity::INGESTION,
-                CodingOption::Encoded { keyframe_interval: KeyframeInterval::K250, speed },
+                CodingOption::Encoded {
+                    keyframe_interval: KeyframeInterval::K250,
+                    speed,
+                },
             );
             let encode = model.encode_speed(&format, motion);
             let decode = model.sequential_decode_speed(&format, motion);
@@ -42,7 +45,12 @@ fn main() {
         .collect();
     print_table(
         "Figure 3(a): speed step vs encode speed / decode speed / size (100 s of tucson)",
-        &["speed step", "encode speed", "decode speed", "video size (MB)"],
+        &[
+            "speed step",
+            "encode speed",
+            "decode speed",
+            "video size (MB)",
+        ],
         &rows,
     );
 
@@ -56,7 +64,10 @@ fn main() {
         .map(|&keyframe_interval| {
             let format = StorageFormat::new(
                 Fidelity::INGESTION,
-                CodingOption::Encoded { keyframe_interval, speed: SpeedStep::Medium },
+                CodingOption::Encoded {
+                    keyframe_interval,
+                    speed: SpeedStep::Medium,
+                },
             );
             let sparse_decode = model.decode_speed(&format, motion, Some(sparse));
             let full_decode = model.sequential_decode_speed(&format, motion);
@@ -72,7 +83,12 @@ fn main() {
         .collect();
     print_table(
         "Figure 3(b): keyframe interval vs decode speed (sparse / full sampling) and size",
-        &["keyframe interval", "decode spd (op sampling 1/30)", "decode spd (sampling 1)", "video size (MB)"],
+        &[
+            "keyframe interval",
+            "decode spd (op sampling 1/30)",
+            "decode spd (sampling 1)",
+            "video size (MB)",
+        ],
         &rows,
     );
 }

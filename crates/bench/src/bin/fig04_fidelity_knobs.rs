@@ -36,14 +36,25 @@ fn report_row(
 
 fn main() {
     let profiler = paper_profiler();
-    let headers =
-        ["knob value", "accuracy (F1)", "ingest (cores)", "storage (KB/s)", "retrieval (s/s)", "consumption (s/s)"];
+    let headers = [
+        "knob value",
+        "accuracy (F1)",
+        "ingest (cores)",
+        "storage (KB/s)",
+        "retrieval (s/s)",
+        "consumption (s/s)",
+    ];
 
     // (a) Crop factor, operator: Motion.
     let rows: Vec<Vec<String>> = CropFactor::ALL
         .iter()
         .map(|&crop| {
-            let f = Fidelity::new(ImageQuality::Best, crop, Resolution::R540, FrameSampling::Full);
+            let f = Fidelity::new(
+                ImageQuality::Best,
+                crop,
+                Resolution::R540,
+                FrameSampling::Full,
+            );
             report_row(&profiler, OperatorKind::Motion, f, crop.label().to_owned())
         })
         .collect();
@@ -53,8 +64,18 @@ fn main() {
     let rows: Vec<Vec<String>> = ImageQuality::ALL
         .iter()
         .map(|&quality| {
-            let f = Fidelity::new(quality, CropFactor::C100, Resolution::R540, FrameSampling::Full);
-            report_row(&profiler, OperatorKind::License, f, quality.label().to_owned())
+            let f = Fidelity::new(
+                quality,
+                CropFactor::C100,
+                Resolution::R540,
+                FrameSampling::Full,
+            );
+            report_row(
+                &profiler,
+                OperatorKind::License,
+                f,
+                quality.label().to_owned(),
+            )
         })
         .collect();
     print_table("Figure 4(b): image quality (op: License)", &headers, &rows);
@@ -63,18 +84,42 @@ fn main() {
     let rows: Vec<Vec<String>> = FrameSampling::ALL
         .iter()
         .map(|&sampling| {
-            let f = Fidelity::new(ImageQuality::Best, CropFactor::C100, Resolution::R200, sampling);
-            report_row(&profiler, OperatorKind::SpecializedNN, f, sampling.label().to_owned())
+            let f = Fidelity::new(
+                ImageQuality::Best,
+                CropFactor::C100,
+                Resolution::R200,
+                sampling,
+            );
+            report_row(
+                &profiler,
+                OperatorKind::SpecializedNN,
+                f,
+                sampling.label().to_owned(),
+            )
         })
         .collect();
-    print_table("Figure 4(c): frame sampling (op: specialized NN)", &headers, &rows);
+    print_table(
+        "Figure 4(c): frame sampling (op: specialized NN)",
+        &headers,
+        &rows,
+    );
 
     // (d) Frame sampling, operator: NN.
     let rows: Vec<Vec<String>> = FrameSampling::ALL
         .iter()
         .map(|&sampling| {
-            let f = Fidelity::new(ImageQuality::Good, CropFactor::C100, Resolution::R600, sampling);
-            report_row(&profiler, OperatorKind::FullNN, f, sampling.label().to_owned())
+            let f = Fidelity::new(
+                ImageQuality::Good,
+                CropFactor::C100,
+                Resolution::R600,
+                sampling,
+            );
+            report_row(
+                &profiler,
+                OperatorKind::FullNN,
+                f,
+                sampling.label().to_owned(),
+            )
         })
         .collect();
     print_table("Figure 4(d): frame sampling (op: NN)", &headers, &rows);

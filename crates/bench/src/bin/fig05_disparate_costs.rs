@@ -20,9 +20,33 @@ fn main() {
     // License at somewhat richer fidelities, so the sweep uses the closest
     // equivalents — the point is the disparity of costs at equal accuracy.)
     let options = [
-        ("A (bad quality, every frame)", Fidelity::new(ImageQuality::Bad, CropFactor::C100, Resolution::R540, FrameSampling::S2_3)),
-        ("B (best quality, sparse sampling)", Fidelity::new(ImageQuality::Best, CropFactor::C100, Resolution::R400, FrameSampling::S1_30)),
-        ("C (good quality, half sampling)", Fidelity::new(ImageQuality::Good, CropFactor::C75, Resolution::R540, FrameSampling::S1_2)),
+        (
+            "A (bad quality, every frame)",
+            Fidelity::new(
+                ImageQuality::Bad,
+                CropFactor::C100,
+                Resolution::R540,
+                FrameSampling::S2_3,
+            ),
+        ),
+        (
+            "B (best quality, sparse sampling)",
+            Fidelity::new(
+                ImageQuality::Best,
+                CropFactor::C100,
+                Resolution::R400,
+                FrameSampling::S1_30,
+            ),
+        ),
+        (
+            "C (good quality, half sampling)",
+            Fidelity::new(
+                ImageQuality::Good,
+                CropFactor::C75,
+                Resolution::R540,
+                FrameSampling::S1_2,
+            ),
+        ),
     ];
     let rows: Vec<Vec<String>> = options
         .iter()

@@ -55,9 +55,24 @@ fn main() {
     ];
 
     let license = [
-        Fidelity::new(ImageQuality::Good, CropFactor::C75, Resolution::R540, FrameSampling::S1_6),
-        Fidelity::new(ImageQuality::Bad, CropFactor::C100, Resolution::R540, FrameSampling::S1_6),
-        Fidelity::new(ImageQuality::Good, CropFactor::C100, Resolution::R540, FrameSampling::S1_6),
+        Fidelity::new(
+            ImageQuality::Good,
+            CropFactor::C75,
+            Resolution::R540,
+            FrameSampling::S1_6,
+        ),
+        Fidelity::new(
+            ImageQuality::Bad,
+            CropFactor::C100,
+            Resolution::R540,
+            FrameSampling::S1_6,
+        ),
+        Fidelity::new(
+            ImageQuality::Good,
+            CropFactor::C100,
+            Resolution::R540,
+            FrameSampling::S1_6,
+        ),
     ];
     print_table(
         "Figure 6(a): License — decoding the golden format can bottleneck consumption",
@@ -66,8 +81,18 @@ fn main() {
     );
 
     let motion = [
-        Fidelity::new(ImageQuality::Best, CropFactor::C100, Resolution::R180, FrameSampling::Full),
-        Fidelity::new(ImageQuality::Bad, CropFactor::C50, Resolution::R180, FrameSampling::S1_6),
+        Fidelity::new(
+            ImageQuality::Best,
+            CropFactor::C100,
+            Resolution::R180,
+            FrameSampling::Full,
+        ),
+        Fidelity::new(
+            ImageQuality::Bad,
+            CropFactor::C50,
+            Resolution::R180,
+            FrameSampling::S1_6,
+        ),
     ];
     print_table(
         "Figure 6(b): Motion — even same-fidelity decoding is too slow; RAW is needed",

@@ -48,10 +48,15 @@ fn main() {
             .flat_map(|&a| query_spec(a).consumers())
             .collect();
         let vstore_cfg = engine.derive(&consumers).expect("vstore configuration");
-        let one_to_one =
-            engine.derive_alternative(&consumers, Alternative::OneToOne).expect("1->1");
-        let one_to_n = engine.derive_alternative(&consumers, Alternative::OneToN).expect("1->N");
-        let n_to_n = engine.derive_alternative(&consumers, Alternative::NToN).expect("N->N");
+        let one_to_one = engine
+            .derive_alternative(&consumers, Alternative::OneToOne)
+            .expect("1->1");
+        let one_to_n = engine
+            .derive_alternative(&consumers, Alternative::OneToN)
+            .expect("1->N");
+        let n_to_n = engine
+            .derive_alternative(&consumers, Alternative::NToN)
+            .expect("N->N");
 
         // Storage and ingestion costs per configuration (model-based, like
         // the paper's GB/day and CPU%).
@@ -66,7 +71,11 @@ fn main() {
             let motion = dataset.profile().motion_intensity;
             cfg.storage_formats
                 .values()
-                .map(|sf| profiler.coding_model().encode_cores_for_realtime(sf, motion))
+                .map(|sf| {
+                    profiler
+                        .coding_model()
+                        .encode_cores_for_realtime(sf, motion)
+                })
                 .sum::<f64>()
                 * 100.0
         };
@@ -90,8 +99,12 @@ fn main() {
         let ingest =
             IngestionPipeline::new(Arc::clone(&store), Transcoder::default(), clock.clone());
         let source = VideoSource::new(dataset);
-        ingest.ingest_segments(&source, 0, SEGMENTS, &vstore_cfg).unwrap();
-        ingest.ingest_segments(&source, 0, SEGMENTS, &one_to_n).unwrap();
+        ingest
+            .ingest_segments(&source, 0, SEGMENTS, &vstore_cfg)
+            .unwrap();
+        ingest
+            .ingest_segments(&source, 0, SEGMENTS, &one_to_n)
+            .unwrap();
         let qe = QueryEngine::new(
             Arc::clone(&store),
             OperatorLibrary::paper_testbed(),

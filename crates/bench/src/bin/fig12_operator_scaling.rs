@@ -15,7 +15,9 @@ fn main() {
         for accuracy in accuracy_levels() {
             consumers.push(Consumer::new(op, accuracy));
         }
-        let cfs = engine.derive_consumption_formats(&consumers).expect("cf derivation");
+        let cfs = engine
+            .derive_consumption_formats(&consumers)
+            .expect("cf derivation");
         let coalesced = engine.derive_storage_formats(&cfs).expect("sf derivation");
         rows.push(vec![
             (count + 1).to_string(),
@@ -26,7 +28,12 @@ fn main() {
     }
     print_table(
         "Figure 12: transcoding cost vs number of operators (each at 4 accuracy levels)",
-        &["operators", "last added", "storage formats", "ingest CPU (100% = 1 core)"],
+        &[
+            "operators",
+            "last added",
+            "storage formats",
+            "ingest CPU (100% = 1 core)",
+        ],
         &rows,
     );
 }

@@ -15,7 +15,11 @@ fn main() {
     let lifespan_days = 10u32;
     let consumers: Vec<Consumer> = query_operators()
         .iter()
-        .flat_map(|&op| accuracy_levels().into_iter().map(move |a| Consumer::new(op, a)))
+        .flat_map(|&op| {
+            accuracy_levels()
+                .into_iter()
+                .map(move |a| Consumer::new(op, a))
+        })
         .collect();
 
     // Determine the unconstrained 10-day footprint first.
@@ -27,7 +31,9 @@ fn main() {
             ..EngineOptions::default()
         },
     );
-    let unconstrained = base_engine.derive(&consumers).expect("unconstrained configuration");
+    let unconstrained = base_engine
+        .derive(&consumers)
+        .expect("unconstrained configuration");
     let per_second = base_engine.storage_bytes_per_second(&unconstrained).bytes() as f64;
     let full_footprint = per_second * 86_400.0 * f64::from(lifespan_days);
     println!(
@@ -54,7 +60,11 @@ fn main() {
         );
         let config = engine.derive(&consumers).expect("budgeted configuration");
         let mut row = vec![
-            format!("{:.2} TB ({}%)", budget.bytes() as f64 / 1e12, (fraction * 100.0) as u32),
+            format!(
+                "{:.2} TB ({}%)",
+                budget.bytes() as f64 / 1e12,
+                (fraction * 100.0) as u32
+            ),
             format!("k={:.2}", config.erosion.decay_factor),
         ];
         for age in 1..=lifespan_days {
@@ -71,14 +81,19 @@ fn main() {
     let mut headers = vec!["storage budget".to_owned(), "decay".to_owned()];
     headers.extend((1..=lifespan_days).map(|d| format!("day {d}")));
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    print_table("Figure 13(a): overall relative speed vs video age", &header_refs, &rows);
+    print_table(
+        "Figure 13(a): overall relative speed vs video age",
+        &header_refs,
+        &rows,
+    );
 
     // (b) Residual video size per format under the tightest budget.
     let config = tightest.expect("at least one budgeted configuration");
     let mut rows = Vec::new();
     for (id, sf) in &config.storage_formats {
-        let per_day =
-            profiler.coding_model().gb_per_day(sf, profiler.coding_motion());
+        let per_day = profiler
+            .coding_model()
+            .gb_per_day(sf, profiler.coding_motion());
         let mut row = vec![id.to_string(), sf.fidelity.label()];
         for age in 1..=lifespan_days {
             let deleted = config

@@ -31,7 +31,9 @@ fn main() {
         {
             let search = CfSearch::new(&guided);
             for accuracy in accuracy_levels() {
-                search.derive(Consumer::new(op, accuracy)).expect("guided derivation");
+                search
+                    .derive(Consumer::new(op, accuracy))
+                    .expect("guided derivation");
             }
         }
         let guided_stats = guided.stats();

@@ -28,21 +28,46 @@ fn main() {
 
     // Query B's 12 consumers (3 operators × 4 accuracies), as in the paper's
     // exhaustive-comparison experiment.
-    let query_b_cfs =
-        derive_cfs(&profiler, &[OperatorKind::Motion, OperatorKind::License, OperatorKind::Ocr]);
+    let query_b_cfs = derive_cfs(
+        &profiler,
+        &[
+            OperatorKind::Motion,
+            OperatorKind::License,
+            OperatorKind::Ocr,
+        ],
+    );
     // The full evaluation set (24 consumers).
     let all_cfs = derive_cfs(&profiler, &OperatorKind::QUERY_OPS);
 
     let mut rows = Vec::new();
     for (label, cfs, strategy) in [
-        ("heuristic (12 CFs, query B)", &query_b_cfs, CoalesceStrategy::Heuristic),
-        ("distance-based (12 CFs, query B)", &query_b_cfs, CoalesceStrategy::DistanceBased),
-        ("heuristic (all 24 consumers)", &all_cfs, CoalesceStrategy::Heuristic),
-        ("distance-based (all 24 consumers)", &all_cfs, CoalesceStrategy::DistanceBased),
+        (
+            "heuristic (12 CFs, query B)",
+            &query_b_cfs,
+            CoalesceStrategy::Heuristic,
+        ),
+        (
+            "distance-based (12 CFs, query B)",
+            &query_b_cfs,
+            CoalesceStrategy::DistanceBased,
+        ),
+        (
+            "heuristic (all 24 consumers)",
+            &all_cfs,
+            CoalesceStrategy::Heuristic,
+        ),
+        (
+            "distance-based (all 24 consumers)",
+            &all_cfs,
+            CoalesceStrategy::DistanceBased,
+        ),
     ] {
         let before = profiler.stats();
         let started = Instant::now();
-        let result = Coalescer::new(&profiler).with_strategy(strategy).derive(cfs).expect("coalesce");
+        let result = Coalescer::new(&profiler)
+            .with_strategy(strategy)
+            .derive(cfs)
+            .expect("coalesce");
         let elapsed = started.elapsed();
         let after = profiler.stats();
         rows.push(vec![

@@ -2,7 +2,9 @@
 //! VStore for the 24-consumer evaluation set (6 operators × 4 accuracy
 //! levels), searched over the full Table-1 knob space.
 
-use vstore_bench::{accuracy_levels, fmt_speed, paper_engine, paper_profiler, print_table, query_operators};
+use vstore_bench::{
+    accuracy_levels, fmt_speed, paper_engine, paper_profiler, print_table, query_operators,
+};
 use vstore_types::Consumer;
 
 fn main() {
@@ -10,7 +12,11 @@ fn main() {
     let engine = paper_engine(profiler.clone());
     let consumers: Vec<Consumer> = query_operators()
         .iter()
-        .flat_map(|&op| accuracy_levels().into_iter().map(move |a| Consumer::new(op, a)))
+        .flat_map(|&op| {
+            accuracy_levels()
+                .into_iter()
+                .map(move |a| Consumer::new(op, a))
+        })
         .collect();
 
     let started = std::time::Instant::now();
@@ -35,10 +41,15 @@ fn main() {
         }
         rows.push(row);
     }
-    let headers: Vec<String> =
-        std::iter::once("target".to_owned()).chain(query_operators().iter().map(|o| o.to_string())).collect();
+    let headers: Vec<String> = std::iter::once("target".to_owned())
+        .chain(query_operators().iter().map(|o| o.to_string()))
+        .collect();
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    print_table("Table 3(a): consumption formats (fidelity, subscribed SF, consumption speed)", &header_refs, &rows);
+    print_table(
+        "Table 3(a): consumption formats (fidelity, subscribed SF, consumption speed)",
+        &header_refs,
+        &rows,
+    );
 
     // (b) Storage formats.
     let motion = profiler.coding_motion();

@@ -11,14 +11,23 @@ fn main() {
     let engine = reduced_engine(profiler.clone());
     let consumers: Vec<Consumer> = query_operators()
         .iter()
-        .flat_map(|&op| accuracy_levels().into_iter().map(move |a| Consumer::new(op, a)))
+        .flat_map(|&op| {
+            accuracy_levels()
+                .into_iter()
+                .map(move |a| Consumer::new(op, a))
+        })
         .collect();
-    let cfs = engine.derive_consumption_formats(&consumers).expect("cf derivation");
+    let cfs = engine
+        .derive_consumption_formats(&consumers)
+        .expect("cf derivation");
     let coalesced = engine.derive_storage_formats(&cfs).expect("sf derivation");
     let unconstrained_cores = coalesced.total_ingest_cores;
 
     let budgets: Vec<(String, f64)> = vec![
-        (format!(">= {:.0}", unconstrained_cores.ceil()), unconstrained_cores.ceil()),
+        (
+            format!(">= {:.0}", unconstrained_cores.ceil()),
+            unconstrained_cores.ceil(),
+        ),
         ("6".into(), 6.0),
         ("3".into(), 3.0),
         ("2".into(), 2.0),
@@ -36,10 +45,18 @@ fn main() {
             format!("{:.3}", mb_per_s),
             format!("{:.1}", gb_per_day),
             format!("{:.2}", adapted.total_ingest_cores),
-            if adapted.within_budget { "yes".into() } else { "NO".into() },
+            if adapted.within_budget {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ];
         for sf in &adapted.formats {
-            row.push(format!("{}={}", if sf.is_golden { "SFg" } else { "SF" }, sf.format.coding.label()));
+            row.push(format!(
+                "{}={}",
+                if sf.is_golden { "SFg" } else { "SF" },
+                sf.format.coding.label()
+            ));
         }
         rows.push(row);
     }
@@ -51,7 +68,11 @@ fn main() {
         "within budget".into(),
     ];
     for (i, sf) in coalesced.formats.iter().enumerate() {
-        headers.push(if sf.is_golden { "SFg coding".into() } else { format!("SF{i} coding") });
+        headers.push(if sf.is_golden {
+            "SFg coding".into()
+        } else {
+            format!("SF{i} coding")
+        });
     }
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     print_table(

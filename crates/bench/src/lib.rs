@@ -64,7 +64,10 @@ pub fn paper_engine(profiler: Arc<Profiler>) -> ConfigurationEngine {
 pub fn reduced_engine(profiler: Arc<Profiler>) -> ConfigurationEngine {
     ConfigurationEngine::new(
         profiler,
-        EngineOptions { fidelity_space: FidelitySpace::reduced(), ..EngineOptions::default() },
+        EngineOptions {
+            fidelity_space: FidelitySpace::reduced(),
+            ..EngineOptions::default()
+        },
     )
 }
 
@@ -79,15 +82,30 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             }
         }
     }
-    let header_line: Vec<String> =
-        headers.iter().enumerate().map(|(i, h)| format!("{h:<width$}", width = widths[i])).collect();
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:<width$}", width = widths[i]))
+        .collect();
     println!("{}", header_line.join("  "));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in rows {
         let line: Vec<String> = row
             .iter()
             .enumerate()
-            .map(|(i, cell)| format!("{cell:<width$}", width = widths.get(i).copied().unwrap_or(0)))
+            .map(|(i, cell)| {
+                format!(
+                    "{cell:<width$}",
+                    width = widths.get(i).copied().unwrap_or(0)
+                )
+            })
             .collect();
         println!("{}", line.join("  "));
     }
@@ -95,9 +113,7 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 
 /// Format a speed factor the way the paper does (e.g. `362x`, `3.5x`).
 pub fn fmt_speed(factor: f64) -> String {
-    if factor >= 1000.0 {
-        format!("{:.0}x", factor)
-    } else if factor >= 100.0 {
+    if factor >= 100.0 {
         format!("{:.0}x", factor)
     } else if factor >= 10.0 {
         format!("{:.1}x", factor)

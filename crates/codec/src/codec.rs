@@ -10,9 +10,7 @@
 use crate::frame::{sampling_selects, VideoFrame};
 use serde::{Deserialize, Serialize};
 use vstore_datasets::{BlockPlane, SceneObject};
-use vstore_types::{
-    Fidelity, FrameSampling, KeyframeInterval, Result, SpeedStep, VStoreError,
-};
+use vstore_types::{Fidelity, FrameSampling, KeyframeInterval, Result, SpeedStep, VStoreError};
 
 /// One encoded frame (keyframe or delta frame).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -113,7 +111,7 @@ fn rle_encode(data: &[u8]) -> Vec<u8> {
 
 /// Decode an RLE payload produced by [`rle_encode`].
 fn rle_decode(data: &[u8], expected_len: usize) -> Result<Vec<u8>> {
-    if data.len() % 2 != 0 {
+    if !data.len().is_multiple_of(2) {
         return Err(VStoreError::corruption("RLE payload has odd length"));
     }
     let mut out = Vec::with_capacity(expected_len);
@@ -191,28 +189,31 @@ pub fn encode_segment(
             });
             prev = Some(frame);
         }
-        chunks.push(EncodedChunk { frames: encoded_frames });
+        chunks.push(EncodedChunk {
+            frames: encoded_frames,
+        });
     }
-    Ok(EncodedSegment { fidelity, keyframe_interval, speed, chunks })
+    Ok(EncodedSegment {
+        fidelity,
+        keyframe_interval,
+        speed,
+        chunks,
+    })
 }
 
 // ---------------------------------------------------------------------------
 // Decode
 // ---------------------------------------------------------------------------
 
-fn decode_frame(
-    encoded: &EncodedFrame,
-    prev_plane: Option<&BlockPlane>,
-) -> Result<VideoFrame> {
+fn decode_frame(encoded: &EncodedFrame, prev_plane: Option<&BlockPlane>) -> Result<VideoFrame> {
     let expected = (encoded.width as usize) * (encoded.height as usize);
     let samples = rle_decode(&encoded.payload, expected)?;
     let plane = if encoded.is_key {
         BlockPlane::from_samples(encoded.width, encoded.height, samples)
             .ok_or_else(|| VStoreError::corruption("keyframe sample count mismatch"))?
     } else {
-        let prev = prev_plane.ok_or_else(|| {
-            VStoreError::corruption("delta frame without a decoded predecessor")
-        })?;
+        let prev = prev_plane
+            .ok_or_else(|| VStoreError::corruption("delta frame without a decoded predecessor"))?;
         if prev.len() != expected {
             return Err(VStoreError::corruption("predecessor dimensions mismatch"));
         }
@@ -317,7 +318,12 @@ mod tests {
     }
 
     fn storage_fidelity() -> Fidelity {
-        Fidelity::new(ImageQuality::Good, CropFactor::C100, Resolution::R360, FrameSampling::Full)
+        Fidelity::new(
+            ImageQuality::Good,
+            CropFactor::C100,
+            Resolution::R360,
+            FrameSampling::Full,
+        )
     }
 
     #[test]
@@ -350,7 +356,11 @@ mod tests {
         assert_eq!(decoded.len(), frames.len());
         for (d, f) in decoded.iter().zip(frames.iter()) {
             assert_eq!(d.source_index, f.source_index);
-            assert_eq!(d.plane, f.plane, "plane mismatch at frame {}", f.source_index);
+            assert_eq!(
+                d.plane, f.plane,
+                "plane mismatch at frame {}",
+                f.source_index
+            );
             assert_eq!(d.objects.len(), f.objects.len());
             assert_eq!(d.fidelity, f.fidelity);
         }
@@ -408,7 +418,10 @@ mod tests {
         // Emitted frames match the corresponding full-decode frames exactly.
         let full = decode_segment(&seg).unwrap();
         for s in &sampled {
-            let reference = full.iter().find(|f| f.source_index == s.source_index).unwrap();
+            let reference = full
+                .iter()
+                .find(|f| f.source_index == s.source_index)
+                .unwrap();
             assert_eq!(s.plane, reference.plane);
         }
     }
@@ -429,7 +442,12 @@ mod tests {
         let mut frames = test_frames(Dataset::Jackson, storage_fidelity(), 4);
         let other = test_frames(
             Dataset::Jackson,
-            Fidelity::new(ImageQuality::Bad, CropFactor::C100, Resolution::R200, FrameSampling::Full),
+            Fidelity::new(
+                ImageQuality::Bad,
+                CropFactor::C100,
+                Resolution::R200,
+                FrameSampling::Full,
+            ),
             2,
         );
         frames.extend(other);

@@ -3,8 +3,7 @@
 //! compact binary serialisation.
 
 use crate::codec::{
-    decode_segment, decode_segment_sampled, DecodeStats, EncodedChunk, EncodedFrame,
-    EncodedSegment,
+    decode_segment, decode_segment_sampled, DecodeStats, EncodedChunk, EncodedFrame, EncodedSegment,
 };
 use crate::frame::{sampling_selects, VideoFrame};
 use crate::wire::{ByteReader, ByteWriter};
@@ -42,7 +41,10 @@ impl SegmentData {
         match self {
             SegmentData::Encoded(seg) => StorageFormat::new(
                 seg.fidelity,
-                CodingOption::Encoded { keyframe_interval: seg.keyframe_interval, speed: seg.speed },
+                CodingOption::Encoded {
+                    keyframe_interval: seg.keyframe_interval,
+                    speed: seg.speed,
+                },
             ),
             SegmentData::Raw(seg) => StorageFormat::new(seg.fidelity, CodingOption::Raw),
         }
@@ -120,7 +122,13 @@ impl SegmentData {
                 write_fidelity(&mut w, &seg.fidelity);
                 w.put_varint(seg.frames.len() as u64);
                 for f in &seg.frames {
-                    write_frame_header(&mut w, f.source_index, f.plane.width(), f.plane.height(), f.signal_retention);
+                    write_frame_header(
+                        &mut w,
+                        f.source_index,
+                        f.plane.width(),
+                        f.plane.height(),
+                        f.signal_retention,
+                    );
                     w.put_bytes(f.plane.samples());
                     write_objects(&mut w, &f.objects);
                 }
@@ -134,7 +142,13 @@ impl SegmentData {
                 for chunk in &seg.chunks {
                     w.put_varint(chunk.frames.len() as u64);
                     for f in &chunk.frames {
-                        write_frame_header(&mut w, f.source_index, f.width, f.height, f.signal_retention);
+                        write_frame_header(
+                            &mut w,
+                            f.source_index,
+                            f.width,
+                            f.height,
+                            f.signal_retention,
+                        );
                         w.put_u8(u8::from(f.is_key));
                         w.put_bytes(&f.payload);
                         write_objects(&mut w, &f.objects);
@@ -161,8 +175,10 @@ impl SegmentData {
                 for _ in 0..count {
                     let (source_index, width, height, retention) = read_frame_header(&mut r)?;
                     let samples = r.get_bytes()?.to_vec();
-                    let plane = BlockPlane::from_samples(width, height, samples)
-                        .ok_or_else(|| VStoreError::corruption("raw frame sample count mismatch"))?;
+                    let plane =
+                        BlockPlane::from_samples(width, height, samples).ok_or_else(|| {
+                            VStoreError::corruption("raw frame sample count mismatch")
+                        })?;
                     let objects = read_objects(&mut r)?;
                     frames.push(VideoFrame {
                         source_index,
@@ -206,9 +222,16 @@ impl SegmentData {
                     }
                     chunks.push(EncodedChunk { frames });
                 }
-                Ok(SegmentData::Encoded(EncodedSegment { fidelity, keyframe_interval, speed, chunks }))
+                Ok(SegmentData::Encoded(EncodedSegment {
+                    fidelity,
+                    keyframe_interval,
+                    speed,
+                    chunks,
+                }))
             }
-            other => Err(VStoreError::corruption(format!("unknown segment kind {other}"))),
+            other => Err(VStoreError::corruption(format!(
+                "unknown segment kind {other}"
+            ))),
         }
     }
 }
@@ -229,7 +252,9 @@ fn read_fidelity(r: &mut ByteReader<'_>) -> Result<Fidelity> {
         quality: *ImageQuality::ALL
             .get(q)
             .ok_or_else(|| VStoreError::corruption("bad quality rank"))?,
-        crop: *CropFactor::ALL.get(c).ok_or_else(|| VStoreError::corruption("bad crop rank"))?,
+        crop: *CropFactor::ALL
+            .get(c)
+            .ok_or_else(|| VStoreError::corruption("bad crop rank"))?,
         resolution: *Resolution::ALL
             .get(res)
             .ok_or_else(|| VStoreError::corruption("bad resolution rank"))?,
@@ -259,8 +284,12 @@ fn write_objects(w: &mut ByteWriter, objects: &[SceneObject]) {
     for o in objects {
         w.put_u64(o.id);
         let class_code = match o.class {
-            ObjectClass::Vehicle { plate_visible: false } => 0u8,
-            ObjectClass::Vehicle { plate_visible: true } => 1,
+            ObjectClass::Vehicle {
+                plate_visible: false,
+            } => 0u8,
+            ObjectClass::Vehicle {
+                plate_visible: true,
+            } => 1,
             ObjectClass::Pedestrian => 2,
             ObjectClass::Cyclist => 3,
         };
@@ -269,7 +298,10 @@ fn write_objects(w: &mut ByteWriter, objects: &[SceneObject]) {
         w.put_f32(o.bbox.y);
         w.put_f32(o.bbox.w);
         w.put_f32(o.bbox.h);
-        let color_code = ObjectColor::ALL.iter().position(|c| *c == o.color).unwrap_or(0) as u8;
+        let color_code = ObjectColor::ALL
+            .iter()
+            .position(|c| *c == o.color)
+            .unwrap_or(0) as u8;
         w.put_u8(color_code);
         match &o.plate {
             Some(p) => {
@@ -289,11 +321,19 @@ fn read_objects(r: &mut ByteReader<'_>) -> Result<Vec<SceneObject>> {
     for _ in 0..count {
         let id = r.get_u64()?;
         let class = match r.get_u8()? {
-            0 => ObjectClass::Vehicle { plate_visible: false },
-            1 => ObjectClass::Vehicle { plate_visible: true },
+            0 => ObjectClass::Vehicle {
+                plate_visible: false,
+            },
+            1 => ObjectClass::Vehicle {
+                plate_visible: true,
+            },
             2 => ObjectClass::Pedestrian,
             3 => ObjectClass::Cyclist,
-            other => return Err(VStoreError::corruption(format!("unknown object class {other}"))),
+            other => {
+                return Err(VStoreError::corruption(format!(
+                    "unknown object class {other}"
+                )))
+            }
         };
         let x = r.get_f32()?;
         let y = r.get_f32()?;

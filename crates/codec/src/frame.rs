@@ -61,7 +61,10 @@ impl VideoFrame {
     pub fn degrade_to(&self, target: Fidelity) -> Result<VideoFrame> {
         // Sampling compatibility is checked by sequence-level code; compare
         // only the per-frame knobs here.
-        let per_frame_self = Fidelity { sampling: target.sampling, ..self.fidelity };
+        let per_frame_self = Fidelity {
+            sampling: target.sampling,
+            ..self.fidelity
+        };
         if !per_frame_self.richer_or_equal(&target) {
             return Err(VStoreError::FidelityUnsatisfiable(format!(
                 "cannot degrade frame at {} to richer fidelity {}",
@@ -74,13 +77,10 @@ impl VideoFrame {
             return Ok(out);
         }
         // Additional crop relative to what has already been applied.
-        let crop_ratio =
-            target.crop.linear_fraction() / self.fidelity.crop.linear_fraction();
+        let crop_ratio = target.crop.linear_fraction() / self.fidelity.crop.linear_fraction();
         let cropped = if crop_ratio < 0.999 {
-            let new_w =
-                ((f64::from(self.plane.width()) * crop_ratio).round() as u32).max(1);
-            let new_h =
-                ((f64::from(self.plane.height()) * crop_ratio).round() as u32).max(1);
+            let new_w = ((f64::from(self.plane.width()) * crop_ratio).round() as u32).max(1);
+            let new_h = ((f64::from(self.plane.height()) * crop_ratio).round() as u32).max(1);
             let x0 = (self.plane.width() - new_w) / 2;
             let y0 = (self.plane.height() - new_h) / 2;
             let mut samples = Vec::with_capacity((new_w * new_h) as usize);
@@ -150,9 +150,9 @@ pub fn sampling_selects(index: u64, sampling: vstore_types::FrameSampling) -> bo
     match sampling {
         Full => true,
         S2_3 => index % 3 != 2,
-        S1_2 => index % 2 == 0,
-        S1_6 => index % 6 == 0,
-        S1_30 => index % 30 == 0,
+        S1_2 => index.is_multiple_of(2),
+        S1_6 => index.is_multiple_of(6),
+        S1_30 => index.is_multiple_of(30),
     }
 }
 
@@ -187,7 +187,9 @@ mod tests {
         );
         let f = VideoFrame::from_scene(&s, low);
         assert!(f.plane.width() < 160 / 2);
-        assert!(f.raw_size_bytes() < VideoFrame::from_scene(&s, Fidelity::INGESTION).raw_size_bytes());
+        assert!(
+            f.raw_size_bytes() < VideoFrame::from_scene(&s, Fidelity::INGESTION).raw_size_bytes()
+        );
     }
 
     #[test]

@@ -55,7 +55,9 @@ impl Transcoder {
         motion: f64,
     ) -> Result<TranscodeOutput> {
         if scenes.is_empty() {
-            return Err(VStoreError::invalid_argument("cannot transcode an empty clip"));
+            return Err(VStoreError::invalid_argument(
+                "cannot transcode an empty clip",
+            ));
         }
         let frames = materialize_clip(scenes, format.fidelity);
         if frames.is_empty() {
@@ -64,20 +66,29 @@ impl Transcoder {
             ));
         }
         let data = match format.coding {
-            CodingOption::Raw => {
-                SegmentData::Raw(RawSegment { fidelity: format.fidelity, frames })
-            }
-            CodingOption::Encoded { keyframe_interval, speed } => {
-                SegmentData::Encoded(encode_segment(&frames, keyframe_interval, speed)?)
-            }
+            CodingOption::Raw => SegmentData::Raw(RawSegment {
+                fidelity: format.fidelity,
+                frames,
+            }),
+            CodingOption::Encoded {
+                keyframe_interval,
+                speed,
+            } => SegmentData::Encoded(encode_segment(&frames, keyframe_interval, speed)?),
         };
         let duration_seconds = scenes.len() as f64 / 30.0;
         let encode_core_seconds =
             self.cost_model.encode_cores_for_realtime(format, motion) * duration_seconds;
-        let modeled_bytes =
-            self.cost_model.bytes_per_video_second(format, motion).scale(duration_seconds);
+        let modeled_bytes = self
+            .cost_model
+            .bytes_per_video_second(format, motion)
+            .scale(duration_seconds);
         let actual_bytes = ByteSize(data.to_bytes().len() as u64);
-        Ok(TranscodeOutput { data, encode_core_seconds, modeled_bytes, actual_bytes })
+        Ok(TranscodeOutput {
+            data,
+            encode_core_seconds,
+            modeled_bytes,
+            actual_bytes,
+        })
     }
 
     /// Convert frames decoded from a storage format into a consumption
@@ -128,7 +139,8 @@ impl Transcoder {
         motion: f64,
         cf: &ConsumptionFormat,
     ) -> Speed {
-        self.cost_model.retrieval_speed(format, motion, cf.fidelity.sampling)
+        self.cost_model
+            .retrieval_speed(format, motion, cf.fidelity.sampling)
     }
 }
 
@@ -152,7 +164,12 @@ mod tests {
 
     fn encoded_format() -> StorageFormat {
         StorageFormat::new(
-            Fidelity::new(ImageQuality::Good, CropFactor::C100, Resolution::R540, FrameSampling::S1_6),
+            Fidelity::new(
+                ImageQuality::Good,
+                CropFactor::C100,
+                Resolution::R540,
+                FrameSampling::S1_6,
+            ),
             CodingOption::Encoded {
                 keyframe_interval: KeyframeInterval::K50,
                 speed: SpeedStep::Slow,
@@ -163,7 +180,9 @@ mod tests {
     #[test]
     fn transcode_to_encoded_format() {
         let t = Transcoder::default();
-        let out = t.transcode_segment(&scenes(Dataset::Jackson, 240), &encoded_format(), 0.3).unwrap();
+        let out = t
+            .transcode_segment(&scenes(Dataset::Jackson, 240), &encoded_format(), 0.3)
+            .unwrap();
         assert_eq!(out.data.fidelity(), encoded_format().fidelity);
         // 240 frames at 1/6 sampling → 40 stored frames.
         assert_eq!(out.data.frame_count(), 40);
@@ -176,15 +195,24 @@ mod tests {
     fn transcode_to_raw_format() {
         let t = Transcoder::default();
         let format = StorageFormat::new(
-            Fidelity::new(ImageQuality::Best, CropFactor::C100, Resolution::R200, FrameSampling::Full),
+            Fidelity::new(
+                ImageQuality::Best,
+                CropFactor::C100,
+                Resolution::R200,
+                FrameSampling::Full,
+            ),
             CodingOption::Raw,
         );
-        let out = t.transcode_segment(&scenes(Dataset::Park, 60), &format, 0.1).unwrap();
+        let out = t
+            .transcode_segment(&scenes(Dataset::Park, 60), &format, 0.1)
+            .unwrap();
         assert!(matches!(out.data, SegmentData::Raw(_)));
         assert_eq!(out.data.frame_count(), 60);
         // RAW transcode is much cheaper than a slow software encode.
         let golden = StorageFormat::new(Fidelity::INGESTION, CodingOption::SMALLEST);
-        let golden_out = t.transcode_segment(&scenes(Dataset::Park, 60), &golden, 0.1).unwrap();
+        let golden_out = t
+            .transcode_segment(&scenes(Dataset::Park, 60), &golden, 0.1)
+            .unwrap();
         assert!(out.encode_core_seconds < golden_out.encode_core_seconds / 5.0);
     }
 
@@ -197,7 +225,9 @@ mod tests {
     #[test]
     fn consumption_conversion_degrades_and_samples() {
         let t = Transcoder::default();
-        let out = t.transcode_segment(&scenes(Dataset::Jackson, 240), &encoded_format(), 0.3).unwrap();
+        let out = t
+            .transcode_segment(&scenes(Dataset::Jackson, 240), &encoded_format(), 0.3)
+            .unwrap();
         let stored = out.data.decode_all().unwrap();
         let cf = ConsumptionFormat::new(Fidelity::new(
             ImageQuality::Bad,
@@ -215,7 +245,9 @@ mod tests {
     #[test]
     fn consumption_conversion_rejects_richer_target() {
         let t = Transcoder::default();
-        let out = t.transcode_segment(&scenes(Dataset::Jackson, 60), &encoded_format(), 0.3).unwrap();
+        let out = t
+            .transcode_segment(&scenes(Dataset::Jackson, 60), &encoded_format(), 0.3)
+            .unwrap();
         let stored = out.data.decode_all().unwrap();
         let cf = ConsumptionFormat::new(Fidelity::INGESTION);
         assert!(t.convert_for_consumption(&stored, &cf).is_err());
@@ -227,13 +259,20 @@ mod tests {
         // missing from the store and must be substituted.
         let t = Transcoder::default();
         let format = StorageFormat::new(
-            Fidelity::new(ImageQuality::Best, CropFactor::C100, Resolution::R360, FrameSampling::S2_3),
+            Fidelity::new(
+                ImageQuality::Best,
+                CropFactor::C100,
+                Resolution::R360,
+                FrameSampling::S2_3,
+            ),
             CodingOption::Encoded {
                 keyframe_interval: KeyframeInterval::K10,
                 speed: SpeedStep::Fast,
             },
         );
-        let out = t.transcode_segment(&scenes(Dataset::Airport, 120), &format, 0.2).unwrap();
+        let out = t
+            .transcode_segment(&scenes(Dataset::Airport, 120), &format, 0.2)
+            .unwrap();
         let stored = out.data.decode_all().unwrap();
         let cf = ConsumptionFormat::new(Fidelity::new(
             ImageQuality::Good,
@@ -243,7 +282,11 @@ mod tests {
         ));
         let frames = t.convert_for_consumption(&stored, &cf).unwrap();
         // Roughly half of the 120-frame range (up to the last stored index).
-        assert!(frames.len() >= 55 && frames.len() <= 60, "got {}", frames.len());
+        assert!(
+            frames.len() >= 55 && frames.len() <= 60,
+            "got {}",
+            frames.len()
+        );
     }
 
     #[test]
@@ -274,7 +317,12 @@ mod tests {
         let t = Transcoder::default();
         let scenes = scenes(Dataset::Jackson, 120);
         let small = StorageFormat::new(
-            Fidelity::new(ImageQuality::Bad, CropFactor::C100, Resolution::R200, FrameSampling::S1_6),
+            Fidelity::new(
+                ImageQuality::Bad,
+                CropFactor::C100,
+                Resolution::R200,
+                FrameSampling::S1_6,
+            ),
             CodingOption::SMALLEST,
         );
         let big = StorageFormat::new(Fidelity::INGESTION, CodingOption::SMALLEST);

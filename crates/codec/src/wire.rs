@@ -22,7 +22,9 @@ impl ByteWriter {
 
     /// New writer with a capacity hint.
     pub fn with_capacity(cap: usize) -> Self {
-        ByteWriter { buf: Vec::with_capacity(cap) }
+        ByteWriter {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Consume the writer and return the bytes.
@@ -150,7 +152,9 @@ impl<'a> ByteReader<'a> {
     /// Read a little-endian u64.
     pub fn get_u64(&mut self) -> Result<u64> {
         let b = self.take(8)?;
-        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     /// Read a little-endian f32.
@@ -162,7 +166,9 @@ impl<'a> ByteReader<'a> {
     /// Read a little-endian f64.
     pub fn get_f64(&mut self) -> Result<f64> {
         let b = self.take(8)?;
-        Ok(f64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        Ok(f64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     /// Read a LEB128-style variable-length unsigned integer.
@@ -233,7 +239,17 @@ mod tests {
 
     #[test]
     fn varint_round_trip_various_magnitudes() {
-        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             let mut w = ByteWriter::new();
             w.put_varint(v);
             let bytes = w.into_bytes();

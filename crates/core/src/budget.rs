@@ -43,7 +43,9 @@ pub fn adapt_to_ingest_budget(
         return Err(VStoreError::invalid_argument("no storage formats to adapt"));
     }
     if budget_cores <= 0.0 {
-        return Err(VStoreError::invalid_argument("ingestion budget must be positive"));
+        return Err(VStoreError::invalid_argument(
+            "ingestion budget must be positive",
+        ));
     }
     let mut adapted: Vec<DerivedSf> = formats.to_vec();
     let total = |formats: &[DerivedSf]| -> f64 { formats.iter().map(|f| f.encode_cores).sum() };
@@ -57,9 +59,10 @@ pub fn adapt_to_ingest_budget(
             .iter()
             .enumerate()
             .filter_map(|(i, sf)| match sf.format.coding {
-                CodingOption::Encoded { keyframe_interval, speed } => {
-                    faster(speed).map(|next| (i, keyframe_interval, next, sf.encode_cores))
-                }
+                CodingOption::Encoded {
+                    keyframe_interval,
+                    speed,
+                } => faster(speed).map(|next| (i, keyframe_interval, next, sf.encode_cores)),
                 CodingOption::Raw => None,
             })
             .max_by(|a, b| a.3.total_cmp(&b.3));
@@ -69,7 +72,10 @@ pub fn adapt_to_ingest_budget(
         };
         let new_format = StorageFormat::new(
             adapted[idx].format.fidelity,
-            CodingOption::Encoded { keyframe_interval, speed: next_speed },
+            CodingOption::Encoded {
+                keyframe_interval,
+                speed: next_speed,
+            },
         );
         let profile = profiler.profile_storage(new_format);
         adapted[idx] = DerivedSf {
@@ -129,13 +135,23 @@ mod tests {
             sf(p, Fidelity::INGESTION, CodingOption::SMALLEST, true),
             sf(
                 p,
-                Fidelity::new(ImageQuality::Good, CropFactor::C100, Resolution::R540, FrameSampling::S1_6),
+                Fidelity::new(
+                    ImageQuality::Good,
+                    CropFactor::C100,
+                    Resolution::R540,
+                    FrameSampling::S1_6,
+                ),
                 CodingOption::SMALLEST,
                 false,
             ),
             sf(
                 p,
-                Fidelity::new(ImageQuality::Best, CropFactor::C100, Resolution::R540, FrameSampling::S1_30),
+                Fidelity::new(
+                    ImageQuality::Best,
+                    CropFactor::C100,
+                    Resolution::R540,
+                    FrameSampling::S1_30,
+                ),
                 CodingOption::Encoded {
                     keyframe_interval: KeyframeInterval::K10,
                     speed: vstore_types::SpeedStep::Fast,
@@ -144,7 +160,12 @@ mod tests {
             ),
             sf(
                 p,
-                Fidelity::new(ImageQuality::Best, CropFactor::C100, Resolution::R200, FrameSampling::Full),
+                Fidelity::new(
+                    ImageQuality::Best,
+                    CropFactor::C100,
+                    Resolution::R200,
+                    FrameSampling::Full,
+                ),
                 CodingOption::Raw,
                 false,
             ),
@@ -170,7 +191,12 @@ mod tests {
         let mut prev_storage = 0u64;
         let mut prev_cores = f64::INFINITY;
         // Mirror Table 4: progressively smaller budgets.
-        for budget in [unbudgeted * 0.8, unbudgeted * 0.5, unbudgeted * 0.3, unbudgeted * 0.15] {
+        for budget in [
+            unbudgeted * 0.8,
+            unbudgeted * 0.5,
+            unbudgeted * 0.3,
+            unbudgeted * 0.15,
+        ] {
             let adapted = adapt_to_ingest_budget(&p, &formats, budget).unwrap();
             assert!(
                 adapted.total_ingest_cores <= prev_cores + 1e-9,

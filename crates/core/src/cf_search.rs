@@ -14,9 +14,7 @@
 //!   storage).
 
 use vstore_profiler::Profiler;
-use vstore_types::{
-    Consumer, Fidelity, FidelitySpace, Result, Speed, VStoreError,
-};
+use vstore_types::{Consumer, Fidelity, FidelitySpace, Result, Speed, VStoreError};
 
 /// A consumption format derived for one consumer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,7 +38,10 @@ pub struct CfSearch<'a> {
 impl<'a> CfSearch<'a> {
     /// A search over the full Table-1 fidelity space.
     pub fn new(profiler: &'a Profiler) -> Self {
-        CfSearch { profiler, space: FidelitySpace::full() }
+        CfSearch {
+            profiler,
+            space: FidelitySpace::full(),
+        }
     }
 
     /// A search over a restricted space.
@@ -92,7 +93,10 @@ impl<'a> CfSearch<'a> {
         // cannot reduce consumption cost (O2) but reduces storage cost
         // downstream.
         for &quality in qualities.iter().rev().skip(1) {
-            let fidelity = Fidelity { quality, ..chosen.fidelity };
+            let fidelity = Fidelity {
+                quality,
+                ..chosen.fidelity
+            };
             let profile = self.profiler.profile_consumer(consumer.op, fidelity);
             if profile.accuracy + 1e-9 >= target {
                 chosen = DerivedCf {
@@ -249,8 +253,12 @@ mod tests {
     fn lower_targets_get_cheaper_formats() {
         let p = profiler();
         let search = CfSearch::new(&p);
-        let strict = search.derive(Consumer::new(OperatorKind::License, 0.95)).unwrap();
-        let loose = search.derive(Consumer::new(OperatorKind::License, 0.7)).unwrap();
+        let strict = search
+            .derive(Consumer::new(OperatorKind::License, 0.95))
+            .unwrap();
+        let loose = search
+            .derive(Consumer::new(OperatorKind::License, 0.7))
+            .unwrap();
         assert!(
             loose.consumption_speed.factor() >= strict.consumption_speed.factor(),
             "loose target should not be slower: {} vs {}",
@@ -274,14 +282,21 @@ mod tests {
             guided_runs <= bound,
             "guided search used {guided_runs} runs, bound is {bound}"
         );
-        assert!(guided_runs < space.len() / 3, "guided {guided_runs} vs space {}", space.len());
+        assert!(
+            guided_runs < space.len() / 3,
+            "guided {guided_runs} vs space {}",
+            space.len()
+        );
     }
 
     #[test]
     fn exhaustive_and_guided_agree_on_adequacy() {
         let p = profiler();
         let space = FidelitySpace {
-            qualities: vec![vstore_types::ImageQuality::Bad, vstore_types::ImageQuality::Best],
+            qualities: vec![
+                vstore_types::ImageQuality::Bad,
+                vstore_types::ImageQuality::Best,
+            ],
             crops: vec![vstore_types::CropFactor::C100],
             resolutions: vec![
                 vstore_types::Resolution::R100,
@@ -296,8 +311,12 @@ mod tests {
             ],
         };
         let consumer = Consumer::new(OperatorKind::SpecializedNN, 0.85);
-        let guided = CfSearch::with_space(&p, space.clone()).derive(consumer).unwrap();
-        let exhaustive = CfSearch::with_space(&p, space).derive_exhaustive(consumer).unwrap();
+        let guided = CfSearch::with_space(&p, space.clone())
+            .derive(consumer)
+            .unwrap();
+        let exhaustive = CfSearch::with_space(&p, space)
+            .derive_exhaustive(consumer)
+            .unwrap();
         // Both must be adequate; the guided result must consume at a speed no
         // worse than ~20 % below the exhaustive optimum (boundary walks can
         // differ slightly when accuracy is locally flat).
@@ -315,7 +334,9 @@ mod tests {
     fn accuracy_one_is_reachable_only_at_ingestion_like_fidelity() {
         let p = profiler();
         let search = CfSearch::new(&p);
-        let cf = search.derive(Consumer::new(OperatorKind::FullNN, 1.0)).unwrap();
+        let cf = search
+            .derive(Consumer::new(OperatorKind::FullNN, 1.0))
+            .unwrap();
         assert_eq!(cf.accuracy, 1.0);
     }
 
@@ -329,7 +350,9 @@ mod tests {
             samplings: vec![vstore_types::FrameSampling::S1_30],
         };
         let search = CfSearch::with_space(&p, space);
-        let err = search.derive(Consumer::new(OperatorKind::Ocr, 0.95)).unwrap_err();
+        let err = search
+            .derive(Consumer::new(OperatorKind::Ocr, 0.95))
+            .unwrap_err();
         assert!(matches!(err, VStoreError::AccuracyUnreachable(_)));
     }
 }

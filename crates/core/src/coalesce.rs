@@ -73,7 +73,9 @@ impl CoalesceResult {
     /// The storage format a consumption format (by index) subscribes to,
     /// returned as an index into `formats`.
     pub fn subscription_of(&self, cf_index: usize) -> Option<usize> {
-        self.formats.iter().position(|sf| sf.subscribers.contains(&cf_index))
+        self.formats
+            .iter()
+            .position(|sf| sf.subscribers.contains(&cf_index))
     }
 }
 
@@ -185,11 +187,16 @@ impl<'a> Coalescer<'a> {
             let format = StorageFormat::new(fidelity, CodingOption::SMALLEST);
             let adequate = subscribers.iter().all(|&i| {
                 let cf = &cfs[i];
-                self.profiler.retrieval_speed(&format, cf.fidelity.sampling).factor()
+                self.profiler
+                    .retrieval_speed(&format, cf.fidelity.sampling)
+                    .factor()
                     >= cf.consumption_speed.factor()
             });
             if adequate || subscribers.is_empty() {
-                (CodingOption::SMALLEST, self.profiler.profile_storage(format))
+                (
+                    CodingOption::SMALLEST,
+                    self.profiler.profile_storage(format),
+                )
             } else {
                 self.choose_coding(fidelity, &subscribers, cfs)
             }
@@ -218,8 +225,8 @@ impl<'a> Coalescer<'a> {
             ));
         }
         // Golden fidelity: knob-wise maximum over all CFs.
-        let golden_fidelity = Fidelity::join_all(cfs.iter().map(|cf| &cf.fidelity))
-            .expect("non-empty CF list");
+        let golden_fidelity =
+            Fidelity::join_all(cfs.iter().map(|cf| &cf.fidelity)).expect("non-empty CF list");
 
         // Initial SF set: golden + one SF per unique CF fidelity.
         let mut formats: Vec<DerivedSf> = Vec::new();
@@ -237,9 +244,9 @@ impl<'a> Coalescer<'a> {
         }
         // Re-choose coding for the non-golden SFs now that all subscribers
         // are known.
-        for idx in 1..formats.len() {
-            let subs = formats[idx].subscribers.clone();
-            formats[idx] = self.build_sf(formats[idx].format.fidelity, subs, cfs, false);
+        for sf in formats.iter_mut().skip(1) {
+            let subs = sf.subscribers.clone();
+            *sf = self.build_sf(sf.format.fidelity, subs, cfs, false);
         }
 
         let mut rounds = 0usize;
@@ -259,9 +266,7 @@ impl<'a> Coalescer<'a> {
         // merging at the expense of storage until it is met (or no pairs
         // remain).
         if let Some(budget) = self.ingest_budget_cores {
-            while merge_allowed(rounds)
-                && Self::total_cores(&formats) > budget
-                && formats.len() > 1
+            while merge_allowed(rounds) && Self::total_cores(&formats) > budget && formats.len() > 1
             {
                 match self.best_merge(&formats, cfs) {
                     Some((a, b, merged, _)) => {
@@ -278,10 +283,7 @@ impl<'a> Coalescer<'a> {
             .map(|budget| Self::total_cores(&formats) <= budget + 1e-9)
             .unwrap_or(true);
         Ok(CoalesceResult {
-            total_bytes_per_video_second: formats
-                .iter()
-                .map(|f| f.bytes_per_video_second)
-                .sum(),
+            total_bytes_per_video_second: formats.iter().map(|f| f.bytes_per_video_second).sum(),
             total_ingest_cores: Self::total_cores(&formats),
             rounds,
             within_ingest_budget: within,
@@ -306,8 +308,7 @@ impl<'a> Coalescer<'a> {
             for b in (a + 1)..formats.len() {
                 // Merging into the golden format keeps its identity.
                 let is_golden = formats[a].is_golden || formats[b].is_golden;
-                let merged_fidelity =
-                    formats[a].format.fidelity.join(&formats[b].format.fidelity);
+                let merged_fidelity = formats[a].format.fidelity.join(&formats[b].format.fidelity);
                 let mut subscribers = formats[a].subscribers.clone();
                 subscribers.extend_from_slice(&formats[b].subscribers);
                 let merged = self.build_sf(merged_fidelity, subscribers, cfs, is_golden);
@@ -418,15 +419,55 @@ mod tests {
     fn sample_cfs() -> Vec<DerivedCf> {
         vec![
             // A slow, accurate NN consumer needing rich fidelity.
-            cf(OperatorKind::FullNN, 0.95, ImageQuality::Good, CropFactor::C100, Resolution::R600, FrameSampling::S2_3, 5.0),
+            cf(
+                OperatorKind::FullNN,
+                0.95,
+                ImageQuality::Good,
+                CropFactor::C100,
+                Resolution::R600,
+                FrameSampling::S2_3,
+                5.0,
+            ),
             // A License consumer at medium fidelity.
-            cf(OperatorKind::License, 0.9, ImageQuality::Best, CropFactor::C100, Resolution::R540, FrameSampling::S1_2, 20.0),
+            cf(
+                OperatorKind::License,
+                0.9,
+                ImageQuality::Best,
+                CropFactor::C100,
+                Resolution::R540,
+                FrameSampling::S1_2,
+                20.0,
+            ),
             // Near-identical License consumer (should coalesce freely).
-            cf(OperatorKind::License, 0.8, ImageQuality::Good, CropFactor::C100, Resolution::R540, FrameSampling::S1_6, 60.0),
+            cf(
+                OperatorKind::License,
+                0.8,
+                ImageQuality::Good,
+                CropFactor::C100,
+                Resolution::R540,
+                FrameSampling::S1_6,
+                60.0,
+            ),
             // A very fast, low-fidelity Motion consumer (likely RAW).
-            cf(OperatorKind::Motion, 0.9, ImageQuality::Bad, CropFactor::C75, Resolution::R180, FrameSampling::S1_30, 25_000.0),
+            cf(
+                OperatorKind::Motion,
+                0.9,
+                ImageQuality::Bad,
+                CropFactor::C75,
+                Resolution::R180,
+                FrameSampling::S1_30,
+                25_000.0,
+            ),
             // A fast Diff consumer.
-            cf(OperatorKind::Diff, 0.9, ImageQuality::Best, CropFactor::C75, Resolution::R100, FrameSampling::S2_3, 4_000.0),
+            cf(
+                OperatorKind::Diff,
+                0.9,
+                ImageQuality::Best,
+                CropFactor::C75,
+                Resolution::R100,
+                FrameSampling::S2_3,
+                4_000.0,
+            ),
         ]
     }
 
@@ -448,10 +489,15 @@ mod tests {
         let cfs = sample_cfs();
         let result = Coalescer::new(&p).derive(&cfs).unwrap();
         for (i, cf) in cfs.iter().enumerate() {
-            let sf_idx = result.subscription_of(i).expect("every CF subscribes somewhere");
+            let sf_idx = result
+                .subscription_of(i)
+                .expect("every CF subscribes somewhere");
             let sf = &result.formats[sf_idx];
             // R1: satisfiable fidelity.
-            assert!(sf.format.fidelity.richer_or_equal(&cf.fidelity), "R1 violated for CF {i}");
+            assert!(
+                sf.format.fidelity.richer_or_equal(&cf.fidelity),
+                "R1 violated for CF {i}"
+            );
             // R2: adequate retrieval speed.
             let retrieval = p.retrieval_speed(&sf.format, cf.fidelity.sampling);
             assert!(
@@ -538,12 +584,18 @@ mod tests {
         let a = Fidelity::INGESTION;
         let b = Fidelity::POOREST;
         assert_eq!(knob_distance(&a, &a), 0.0);
-        assert!(knob_distance(&a, &b) > knob_distance(&a, &Fidelity::new(
-            ImageQuality::Best,
-            CropFactor::C100,
-            Resolution::R720,
-            FrameSampling::S2_3,
-        )));
+        assert!(
+            knob_distance(&a, &b)
+                > knob_distance(
+                    &a,
+                    &Fidelity::new(
+                        ImageQuality::Best,
+                        CropFactor::C100,
+                        Resolution::R720,
+                        FrameSampling::S2_3,
+                    )
+                )
+        );
         assert!((knob_distance(&a, &b) - knob_distance(&b, &a)).abs() < 1e-12);
     }
 }

@@ -146,8 +146,9 @@ impl ConfigurationEngine {
                 let cfs: Vec<DerivedCf> = consumers
                     .iter()
                     .map(|&consumer| {
-                        let profile =
-                            self.profiler.profile_consumer(consumer.op, Fidelity::INGESTION);
+                        let profile = self
+                            .profiler
+                            .profile_consumer(consumer.op, Fidelity::INGESTION);
                         DerivedCf {
                             consumer,
                             fidelity: Fidelity::INGESTION,
@@ -200,7 +201,13 @@ impl ConfigurationEngine {
         let format_ids: Vec<FormatId> = formats
             .iter()
             .enumerate()
-            .map(|(i, sf)| if sf.is_golden { FormatId::GOLDEN } else { FormatId(i as u32) })
+            .map(|(i, sf)| {
+                if sf.is_golden {
+                    FormatId::GOLDEN
+                } else {
+                    FormatId(i as u32)
+                }
+            })
             .collect();
 
         let mut storage_formats = BTreeMap::new();
@@ -231,8 +238,9 @@ impl ConfigurationEngine {
                     ))
                 })?;
             let sf = &formats[sf_index];
-            let retrieval_speed =
-                self.profiler.retrieval_speed(&sf.format, cf.fidelity.sampling);
+            let retrieval_speed = self
+                .profiler
+                .retrieval_speed(&sf.format, cf.fidelity.sampling);
             subscriptions.push(Subscription {
                 consumer: cf.consumer,
                 consumption: ConsumptionFormat::new(cf.fidelity),
@@ -258,7 +266,12 @@ impl ConfigurationEngine {
             None => ErosionPlan::no_erosion(self.options.lifespan_days, 0.0),
         };
 
-        Ok(Configuration { storage_formats, retrieval_speeds, subscriptions, erosion })
+        Ok(Configuration {
+            storage_formats,
+            retrieval_speeds,
+            subscriptions,
+            erosion,
+        })
     }
 
     /// Total ingestion cost (cores) of a configuration on the profiling
@@ -319,7 +332,10 @@ mod tests {
     }
 
     fn reduced_options() -> EngineOptions {
-        EngineOptions { fidelity_space: FidelitySpace::reduced(), ..EngineOptions::default() }
+        EngineOptions {
+            fidelity_space: FidelitySpace::reduced(),
+            ..EngineOptions::default()
+        }
     }
 
     #[test]
@@ -340,8 +356,9 @@ mod tests {
     #[test]
     fn one_to_one_keeps_single_format_and_full_accuracy() {
         let engine = ConfigurationEngine::new(profiler(), reduced_options());
-        let config =
-            engine.derive_alternative(&small_consumer_set(), Alternative::OneToOne).unwrap();
+        let config = engine
+            .derive_alternative(&small_consumer_set(), Alternative::OneToOne)
+            .unwrap();
         assert_eq!(config.storage_formats.len(), 1);
         for sub in &config.subscriptions {
             assert_eq!(sub.expected_accuracy, 1.0);
@@ -354,7 +371,9 @@ mod tests {
         let engine = ConfigurationEngine::new(profiler(), reduced_options());
         let consumers = small_consumer_set();
         let vstore = engine.derive(&consumers).unwrap();
-        let one_to_n = engine.derive_alternative(&consumers, Alternative::OneToN).unwrap();
+        let one_to_n = engine
+            .derive_alternative(&consumers, Alternative::OneToN)
+            .unwrap();
         assert_eq!(one_to_n.storage_formats.len(), 1);
         // The fast Motion consumer is much slower under 1→N.
         let motion = Consumer::new(OperatorKind::Motion, 0.9);
@@ -371,7 +390,9 @@ mod tests {
         let engine = ConfigurationEngine::new(profiler(), reduced_options());
         let consumers = small_consumer_set();
         let vstore = engine.derive(&consumers).unwrap();
-        let n_to_n = engine.derive_alternative(&consumers, Alternative::NToN).unwrap();
+        let n_to_n = engine
+            .derive_alternative(&consumers, Alternative::NToN)
+            .unwrap();
         assert!(n_to_n.storage_formats.len() >= vstore.storage_formats.len());
         assert!(
             engine.storage_bytes_per_second(&n_to_n).bytes()

@@ -149,7 +149,11 @@ fn build_lanes(
                 .iter()
                 .map(|&idx| profiler.retrieval_speed(&inputs.formats[idx].format, sampling))
                 .collect();
-            ConsumerLane { consumption_speed: speed, chain, chain_speeds }
+            ConsumerLane {
+                consumption_speed: speed,
+                chain,
+                chain_speeds,
+            }
         })
         .collect()
 }
@@ -186,17 +190,27 @@ pub fn plan_erosion(profiler: &Profiler, inputs: &ErosionInputs<'_>) -> Result<E
     let lanes = build_lanes(profiler, inputs, &parents);
 
     // Pmin: the overall speed when every non-golden format is gone.
-    let all_deleted: Vec<f64> =
-        (0..inputs.formats.len()).map(|i| if i == 0 { 0.0 } else { 1.0 }).collect();
+    let all_deleted: Vec<f64> = (0..inputs.formats.len())
+        .map(|i| if i == 0 { 0.0 } else { 1.0 })
+        .collect();
     let p_min = if lanes.is_empty() {
         1.0
     } else {
-        lanes.iter().map(|l| l.relative_speed(&all_deleted)).fold(1.0, f64::min)
+        lanes
+            .iter()
+            .map(|l| l.relative_speed(&all_deleted))
+            .fold(1.0, f64::min)
     };
 
     // Feasibility: even with maximal erosion, does storage fit?
     let max_eroded: Vec<Vec<f64>> = (0..lifespan)
-        .map(|age| if age == 0 { vec![0.0; inputs.formats.len()] } else { all_deleted.clone() })
+        .map(|age| {
+            if age == 0 {
+                vec![0.0; inputs.formats.len()]
+            } else {
+                all_deleted.clone()
+            }
+        })
         .collect();
     let minimum_possible = total_storage(inputs.formats, &max_eroded, lifespan);
     if minimum_possible > inputs.storage_budget {
@@ -222,8 +236,10 @@ pub fn plan_erosion(profiler: &Profiler, inputs: &ErosionInputs<'_>) -> Result<E
             // Delete, fairly, until the overall speed drops to the target.
             let mut guard = 0;
             loop {
-                let overall: f64 =
-                    lanes.iter().map(|l| l.relative_speed(&deleted)).fold(1.0, f64::min);
+                let overall: f64 = lanes
+                    .iter()
+                    .map(|l| l.relative_speed(&deleted))
+                    .fold(1.0, f64::min);
                 if overall <= target + 1e-9 || guard > 10_000 {
                     break;
                 }
@@ -261,8 +277,10 @@ pub fn plan_erosion(profiler: &Profiler, inputs: &ErosionInputs<'_>) -> Result<E
                 // worst one (max-min fairness) or the target is reached.
                 loop {
                     deleted[chosen] = (deleted[chosen] + 0.05).min(1.0);
-                    let overall: f64 =
-                        lanes.iter().map(|l| l.relative_speed(&deleted)).fold(1.0, f64::min);
+                    let overall: f64 = lanes
+                        .iter()
+                        .map(|l| l.relative_speed(&deleted))
+                        .fold(1.0, f64::min);
                     let another_below = lanes
                         .iter()
                         .enumerate()
@@ -277,8 +295,12 @@ pub fn plan_erosion(profiler: &Profiler, inputs: &ErosionInputs<'_>) -> Result<E
                 }
             }
             by_age.push(deleted.clone());
-            overall_by_age
-                .push(lanes.iter().map(|l| l.relative_speed(&deleted)).fold(1.0, f64::min));
+            overall_by_age.push(
+                lanes
+                    .iter()
+                    .map(|l| l.relative_speed(&deleted))
+                    .fold(1.0, f64::min),
+            );
         }
         (by_age, overall_by_age)
     };
@@ -321,7 +343,12 @@ pub fn plan_erosion(profiler: &Profiler, inputs: &ErosionInputs<'_>) -> Result<E
         })
         .collect();
 
-    Ok(ErosionPlan { decay_factor: k, p_min, lifespan_days: lifespan, steps })
+    Ok(ErosionPlan {
+        decay_factor: k,
+        p_min,
+        lifespan_days: lifespan,
+        steps,
+    })
 }
 
 /// Total storage over the lifespan implied by an erosion plan, for a given
@@ -339,11 +366,11 @@ pub fn storage_under_plan(
             let deleted = if idx == 0 {
                 0.0
             } else {
-                step.map(|s| s.deleted_fraction(format_ids[idx]).value()).unwrap_or(0.0)
+                step.map(|s| s.deleted_fraction(format_ids[idx]).value())
+                    .unwrap_or(0.0)
             };
-            total +=
-                (sf.bytes_per_video_second.bytes() as f64 * seconds_per_day * (1.0 - deleted))
-                    as u64;
+            total += (sf.bytes_per_video_second.bytes() as f64 * seconds_per_day * (1.0 - deleted))
+                as u64;
         }
     }
     ByteSize(total)
@@ -373,19 +400,34 @@ mod tests {
         let cfs = vec![
             DerivedCf {
                 consumer: Consumer::new(OperatorKind::FullNN, 0.95),
-                fidelity: Fidelity::new(ImageQuality::Good, CropFactor::C100, Resolution::R600, FrameSampling::S2_3),
+                fidelity: Fidelity::new(
+                    ImageQuality::Good,
+                    CropFactor::C100,
+                    Resolution::R600,
+                    FrameSampling::S2_3,
+                ),
                 accuracy: 0.95,
                 consumption_speed: Speed(5.0),
             },
             DerivedCf {
                 consumer: Consumer::new(OperatorKind::License, 0.8),
-                fidelity: Fidelity::new(ImageQuality::Good, CropFactor::C100, Resolution::R540, FrameSampling::S1_6),
+                fidelity: Fidelity::new(
+                    ImageQuality::Good,
+                    CropFactor::C100,
+                    Resolution::R540,
+                    FrameSampling::S1_6,
+                ),
                 accuracy: 0.8,
                 consumption_speed: Speed(60.0),
             },
             DerivedCf {
                 consumer: Consumer::new(OperatorKind::Motion, 0.9),
-                fidelity: Fidelity::new(ImageQuality::Bad, CropFactor::C75, Resolution::R180, FrameSampling::S1_30),
+                fidelity: Fidelity::new(
+                    ImageQuality::Bad,
+                    CropFactor::C75,
+                    Resolution::R180,
+                    FrameSampling::S1_30,
+                ),
                 accuracy: 0.9,
                 consumption_speed: Speed(20_000.0),
             },
@@ -395,7 +437,11 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, cf)| {
-                (result.subscription_of(i).unwrap(), cf.fidelity.sampling, cf.consumption_speed)
+                (
+                    result.subscription_of(i).unwrap(),
+                    cf.fidelity.sampling,
+                    cf.consumption_speed,
+                )
             })
             .collect();
         (result.formats, consumers)
@@ -522,11 +568,18 @@ mod tests {
         for (i, &parent) in parents.iter().enumerate().skip(1) {
             assert_ne!(parent, i, "format {i} is its own parent");
             assert!(
-                formats[parent].format.fidelity.richer_or_equal(&formats[i].format.fidelity),
+                formats[parent]
+                    .format
+                    .fidelity
+                    .richer_or_equal(&formats[i].format.fidelity),
                 "parent of {i} is not richer"
             );
             let chain = fallback_chain(&parents, i);
-            assert_eq!(*chain.last().unwrap(), 0, "chain of {i} does not reach golden");
+            assert_eq!(
+                *chain.last().unwrap(),
+                0,
+                "chain of {i} does not reach golden"
+            );
         }
     }
 }

@@ -22,14 +22,22 @@ pub struct BlockPlane {
 impl BlockPlane {
     /// Create a plane filled with a constant value.
     pub fn filled(width: u32, height: u32, value: u8) -> Self {
-        BlockPlane { width, height, samples: vec![value; (width * height) as usize] }
+        BlockPlane {
+            width,
+            height,
+            samples: vec![value; (width * height) as usize],
+        }
     }
 
     /// Create a plane from raw samples (row-major). Returns `None` when the
     /// sample count does not match the dimensions.
     pub fn from_samples(width: u32, height: u32, samples: Vec<u8>) -> Option<Self> {
         if samples.len() == (width as usize) * (height as usize) {
-            Some(BlockPlane { width, height, samples })
+            Some(BlockPlane {
+                width,
+                height,
+                samples,
+            })
         } else {
             None
         }
@@ -37,8 +45,8 @@ impl BlockPlane {
 
     /// The plane dimensions for a full (uncropped) frame at a resolution.
     pub fn dimensions_for(resolution: Resolution) -> (u32, u32) {
-        let w = (resolution.width() + BLOCK_PIXELS - 1) / BLOCK_PIXELS;
-        let h = (resolution.height() + BLOCK_PIXELS - 1) / BLOCK_PIXELS;
+        let w = resolution.width().div_ceil(BLOCK_PIXELS);
+        let h = resolution.height().div_ceil(BLOCK_PIXELS);
         (w.max(1), h.max(1))
     }
 
@@ -152,10 +160,14 @@ impl BlockPlane {
                         n += 1;
                     }
                 }
-                out.push(if n == 0 { 0 } else { (sum / n) as u8 });
+                out.push(sum.checked_div(n).unwrap_or(0) as u8);
             }
         }
-        BlockPlane { width: new_width, height: new_height, samples: out }
+        BlockPlane {
+            width: new_width,
+            height: new_height,
+            samples: out,
+        }
     }
 
     /// Resize to the block dimensions of a target resolution.
@@ -181,7 +193,11 @@ impl BlockPlane {
                 out.push(self.get(x, y));
             }
         }
-        BlockPlane { width: new_w, height: new_h, samples: out }
+        BlockPlane {
+            width: new_w,
+            height: new_h,
+            samples: out,
+        }
     }
 
     /// Apply quantisation noise equivalent to the given signal retention
@@ -203,7 +219,11 @@ impl BlockPlane {
                 q.clamp(0.0, 255.0) as u8
             })
             .collect();
-        BlockPlane { width: self.width, height: self.height, samples }
+        BlockPlane {
+            width: self.width,
+            height: self.height,
+            samples,
+        }
     }
 }
 

@@ -143,7 +143,11 @@ impl PlateText {
 
     /// Number of characters that differ from another plate.
     pub fn char_errors(&self, other: &PlateText) -> usize {
-        self.0.iter().zip(other.0.iter()).filter(|(a, b)| a != b).count()
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .filter(|(a, b)| a != b)
+            .count()
     }
 }
 
@@ -198,7 +202,12 @@ pub struct SceneObject {
 impl SceneObject {
     /// `true` if this object is a vehicle with a readable plate.
     pub fn has_visible_plate(&self) -> bool {
-        matches!(self.class, ObjectClass::Vehicle { plate_visible: true }) && self.plate.is_some()
+        matches!(
+            self.class,
+            ObjectClass::Vehicle {
+                plate_visible: true
+            }
+        ) && self.plate.is_some()
     }
 
     /// The plate's apparent height in pixels at a resolution (the plate is a
@@ -229,7 +238,9 @@ impl SceneFrame {
 
     /// Objects whose bounding-box centre survives the given crop.
     pub fn objects_under_crop(&self, crop: CropFactor) -> impl Iterator<Item = &SceneObject> {
-        self.objects.iter().filter(move |o| o.bbox.visible_under_crop(crop))
+        self.objects
+            .iter()
+            .filter(move |o| o.bbox.visible_under_crop(crop))
     }
 
     /// `true` if any vehicle is present.
@@ -275,7 +286,9 @@ mod tests {
     fn scene_object_plate_helpers() {
         let obj = SceneObject {
             id: 1,
-            class: ObjectClass::Vehicle { plate_visible: true },
+            class: ObjectClass::Vehicle {
+                plate_visible: true,
+            },
             bbox: BoundingBox::new(0.4, 0.4, 0.2, 0.2),
             color: ObjectColor::Blue,
             plate: Some(PlateText::from_hash(7)),
@@ -285,7 +298,11 @@ mod tests {
         assert!(obj.has_visible_plate());
         assert!(obj.plate_pixel_height(Resolution::R720) > 10.0);
         assert!(obj.plate_pixel_height(Resolution::R100) < 3.0);
-        let ped = SceneObject { class: ObjectClass::Pedestrian, plate: None, ..obj.clone() };
+        let ped = SceneObject {
+            class: ObjectClass::Pedestrian,
+            plate: None,
+            ..obj.clone()
+        };
         assert!(!ped.has_visible_plate());
     }
 
@@ -296,7 +313,9 @@ mod tests {
             plane: BlockPlane::filled(160, 90, 100),
             objects: vec![SceneObject {
                 id: 1,
-                class: ObjectClass::Vehicle { plate_visible: false },
+                class: ObjectClass::Vehicle {
+                    plate_visible: false,
+                },
                 bbox: BoundingBox::new(0.05, 0.05, 0.1, 0.1),
                 color: ObjectColor::Red,
                 plate: None,

@@ -30,12 +30,18 @@ pub struct VideoSource {
 impl VideoSource {
     /// The source for one of the paper's six datasets.
     pub fn new(dataset: Dataset) -> Self {
-        VideoSource { name: dataset.name().to_owned(), profile: dataset.profile() }
+        VideoSource {
+            name: dataset.name().to_owned(),
+            profile: dataset.profile(),
+        }
     }
 
     /// A source with a custom profile (used by tests and examples).
     pub fn from_profile(name: impl Into<String>, profile: DatasetProfile) -> Self {
-        VideoSource { name: name.into(), profile }
+        VideoSource {
+            name: name.into(),
+            profile,
+        }
     }
 
     /// The stream name.
@@ -70,7 +76,7 @@ impl VideoSource {
         let offset = frame_index % cycle_len;
 
         let h = DeterministicHasher::new(self.profile.seed)
-            .mix(0x0B9E_C75)
+            .mix(0x00B9_EC75)
             .mix(u64::from(slot))
             .mix(cycle);
 
@@ -101,7 +107,11 @@ impl VideoSource {
             .clamp(0.03, 0.6) as f32;
         let width = height * if is_vehicle { 1.8 } else { 0.5 };
         let color = ObjectColor::ALL[h.mix(8).below(ObjectColor::ALL.len() as u64) as usize];
-        let plate = if is_vehicle { Some(PlateText::from_hash(h.mix(9).value())) } else { None };
+        let plate = if is_vehicle {
+            Some(PlateText::from_hash(h.mix(9).value()))
+        } else {
+            None
+        };
         let salience = h.mix(10).uniform(0.45, 1.0) as f32;
         // Object crosses the frame horizontally over its dwell time; lane
         // position (y) is stable per object.
@@ -130,8 +140,7 @@ impl VideoSource {
     fn background_value(&self, x: u32, y: u32, frame_index: u64) -> u8 {
         // Camera motion shifts the sampling grid; static cameras keep it
         // fixed so consecutive frames are nearly identical.
-        let shift =
-            (frame_index as f64 * self.profile.motion_intensity * 1.8).round() as i64;
+        let shift = (frame_index as f64 * self.profile.motion_intensity * 1.8).round() as i64;
         let sx = i64::from(x) + shift;
         let sy = i64::from(y) + (shift / 3);
         // Smooth vertical gradient (sky → road) plus hashed texture.
@@ -168,8 +177,8 @@ impl VideoSource {
                         // Blend by salience so faint objects leave a fainter
                         // footprint.
                         let bg = plane.get(xx as u32, yy as u32);
-                        let blended = f32::from(bg) * (1.0 - obj.salience)
-                            + f32::from(luma) * obj.salience;
+                        let blended =
+                            f32::from(bg) * (1.0 - obj.salience) + f32::from(luma) * obj.salience;
                         plane.set(xx as u32, yy as u32, blended as u8);
                     }
                 }
@@ -205,7 +214,9 @@ impl VideoSource {
 
     /// Generate a contiguous clip of frames.
     pub fn clip(&self, start_frame: u64, num_frames: u32) -> Vec<SceneFrame> {
-        (start_frame..start_frame + u64::from(num_frames)).map(|i| self.frame(i)).collect()
+        (start_frame..start_frame + u64::from(num_frames))
+            .map(|i| self.frame(i))
+            .collect()
     }
 
     /// Generate all frames of the `segment_index`-th 8-second segment.
@@ -248,7 +259,10 @@ mod tests {
         fn mean_objects(dataset: Dataset) -> f64 {
             let src = VideoSource::new(dataset);
             let frames = 600; // 20 s, sampled every other frame for speed
-            let total: usize = (0..frames).step_by(2).map(|i| src.frame(i).objects.len()).sum();
+            let total: usize = (0..frames)
+                .step_by(2)
+                .map(|i| src.frame(i).objects.len())
+                .sum();
             total as f64 / (frames / 2) as f64
         }
         let miami = mean_objects(Dataset::Miami);

@@ -3,8 +3,8 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use vstore_codec::Transcoder;
-use vstore_datasets::VideoSource;
-use vstore_sim::{ResourceKind, VirtualClock};
+use vstore_datasets::{SceneFrame, VideoSource};
+use vstore_sim::{scoped_map, ResourceKind, VirtualClock};
 use vstore_storage::{SegmentKey, SegmentStore};
 use vstore_types::{
     ByteSize, Configuration, CoreSeconds, FormatId, Result, StorageFormat, VStoreError,
@@ -37,40 +37,86 @@ impl IngestReport {
     /// with real time (the paper's "CPU utilisation" of Figure 11(c): 100 %
     /// = one core).
     pub fn transcode_cores(&self) -> f64 {
-        self.transcode_work.cores_over(self.video.seconds().max(1e-9))
+        self.transcode_work
+            .cores_over(self.video.seconds().max(1e-9))
     }
 
     /// Storage growth rate in GB per day of continuous ingestion
     /// (Figure 11(b)).
     pub fn gb_per_day(&self) -> f64 {
-        let per_second =
-            self.total_modeled_bytes().bytes() as f64 / self.video.seconds().max(1e-9);
+        let per_second = self.total_modeled_bytes().bytes() as f64 / self.video.seconds().max(1e-9);
         per_second * 86_400.0 / 1e9
     }
+}
 
-    fn merge(&mut self, other: &IngestReport) {
-        self.video += other.video;
-        self.segments_written += other.segments_written;
-        self.transcode_work += other.transcode_work;
-        for (id, bytes) in &other.modeled_bytes {
-            *self.modeled_bytes.entry(*id).or_insert(ByteSize::ZERO) += *bytes;
-        }
-        self.actual_bytes += other.actual_bytes;
-    }
+/// One unit of ingest work: transcode one segment into one storage format
+/// and persist it. Scene frames are generated once per segment and shared
+/// across its formats.
+struct IngestTask {
+    segment: u64,
+    id: FormatId,
+    format: StorageFormat,
+    scenes: Arc<Vec<SceneFrame>>,
 }
 
 /// The ingestion pipeline: transcodes incoming segments into every storage
 /// format of the configuration and persists them.
+///
+/// The per-segment transcode work for the K storage formats is fanned
+/// across a scoped worker pool of up to [`workers`](Self::with_workers)
+/// threads, further capped by the ingestion CPU budget when one is set —
+/// Figure 11(c)-style CPU accounting stays truthful because the pipeline
+/// never runs more concurrent transcodes than the budget pays for. Reports
+/// are merged in deterministic `(segment, format)` order, so they are
+/// byte-identical to the sequential (`workers = 1`) path.
 pub struct IngestionPipeline {
     store: Arc<SegmentStore>,
     transcoder: Transcoder,
     clock: VirtualClock,
+    workers: usize,
+    budget_cores: Option<f64>,
 }
 
 impl IngestionPipeline {
-    /// A pipeline writing into the given store.
+    /// A sequential pipeline (one worker) writing into the given store.
     pub fn new(store: Arc<SegmentStore>, transcoder: Transcoder, clock: VirtualClock) -> Self {
-        IngestionPipeline { store, transcoder, clock }
+        IngestionPipeline {
+            store,
+            transcoder,
+            clock,
+            workers: 1,
+            budget_cores: None,
+        }
+    }
+
+    /// Fan transcode work across up to `workers` threads (clamped to ≥ 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Cap parallelism by an ingestion CPU budget in cores (§4.3): the
+    /// pipeline never runs more concurrent transcodes than `cores` rounded
+    /// up. `None` leaves only the worker cap.
+    pub fn with_ingest_budget(mut self, cores: Option<f64>) -> Self {
+        self.budget_cores = cores;
+        self
+    }
+
+    /// The configured worker cap.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The parallelism actually used: the worker cap, further limited by the
+    /// ingestion CPU budget when one is set.
+    pub fn effective_workers(&self) -> usize {
+        let budget_cap = match self.budget_cores {
+            Some(cores) if cores > 0.0 => (cores.ceil() as usize).max(1),
+            Some(_) => 1,
+            None => usize::MAX,
+        };
+        self.workers.min(budget_cap).max(1)
     }
 
     /// The segment store being written to.
@@ -85,7 +131,11 @@ impl IngestionPipeline {
 
     /// The storage formats of a configuration, keyed by id.
     fn formats_of(config: &Configuration) -> Vec<(FormatId, StorageFormat)> {
-        config.storage_formats.iter().map(|(id, sf)| (*id, *sf)).collect()
+        config
+            .storage_formats
+            .iter()
+            .map(|(id, sf)| (*id, *sf))
+            .collect()
     }
 
     /// Ingest one 8-second segment of a stream into every storage format of
@@ -96,36 +146,15 @@ impl IngestionPipeline {
         segment_index: u64,
         config: &Configuration,
     ) -> Result<IngestReport> {
-        let formats = Self::formats_of(config);
-        if formats.is_empty() {
-            return Err(VStoreError::InvalidState(
-                "configuration has no storage formats to ingest into".into(),
-            ));
-        }
-        let scenes = source.segment(segment_index);
-        let motion = source.motion_intensity();
-        let mut report = IngestReport {
-            video: VideoSeconds(scenes.len() as f64 / 30.0),
-            ..IngestReport::default()
-        };
-        for (id, format) in formats {
-            let out = self.transcoder.transcode_segment(&scenes, &format, motion)?;
-            let bytes = out.data.to_bytes();
-            let key = SegmentKey::new(source.name(), id, segment_index);
-            self.store.put(&key, &bytes)?;
-            self.clock
-                .charge_background_seconds(ResourceKind::TranscodeCpu, out.encode_core_seconds);
-            self.clock.charge_bytes(ResourceKind::DiskWrite, ByteSize(bytes.len() as u64));
-            self.clock.charge_bytes(ResourceKind::DiskSpace, out.modeled_bytes);
-            report.segments_written += 1;
-            report.transcode_work += CoreSeconds(out.encode_core_seconds);
-            *report.modeled_bytes.entry(id).or_insert(ByteSize::ZERO) += out.modeled_bytes;
-            report.actual_bytes += ByteSize(bytes.len() as u64);
-        }
-        Ok(report)
+        self.ingest_segments(source, segment_index, 1, config)
     }
 
     /// Ingest a contiguous range of segments.
+    ///
+    /// Every `(segment, storage format)` transcode is one task on the worker
+    /// pool; clock charges and the report are applied on the calling thread
+    /// in `(segment, format)` order, so the result is identical to the
+    /// sequential path regardless of parallelism.
     pub fn ingest_segments(
         &self,
         source: &VideoSource,
@@ -133,12 +162,110 @@ impl IngestionPipeline {
         count: u64,
         config: &Configuration,
     ) -> Result<IngestReport> {
-        let mut total = IngestReport::default();
-        for seg in first_segment..first_segment + count {
-            let report = self.ingest_segment(source, seg, config)?;
-            total.merge(&report);
+        let formats = Self::formats_of(config);
+        if formats.is_empty() {
+            return Err(VStoreError::InvalidState(
+                "configuration has no storage formats to ingest into".into(),
+            ));
         }
-        Ok(total)
+        let motion = source.motion_intensity();
+        let stream = source.name().to_owned();
+        let workers = self.effective_workers();
+
+        // Fan (segment, format) tasks across the pool one window (of one
+        // task per worker) at a time: memory stays bounded by the in-flight
+        // window — scenes are generated per segment and shared across its
+        // formats via `Arc` — and charges, report fields and errors are
+        // applied in `(segment, format)` order after each window. With one
+        // worker the window is a single task, reproducing the sequential
+        // path's charge and error order exactly.
+        let mut report = IngestReport::default();
+        let mut pending: Vec<IngestTask> = Vec::with_capacity(workers);
+        for segment in first_segment..first_segment + count {
+            let scenes = Arc::new(source.segment(segment));
+            report.video += VideoSeconds(scenes.len() as f64 / 30.0);
+            for (id, format) in &formats {
+                pending.push(IngestTask {
+                    segment,
+                    id: *id,
+                    format: *format,
+                    scenes: Arc::clone(&scenes),
+                });
+                if pending.len() >= workers {
+                    self.run_ingest_window(
+                        std::mem::take(&mut pending),
+                        &stream,
+                        motion,
+                        &mut report,
+                    )?;
+                }
+            }
+        }
+        self.run_ingest_window(pending, &stream, motion, &mut report)?;
+        Ok(report)
+    }
+
+    /// Transcode and persist one window of tasks in parallel, then apply
+    /// clock charges and report accounting in task order.
+    fn run_ingest_window(
+        &self,
+        window: Vec<IngestTask>,
+        stream: &str,
+        motion: f64,
+        report: &mut IngestReport,
+    ) -> Result<()> {
+        struct TaskOutput {
+            id: FormatId,
+            encode_core_seconds: f64,
+            modeled_bytes: ByteSize,
+            actual_bytes: ByteSize,
+        }
+        let outputs = scoped_map(
+            window,
+            self.effective_workers(),
+            |_, task| -> Result<TaskOutput> {
+                let out = self
+                    .transcoder
+                    .transcode_segment(&task.scenes, &task.format, motion)?;
+                let bytes = out.data.to_bytes();
+                let key = SegmentKey::new(stream, task.id, task.segment);
+                self.store.put(&key, &bytes)?;
+                Ok(TaskOutput {
+                    id: task.id,
+                    encode_core_seconds: out.encode_core_seconds,
+                    modeled_bytes: out.modeled_bytes,
+                    actual_bytes: ByteSize(bytes.len() as u64),
+                })
+            },
+        );
+        // Charge every task that persisted — including ones ordered after a
+        // failing task, which parallel execution has already run — so the
+        // ledger always matches store contents; the first error (in task
+        // order) is surfaced afterwards.
+        let mut first_error = None;
+        for output in outputs {
+            let out = match output {
+                Ok(out) => out,
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                    continue;
+                }
+            };
+            self.clock
+                .charge_background_seconds(ResourceKind::TranscodeCpu, out.encode_core_seconds);
+            self.clock
+                .charge_bytes(ResourceKind::DiskWrite, out.actual_bytes);
+            self.clock
+                .charge_bytes(ResourceKind::DiskSpace, out.modeled_bytes);
+            report.segments_written += 1;
+            report.transcode_work += CoreSeconds(out.encode_core_seconds);
+            *report.modeled_bytes.entry(out.id).or_insert(ByteSize::ZERO) += out.modeled_bytes;
+            report.actual_bytes += out.actual_bytes;
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Apply one age step of the erosion plan to a stream: delete the planned
@@ -228,11 +355,19 @@ mod tests {
         let report = p.ingest_segment(&source, 0, &config).unwrap();
         assert_eq!(report.segments_written, 2);
         assert!((report.video.seconds() - 8.0).abs() < 1e-9);
-        assert!(report.transcode_cores() > 0.5, "cores {}", report.transcode_cores());
+        assert!(
+            report.transcode_cores() > 0.5,
+            "cores {}",
+            report.transcode_cores()
+        );
         assert!(report.gb_per_day() > 1.0);
         assert_eq!(p.store().len(), 2);
-        assert!(p.store().contains(&SegmentKey::new("jackson", FormatId::GOLDEN, 0)));
-        assert!(p.store().contains(&SegmentKey::new("jackson", FormatId(1), 0)));
+        assert!(p
+            .store()
+            .contains(&SegmentKey::new("jackson", FormatId::GOLDEN, 0)));
+        assert!(p
+            .store()
+            .contains(&SegmentKey::new("jackson", FormatId(1), 0)));
         std::fs::remove_dir_all(p.store().dir()).ok();
     }
 
@@ -274,8 +409,11 @@ mod tests {
         // Plan: at age 3 days, half of SF1 is gone.
         let mut deleted = Map::new();
         deleted.insert(FormatId(1), Fraction::new(0.5));
-        config.erosion.steps[2] =
-            ErosionStep { age_days: 3, deleted, overall_relative_speed: 0.8 };
+        config.erosion.steps[2] = ErosionStep {
+            age_days: 3,
+            deleted,
+            overall_relative_speed: 0.8,
+        };
         let removed = p.apply_erosion("airport", &config, 3).unwrap();
         assert_eq!(removed, 2);
         assert_eq!(p.store().segments_of("airport", FormatId(1)).len(), 2);

@@ -30,29 +30,42 @@ impl OperatorCost {
             // below the fastest possible RAW retrieval (~34 000×), matching
             // both the consumption-speed ceiling of Table 3(a) and the fact
             // that no consumer can outrun the frame-dispatch path.
-            OperatorKind::Diff => OperatorCost { setup_seconds: 3.5e-5, seconds_per_pixel: 1.0e-9 },
-            OperatorKind::SpecializedNN => {
-                OperatorCost { setup_seconds: 4.0e-5, seconds_per_pixel: 0.9e-9 }
-            }
-            OperatorKind::FullNN => {
-                OperatorCost { setup_seconds: 2.0e-3, seconds_per_pixel: 2.9e-8 }
-            }
-            OperatorKind::Motion => {
-                OperatorCost { setup_seconds: 1.4e-3, seconds_per_pixel: 5.0e-8 }
-            }
-            OperatorKind::License => {
-                OperatorCost { setup_seconds: 5.0e-3, seconds_per_pixel: 2.5e-7 }
-            }
-            OperatorKind::Ocr => OperatorCost { setup_seconds: 8.0e-3, seconds_per_pixel: 2.6e-7 },
-            OperatorKind::OpticalFlow => {
-                OperatorCost { setup_seconds: 2.0e-3, seconds_per_pixel: 1.5e-7 }
-            }
-            OperatorKind::Color => {
-                OperatorCost { setup_seconds: 1.4e-3, seconds_per_pixel: 2.0e-8 }
-            }
-            OperatorKind::Contour => {
-                OperatorCost { setup_seconds: 1.5e-3, seconds_per_pixel: 6.0e-8 }
-            }
+            OperatorKind::Diff => OperatorCost {
+                setup_seconds: 3.5e-5,
+                seconds_per_pixel: 1.0e-9,
+            },
+            OperatorKind::SpecializedNN => OperatorCost {
+                setup_seconds: 4.0e-5,
+                seconds_per_pixel: 0.9e-9,
+            },
+            OperatorKind::FullNN => OperatorCost {
+                setup_seconds: 2.0e-3,
+                seconds_per_pixel: 2.9e-8,
+            },
+            OperatorKind::Motion => OperatorCost {
+                setup_seconds: 1.4e-3,
+                seconds_per_pixel: 5.0e-8,
+            },
+            OperatorKind::License => OperatorCost {
+                setup_seconds: 5.0e-3,
+                seconds_per_pixel: 2.5e-7,
+            },
+            OperatorKind::Ocr => OperatorCost {
+                setup_seconds: 8.0e-3,
+                seconds_per_pixel: 2.6e-7,
+            },
+            OperatorKind::OpticalFlow => OperatorCost {
+                setup_seconds: 2.0e-3,
+                seconds_per_pixel: 1.5e-7,
+            },
+            OperatorKind::Color => OperatorCost {
+                setup_seconds: 1.4e-3,
+                seconds_per_pixel: 2.0e-8,
+            },
+            OperatorKind::Contour => OperatorCost {
+                setup_seconds: 1.5e-3,
+                seconds_per_pixel: 6.0e-8,
+            },
         }
     }
 }
@@ -68,7 +81,9 @@ impl ConsumptionCostModel {
     /// Model for the paper's testbed (GPU for NoScope operators, up to 40
     /// cores for ALPR operators).
     pub fn paper_testbed() -> Self {
-        ConsumptionCostModel { machine: MachineSpec::paper_testbed() }
+        ConsumptionCostModel {
+            machine: MachineSpec::paper_testbed(),
+        }
     }
 
     /// Model for an arbitrary machine.
@@ -147,9 +162,18 @@ mod tests {
         // Observation O2.
         let m = ConsumptionCostModel::paper_testbed();
         for kind in OperatorKind::ALL {
-            let best = fid(ImageQuality::Best, CropFactor::C100, Resolution::R540, FrameSampling::Full);
-            let worst =
-                fid(ImageQuality::Worst, CropFactor::C100, Resolution::R540, FrameSampling::Full);
+            let best = fid(
+                ImageQuality::Best,
+                CropFactor::C100,
+                Resolution::R540,
+                FrameSampling::Full,
+            );
+            let worst = fid(
+                ImageQuality::Worst,
+                CropFactor::C100,
+                Resolution::R540,
+                FrameSampling::Full,
+            );
             assert_eq!(
                 m.consumption_speed(kind, &best).factor(),
                 m.consumption_speed(kind, &worst).factor(),
@@ -163,18 +187,41 @@ mod tests {
         let m = ConsumptionCostModel::paper_testbed();
         for kind in OperatorKind::ALL {
             // More pixels (resolution) never speeds things up.
-            let small = fid(ImageQuality::Good, CropFactor::C100, Resolution::R200, FrameSampling::Full);
-            let big = fid(ImageQuality::Good, CropFactor::C100, Resolution::R720, FrameSampling::Full);
+            let small = fid(
+                ImageQuality::Good,
+                CropFactor::C100,
+                Resolution::R200,
+                FrameSampling::Full,
+            );
+            let big = fid(
+                ImageQuality::Good,
+                CropFactor::C100,
+                Resolution::R720,
+                FrameSampling::Full,
+            );
             assert!(
                 m.consumption_speed(kind, &small).factor()
                     > m.consumption_speed(kind, &big).factor(),
                 "{kind:?} not slower at higher resolution"
             );
             // Sparser sampling is faster.
-            let sparse = fid(ImageQuality::Good, CropFactor::C100, Resolution::R720, FrameSampling::S1_30);
-            assert!(m.consumption_speed(kind, &sparse).factor() > m.consumption_speed(kind, &big).factor());
+            let sparse = fid(
+                ImageQuality::Good,
+                CropFactor::C100,
+                Resolution::R720,
+                FrameSampling::S1_30,
+            );
+            assert!(
+                m.consumption_speed(kind, &sparse).factor()
+                    > m.consumption_speed(kind, &big).factor()
+            );
             // Smaller crop is faster (or equal).
-            let cropped = fid(ImageQuality::Good, CropFactor::C50, Resolution::R720, FrameSampling::Full);
+            let cropped = fid(
+                ImageQuality::Good,
+                CropFactor::C50,
+                Resolution::R720,
+                FrameSampling::Full,
+            );
             assert!(
                 m.consumption_speed(kind, &cropped).factor()
                     >= m.consumption_speed(kind, &big).factor()
@@ -186,11 +233,21 @@ mod tests {
     fn nn_speed_in_paper_ballpark() {
         let m = ConsumptionCostModel::paper_testbed();
         // Table 3(a): NN at good-600p-2/3-100% runs at ~4×.
-        let f = fid(ImageQuality::Good, CropFactor::C100, Resolution::R600, FrameSampling::S2_3);
+        let f = fid(
+            ImageQuality::Good,
+            CropFactor::C100,
+            Resolution::R600,
+            FrameSampling::S2_3,
+        );
         let s = m.consumption_speed(OperatorKind::FullNN, &f).factor();
         assert!(s > 1.0 && s < 20.0, "NN speed {s}");
         // And over 100× on 400p at 1/30.
-        let f = fid(ImageQuality::Good, CropFactor::C100, Resolution::R400, FrameSampling::S1_30);
+        let f = fid(
+            ImageQuality::Good,
+            CropFactor::C100,
+            Resolution::R400,
+            FrameSampling::S1_30,
+        );
         let s = m.consumption_speed(OperatorKind::FullNN, &f).factor();
         assert!(s > 60.0, "sparse NN speed {s}");
     }
@@ -198,26 +255,55 @@ mod tests {
     #[test]
     fn cheap_operators_exceed_thousands_of_x() {
         let m = ConsumptionCostModel::paper_testbed();
-        let f = fid(ImageQuality::Bad, CropFactor::C75, Resolution::R180, FrameSampling::S1_30);
+        let f = fid(
+            ImageQuality::Bad,
+            CropFactor::C75,
+            Resolution::R180,
+            FrameSampling::S1_30,
+        );
         assert!(m.consumption_speed(OperatorKind::Motion, &f).factor() > 5_000.0);
-        let f = fid(ImageQuality::Best, CropFactor::C75, Resolution::R100, FrameSampling::S2_3);
+        let f = fid(
+            ImageQuality::Best,
+            CropFactor::C75,
+            Resolution::R100,
+            FrameSampling::S2_3,
+        );
         assert!(m.consumption_speed(OperatorKind::Diff, &f).factor() > 1_000.0);
-        let f = fid(ImageQuality::Best, CropFactor::C75, Resolution::R60, FrameSampling::S1_30);
+        let f = fid(
+            ImageQuality::Best,
+            CropFactor::C75,
+            Resolution::R60,
+            FrameSampling::S1_30,
+        );
         assert!(m.consumption_speed(OperatorKind::Diff, &f).factor() > 20_000.0);
     }
 
     #[test]
     fn license_much_slower_than_motion() {
         let m = ConsumptionCostModel::paper_testbed();
-        let f = fid(ImageQuality::Best, CropFactor::C100, Resolution::R540, FrameSampling::Full);
+        let f = fid(
+            ImageQuality::Best,
+            CropFactor::C100,
+            Resolution::R540,
+            FrameSampling::Full,
+        );
         let license = m.consumption_speed(OperatorKind::License, &f).factor();
         let motion = m.consumption_speed(OperatorKind::Motion, &f).factor();
         assert!(motion / license > 3.0, "motion {motion} license {license}");
         // The cascade's execution costs span orders of magnitude (§2.1):
         // compare each operator at its typical operating fidelity.
-        let diff_fid =
-            fid(ImageQuality::Best, CropFactor::C75, Resolution::R100, FrameSampling::S2_3);
-        let nn_fid = fid(ImageQuality::Good, CropFactor::C100, Resolution::R600, FrameSampling::S2_3);
+        let diff_fid = fid(
+            ImageQuality::Best,
+            CropFactor::C75,
+            Resolution::R100,
+            FrameSampling::S2_3,
+        );
+        let nn_fid = fid(
+            ImageQuality::Good,
+            CropFactor::C100,
+            Resolution::R600,
+            FrameSampling::S2_3,
+        );
         let diff = m.consumption_speed(OperatorKind::Diff, &diff_fid).factor();
         let nn = m.consumption_speed(OperatorKind::FullNN, &nn_fid).factor();
         assert!(diff / nn > 200.0, "diff {diff} nn {nn}");
@@ -226,7 +312,12 @@ mod tests {
     #[test]
     fn compute_seconds_scale_with_duration() {
         let m = ConsumptionCostModel::paper_testbed();
-        let f = fid(ImageQuality::Good, CropFactor::C100, Resolution::R360, FrameSampling::Full);
+        let f = fid(
+            ImageQuality::Good,
+            CropFactor::C100,
+            Resolution::R360,
+            FrameSampling::Full,
+        );
         let one = m.compute_seconds(OperatorKind::Color, &f, 1.0);
         let ten = m.compute_seconds(OperatorKind::Color, &f, 10.0);
         assert!((ten - 10.0 * one).abs() < 1e-12);
@@ -236,10 +327,16 @@ mod tests {
     fn weaker_machine_is_slower() {
         let small = ConsumptionCostModel::new(MachineSpec::small());
         let big = ConsumptionCostModel::paper_testbed();
-        let f = fid(ImageQuality::Good, CropFactor::C100, Resolution::R360, FrameSampling::Full);
+        let f = fid(
+            ImageQuality::Good,
+            CropFactor::C100,
+            Resolution::R360,
+            FrameSampling::Full,
+        );
         for kind in [OperatorKind::FullNN, OperatorKind::License] {
             assert!(
-                small.consumption_speed(kind, &f).factor() < big.consumption_speed(kind, &f).factor()
+                small.consumption_speed(kind, &f).factor()
+                    < big.consumption_speed(kind, &f).factor()
             );
         }
     }

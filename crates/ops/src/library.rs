@@ -21,7 +21,9 @@ pub struct OperatorLibrary {
 impl OperatorLibrary {
     /// Library running on the paper's testbed.
     pub fn paper_testbed() -> Self {
-        OperatorLibrary { cost_model: ConsumptionCostModel::paper_testbed() }
+        OperatorLibrary {
+            cost_model: ConsumptionCostModel::paper_testbed(),
+        }
     }
 
     /// Library with a custom cost model.
@@ -81,7 +83,8 @@ impl OperatorLibrary {
         fidelity: &Fidelity,
         video_seconds: f64,
     ) -> f64 {
-        self.cost_model.compute_seconds(kind, fidelity, video_seconds)
+        self.cost_model
+            .compute_seconds(kind, fidelity, video_seconds)
     }
 }
 
@@ -114,7 +117,11 @@ mod tests {
     fn accuracy_is_one_at_ingestion_fidelity() {
         let lib = OperatorLibrary::paper_testbed();
         let reference = clip(Dataset::Jackson, Fidelity::INGESTION, 150);
-        for kind in [OperatorKind::FullNN, OperatorKind::Motion, OperatorKind::License] {
+        for kind in [
+            OperatorKind::FullNN,
+            OperatorKind::Motion,
+            OperatorKind::License,
+        ] {
             let report = lib.evaluate_accuracy(kind, &reference, &reference);
             assert_eq!(report.f1, 1.0, "{kind:?} should be perfect against itself");
         }
@@ -136,11 +143,17 @@ mod tests {
             Resolution::R100,
             FrameSampling::S1_30,
         );
-        for kind in [OperatorKind::License, OperatorKind::Ocr, OperatorKind::SpecializedNN] {
-            let f_mid =
-                lib.evaluate_accuracy(kind, &reference, &clip(Dataset::Dashcam, mid, 300)).f1;
-            let f_low =
-                lib.evaluate_accuracy(kind, &reference, &clip(Dataset::Dashcam, low, 300)).f1;
+        for kind in [
+            OperatorKind::License,
+            OperatorKind::Ocr,
+            OperatorKind::SpecializedNN,
+        ] {
+            let f_mid = lib
+                .evaluate_accuracy(kind, &reference, &clip(Dataset::Dashcam, mid, 300))
+                .f1;
+            let f_low = lib
+                .evaluate_accuracy(kind, &reference, &clip(Dataset::Dashcam, low, 300))
+                .f1;
             assert!(
                 f_mid >= f_low,
                 "{kind:?}: mid fidelity {f_mid} should be at least low fidelity {f_low}"
@@ -154,10 +167,25 @@ mod tests {
         let lib = OperatorLibrary::paper_testbed();
         let reference = clip(Dataset::Jackson, Fidelity::INGESTION, 300);
         let mut prev = -1.0;
-        for res in [Resolution::R100, Resolution::R200, Resolution::R400, Resolution::R600, Resolution::R720] {
-            let fid = Fidelity::new(ImageQuality::Good, CropFactor::C100, res, FrameSampling::Full);
+        for res in [
+            Resolution::R100,
+            Resolution::R200,
+            Resolution::R400,
+            Resolution::R600,
+            Resolution::R720,
+        ] {
+            let fid = Fidelity::new(
+                ImageQuality::Good,
+                CropFactor::C100,
+                res,
+                FrameSampling::Full,
+            );
             let f1 = lib
-                .evaluate_accuracy(OperatorKind::FullNN, &reference, &clip(Dataset::Jackson, fid, 300))
+                .evaluate_accuracy(
+                    OperatorKind::FullNN,
+                    &reference,
+                    &clip(Dataset::Jackson, fid, 300),
+                )
                 .f1;
             assert!(
                 f1 >= prev - 0.02,
@@ -176,8 +204,13 @@ mod tests {
             Resolution::R540,
             FrameSampling::S1_6,
         );
-        let direct = lib.cost_model().consumption_speed(OperatorKind::License, &fid);
-        assert_eq!(lib.consumption_speed(OperatorKind::License, &fid).factor(), direct.factor());
+        let direct = lib
+            .cost_model()
+            .consumption_speed(OperatorKind::License, &fid);
+        assert_eq!(
+            lib.consumption_speed(OperatorKind::License, &fid).factor(),
+            direct.factor()
+        );
         assert!(lib.compute_seconds(OperatorKind::License, &fid, 8.0) > 0.0);
     }
 }

@@ -146,7 +146,9 @@ pub fn detection_probability(
         apparent_height(object.bbox.h, fidelity)
     };
     let size_factor = sigmoid((h_px - params.h50) / (params.h50 / 3.0));
-    let quality_factor = signal_retention.clamp(0.0, 1.0).powf(params.quality_exponent);
+    let quality_factor = signal_retention
+        .clamp(0.0, 1.0)
+        .powf(params.quality_exponent);
     let salience_weight = 0.55 + 0.45 * f64::from(object.salience);
     (salience_weight * size_factor * quality_factor).clamp(0.0, 1.0)
 }
@@ -154,7 +156,7 @@ pub fn detection_probability(
 /// The deterministic draw compared against the detection probability. One
 /// draw per `(operator, object, frame)`, identical across fidelities.
 pub fn detection_draw(kind: OperatorKind, object_id: u64, source_index: u64) -> f64 {
-    DeterministicHasher::new(0xD57E_C7)
+    DeterministicHasher::new(0x00D5_7EC7)
         .mix(kind as u64)
         .mix(object_id)
         .mix(source_index)
@@ -189,7 +191,7 @@ pub fn ocr_char_probability(plate_px: f64, signal_retention: f64) -> f64 {
 
 /// Deterministic draw for one OCR character.
 pub fn ocr_char_draw(object_id: u64, source_index: u64, char_index: usize) -> f64 {
-    DeterministicHasher::new(0x0C12_AA)
+    DeterministicHasher::new(0x000C_12AA)
         .mix(object_id)
         .mix(source_index)
         .mix(char_index as u64)
@@ -205,7 +207,9 @@ mod tests {
     fn car(height: f32, salience: f32) -> SceneObject {
         SceneObject {
             id: 42,
-            class: ObjectClass::Vehicle { plate_visible: true },
+            class: ObjectClass::Vehicle {
+                plate_visible: true,
+            },
             bbox: BoundingBox::new(0.4, 0.4, height * 1.8, height),
             color: ObjectColor::Blue,
             plate: Some(PlateText::from_hash(7)),
@@ -277,7 +281,10 @@ mod tests {
                 &poor,
                 poor.quality.signal_retention(),
             );
-        assert!(drop_license > drop_nn, "license drop {drop_license} vs nn drop {drop_nn}");
+        assert!(
+            drop_license > drop_nn,
+            "license drop {drop_license} vs nn drop {drop_nn}"
+        );
     }
 
     #[test]
@@ -285,16 +292,24 @@ mod tests {
         let mut obj = car(0.2, 0.9);
         obj.speed = 0.0;
         let f = fid(ImageQuality::Best, Resolution::R720);
-        assert_eq!(detection_probability(OperatorKind::Motion, &obj, &f, 1.0), 0.0);
+        assert_eq!(
+            detection_probability(OperatorKind::Motion, &obj, &f, 1.0),
+            0.0
+        );
         assert!(detection_probability(OperatorKind::FullNN, &obj, &f, 1.0) > 0.0);
     }
 
     #[test]
     fn plateless_vehicles_invisible_to_license() {
         let mut obj = car(0.2, 0.9);
-        obj.class = ObjectClass::Vehicle { plate_visible: false };
+        obj.class = ObjectClass::Vehicle {
+            plate_visible: false,
+        };
         let f = fid(ImageQuality::Best, Resolution::R720);
-        assert_eq!(detection_probability(OperatorKind::License, &obj, &f, 1.0), 0.0);
+        assert_eq!(
+            detection_probability(OperatorKind::License, &obj, &f, 1.0),
+            0.0
+        );
         assert_eq!(detection_probability(OperatorKind::Ocr, &obj, &f, 1.0), 0.0);
     }
 
@@ -320,7 +335,10 @@ mod tests {
                 t,
             );
             if at_poor {
-                assert!(at_rich, "detected at poor but not rich fidelity (frame {t})");
+                assert!(
+                    at_rich,
+                    "detected at poor but not rich fidelity (frame {t})"
+                );
             }
         }
     }

@@ -103,7 +103,11 @@ impl OperatorOutput {
 
     /// Source indices of positive frames.
     pub fn positive_indices(&self) -> Vec<u64> {
-        self.frames.iter().filter(|f| f.positive).map(|f| f.source_index).collect()
+        self.frames
+            .iter()
+            .filter(|f| f.positive)
+            .map(|f| f.source_index)
+            .collect()
     }
 }
 
@@ -128,10 +132,26 @@ mod tests {
     fn output_selectivity() {
         let out = OperatorOutput {
             frames: vec![
-                FrameResult { source_index: 0, positive: true, detections: vec![] },
-                FrameResult { source_index: 1, positive: false, detections: vec![] },
-                FrameResult { source_index: 2, positive: true, detections: vec![] },
-                FrameResult { source_index: 3, positive: false, detections: vec![] },
+                FrameResult {
+                    source_index: 0,
+                    positive: true,
+                    detections: vec![],
+                },
+                FrameResult {
+                    source_index: 1,
+                    positive: false,
+                    detections: vec![],
+                },
+                FrameResult {
+                    source_index: 2,
+                    positive: true,
+                    detections: vec![],
+                },
+                FrameResult {
+                    source_index: 3,
+                    positive: false,
+                    detections: vec![],
+                },
             ],
         };
         assert_eq!(out.positives(), 2);
@@ -144,7 +164,10 @@ mod tests {
     fn detection_object_ids() {
         assert_eq!(Detection::Object { object_id: 7 }.object_id(), Some(7));
         assert_eq!(Detection::Contour { energy: 1.0 }.object_id(), None);
-        let d = Detection::ColorMatch { object_id: 3, color: ObjectColor::Red };
+        let d = Detection::ColorMatch {
+            object_id: 3,
+            color: ObjectColor::Red,
+        };
         assert_eq!(d.object_id(), Some(3));
     }
 }

@@ -78,7 +78,9 @@ impl Operator for ContourOperator {
                 FrameResult {
                     source_index: frame.source_index,
                     positive: energy > self.threshold,
-                    detections: vec![Detection::Contour { energy: energy as f32 }],
+                    detections: vec![Detection::Contour {
+                        energy: energy as f32,
+                    }],
                 }
             })
             .collect();
@@ -104,7 +106,13 @@ impl DetectionRun {
             .objects
             .iter()
             .filter(|o| {
-                detects(self.kind, o, &frame.fidelity, frame.signal_retention, frame.source_index)
+                detects(
+                    self.kind,
+                    o,
+                    &frame.fidelity,
+                    frame.signal_retention,
+                    frame.source_index,
+                )
             })
             .map(|o| o.id)
             .collect()
@@ -130,7 +138,10 @@ impl Operator for SpecializedNNOperator {
                 FrameResult {
                     source_index: frame.source_index,
                     positive: !ids.is_empty(),
-                    detections: ids.into_iter().map(|object_id| Detection::Object { object_id }).collect(),
+                    detections: ids
+                        .into_iter()
+                        .map(|object_id| Detection::Object { object_id })
+                        .collect(),
                 }
             })
             .collect();
@@ -156,7 +167,10 @@ impl Operator for FullNNOperator {
                 FrameResult {
                     source_index: frame.source_index,
                     positive: !ids.is_empty(),
-                    detections: ids.into_iter().map(|object_id| Detection::Object { object_id }).collect(),
+                    detections: ids
+                        .into_iter()
+                        .map(|object_id| Detection::Object { object_id })
+                        .collect(),
                 }
             })
             .collect();
@@ -266,9 +280,12 @@ impl Operator for OcrOperator {
                         if ocr_char_draw(object.id, frame.source_index, i) >= p {
                             // Substitute a deterministic wrong character.
                             let alphabet = PlateText::ALPHABET;
-                            let substitute = alphabet
-                                [(usize::from(*ch) + 1 + i) % alphabet.len()];
-                            *ch = if substitute == *ch { alphabet[0] } else { substitute };
+                            let substitute = alphabet[(usize::from(*ch) + 1 + i) % alphabet.len()];
+                            *ch = if substitute == *ch {
+                                alphabet[0]
+                            } else {
+                                substitute
+                            };
                             all_correct = false;
                         }
                     }
@@ -295,7 +312,13 @@ impl DetectionRun {
         frame: &VideoFrame,
         object: &vstore_datasets::SceneObject,
     ) -> bool {
-        detects(self.kind, object, &frame.fidelity, frame.signal_retention, frame.source_index)
+        detects(
+            self.kind,
+            object,
+            &frame.fidelity,
+            frame.signal_retention,
+            frame.source_index,
+        )
     }
 }
 
@@ -315,7 +338,9 @@ impl Operator for OpticalFlowOperator {
         let mut out = Vec::with_capacity(frames.len());
         for frame in frames {
             // The real flow magnitude estimate: how much the plane moved.
-            let frame_delta = prev.map(|p| frame.plane.mean_abs_diff(&p.plane)).unwrap_or(0.0);
+            let frame_delta = prev
+                .map(|p| frame.plane.mean_abs_diff(&p.plane))
+                .unwrap_or(0.0);
             let ids = run.detections_for(frame);
             out.push(FrameResult {
                 source_index: frame.source_index,
@@ -343,7 +368,9 @@ pub struct ColorOperator {
 
 impl Default for ColorOperator {
     fn default() -> Self {
-        ColorOperator { target: ObjectColor::Blue }
+        ColorOperator {
+            target: ObjectColor::Blue,
+        }
     }
 }
 
@@ -369,7 +396,10 @@ impl Operator for ColorOperator {
                             frame.source_index,
                         )
                     })
-                    .map(|o| Detection::ColorMatch { object_id: o.id, color: o.color })
+                    .map(|o| Detection::ColorMatch {
+                        object_id: o.id,
+                        color: o.color,
+                    })
                     .collect();
                 FrameResult {
                     source_index: frame.source_index,
@@ -457,11 +487,17 @@ mod tests {
         let license_rich = LicenseOperator.run(&rich_frames).positives();
         let license_poor = LicenseOperator.run(&poor_frames).positives();
         assert!(license_rich > 0);
-        assert!(license_poor < license_rich, "rich {license_rich} poor {license_poor}");
+        assert!(
+            license_poor < license_rich,
+            "rich {license_rich} poor {license_poor}"
+        );
         let ocr_rich = OcrOperator.run(&rich_frames).positives();
         let ocr_poor = OcrOperator.run(&poor_frames).positives();
         assert!(ocr_poor <= ocr_rich);
-        assert!(ocr_rich <= license_rich, "OCR should not out-detect License");
+        assert!(
+            ocr_rich <= license_rich,
+            "OCR should not out-detect License"
+        );
     }
 
     #[test]
@@ -493,12 +529,17 @@ mod tests {
             }
         }
         assert!(read_any, "OCR never attempted a read");
-        assert!(error_seen, "poor quality should introduce at least one character error");
+        assert!(
+            error_seen,
+            "poor quality should introduce at least one character error"
+        );
     }
 
     #[test]
     fn color_operator_only_reports_target_color() {
-        let op = ColorOperator { target: ObjectColor::Red };
+        let op = ColorOperator {
+            target: ObjectColor::Red,
+        };
         let frames = ingestion_clip(Dataset::Miami, 600);
         let out = op.run(&frames);
         for (f, frame) in out.frames.iter().zip(frames.iter()) {

@@ -64,14 +64,29 @@ pub fn f1_score(reference: &[bool], predicted: &[bool]) -> ScoreReport {
             (false, false) => {}
         }
     }
-    let precision = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
-    let recall = if tp + fn_ == 0 { 1.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let precision = if tp + fp == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fn_ == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {
         2.0 * precision * recall / (precision + recall)
     };
-    ScoreReport { tp, fp, fn_, precision, recall, f1 }
+    ScoreReport {
+        tp,
+        fp,
+        fn_,
+        precision,
+        recall,
+        f1,
+    }
 }
 
 /// Score a test output against a reference output: the reference's source

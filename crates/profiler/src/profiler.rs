@@ -8,9 +8,7 @@ use vstore_codec::VideoFrame;
 use vstore_datasets::{Dataset, VideoSource};
 use vstore_ops::OperatorLibrary;
 use vstore_sim::CodingCostModel;
-use vstore_types::{
-    ByteSize, Fidelity, FrameSampling, OperatorKind, Speed, StorageFormat,
-};
+use vstore_types::{ByteSize, Fidelity, FrameSampling, OperatorKind, Speed, StorageFormat};
 
 /// The profile of one `(operator, fidelity)` pair.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,10 +84,18 @@ impl ProfilerConfig {
     /// 10-second clips.
     pub fn paper_evaluation() -> Self {
         let mut operator_datasets = HashMap::new();
-        for op in [OperatorKind::Diff, OperatorKind::SpecializedNN, OperatorKind::FullNN] {
+        for op in [
+            OperatorKind::Diff,
+            OperatorKind::SpecializedNN,
+            OperatorKind::FullNN,
+        ] {
             operator_datasets.insert(op, Dataset::Jackson);
         }
-        for op in [OperatorKind::Motion, OperatorKind::License, OperatorKind::Ocr] {
+        for op in [
+            OperatorKind::Motion,
+            OperatorKind::License,
+            OperatorKind::Ocr,
+        ] {
             operator_datasets.insert(op, Dataset::Dashcam);
         }
         ProfilerConfig {
@@ -110,7 +116,10 @@ impl ProfilerConfig {
 
     /// The dataset an operator is profiled on.
     pub fn dataset_for(&self, op: OperatorKind) -> Dataset {
-        self.operator_datasets.get(&op).copied().unwrap_or(self.default_dataset)
+        self.operator_datasets
+            .get(&op)
+            .copied()
+            .unwrap_or(self.default_dataset)
     }
 }
 
@@ -142,7 +151,12 @@ impl Profiler {
 
     /// A profiler with explicit components.
     pub fn new(library: OperatorLibrary, coding: CodingCostModel, config: ProfilerConfig) -> Self {
-        Profiler { library, coding, config, caches: Mutex::new(ProfilerCaches::default()) }
+        Profiler {
+            library,
+            coding,
+            config,
+            caches: Mutex::new(ProfilerCaches::default()),
+        }
     }
 
     /// The operator library used for profiling runs.
@@ -190,7 +204,10 @@ impl Profiler {
         let source = VideoSource::new(dataset);
         let scenes = source.clip(self.config.clip_start, self.config.clip_frames);
         let frames = Arc::new(materialize_clip(&scenes, Fidelity::INGESTION));
-        self.caches.lock().reference_clips.insert(dataset, Arc::clone(&frames));
+        self.caches
+            .lock()
+            .reference_clips
+            .insert(dataset, Arc::clone(&frames));
         frames
     }
 
@@ -210,9 +227,15 @@ impl Profiler {
         let source = VideoSource::new(dataset);
         let scenes = source.clip(self.config.clip_start, self.config.clip_frames);
         let test_frames = materialize_clip(&scenes, fidelity);
-        let accuracy = self.library.evaluate_accuracy(op, &reference, &test_frames).f1;
+        let accuracy = self
+            .library
+            .evaluate_accuracy(op, &reference, &test_frames)
+            .f1;
         let consumption_speed = self.library.consumption_speed(op, &fidelity);
-        let profile = ConsumerProfile { accuracy, consumption_speed };
+        let profile = ConsumerProfile {
+            accuracy,
+            consumption_speed,
+        };
 
         let clip_seconds = f64::from(self.config.clip_frames) / 30.0;
         let run_seconds = clip_seconds / consumption_speed.factor().max(1e-6)
@@ -244,8 +267,7 @@ impl Profiler {
         let clip_seconds = f64::from(self.config.clip_frames) / 30.0;
         // A coding profile transcodes and decodes the sample clip once.
         let encode_seconds = profile.encode_cores * clip_seconds / 8.0; // 8 encoder threads
-        let decode_seconds =
-            clip_seconds / profile.sequential_retrieval_speed.factor().max(1e-6);
+        let decode_seconds = clip_seconds / profile.sequential_retrieval_speed.factor().max(1e-6);
         let mut caches = self.caches.lock();
         caches.storage.insert(format, profile);
         caches.stats.storage_runs += 1;
@@ -262,7 +284,8 @@ impl Profiler {
         format: &StorageFormat,
         consumer_sampling: FrameSampling,
     ) -> Speed {
-        self.coding.retrieval_speed(format, self.coding_motion(), consumer_sampling)
+        self.coding
+            .retrieval_speed(format, self.coding_motion(), consumer_sampling)
     }
 
     /// The number of fidelity options in the full space — what exhaustive
@@ -323,7 +346,12 @@ mod tests {
         let rich = p.profile_consumer(OperatorKind::License, Fidelity::INGESTION);
         let poor = p.profile_consumer(
             OperatorKind::License,
-            Fidelity::new(ImageQuality::Good, CropFactor::C100, Resolution::R200, FrameSampling::S1_30),
+            Fidelity::new(
+                ImageQuality::Good,
+                CropFactor::C100,
+                Resolution::R200,
+                FrameSampling::S1_30,
+            ),
         );
         assert!(poor.consumption_speed.factor() > rich.consumption_speed.factor());
         assert!(poor.accuracy <= rich.accuracy + 1e-9);
@@ -334,7 +362,12 @@ mod tests {
         let p = profiler();
         let golden = StorageFormat::new(Fidelity::INGESTION, CodingOption::SMALLEST);
         let small = StorageFormat::new(
-            Fidelity::new(ImageQuality::Bad, CropFactor::C100, Resolution::R200, FrameSampling::S1_6),
+            Fidelity::new(
+                ImageQuality::Bad,
+                CropFactor::C100,
+                Resolution::R200,
+                FrameSampling::S1_6,
+            ),
             CodingOption::SMALLEST,
         );
         let g = p.profile_storage(golden);
@@ -352,7 +385,12 @@ mod tests {
     fn retrieval_speed_improves_with_sparse_consumers() {
         let p = profiler();
         let format = StorageFormat::new(
-            Fidelity::new(ImageQuality::Best, CropFactor::C100, Resolution::R540, FrameSampling::Full),
+            Fidelity::new(
+                ImageQuality::Best,
+                CropFactor::C100,
+                Resolution::R540,
+                FrameSampling::Full,
+            ),
             CodingOption::Encoded {
                 keyframe_interval: vstore_types::KeyframeInterval::K10,
                 speed: vstore_types::SpeedStep::Fast,

@@ -6,14 +6,20 @@ use vstore_types::{AccuracyLevel, Consumer, OperatorKind};
 /// The operator cascade of query A (car detection): Diff filters out similar
 /// frames, the specialised NN rapidly detects part of the cars, the full NN
 /// analyses the remaining frames.
-pub const STAGE_A: [OperatorKind; 3] =
-    [OperatorKind::Diff, OperatorKind::SpecializedNN, OperatorKind::FullNN];
+pub const STAGE_A: [OperatorKind; 3] = [
+    OperatorKind::Diff,
+    OperatorKind::SpecializedNN,
+    OperatorKind::FullNN,
+];
 
 /// The operator cascade of query B (licence-plate recognition): Motion
 /// filters frames with little motion, License spots plate regions, OCR reads
 /// the characters.
-pub const STAGE_B: [OperatorKind; 3] =
-    [OperatorKind::Motion, OperatorKind::License, OperatorKind::Ocr];
+pub const STAGE_B: [OperatorKind; 3] = [
+    OperatorKind::Motion,
+    OperatorKind::License,
+    OperatorKind::Ocr,
+];
 
 /// A query: an operator cascade run at one target accuracy.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -47,13 +53,23 @@ impl QuerySpec {
 
     /// A custom cascade.
     pub fn custom(name: impl Into<String>, cascade: Vec<OperatorKind>, accuracy: f64) -> Self {
-        QuerySpec { name: name.into(), cascade, accuracy: AccuracyLevel::new(accuracy) }
+        QuerySpec {
+            name: name.into(),
+            cascade,
+            accuracy: AccuracyLevel::new(accuracy),
+        }
     }
 
     /// The consumers this query needs configured: one per cascade stage at
     /// the query's accuracy.
     pub fn consumers(&self) -> Vec<Consumer> {
-        self.cascade.iter().map(|&op| Consumer { op, accuracy: self.accuracy }).collect()
+        self.cascade
+            .iter()
+            .map(|&op| Consumer {
+                op,
+                accuracy: self.accuracy,
+            })
+            .collect()
     }
 }
 
@@ -70,7 +86,10 @@ mod tests {
         assert_eq!(a.cascade[0], OperatorKind::Diff);
         assert_eq!(b.cascade[2], OperatorKind::Ocr);
         assert_eq!(a.consumers().len(), 3);
-        assert!(a.consumers().iter().all(|c| (c.accuracy.value() - 0.9).abs() < 1e-9));
+        assert!(a
+            .consumers()
+            .iter()
+            .all(|c| (c.accuracy.value() - 0.9).abs() < 1e-9));
     }
 
     #[test]

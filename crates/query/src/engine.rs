@@ -5,7 +5,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 use vstore_codec::Transcoder;
 use vstore_ops::OperatorLibrary;
-use vstore_sim::{ResourceKind, VirtualClock};
+use vstore_sim::{scoped_map, ResourceKind, VirtualClock};
 use vstore_storage::{SegmentKey, SegmentStore};
 use vstore_types::{
     ByteSize, Configuration, Consumer, OperatorKind, Result, Speed, VStoreError, VideoSeconds,
@@ -61,22 +61,59 @@ impl QueryResult {
 }
 
 /// The query engine.
+///
+/// Query execution is retrieval-bound (§6.2): most wall-clock time goes to
+/// fetching segments from the store and decoding them. The engine therefore
+/// runs a **prefetch/decode stage** ahead of the operator cascade: segments
+/// are fetched, decoded and converted to the consumption format in parallel
+/// batches of [`prefetch`](Self::with_prefetch) segments (bounded
+/// lookahead), while operators and all accounting run on the calling thread
+/// in segment order — [`StageReport`]s are identical to the sequential
+/// (`prefetch = 1`) path.
 pub struct QueryEngine {
     store: Arc<SegmentStore>,
     library: OperatorLibrary,
     transcoder: Transcoder,
     clock: VirtualClock,
+    prefetch: usize,
+}
+
+/// One segment's data after the prefetch/decode stage.
+struct PrefetchedSegment {
+    segment: u64,
+    data: vstore_codec::SegmentData,
+    used_fallback: bool,
+    read_bytes: ByteSize,
+    frames: Vec<vstore_codec::VideoFrame>,
 }
 
 impl QueryEngine {
-    /// An engine reading from the given store.
+    /// An engine reading from the given store, without prefetching.
     pub fn new(
         store: Arc<SegmentStore>,
         library: OperatorLibrary,
         transcoder: Transcoder,
         clock: VirtualClock,
     ) -> Self {
-        QueryEngine { store, library, transcoder, clock }
+        QueryEngine {
+            store,
+            library,
+            transcoder,
+            clock,
+            prefetch: 1,
+        }
+    }
+
+    /// Fetch and decode up to `prefetch` segments in parallel ahead of the
+    /// operator cascade (clamped to ≥ 1; 1 disables prefetching).
+    pub fn with_prefetch(mut self, prefetch: usize) -> Self {
+        self.prefetch = prefetch.max(1);
+        self
+    }
+
+    /// The configured prefetch lookahead.
+    pub fn prefetch(&self) -> usize {
+        self.prefetch
     }
 
     /// The virtual clock charged by query execution.
@@ -104,7 +141,10 @@ impl QueryEngine {
         let mut positive_frames = Vec::new();
 
         for (stage_idx, &op) in query.cascade.iter().enumerate() {
-            let consumer = Consumer { op, accuracy: query.accuracy };
+            let consumer = Consumer {
+                op,
+                accuracy: query.accuracy,
+            };
             let sub = config.subscription(&consumer).ok_or_else(|| {
                 VStoreError::InvalidState(format!(
                     "configuration has no subscription for {consumer}"
@@ -121,65 +161,63 @@ impl QueryEngine {
             };
             let mut next_active = BTreeSet::new();
             let mut stage_positive_frames = Vec::new();
-            for &segment in &active {
-                // Fetch the subscribed storage format's segment, falling back
-                // to any richer stored format (ultimately the golden one)
-                // when it has been eroded.
-                let (data, used_fallback, read_bytes) =
-                    self.fetch_segment(stream, config, sub.storage, segment, &sub.consumption)?;
-                let data = match data {
-                    Some(d) => d,
-                    None => continue, // segment not ingested at all
-                };
-                bytes_read += read_bytes;
-                report.segments_processed += 1;
-                if used_fallback {
-                    report.fallback_segments += 1;
+            // Bounded lookahead: fetch + decode + convert the next `prefetch`
+            // segments in parallel, then run the operator and all accounting
+            // on this thread in segment order.
+            let stage_segments: Vec<u64> = active.iter().copied().collect();
+            for window in stage_segments.chunks(self.prefetch) {
+                for prefetched in self.prefetch_window(stream, config, sub, window)? {
+                    let PrefetchedSegment {
+                        segment,
+                        data,
+                        used_fallback,
+                        read_bytes,
+                        frames,
+                    } = prefetched;
+                    bytes_read += read_bytes;
+                    report.segments_processed += 1;
+                    if used_fallback {
+                        report.fallback_segments += 1;
+                    }
+                    report.frames_consumed += frames.len();
+                    let output = operator.run(&frames);
+                    // Charge modelled time: the stage runs at the lower of the
+                    // consumption speed and the (possibly fallback-degraded)
+                    // retrieval speed.
+                    let retrieval = if used_fallback {
+                        // Re-profile retrieval against the format actually used.
+                        self.transcoder.retrieval_speed(
+                            &data.storage_format(),
+                            0.3,
+                            &sub.consumption,
+                        )
+                    } else {
+                        sub.retrieval_speed
+                    };
+                    let effective = sub.consumption_speed.min(retrieval);
+                    let segment_seconds = data.frame_count() as f64
+                        / (30.0 * data.fidelity().sampling.fraction()).max(1e-9);
+                    report.processing_seconds += segment_seconds / effective.factor().max(1e-9);
+                    if output.positives() > 0 {
+                        report.segments_passed += 1;
+                        next_active.insert(segment);
+                    }
+                    if stage_idx + 1 == query.cascade.len() {
+                        stage_positive_frames.extend(output.positive_indices());
+                    }
+                    self.clock.charge_bytes(ResourceKind::DiskRead, read_bytes);
+                    let compute = self.library.compute_seconds(
+                        op,
+                        &sub.consumption.fidelity,
+                        segment_seconds,
+                    );
+                    let kind = if op.runs_on_gpu() {
+                        ResourceKind::GpuCompute
+                    } else {
+                        ResourceKind::OperatorCpu
+                    };
+                    self.clock.charge_background_seconds(kind, compute);
                 }
-                // Decode only the frames the consumption format samples.
-                let (stored_frames, _) =
-                    data.decode_sampled(sub.consumption.fidelity.sampling)?;
-                let frames =
-                    self.transcoder.convert_for_consumption(&stored_frames, &sub.consumption)?;
-                report.frames_consumed += frames.len();
-                let output = operator.run(&frames);
-                // Charge modelled time: the stage runs at the lower of the
-                // consumption speed and the (possibly fallback-degraded)
-                // retrieval speed.
-                let retrieval = if used_fallback {
-                    // Re-profile retrieval against the format actually used.
-                    self.transcoder.retrieval_speed(
-                        &data.storage_format(),
-                        0.3,
-                        &sub.consumption,
-                    )
-                } else {
-                    sub.retrieval_speed
-                };
-                let effective = sub.consumption_speed.min(retrieval);
-                let segment_seconds = data.frame_count() as f64
-                    / (30.0 * data.fidelity().sampling.fraction()).max(1e-9);
-                report.processing_seconds +=
-                    segment_seconds / effective.factor().max(1e-9);
-                if output.positives() > 0 {
-                    report.segments_passed += 1;
-                    next_active.insert(segment);
-                }
-                if stage_idx + 1 == query.cascade.len() {
-                    stage_positive_frames.extend(output.positive_indices());
-                }
-                self.clock.charge_bytes(ResourceKind::DiskRead, read_bytes);
-                let compute = self.library.compute_seconds(
-                    op,
-                    &sub.consumption.fidelity,
-                    segment_seconds,
-                );
-                let kind = if op.runs_on_gpu() {
-                    ResourceKind::GpuCompute
-                } else {
-                    ResourceKind::OperatorCpu
-                };
-                self.clock.charge_background_seconds(kind, compute);
             }
             total_seconds += report.processing_seconds;
             if stage_idx + 1 == query.cascade.len() {
@@ -216,6 +254,70 @@ impl QueryEngine {
         })
     }
 
+    /// The prefetch/decode stage: fetch one window of segments from the
+    /// store, decode the sampled frames and convert them to the consumption
+    /// format, all in parallel. Segments not ingested at all are dropped;
+    /// segment order is preserved, so downstream accounting is identical to
+    /// the sequential path.
+    fn prefetch_window(
+        &self,
+        stream: &str,
+        config: &Configuration,
+        sub: &vstore_types::Subscription,
+        window: &[u64],
+    ) -> Result<Vec<PrefetchedSegment>> {
+        let fetched = scoped_map(
+            window.to_vec(),
+            self.prefetch,
+            |_, segment| -> Result<Option<PrefetchedSegment>> {
+                let (data, used_fallback, read_bytes) =
+                    self.fetch_segment(stream, config, sub.storage, segment, &sub.consumption)?;
+                let data = match data {
+                    Some(d) => d,
+                    None => return Ok(None), // segment not ingested at all
+                };
+                // Decode only the frames the consumption format samples.
+                let (stored_frames, _) = data.decode_sampled(sub.consumption.fidelity.sampling)?;
+                let frames = self
+                    .transcoder
+                    .convert_for_consumption(&stored_frames, &sub.consumption)?;
+                Ok(Some(PrefetchedSegment {
+                    segment,
+                    data,
+                    used_fallback,
+                    read_bytes,
+                    frames,
+                }))
+            },
+        );
+        let mut out = Vec::with_capacity(window.len());
+        let mut first_error = None;
+        for item in fetched {
+            match item {
+                Ok(Some(prefetched)) => out.push(prefetched),
+                Ok(None) => {}
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                }
+            }
+        }
+        match first_error {
+            // On error, the caller discards the window, so charge the reads
+            // that did happen here — the ledger always reflects real disk
+            // traffic, like the ingest side's charge-everything-persisted
+            // policy. (With prefetch = 1 the window is one segment and
+            // nothing was read on error, matching the sequential path.)
+            Some(e) => {
+                for prefetched in &out {
+                    self.clock
+                        .charge_bytes(ResourceKind::DiskRead, prefetched.read_bytes);
+                }
+                Err(e)
+            }
+            None => Ok(out),
+        }
+    }
+
     /// Fetch one segment in the subscribed format, falling back to a richer
     /// stored format when it is missing (eroded).
     fn fetch_segment(
@@ -229,7 +331,11 @@ impl QueryEngine {
         let key = SegmentKey::new(stream, preferred, segment);
         if let Some(bytes) = self.store.get(&key)? {
             let size = ByteSize(bytes.len() as u64);
-            return Ok((Some(vstore_codec::SegmentData::from_bytes(&bytes)?), false, size));
+            return Ok((
+                Some(vstore_codec::SegmentData::from_bytes(&bytes)?),
+                false,
+                size,
+            ));
         }
         // Fallback: any stored format with satisfiable fidelity, preferring
         // the cheapest (fewest bytes would be nice, but richer-or-equal and
@@ -245,7 +351,11 @@ impl QueryEngine {
             let key = SegmentKey::new(stream, *id, segment);
             if let Some(bytes) = self.store.get(&key)? {
                 let size = ByteSize(bytes.len() as u64);
-                return Ok((Some(vstore_codec::SegmentData::from_bytes(&bytes)?), true, size));
+                return Ok((
+                    Some(vstore_codec::SegmentData::from_bytes(&bytes)?),
+                    true,
+                    size,
+                ));
             }
         }
         Ok((None, false, ByteSize::ZERO))
@@ -277,13 +387,17 @@ mod tests {
             CodingCostModel::paper_testbed(),
             ProfilerConfig::fast_test(),
         ));
-        let options =
-            EngineOptions { fidelity_space: FidelitySpace::reduced(), ..EngineOptions::default() };
+        let options = EngineOptions {
+            fidelity_space: FidelitySpace::reduced(),
+            ..EngineOptions::default()
+        };
         let engine = ConfigurationEngine::new(Arc::clone(&profiler), options);
         let query = QuerySpec::query_a(consumer_accuracy);
         let consumers = query.consumers();
         let config = engine.derive(&consumers).unwrap();
-        let one_to_n = engine.derive_alternative(&consumers, Alternative::OneToN).unwrap();
+        let one_to_n = engine
+            .derive_alternative(&consumers, Alternative::OneToN)
+            .unwrap();
 
         let store = Arc::new(SegmentStore::open_temp("query-engine").unwrap());
         let ingest = IngestionPipeline::new(
@@ -303,14 +417,22 @@ mod tests {
             Transcoder::default(),
             VirtualClock::new(),
         );
-        Fixture { store, config, one_to_n, engine }
+        Fixture {
+            store,
+            config,
+            one_to_n,
+            engine,
+        }
     }
 
     #[test]
     fn query_a_runs_end_to_end_and_reports_speed() {
         let fx = fixture(0.8);
         let query = QuerySpec::query_a(0.8);
-        let result = fx.engine.execute("jackson", &query, &fx.config, 0, 2).unwrap();
+        let result = fx
+            .engine
+            .execute("jackson", &query, &fx.config, 0, 2)
+            .unwrap();
         assert_eq!(result.stages.len(), 3);
         assert_eq!(result.stages[0].segments_processed, 2);
         assert!((result.video.seconds() - 16.0).abs() < 1e-9);
@@ -327,8 +449,14 @@ mod tests {
     fn vstore_configuration_is_faster_than_one_to_n() {
         let fx = fixture(0.8);
         let query = QuerySpec::query_a(0.8);
-        let vstore = fx.engine.execute("jackson", &query, &fx.config, 0, 2).unwrap();
-        let baseline = fx.engine.execute("jackson", &query, &fx.one_to_n, 0, 2).unwrap();
+        let vstore = fx
+            .engine
+            .execute("jackson", &query, &fx.config, 0, 2)
+            .unwrap();
+        let baseline = fx
+            .engine
+            .execute("jackson", &query, &fx.one_to_n, 0, 2)
+            .unwrap();
         assert!(
             vstore.speed.factor() > baseline.speed.factor(),
             "VStore {} should beat 1→N {}",
@@ -342,7 +470,10 @@ mod tests {
     fn missing_subscription_is_an_error() {
         let fx = fixture(0.8);
         let query = QuerySpec::query_b(0.8); // configuration was built for query A
-        let err = fx.engine.execute("jackson", &query, &fx.config, 0, 2).unwrap_err();
+        let err = fx
+            .engine
+            .execute("jackson", &query, &fx.config, 0, 2)
+            .unwrap_err();
         assert!(matches!(err, VStoreError::InvalidState(_)));
         assert!(fx
             .engine
@@ -355,7 +486,10 @@ mod tests {
     fn queries_over_missing_streams_return_empty_results() {
         let fx = fixture(0.8);
         let query = QuerySpec::query_a(0.8);
-        let result = fx.engine.execute("nonexistent", &query, &fx.config, 0, 2).unwrap();
+        let result = fx
+            .engine
+            .execute("nonexistent", &query, &fx.config, 0, 2)
+            .unwrap();
         assert_eq!(result.stages[0].segments_processed, 0);
         assert!(result.positive_frames.is_empty());
         std::fs::remove_dir_all(fx.store.dir()).ok();

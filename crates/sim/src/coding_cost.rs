@@ -42,12 +42,18 @@ pub struct CodingCostModel {
 impl CodingCostModel {
     /// Model for the paper's testbed.
     pub fn paper_testbed() -> Self {
-        CodingCostModel { machine: MachineSpec::paper_testbed(), encoder_threads: 10 }
+        CodingCostModel {
+            machine: MachineSpec::paper_testbed(),
+            encoder_threads: 10,
+        }
     }
 
     /// Model for a given machine.
     pub fn new(machine: MachineSpec) -> Self {
-        CodingCostModel { machine, encoder_threads: 10 }
+        CodingCostModel {
+            machine,
+            encoder_threads: 10,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -120,7 +126,10 @@ impl CodingCostModel {
     pub fn bytes_per_video_second(&self, format: &StorageFormat, motion: f64) -> ByteSize {
         match format.coding {
             CodingOption::Raw => self.raw_bytes_per_video_second(&format.fidelity),
-            CodingOption::Encoded { keyframe_interval, speed } => {
+            CodingOption::Encoded {
+                keyframe_interval,
+                speed,
+            } => {
                 let px = Self::stored_pixels_per_video_second(&format.fidelity);
                 let bpp = Self::bits_per_pixel(
                     format.fidelity.quality,
@@ -161,7 +170,10 @@ impl CodingCostModel {
         let px = Self::stored_pixels_per_video_second(&format.fidelity);
         match format.coding {
             CodingOption::Raw => px / 600.0e6,
-            CodingOption::Encoded { speed, keyframe_interval } => {
+            CodingOption::Encoded {
+                speed,
+                keyframe_interval,
+            } => {
                 // Shorter GOPs insert more (cheap-to-choose, expensive-to-code)
                 // keyframes; the paper observes encoding speed is mostly
                 // unaffected, so the factor stays small.
@@ -253,13 +265,15 @@ impl CodingCostModel {
                     Speed(self.machine.disk_read_bw as f64 / bytes)
                 }
             }
-            CodingOption::Encoded { keyframe_interval, .. } => {
+            CodingOption::Encoded {
+                keyframe_interval, ..
+            } => {
                 let gop = f64::from(keyframe_interval.frames());
                 // Consumer sampling interval measured in *stored* frames.
                 let consumer_stride = match consumer_sampling {
-                    Some(s) => {
-                        (s.fraction() / format.fidelity.sampling.fraction()).recip().max(1.0)
-                    }
+                    Some(s) => (s.fraction() / format.fidelity.sampling.fraction())
+                        .recip()
+                        .max(1.0),
                     None => 1.0,
                 };
                 let decoded_per_video_second;
@@ -344,7 +358,9 @@ mod tests {
     #[test]
     fn golden_format_size_near_paper() {
         // Table 3(b): 1393 KB per second. Accept the right order of magnitude.
-        let kb = model().bytes_per_video_second(&golden(), JACKSON_MOTION).kib();
+        let kb = model()
+            .bytes_per_video_second(&golden(), JACKSON_MOTION)
+            .kib();
         assert!(kb > 500.0 && kb < 3000.0, "golden size {kb} KB/s");
     }
 
@@ -365,33 +381,51 @@ mod tests {
     #[test]
     fn speed_step_spans_large_encode_speed_range_and_modest_size_range() {
         let m = model();
-        let slow = StorageFormat::new(Fidelity::INGESTION, CodingOption::Encoded {
-            keyframe_interval: KeyframeInterval::K250,
-            speed: SpeedStep::Slowest,
-        });
-        let fast = StorageFormat::new(Fidelity::INGESTION, CodingOption::Encoded {
-            keyframe_interval: KeyframeInterval::K250,
-            speed: SpeedStep::Fastest,
-        });
+        let slow = StorageFormat::new(
+            Fidelity::INGESTION,
+            CodingOption::Encoded {
+                keyframe_interval: KeyframeInterval::K250,
+                speed: SpeedStep::Slowest,
+            },
+        );
+        let fast = StorageFormat::new(
+            Fidelity::INGESTION,
+            CodingOption::Encoded {
+                keyframe_interval: KeyframeInterval::K250,
+                speed: SpeedStep::Fastest,
+            },
+        );
         let speed_ratio = m.encode_speed(&fast, JACKSON_MOTION).factor()
             / m.encode_speed(&slow, JACKSON_MOTION).factor();
-        assert!(speed_ratio > 20.0 && speed_ratio < 60.0, "speed ratio {speed_ratio}");
+        assert!(
+            speed_ratio > 20.0 && speed_ratio < 60.0,
+            "speed ratio {speed_ratio}"
+        );
         let size_ratio = m.bytes_per_video_second(&fast, JACKSON_MOTION).bytes() as f64
             / m.bytes_per_video_second(&slow, JACKSON_MOTION).bytes() as f64;
-        assert!(size_ratio > 1.5 && size_ratio <= 2.6, "size ratio {size_ratio}");
+        assert!(
+            size_ratio > 1.5 && size_ratio <= 2.6,
+            "size ratio {size_ratio}"
+        );
     }
 
     #[test]
     fn keyframe_interval_trades_size_for_sparse_decode_speed() {
         let m = model();
-        let ki250 = StorageFormat::new(Fidelity::INGESTION, CodingOption::Encoded {
-            keyframe_interval: KeyframeInterval::K250,
-            speed: SpeedStep::Medium,
-        });
-        let ki5 = StorageFormat::new(Fidelity::INGESTION, CodingOption::Encoded {
-            keyframe_interval: KeyframeInterval::K5,
-            speed: SpeedStep::Medium,
-        });
+        let ki250 = StorageFormat::new(
+            Fidelity::INGESTION,
+            CodingOption::Encoded {
+                keyframe_interval: KeyframeInterval::K250,
+                speed: SpeedStep::Medium,
+            },
+        );
+        let ki5 = StorageFormat::new(
+            Fidelity::INGESTION,
+            CodingOption::Encoded {
+                keyframe_interval: KeyframeInterval::K5,
+                speed: SpeedStep::Medium,
+            },
+        );
         // Size grows when keyframes are dense.
         let size_ratio = m.bytes_per_video_second(&ki5, JACKSON_MOTION).bytes() as f64
             / m.bytes_per_video_second(&ki250, JACKSON_MOTION).bytes() as f64;
@@ -411,7 +445,9 @@ mod tests {
 
     #[test]
     fn golden_decode_speed_near_23x() {
-        let s = model().sequential_decode_speed(&golden(), JACKSON_MOTION).factor();
+        let s = model()
+            .sequential_decode_speed(&golden(), JACKSON_MOTION)
+            .factor();
         assert!(s > 10.0 && s < 45.0, "golden decode speed {s}");
     }
 
@@ -425,11 +461,19 @@ mod tests {
         );
         let sf = StorageFormat::new(f, CodingOption::Raw);
         let m = model();
-        let full = m.retrieval_speed(&sf, JACKSON_MOTION, FrameSampling::Full).factor();
-        let sparse = m.retrieval_speed(&sf, JACKSON_MOTION, FrameSampling::S1_30).factor();
+        let full = m
+            .retrieval_speed(&sf, JACKSON_MOTION, FrameSampling::Full)
+            .factor();
+        let sparse = m
+            .retrieval_speed(&sf, JACKSON_MOTION, FrameSampling::S1_30)
+            .factor();
         // Table 3(b): 1137×–34132×.
         assert!(full > 600.0 && full < 2500.0, "raw full retrieval {full}");
-        assert!((sparse / full - 30.0).abs() < 1.0, "sparse/full ratio {}", sparse / full);
+        assert!(
+            (sparse / full - 30.0).abs() < 1.0,
+            "sparse/full ratio {}",
+            sparse / full
+        );
     }
 
     #[test]
@@ -446,15 +490,33 @@ mod tests {
         // transcode cost lands in the "around 9 cores" ballpark (§6.2).
         let m = model();
         let sf1 = StorageFormat::new(
-            Fidelity::new(ImageQuality::Good, CropFactor::C100, Resolution::R540, FrameSampling::S1_6),
+            Fidelity::new(
+                ImageQuality::Good,
+                CropFactor::C100,
+                Resolution::R540,
+                FrameSampling::S1_6,
+            ),
             CodingOption::SMALLEST,
         );
         let sf2 = StorageFormat::new(
-            Fidelity::new(ImageQuality::Best, CropFactor::C100, Resolution::R540, FrameSampling::S1_30),
-            CodingOption::Encoded { keyframe_interval: KeyframeInterval::K10, speed: SpeedStep::Fast },
+            Fidelity::new(
+                ImageQuality::Best,
+                CropFactor::C100,
+                Resolution::R540,
+                FrameSampling::S1_30,
+            ),
+            CodingOption::Encoded {
+                keyframe_interval: KeyframeInterval::K10,
+                speed: SpeedStep::Fast,
+            },
         );
         let sf3 = StorageFormat::new(
-            Fidelity::new(ImageQuality::Best, CropFactor::C100, Resolution::R200, FrameSampling::Full),
+            Fidelity::new(
+                ImageQuality::Best,
+                CropFactor::C100,
+                Resolution::R200,
+                FrameSampling::Full,
+            ),
             CodingOption::Raw,
         );
         let total: f64 = [golden(), sf1, sf2, sf3]
@@ -476,13 +538,26 @@ mod tests {
     fn decode_speed_monotone_in_resolution() {
         let m = model();
         let mut prev = f64::INFINITY;
-        for res in [Resolution::R720, Resolution::R540, Resolution::R200, Resolution::R100] {
+        for res in [
+            Resolution::R720,
+            Resolution::R540,
+            Resolution::R200,
+            Resolution::R100,
+        ] {
             let sf = StorageFormat::new(
-                Fidelity::new(ImageQuality::Good, CropFactor::C100, res, FrameSampling::Full),
+                Fidelity::new(
+                    ImageQuality::Good,
+                    CropFactor::C100,
+                    res,
+                    FrameSampling::Full,
+                ),
                 CodingOption::SMALLEST,
             );
             let s = m.sequential_decode_speed(&sf, JACKSON_MOTION).factor();
-            assert!(s >= prev * 0.999 || prev == f64::INFINITY, "decode speed not monotone");
+            assert!(
+                s >= prev * 0.999 || prev == f64::INFINITY,
+                "decode speed not monotone"
+            );
             if prev != f64::INFINITY {
                 assert!(s > prev, "smaller resolution should decode faster");
             }

@@ -28,13 +28,17 @@ fn splitmix64(mut z: u64) -> u64 {
 impl DeterministicHasher {
     /// Create a hasher from a seed.
     pub fn new(seed: u64) -> Self {
-        DeterministicHasher { state: splitmix64(seed ^ 0xA076_1D64_78BD_642F) }
+        DeterministicHasher {
+            state: splitmix64(seed ^ 0xA076_1D64_78BD_642F),
+        }
     }
 
     /// Fold another value into the state, returning a new hasher.
     #[must_use]
     pub fn mix(self, value: u64) -> Self {
-        DeterministicHasher { state: splitmix64(self.state ^ value.rotate_left(17)) }
+        DeterministicHasher {
+            state: splitmix64(self.state ^ value.rotate_left(17)),
+        }
     }
 
     /// Fold a string into the state, returning a new hasher.

@@ -11,7 +11,10 @@
 //!   seconds, disk bytes) and a virtual clock, so experiments report costs in
 //!   the paper's units (×realtime, cores, GB/day) independent of the host;
 //! * [`coding_cost`] — the calibrated encode/decode/size model for the block
-//!   codec, shaped on Figure 3 and Table 3(b) of the paper.
+//!   codec, shaped on Figure 3 and Table 3(b) of the paper;
+//! * [`pool`] — a scoped worker pool (order-preserving parallel map) backing
+//!   the sharded store's compaction, the ingest fan-out and the query
+//!   prefetch stage.
 //!
 //! See `DESIGN.md` ("Substitutions") for why each model exists and how it was
 //! calibrated.
@@ -22,9 +25,11 @@
 pub mod coding_cost;
 pub mod hash;
 pub mod machine;
+pub mod pool;
 pub mod resources;
 
 pub use coding_cost::CodingCostModel;
 pub use hash::DeterministicHasher;
 pub use machine::MachineSpec;
+pub use pool::scoped_map;
 pub use resources::{ResourceKind, ResourceUsage, VirtualClock};

@@ -1,0 +1,115 @@
+//! A minimal scoped worker pool: parallel map with deterministic output
+//! order.
+//!
+//! The ingest fan-out, the query prefetch stage and parallel shard
+//! compaction all need the same shape of parallelism: apply a function to
+//! every item of a batch on up to `workers` threads and get the results back
+//! *in input order*, so downstream accounting is identical to the sequential
+//! path. `scoped_map` provides exactly that on `std::thread::scope` — no
+//! executor, no channels, no external dependency.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Apply `f` to every item, using up to `workers` threads, returning the
+/// results in input order.
+///
+/// With `workers <= 1` (or fewer than two items) the items are processed on
+/// the calling thread in order — the exact sequential path. Panics in `f`
+/// propagate to the caller.
+pub fn scoped_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.min(n).max(1);
+    if workers <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    // Work-stealing by atomic cursor: each worker claims the next unclaimed
+    // index, so long and short items balance across threads.
+    let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = tasks[i].lock().take().expect("task claimed twice");
+                let result = f(i, item);
+                *results[i].lock() = Some(result);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("worker died before finishing task")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = scoped_map(items, 4, |_, x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let items: Vec<u64> = (0..50).collect();
+        let seq = scoped_map(items.clone(), 1, |i, x| x.wrapping_mul(31) ^ i as u64);
+        let par = scoped_map(items, 8, |i, x| x.wrapping_mul(31) ^ i as u64);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let results = scoped_map((0..37).collect::<Vec<i32>>(), 5, |_, x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(results.len(), 37);
+        assert_eq!(calls.load(Ordering::Relaxed), 37);
+    }
+
+    #[test]
+    fn empty_and_single_item_batches() {
+        assert_eq!(scoped_map(Vec::<u8>::new(), 4, |_, x| x), Vec::<u8>::new());
+        assert_eq!(scoped_map(vec![9], 4, |_, x| x + 1), vec![10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn worker_panics_propagate() {
+        scoped_map(vec![1, 2, 3, 4], 2, |_, x| {
+            if x == 3 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn index_is_passed_through() {
+        let out = scoped_map(vec!["a", "b", "c"], 2, |i, s| format!("{i}{s}"));
+        assert_eq!(out, vec!["0a", "1b", "2c"]);
+    }
+}

@@ -23,7 +23,11 @@ pub struct SegmentKey {
 impl SegmentKey {
     /// Construct a key.
     pub fn new(stream: impl Into<String>, format: FormatId, segment_index: u64) -> Self {
-        SegmentKey { stream: stream.into(), format, segment_index }
+        SegmentKey {
+            stream: stream.into(),
+            format,
+            segment_index,
+        }
     }
 
     /// Serialise the key for the value log.
@@ -101,7 +105,7 @@ mod tests {
 
     #[test]
     fn ordering_groups_stream_then_format_then_time() {
-        let mut keys = vec![
+        let mut keys = [
             SegmentKey::new("b", FormatId(0), 0),
             SegmentKey::new("a", FormatId(1), 5),
             SegmentKey::new("a", FormatId(0), 9),

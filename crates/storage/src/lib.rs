@@ -16,14 +16,21 @@
 //! * **deletes** append tombstones; **compaction** rewrites live records
 //!   into fresh logs and drops the garbage.
 //!
-//! All operations are thread-safe behind a [`parking_lot`] lock, mirroring
-//! how VStore's single-writer, multi-reader ingestion and query paths use it.
+//! The store is **sharded**: keys are routed by a deterministic hash of the
+//! full `(stream, format, segment index)` key to one of N independent shards
+//! (each with its own lock, index, log-file set, roll-over and compaction),
+//! so parallel ingestion writers and query readers scale with cores instead
+//! of serialising on a single lock. Range scans merge across shards;
+//! compaction runs shards in parallel. The shard count is recorded in a
+//! `SHARDS` meta file at creation and honoured on reopen; a single-shard
+//! store reproduces the original single-lock behaviour exactly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod key;
 pub mod log;
+mod shard;
 pub mod store;
 
 pub use key::SegmentKey;

@@ -92,16 +92,34 @@ impl LogFile {
     /// Create a new, empty log file (truncating any existing file).
     pub fn create(dir: &Path, id: u64) -> Result<LogFile> {
         let path = dir.join(Self::file_name(id));
-        let file = OpenOptions::new().create(true).write(true).truncate(true).open(&path)?;
-        Ok(LogFile { path, file, len: 0, id })
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(LogFile {
+            path,
+            file,
+            len: 0,
+            id,
+        })
     }
 
     /// Open an existing log file for appending.
     pub fn open(dir: &Path, id: u64) -> Result<LogFile> {
         let path = dir.join(Self::file_name(id));
-        let file = OpenOptions::new().create(true).write(true).open(&path)?;
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(&path)?;
         let len = file.metadata()?.len();
-        let mut log = LogFile { path, file, len, id };
+        let mut log = LogFile {
+            path,
+            file,
+            len,
+            id,
+        };
         log.file.seek(SeekFrom::End(0))?;
         Ok(log)
     }
@@ -125,8 +143,7 @@ impl LogFile {
     pub fn append(&mut self, key: &[u8], value: &[u8], is_tombstone: bool) -> Result<(u64, u64)> {
         let flags = if is_tombstone { FLAG_TOMBSTONE } else { 0 };
         let crc = record_crc(flags, key, value);
-        let mut buf =
-            Vec::with_capacity(record_size(key.len(), value.len()) as usize);
+        let mut buf = Vec::with_capacity(record_size(key.len(), value.len()) as usize);
         buf.extend_from_slice(&RECORD_MAGIC.to_le_bytes());
         buf.push(flags);
         buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
@@ -150,7 +167,13 @@ impl LogFile {
     /// Read the value of a record given its offset and total length, and
     /// verify its CRC.
     pub fn read_value(&self, offset: u64, total_len: u64) -> Result<Vec<u8>> {
-        let mut file = File::open(&self.path)?;
+        Self::read_value_at(&self.path, offset, total_len)
+    }
+
+    /// [`read_value`](Self::read_value) against a log file that is not open
+    /// (random access into sealed logs).
+    pub fn read_value_at(path: &Path, offset: u64, total_len: u64) -> Result<Vec<u8>> {
+        let mut file = File::open(path)?;
         file.seek(SeekFrom::Start(offset))?;
         let mut buf = vec![0u8; total_len as usize];
         file.read_exact(&mut buf)?;
@@ -255,7 +278,10 @@ mod tests {
         let dir = std::env::temp_dir().join(format!(
             "vstore-log-test-{tag}-{}-{}",
             std::process::id(),
-            std::time::SystemTime::now().elapsed().map(|d| d.subsec_nanos()).unwrap_or(0)
+            std::time::SystemTime::now()
+                .elapsed()
+                .map(|d| d.subsec_nanos())
+                .unwrap_or(0)
         ));
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -280,7 +306,9 @@ mod tests {
         assert!(records[2].is_tombstone);
 
         // Random access read of the second value.
-        let value = log.read_value(records[1].offset, records[1].total_len).unwrap();
+        let value = log
+            .read_value(records[1].offset, records[1].total_len)
+            .unwrap();
         assert_eq!(value, vec![7u8; 10_000]);
         fs::remove_dir_all(&dir).ok();
     }

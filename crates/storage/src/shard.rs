@@ -1,0 +1,281 @@
+//! One storage shard: a single-lock, log-structured key-value store.
+//!
+//! A shard is exactly the original `SegmentStore` design — an in-memory
+//! index over CRC-guarded value logs with tombstone deletes and rewrite
+//! compaction — owning its own directory, log-file set, roll-over and
+//! statistics. [`SegmentStore`](crate::store::SegmentStore) composes N of
+//! these behind a key-hash router so operations on different shards never
+//! contend on a lock.
+
+use crate::key::SegmentKey;
+use crate::log::LogFile;
+use crate::store::StoreStats;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use vstore_types::{FormatId, Result, VStoreError};
+
+/// Target maximum size of one value log file before the shard rolls over to
+/// a new one (64 MiB keeps compaction granular without creating thousands of
+/// files).
+const LOG_ROLL_BYTES: u64 = 64 * 1024 * 1024;
+
+/// Where a live value lives on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ValueLocation {
+    file_id: u64,
+    offset: u64,
+    total_len: u64,
+    value_len: u64,
+}
+
+#[derive(Debug)]
+struct ShardInner {
+    dir: PathBuf,
+    index: BTreeMap<SegmentKey, ValueLocation>,
+    active: LogFile,
+    sealed: BTreeMap<u64, PathBuf>,
+    stats_writes: u64,
+    stats_reads: u64,
+    disk_bytes: u64,
+}
+
+/// One independently locked shard of the segment store.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    inner: Mutex<ShardInner>,
+}
+
+impl Shard {
+    /// Open (or create) a shard rooted at `dir`, rebuilding the index by
+    /// scanning the value logs.
+    pub(crate) fn open(dir: impl AsRef<Path>) -> Result<Shard> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        // Discover existing log files in id order.
+        let mut ids: Vec<u64> = fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().to_str().and_then(LogFile::parse_id))
+            .collect();
+        ids.sort_unstable();
+
+        let mut index = BTreeMap::new();
+        let mut sealed = BTreeMap::new();
+        let mut disk_bytes = 0u64;
+        for &id in &ids {
+            let path = dir.join(LogFile::file_name(id));
+            let records = LogFile::scan(&path)?;
+            for record in records {
+                let key = SegmentKey::decode(&record.key)?;
+                if record.is_tombstone {
+                    index.remove(&key);
+                } else {
+                    index.insert(
+                        key,
+                        ValueLocation {
+                            file_id: id,
+                            offset: record.offset,
+                            total_len: record.total_len,
+                            value_len: record.value.len() as u64,
+                        },
+                    );
+                }
+            }
+            disk_bytes += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            sealed.insert(id, path);
+        }
+        // The active log is a fresh file after the highest existing id; this
+        // keeps recovery simple (sealed files are never appended to again).
+        let next_id = ids.last().map(|id| id + 1).unwrap_or(1);
+        let active = LogFile::create(&dir, next_id)?;
+        Ok(Shard {
+            inner: Mutex::new(ShardInner {
+                dir,
+                index,
+                active,
+                sealed,
+                stats_writes: 0,
+                stats_reads: 0,
+                disk_bytes,
+            }),
+        })
+    }
+
+    /// Store a segment, replacing any previous value under the same key.
+    pub(crate) fn put(&self, key: &SegmentKey, value: &[u8]) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.roll_if_needed()?;
+        let encoded_key = key.encode();
+        let (offset, total_len) = inner.active.append(&encoded_key, value, false)?;
+        let file_id = inner.active.id;
+        inner.index.insert(
+            key.clone(),
+            ValueLocation {
+                file_id,
+                offset,
+                total_len,
+                value_len: value.len() as u64,
+            },
+        );
+        inner.stats_writes += 1;
+        inner.disk_bytes += total_len;
+        Ok(())
+    }
+
+    /// Fetch a segment. Returns `Ok(None)` when the key does not exist.
+    pub(crate) fn get(&self, key: &SegmentKey) -> Result<Option<Vec<u8>>> {
+        let mut inner = self.inner.lock();
+        inner.stats_reads += 1;
+        let location = match inner.index.get(key) {
+            Some(loc) => *loc,
+            None => return Ok(None),
+        };
+        let value = inner.read_at(location)?;
+        Ok(Some(value))
+    }
+
+    /// `true` if the key exists.
+    pub(crate) fn contains(&self, key: &SegmentKey) -> bool {
+        self.inner.lock().index.contains_key(key)
+    }
+
+    /// Delete a segment. Deleting a missing key is a no-op.
+    pub(crate) fn delete(&self, key: &SegmentKey) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.index.remove(key).is_none() {
+            return Ok(());
+        }
+        inner.roll_if_needed()?;
+        let encoded_key = key.encode();
+        let (_, total_len) = inner.active.append(&encoded_key, &[], true)?;
+        inner.stats_writes += 1;
+        inner.disk_bytes += total_len;
+        Ok(())
+    }
+
+    /// This shard's keys for one `(stream, format)` pair, in segment order.
+    pub(crate) fn segments_of(&self, stream: &str, format: FormatId) -> Vec<SegmentKey> {
+        let lo = SegmentKey::new(stream, format, 0);
+        let hi = SegmentKey::new(stream, format, u64::MAX);
+        self.inner
+            .lock()
+            .index
+            .range(lo..=hi)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// This shard's live keys, in key order.
+    pub(crate) fn keys(&self) -> Vec<SegmentKey> {
+        self.inner.lock().index.keys().cloned().collect()
+    }
+
+    /// Number of live segments in this shard.
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().index.len()
+    }
+
+    /// Total bytes of live values stored in this shard for one
+    /// `(stream, format)` pair.
+    pub(crate) fn bytes_of(&self, stream: &str, format: FormatId) -> u64 {
+        let lo = SegmentKey::new(stream, format, 0);
+        let hi = SegmentKey::new(stream, format, u64::MAX);
+        self.inner
+            .lock()
+            .index
+            .range(lo..=hi)
+            .map(|(_, v)| v.value_len)
+            .sum()
+    }
+
+    /// This shard's statistics.
+    pub(crate) fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock();
+        StoreStats {
+            live_segments: inner.index.len(),
+            live_bytes: inner.index.values().map(|v| v.value_len).sum(),
+            disk_bytes: inner.disk_bytes,
+            log_files: inner.sealed.len() + 1,
+            writes: inner.stats_writes,
+            reads: inner.stats_reads,
+        }
+    }
+
+    /// Flush and fsync the active log.
+    pub(crate) fn sync(&self) -> Result<()> {
+        self.inner.lock().active.sync()
+    }
+
+    /// Rewrite all live records into fresh log files and delete the old
+    /// ones, reclaiming space left by deletions and overwrites. Returns the
+    /// number of bytes reclaimed.
+    pub(crate) fn compact(&self) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        let before = inner.disk_bytes;
+        // Collect live key/value pairs (reading through the old files).
+        let entries: Vec<(SegmentKey, ValueLocation)> =
+            inner.index.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        let mut values = Vec::with_capacity(entries.len());
+        for (key, loc) in &entries {
+            values.push((key.clone(), inner.read_at(*loc)?));
+        }
+        // Remember the old files, then start a new generation.
+        let old_files: Vec<PathBuf> = inner
+            .sealed
+            .values()
+            .cloned()
+            .chain(std::iter::once(inner.active.path().to_path_buf()))
+            .collect();
+        let next_id = inner.active.id + 1;
+        inner.sealed.clear();
+        inner.active = LogFile::create(&inner.dir, next_id)?;
+        inner.index.clear();
+        inner.disk_bytes = 0;
+        for (key, value) in values {
+            inner.roll_if_needed()?;
+            let encoded = key.encode();
+            let (offset, total_len) = inner.active.append(&encoded, &value, false)?;
+            let file_id = inner.active.id;
+            inner.index.insert(
+                key,
+                ValueLocation {
+                    file_id,
+                    offset,
+                    total_len,
+                    value_len: value.len() as u64,
+                },
+            );
+            inner.disk_bytes += total_len;
+        }
+        inner.active.sync()?;
+        for path in old_files {
+            fs::remove_file(&path).ok();
+        }
+        Ok(before.saturating_sub(inner.disk_bytes))
+    }
+}
+
+impl ShardInner {
+    fn roll_if_needed(&mut self) -> Result<()> {
+        if self.active.len() >= LOG_ROLL_BYTES {
+            self.active.sync()?;
+            let old_id = self.active.id;
+            let old_path = self.active.path().to_path_buf();
+            self.sealed.insert(old_id, old_path);
+            self.active = LogFile::create(&self.dir, old_id + 1)?;
+        }
+        Ok(())
+    }
+
+    fn read_at(&self, location: ValueLocation) -> Result<Vec<u8>> {
+        // CRC-verified random access, for the active and sealed logs alike.
+        if location.file_id == self.active.id {
+            return self.active.read_value(location.offset, location.total_len);
+        }
+        let path = self.sealed.get(&location.file_id).ok_or_else(|| {
+            VStoreError::corruption(format!("missing log file {}", location.file_id))
+        })?;
+        LogFile::read_value_at(path, location.offset, location.total_len)
+    }
+}

@@ -1,29 +1,29 @@
-//! The segment store: a thread-safe, log-structured key-value store for
-//! MB-sized video segments.
+//! The segment store: N independently locked, log-structured shards behind
+//! a key-hash router.
+//!
+//! Writers and readers hitting different shards never contend on a lock, so
+//! put/get throughput scales with shards on a multi-core host; compaction
+//! runs all shards in parallel. The shard count is fixed at creation and
+//! persisted in a `SHARDS` meta file so reopening a store always routes keys
+//! the way they were written. One shard reproduces the original single-lock
+//! store exactly.
 
 use crate::key::SegmentKey;
-use crate::log::{record_size, LogFile};
-use parking_lot::Mutex;
-use std::collections::BTreeMap;
+use crate::log::record_size;
+use crate::shard::Shard;
 use std::fs;
 use std::path::{Path, PathBuf};
-use vstore_types::{ByteSize, FormatId, Result, VStoreError};
+use vstore_sim::{scoped_map, DeterministicHasher};
+use vstore_types::{ByteSize, FormatId, Result, VStoreError, DEFAULT_SHARDS};
 
-/// Target maximum size of one value log file before the store rolls over to
-/// a new one (64 MiB keeps compaction granular without creating thousands of
-/// files).
-const LOG_ROLL_BYTES: u64 = 64 * 1024 * 1024;
+/// Name of the meta file recording the store's shard count.
+const SHARD_META_FILE: &str = "SHARDS";
 
-/// Where a live value lives on disk.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct ValueLocation {
-    file_id: u64,
-    offset: u64,
-    total_len: u64,
-    value_len: u64,
-}
+/// Seed of the key-routing hash (any fixed value; must never change once
+/// stores exist on disk).
+const ROUTING_SEED: u64 = 0x5653_544F_5245; // "VSTORE"
 
-/// Aggregate statistics about the store.
+/// Aggregate statistics about the store (or one shard of it).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// Number of live segments.
@@ -54,161 +54,183 @@ impl StoreStats {
             1.0 - (self.live_bytes as f64 / self.disk_bytes as f64).min(1.0)
         }
     }
+
+    /// Accumulate another shard's statistics into this aggregate.
+    pub fn accumulate(&mut self, other: &StoreStats) {
+        self.live_segments += other.live_segments;
+        self.live_bytes += other.live_bytes;
+        self.disk_bytes += other.disk_bytes;
+        self.log_files += other.log_files;
+        self.writes += other.writes;
+        self.reads += other.reads;
+    }
 }
 
-#[derive(Debug)]
-struct StoreInner {
-    dir: PathBuf,
-    index: BTreeMap<SegmentKey, ValueLocation>,
-    active: LogFile,
-    sealed: BTreeMap<u64, PathBuf>,
-    stats_writes: u64,
-    stats_reads: u64,
-    disk_bytes: u64,
-}
-
-/// The segment store.
+/// The sharded segment store.
 ///
-/// Cloneable handles share one underlying store; all operations are
-/// internally synchronised.
+/// All operations are internally synchronised per shard; a shared reference
+/// can be used freely from many threads.
 #[derive(Debug)]
 pub struct SegmentStore {
-    inner: Mutex<StoreInner>,
+    dir: PathBuf,
+    shards: Vec<Shard>,
 }
 
 impl SegmentStore {
-    /// Open (or create) a store rooted at `dir`, rebuilding the index by
-    /// scanning the value logs.
+    /// Open (or create) a store rooted at `dir` with the default shard
+    /// count, rebuilding each shard's index by scanning its value logs.
+    ///
+    /// Reopening an existing store always uses the shard count it was
+    /// created with (recorded in its `SHARDS` meta file).
     pub fn open(dir: impl AsRef<Path>) -> Result<SegmentStore> {
+        Self::open_with_shards(dir, DEFAULT_SHARDS)
+    }
+
+    /// Open (or create) a store rooted at `dir` with `shards` shards.
+    ///
+    /// `shards` applies only when the store is created; an existing store
+    /// keeps its recorded shard count (keys must keep routing to the shard
+    /// they were written to).
+    pub fn open_with_shards(dir: impl AsRef<Path>, shards: usize) -> Result<SegmentStore> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
-        // Discover existing log files in id order.
-        let mut ids: Vec<u64> = fs::read_dir(&dir)?
-            .filter_map(|e| e.ok())
-            .filter_map(|e| e.file_name().to_str().and_then(LogFile::parse_id))
-            .collect();
-        ids.sort_unstable();
-
-        let mut index = BTreeMap::new();
-        let mut sealed = BTreeMap::new();
-        let mut disk_bytes = 0u64;
-        for &id in &ids {
-            let path = dir.join(LogFile::file_name(id));
-            let records = LogFile::scan(&path)?;
-            for record in records {
-                let key = SegmentKey::decode(&record.key)?;
-                if record.is_tombstone {
-                    index.remove(&key);
-                } else {
-                    index.insert(
-                        key,
-                        ValueLocation {
-                            file_id: id,
-                            offset: record.offset,
-                            total_len: record.total_len,
-                            value_len: record.value.len() as u64,
-                        },
-                    );
+        let meta_path = dir.join(SHARD_META_FILE);
+        let shard_count = match fs::read_to_string(&meta_path) {
+            Ok(contents) => contents.trim().parse::<usize>().map_err(|_| {
+                VStoreError::corruption(format!("invalid shard meta file {}", meta_path.display()))
+            })?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                // No meta file. Refuse directories that already hold store
+                // data — value logs at the root (the pre-shard layout) or
+                // shard directories whose meta file was lost — rather than
+                // guessing a shard count and misrouting every existing key.
+                let mut legacy_logs = false;
+                let mut orphan_shards = false;
+                for entry in fs::read_dir(&dir)?.filter_map(|e| e.ok()) {
+                    let name = entry.file_name();
+                    let Some(name) = name.to_str() else { continue };
+                    if crate::log::LogFile::parse_id(name).is_some() {
+                        legacy_logs = true;
+                    }
+                    if name.starts_with("shard-") && entry.path().is_dir() {
+                        orphan_shards = true;
+                    }
                 }
+                if legacy_logs {
+                    return Err(VStoreError::corruption(format!(
+                        "{} holds un-sharded value logs but no SHARDS meta file",
+                        dir.display()
+                    )));
+                }
+                if orphan_shards {
+                    return Err(VStoreError::corruption(format!(
+                        "{} holds shard directories but no SHARDS meta file; \
+                         refusing to guess the shard count",
+                        dir.display()
+                    )));
+                }
+                let count = shards.max(1);
+                fs::write(&meta_path, format!("{count}\n"))?;
+                count
             }
-            disk_bytes += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-            sealed.insert(id, path);
+            Err(e) => return Err(e.into()),
+        };
+        if shard_count == 0 {
+            return Err(VStoreError::corruption(
+                "shard meta file records zero shards",
+            ));
         }
-        // The active log is a fresh file after the highest existing id; this
-        // keeps recovery simple (sealed files are never appended to again).
-        let next_id = ids.last().map(|id| id + 1).unwrap_or(1);
-        let active = LogFile::create(&dir, next_id)?;
-        Ok(SegmentStore {
-            inner: Mutex::new(StoreInner {
-                dir,
-                index,
-                active,
-                sealed,
-                stats_writes: 0,
-                stats_reads: 0,
-                disk_bytes,
-            }),
-        })
+        let shards = (0..shard_count)
+            .map(|i| Shard::open(dir.join(format!("shard-{i:03}"))))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(SegmentStore { dir, shards })
     }
 
     /// Open a store in a fresh temporary directory (tests, examples and
     /// benchmarks). The directory is *not* cleaned up automatically.
     pub fn open_temp(tag: &str) -> Result<SegmentStore> {
+        Self::open_temp_with_shards(tag, DEFAULT_SHARDS)
+    }
+
+    /// [`open_temp`](Self::open_temp) with an explicit shard count.
+    pub fn open_temp_with_shards(tag: &str, shards: usize) -> Result<SegmentStore> {
         let nanos = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_nanos())
             .unwrap_or(0);
         let dir = std::env::temp_dir().join(format!("vstore-{tag}-{}-{nanos}", std::process::id()));
-        SegmentStore::open(dir)
+        SegmentStore::open_with_shards(dir, shards)
     }
 
     /// The root directory of the store.
     pub fn dir(&self) -> PathBuf {
-        self.inner.lock().dir.clone()
+        self.dir.clone()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a key routes to.
+    fn shard_of(&self, key: &SegmentKey) -> &Shard {
+        &self.shards[self.shard_index(key)]
+    }
+
+    /// Index of the shard a key routes to: a deterministic hash of the full
+    /// key, so consecutive segments of one stream spread across shards and
+    /// parallel writers rarely collide.
+    pub fn shard_index(&self, key: &SegmentKey) -> usize {
+        let hash = DeterministicHasher::new(ROUTING_SEED)
+            .mix_str(&key.stream)
+            .mix(u64::from(key.format.0))
+            .mix(key.segment_index)
+            .value();
+        (hash % self.shards.len() as u64) as usize
     }
 
     /// Store a segment, replacing any previous value under the same key.
     pub fn put(&self, key: &SegmentKey, value: &[u8]) -> Result<()> {
-        let mut inner = self.inner.lock();
-        inner.roll_if_needed()?;
-        let encoded_key = key.encode();
-        let (offset, total_len) = inner.active.append(&encoded_key, value, false)?;
-        let file_id = inner.active.id;
-        inner.index.insert(
-            key.clone(),
-            ValueLocation { file_id, offset, total_len, value_len: value.len() as u64 },
-        );
-        inner.stats_writes += 1;
-        inner.disk_bytes += total_len;
-        Ok(())
+        self.shard_of(key).put(key, value)
     }
 
     /// Fetch a segment. Returns `Ok(None)` when the key does not exist.
     pub fn get(&self, key: &SegmentKey) -> Result<Option<Vec<u8>>> {
-        let mut inner = self.inner.lock();
-        inner.stats_reads += 1;
-        let location = match inner.index.get(key) {
-            Some(loc) => *loc,
-            None => return Ok(None),
-        };
-        let value = inner.read_at(location)?;
-        Ok(Some(value))
+        self.shard_of(key).get(key)
     }
 
     /// `true` if the key exists.
     pub fn contains(&self, key: &SegmentKey) -> bool {
-        self.inner.lock().index.contains_key(key)
+        self.shard_of(key).contains(key)
     }
 
     /// Delete a segment. Deleting a missing key is a no-op.
     pub fn delete(&self, key: &SegmentKey) -> Result<()> {
-        let mut inner = self.inner.lock();
-        if inner.index.remove(key).is_none() {
-            return Ok(());
-        }
-        inner.roll_if_needed()?;
-        let encoded_key = key.encode();
-        let (_, total_len) = inner.active.append(&encoded_key, &[], true)?;
-        inner.stats_writes += 1;
-        inner.disk_bytes += total_len;
-        Ok(())
+        self.shard_of(key).delete(key)
     }
 
-    /// All keys for one `(stream, format)` pair, in segment order.
+    /// All keys for one `(stream, format)` pair, in segment order, merged
+    /// across shards.
     pub fn segments_of(&self, stream: &str, format: FormatId) -> Vec<SegmentKey> {
-        let lo = SegmentKey::new(stream, format, 0);
-        let hi = SegmentKey::new(stream, format, u64::MAX);
-        self.inner.lock().index.range(lo..=hi).map(|(k, _)| k.clone()).collect()
+        let mut keys: Vec<SegmentKey> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.segments_of(stream, format))
+            .collect();
+        keys.sort_unstable();
+        keys
     }
 
-    /// All live keys, in key order.
+    /// All live keys, in key order, merged across shards.
     pub fn keys(&self) -> Vec<SegmentKey> {
-        self.inner.lock().index.keys().cloned().collect()
+        let mut keys: Vec<SegmentKey> = self.shards.iter().flat_map(|s| s.keys()).collect();
+        keys.sort_unstable();
+        keys
     }
 
     /// Number of live segments.
     pub fn len(&self) -> usize {
-        self.inner.lock().index.len()
+        self.shards.iter().map(|s| s.len()).sum()
     }
 
     /// `true` when no live segment exists.
@@ -218,127 +240,51 @@ impl SegmentStore {
 
     /// Total bytes of live values stored for one `(stream, format)` pair.
     pub fn bytes_of(&self, stream: &str, format: FormatId) -> ByteSize {
-        let lo = SegmentKey::new(stream, format, 0);
-        let hi = SegmentKey::new(stream, format, u64::MAX);
-        ByteSize(self.inner.lock().index.range(lo..=hi).map(|(_, v)| v.value_len).sum())
+        ByteSize(self.shards.iter().map(|s| s.bytes_of(stream, format)).sum())
     }
 
-    /// Store statistics.
+    /// Aggregate store statistics (the sum of every shard's statistics).
     pub fn stats(&self) -> StoreStats {
-        let inner = self.inner.lock();
-        StoreStats {
-            live_segments: inner.index.len(),
-            live_bytes: inner.index.values().map(|v| v.value_len).sum(),
-            disk_bytes: inner.disk_bytes,
-            log_files: inner.sealed.len() + 1,
-            writes: inner.stats_writes,
-            reads: inner.stats_reads,
+        let mut total = StoreStats::default();
+        for shard in &self.shards {
+            total.accumulate(&shard.stats());
         }
+        total
     }
 
-    /// Flush and fsync the active log.
+    /// Per-shard statistics, in shard order.
+    pub fn shard_stats(&self) -> Vec<StoreStats> {
+        self.shards.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Flush and fsync every shard's active log.
     pub fn sync(&self) -> Result<()> {
-        self.inner.lock().active.sync()
+        for shard in &self.shards {
+            shard.sync()?;
+        }
+        Ok(())
     }
 
-    /// Rewrite all live records into fresh log files and delete the old
-    /// ones, reclaiming space left by deletions and overwrites. Returns the
+    /// Compact every shard — rewriting live records into fresh log files and
+    /// deleting the old ones — running shards in parallel. Returns the total
     /// number of bytes reclaimed.
     pub fn compact(&self) -> Result<u64> {
-        let mut inner = self.inner.lock();
-        let before = inner.disk_bytes;
-        // Collect live key/value pairs (reading through the old files).
-        let entries: Vec<(SegmentKey, ValueLocation)> =
-            inner.index.iter().map(|(k, v)| (k.clone(), *v)).collect();
-        let mut values = Vec::with_capacity(entries.len());
-        for (key, loc) in &entries {
-            values.push((key.clone(), inner.read_at(*loc)?));
+        let reclaimed = scoped_map(
+            self.shards.iter().collect::<Vec<_>>(),
+            self.shards.len(),
+            |_, shard| shard.compact(),
+        );
+        let mut total = 0u64;
+        for r in reclaimed {
+            total += r?;
         }
-        // Remember the old files, then start a new generation.
-        let old_files: Vec<PathBuf> = inner
-            .sealed
-            .values()
-            .cloned()
-            .chain(std::iter::once(inner.active.path().to_path_buf()))
-            .collect();
-        let next_id = inner.active.id + 1;
-        inner.sealed.clear();
-        inner.active = LogFile::create(&inner.dir, next_id)?;
-        inner.index.clear();
-        inner.disk_bytes = 0;
-        for (key, value) in values {
-            inner.roll_if_needed()?;
-            let encoded = key.encode();
-            let (offset, total_len) = inner.active.append(&encoded, &value, false)?;
-            let file_id = inner.active.id;
-            inner.index.insert(
-                key,
-                ValueLocation { file_id, offset, total_len, value_len: value.len() as u64 },
-            );
-            inner.disk_bytes += total_len;
-        }
-        inner.active.sync()?;
-        for path in old_files {
-            fs::remove_file(&path).ok();
-        }
-        Ok(before.saturating_sub(inner.disk_bytes))
+        Ok(total)
     }
 
     /// Approximate on-disk cost of storing a value of `value_len` bytes under
     /// `key` (framing included). Used by capacity planning.
     pub fn on_disk_cost(key: &SegmentKey, value_len: usize) -> u64 {
         record_size(key.encode().len(), value_len)
-    }
-}
-
-impl StoreInner {
-    fn roll_if_needed(&mut self) -> Result<()> {
-        if self.active.len() >= LOG_ROLL_BYTES {
-            self.active.sync()?;
-            let old_id = self.active.id;
-            let old_path = self.active.path().to_path_buf();
-            self.sealed.insert(old_id, old_path);
-            self.active = LogFile::create(&self.dir, old_id + 1)?;
-        }
-        Ok(())
-    }
-
-    fn read_at(&self, location: ValueLocation) -> Result<Vec<u8>> {
-        let path = if location.file_id == self.active.id {
-            self.active.path().to_path_buf()
-        } else {
-            self.sealed
-                .get(&location.file_id)
-                .cloned()
-                .ok_or_else(|| {
-                    VStoreError::corruption(format!("missing log file {}", location.file_id))
-                })?
-        };
-        // Reads go through a scoped LogFile-style read to keep CRC checking.
-        let log = LogFileReadHandle { path };
-        log.read_value(location.offset, location.total_len)
-    }
-}
-
-/// A read-only handle for random access into a log file.
-struct LogFileReadHandle {
-    path: PathBuf,
-}
-
-impl LogFileReadHandle {
-    fn read_value(&self, offset: u64, total_len: u64) -> Result<Vec<u8>> {
-        use std::io::{Read, Seek, SeekFrom};
-        let mut file = fs::File::open(&self.path)?;
-        file.seek(SeekFrom::Start(offset))?;
-        let mut buf = vec![0u8; total_len as usize];
-        file.read_exact(&mut buf)?;
-        // Re-parse the record to verify the CRC.
-        let records = crate::log::LogFile::scan_buffer(&buf, offset)?;
-        records
-            .into_iter()
-            .next()
-            .map(|r| r.value)
-            .ok_or_else(|| VStoreError::corruption("record failed CRC on read"))
     }
 }
 
@@ -389,7 +335,9 @@ mod tests {
         }
         let a1 = s.segments_of("a", FormatId(1));
         assert_eq!(a1.len(), 10);
-        assert!(a1.windows(2).all(|w| w[0].segment_index < w[1].segment_index));
+        assert!(a1
+            .windows(2)
+            .all(|w| w[0].segment_index < w[1].segment_index));
         assert_eq!(s.segments_of("a", FormatId(2)).len(), 10);
         assert_eq!(s.segments_of("c", FormatId(1)).len(), 0);
         assert_eq!(s.bytes_of("a", FormatId(2)).bytes(), 200);
@@ -411,7 +359,10 @@ mod tests {
         let reopened = SegmentStore::open(&dir).unwrap();
         assert_eq!(reopened.len(), 19);
         assert!(!reopened.contains(&key("park", 0, 3)));
-        assert_eq!(reopened.get(&key("park", 0, 7)).unwrap().unwrap(), vec![7u8; 1000]);
+        assert_eq!(
+            reopened.get(&key("park", 0, 7)).unwrap().unwrap(),
+            vec![7u8; 1000]
+        );
         fs::remove_dir_all(dir).ok();
     }
 
@@ -445,7 +396,11 @@ mod tests {
         assert!(reclaimed > 0);
         let after = s.stats();
         assert_eq!(after.live_segments, 10);
-        assert!(after.garbage_ratio() < 0.05, "garbage {:.2}", after.garbage_ratio());
+        assert!(
+            after.garbage_ratio() < 0.05,
+            "garbage {:.2}",
+            after.garbage_ratio()
+        );
         for i in 40..50 {
             assert_eq!(s.get(&key("y", 1, i)).unwrap().unwrap(), vec![9u8; 2000]);
         }
@@ -489,5 +444,133 @@ mod tests {
     fn on_disk_cost_exceeds_value_length() {
         let k = key("jackson", 1, 5);
         assert!(SegmentStore::on_disk_cost(&k, 1000) > 1000);
+    }
+
+    // ---------------- sharding-specific behaviour ----------------
+
+    #[test]
+    fn single_shard_store_works_and_reports_one_shard() {
+        let s = SegmentStore::open_temp_with_shards("one-shard", 1).unwrap();
+        assert_eq!(s.shard_count(), 1);
+        for i in 0..20 {
+            s.put(&key("solo", 1, i), &[1u8; 64]).unwrap();
+        }
+        assert_eq!(s.len(), 20);
+        assert_eq!(s.shard_stats().len(), 1);
+        assert_eq!(s.shard_stats()[0].live_segments, 20);
+        cleanup(&s);
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let s = SegmentStore::open_temp_with_shards("spread", 8).unwrap();
+        for i in 0..200 {
+            s.put(&key("spread", 1, i), &[0u8; 16]).unwrap();
+        }
+        let per_shard = s.shard_stats();
+        let populated = per_shard.iter().filter(|st| st.live_segments > 0).count();
+        assert!(populated >= 6, "only {populated}/8 shards populated");
+        // No shard holds more than half the keys (uniform-ish routing).
+        assert!(per_shard.iter().all(|st| st.live_segments < 100));
+        cleanup(&s);
+    }
+
+    #[test]
+    fn aggregate_stats_equal_sum_of_shard_stats() {
+        let s = SegmentStore::open_temp_with_shards("agg", 4).unwrap();
+        for i in 0..60 {
+            s.put(&key("agg", 1, i), &vec![7u8; 100 + i as usize])
+                .unwrap();
+        }
+        for i in 0..10 {
+            s.delete(&key("agg", 1, i)).unwrap();
+        }
+        let _ = s.get(&key("agg", 1, 30)).unwrap();
+        let mut summed = StoreStats::default();
+        for shard in s.shard_stats() {
+            summed.accumulate(&shard);
+        }
+        assert_eq!(summed, s.stats());
+        assert_eq!(summed.live_segments, 50);
+        cleanup(&s);
+    }
+
+    #[test]
+    fn shard_routing_is_stable_across_reopen() {
+        let s = SegmentStore::open_temp_with_shards("stable-routing", 5).unwrap();
+        let dir = s.dir();
+        let routed: Vec<usize> = (0..50)
+            .map(|i| s.shard_index(&key("stable", 2, i)))
+            .collect();
+        for i in 0..50 {
+            s.put(&key("stable", 2, i), &[3u8; 32]).unwrap();
+        }
+        s.sync().unwrap();
+        drop(s);
+        // Reopen with a *different* requested count: the recorded count wins.
+        let reopened = SegmentStore::open_with_shards(&dir, 16).unwrap();
+        assert_eq!(reopened.shard_count(), 5);
+        for (i, &expected) in routed.iter().enumerate() {
+            assert_eq!(reopened.shard_index(&key("stable", 2, i as u64)), expected);
+            assert!(reopened.contains(&key("stable", 2, i as u64)));
+        }
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn unsharded_legacy_directory_is_rejected_not_shadowed() {
+        let s = SegmentStore::open_temp_with_shards("legacy", 1).unwrap();
+        let dir = s.dir();
+        s.put(&key("legacy", 1, 0), &[1u8; 64]).unwrap();
+        s.sync().unwrap();
+        drop(s);
+        // Fake the pre-shard layout: logs at the root, no meta file.
+        let shard_dir = dir.join("shard-000");
+        for entry in fs::read_dir(&shard_dir).unwrap() {
+            let entry = entry.unwrap();
+            fs::rename(entry.path(), dir.join(entry.file_name())).unwrap();
+        }
+        fs::remove_dir(shard_dir).unwrap();
+        fs::remove_file(dir.join("SHARDS")).unwrap();
+        let err = SegmentStore::open(&dir).unwrap_err();
+        assert!(err.to_string().contains("un-sharded"), "got: {err}");
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn shard_dirs_without_meta_file_are_rejected_not_reseeded() {
+        let s = SegmentStore::open_temp_with_shards("orphan", 5).unwrap();
+        let dir = s.dir();
+        s.put(&key("orphan", 1, 0), &[1u8; 64]).unwrap();
+        s.sync().unwrap();
+        drop(s);
+        fs::remove_file(dir.join("SHARDS")).unwrap();
+        let err = SegmentStore::open(&dir).unwrap_err();
+        assert!(err.to_string().contains("refusing to guess"), "got: {err}");
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn parallel_compaction_reclaims_across_all_shards() {
+        let s = SegmentStore::open_temp_with_shards("par-compact", 8).unwrap();
+        for i in 0..160 {
+            s.put(&key("pc", 1, i), &vec![5u8; 4000]).unwrap();
+        }
+        for i in 0..160 {
+            s.put(&key("pc", 1, i), &vec![6u8; 3000]).unwrap(); // supersede everything
+        }
+        let reclaimed = s.compact().unwrap();
+        assert!(reclaimed > 160 * 3000, "reclaimed only {reclaimed} bytes");
+        for shard in s.shard_stats() {
+            assert!(
+                shard.garbage_ratio() < 0.05,
+                "shard garbage {:.2}",
+                shard.garbage_ratio()
+            );
+        }
+        for i in 0..160 {
+            assert_eq!(s.get(&key("pc", 1, i)).unwrap().unwrap(), vec![6u8; 3000]);
+        }
+        cleanup(&s);
     }
 }

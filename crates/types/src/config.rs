@@ -74,7 +74,12 @@ impl ErosionPlan {
                 overall_relative_speed: 1.0,
             })
             .collect();
-        ErosionPlan { decay_factor: 0.0, p_min, lifespan_days, steps }
+        ErosionPlan {
+            decay_factor: 0.0,
+            p_min,
+            lifespan_days,
+            steps,
+        }
     }
 
     /// The power-law speed target for a given age.
@@ -89,7 +94,9 @@ impl ErosionPlan {
 
     /// `true` if the plan never deletes any segment.
     pub fn is_no_op(&self) -> bool {
-        self.steps.iter().all(|s| s.deleted.values().all(|f| f.value() == 0.0))
+        self.steps
+            .iter()
+            .all(|s| s.deleted.values().all(|f| f.value() == 0.0))
     }
 }
 
@@ -124,10 +131,18 @@ impl Configuration {
 
     /// Number of *unique* consumption formats across all subscriptions.
     pub fn unique_consumption_formats(&self) -> usize {
-        let mut fids: Vec<Fidelity> =
-            self.subscriptions.iter().map(|s| s.consumption.fidelity).collect();
+        let mut fids: Vec<Fidelity> = self
+            .subscriptions
+            .iter()
+            .map(|s| s.consumption.fidelity)
+            .collect();
         fids.sort_by_key(|f| {
-            (f.quality.rank(), f.crop.rank(), f.resolution.rank(), f.sampling.rank())
+            (
+                f.quality.rank(),
+                f.crop.rank(),
+                f.resolution.rank(),
+                f.sampling.rank(),
+            )
         });
         fids.dedup();
         fids.len()
@@ -161,9 +176,9 @@ impl Configuration {
     /// * the golden format exists and is richer-or-equal to every stored
     ///   format and every consumption format.
     pub fn validate(&self) -> Result<()> {
-        let golden = self
-            .golden()
-            .ok_or_else(|| VStoreError::InvalidState("configuration lacks a golden format".into()))?;
+        let golden = self.golden().ok_or_else(|| {
+            VStoreError::InvalidState("configuration lacks a golden format".into())
+        })?;
         for (id, sf) in &self.storage_formats {
             if !golden.fidelity.richer_or_equal(&sf.fidelity) {
                 return Err(VStoreError::InvalidState(format!(
@@ -284,7 +299,8 @@ mod tests {
     #[test]
     fn valid_configuration_passes() {
         let cfg = sample_config();
-        cfg.validate().expect("sample configuration should be valid");
+        cfg.validate()
+            .expect("sample configuration should be valid");
         assert_eq!(cfg.unique_consumption_formats(), 2);
         assert!(cfg.knob_count() > 0);
         assert!(cfg.golden().is_some());
@@ -338,6 +354,9 @@ mod tests {
         assert!(plan.is_no_op());
         assert_eq!(plan.steps.len(), 10);
         assert_eq!(plan.speed_target(10), 1.0);
-        assert_eq!(plan.step(3).unwrap().deleted_fraction(FormatId(1)), Fraction::ZERO);
+        assert_eq!(
+            plan.step(3).unwrap().deleted_fraction(FormatId(1)),
+            Fraction::ZERO
+        );
     }
 }

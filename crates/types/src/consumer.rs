@@ -137,7 +137,10 @@ pub struct Consumer {
 impl Consumer {
     /// Construct a consumer from an operator and a target F1 value.
     pub fn new(op: OperatorKind, f1: f64) -> Self {
-        Consumer { op, accuracy: AccuracyLevel::new(f1) }
+        Consumer {
+            op,
+            accuracy: AccuracyLevel::new(f1),
+        }
     }
 
     /// The full consumer set used in the paper's evaluation: the six query

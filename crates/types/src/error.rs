@@ -99,7 +99,7 @@ mod tests {
     #[test]
     fn io_error_converts_and_sources() {
         use std::error::Error;
-        let io_err = io::Error::new(io::ErrorKind::Other, "disk on fire");
+        let io_err = io::Error::other("disk on fire");
         let e: VStoreError = io_err.into();
         assert!(e.to_string().contains("disk on fire"));
         assert!(e.source().is_some());

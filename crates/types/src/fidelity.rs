@@ -58,7 +58,12 @@ impl Fidelity {
         resolution: Resolution,
         sampling: FrameSampling,
     ) -> Self {
-        Fidelity { quality, crop, resolution, sampling }
+        Fidelity {
+            quality,
+            crop,
+            resolution,
+            sampling,
+        }
     }
 
     /// Compare `self` against `other` under the richer-than partial order.
@@ -69,8 +74,8 @@ impl Fidelity {
             self.resolution.rank().cmp(&other.resolution.rank()),
             self.sampling.rank().cmp(&other.sampling.rank()),
         ];
-        let any_gt = cmps.iter().any(|c| *c == Ordering::Greater);
-        let any_lt = cmps.iter().any(|c| *c == Ordering::Less);
+        let any_gt = cmps.contains(&Ordering::Greater);
+        let any_lt = cmps.contains(&Ordering::Less);
         match (any_gt, any_lt) {
             (false, false) => Richness::Equal,
             (true, false) => Richness::Richer,
@@ -104,7 +109,12 @@ impl Fidelity {
             }
         }
         Fidelity {
-            quality: pick(self.quality, other.quality, self.quality.rank(), other.quality.rank()),
+            quality: pick(
+                self.quality,
+                other.quality,
+                self.quality.rank(),
+                other.quality.rank(),
+            ),
             crop: pick(self.crop, other.crop, self.crop.rank(), other.crop.rank()),
             resolution: pick(
                 self.resolution,
@@ -131,7 +141,12 @@ impl Fidelity {
             }
         }
         Fidelity {
-            quality: pick(self.quality, other.quality, self.quality.rank(), other.quality.rank()),
+            quality: pick(
+                self.quality,
+                other.quality,
+                self.quality.rank(),
+                other.quality.rank(),
+            ),
             crop: pick(self.crop, other.crop, self.crop.rank(), other.crop.rank()),
             resolution: pick(
                 self.resolution,
@@ -222,7 +237,12 @@ mod tests {
 
     #[test]
     fn ingestion_is_richest() {
-        let other = f(ImageQuality::Good, CropFactor::C75, Resolution::R540, FrameSampling::S1_2);
+        let other = f(
+            ImageQuality::Good,
+            CropFactor::C75,
+            Resolution::R540,
+            FrameSampling::S1_2,
+        );
         assert!(Fidelity::INGESTION.richer_or_equal(&other));
         assert!(Fidelity::INGESTION.strictly_richer(&other));
         assert!(!other.richer_or_equal(&Fidelity::INGESTION));
@@ -232,8 +252,18 @@ mod tests {
     #[test]
     fn incomparable_pair_from_paper() {
         // good-50%-720p-1/2 vs bad-100%-540p-1 (§2.3).
-        let a = f(ImageQuality::Good, CropFactor::C50, Resolution::R720, FrameSampling::S1_2);
-        let b = f(ImageQuality::Bad, CropFactor::C100, Resolution::R540, FrameSampling::Full);
+        let a = f(
+            ImageQuality::Good,
+            CropFactor::C50,
+            Resolution::R720,
+            FrameSampling::S1_2,
+        );
+        let b = f(
+            ImageQuality::Bad,
+            CropFactor::C100,
+            Resolution::R540,
+            FrameSampling::Full,
+        );
         assert_eq!(a.compare(&b), Richness::Incomparable);
         assert_eq!(b.compare(&a), Richness::Incomparable);
         assert!(!a.richer_or_equal(&b));
@@ -242,8 +272,18 @@ mod tests {
 
     #[test]
     fn join_is_upper_bound() {
-        let a = f(ImageQuality::Good, CropFactor::C50, Resolution::R720, FrameSampling::S1_2);
-        let b = f(ImageQuality::Bad, CropFactor::C100, Resolution::R540, FrameSampling::Full);
+        let a = f(
+            ImageQuality::Good,
+            CropFactor::C50,
+            Resolution::R720,
+            FrameSampling::S1_2,
+        );
+        let b = f(
+            ImageQuality::Bad,
+            CropFactor::C100,
+            Resolution::R540,
+            FrameSampling::Full,
+        );
         let j = a.join(&b);
         assert!(j.richer_or_equal(&a));
         assert!(j.richer_or_equal(&b));
@@ -255,8 +295,18 @@ mod tests {
 
     #[test]
     fn meet_is_lower_bound() {
-        let a = f(ImageQuality::Good, CropFactor::C50, Resolution::R720, FrameSampling::S1_2);
-        let b = f(ImageQuality::Bad, CropFactor::C100, Resolution::R540, FrameSampling::Full);
+        let a = f(
+            ImageQuality::Good,
+            CropFactor::C50,
+            Resolution::R720,
+            FrameSampling::S1_2,
+        );
+        let b = f(
+            ImageQuality::Bad,
+            CropFactor::C100,
+            Resolution::R540,
+            FrameSampling::Full,
+        );
         let m = a.meet(&b);
         assert!(a.richer_or_equal(&m));
         assert!(b.richer_or_equal(&m));
@@ -271,26 +321,54 @@ mod tests {
 
     #[test]
     fn pixel_accounting() {
-        let full = f(ImageQuality::Best, CropFactor::C100, Resolution::R720, FrameSampling::Full);
+        let full = f(
+            ImageQuality::Best,
+            CropFactor::C100,
+            Resolution::R720,
+            FrameSampling::Full,
+        );
         assert_eq!(full.pixels_per_frame(), 1280 * 720);
         assert!((full.pixels_per_video_second() - (1280.0 * 720.0 * 30.0)).abs() < 1e-6);
-        let half = f(ImageQuality::Best, CropFactor::C50, Resolution::R720, FrameSampling::Full);
+        let half = f(
+            ImageQuality::Best,
+            CropFactor::C50,
+            Resolution::R720,
+            FrameSampling::Full,
+        );
         assert_eq!(half.pixels_per_frame(), (1280 * 720) / 2);
     }
 
     #[test]
     fn label_matches_paper_notation() {
-        let c = f(ImageQuality::Good, CropFactor::C100, Resolution::R540, FrameSampling::S1_6);
+        let c = f(
+            ImageQuality::Good,
+            CropFactor::C100,
+            Resolution::R540,
+            FrameSampling::S1_6,
+        );
         assert_eq!(c.label(), "good-540p-1/6-100%");
     }
 
     #[test]
     fn richness_volume_monotone_in_each_knob() {
-        let base = f(ImageQuality::Bad, CropFactor::C75, Resolution::R360, FrameSampling::S1_2);
-        let richer_q =
-            f(ImageQuality::Good, CropFactor::C75, Resolution::R360, FrameSampling::S1_2);
-        let richer_r =
-            f(ImageQuality::Bad, CropFactor::C75, Resolution::R540, FrameSampling::S1_2);
+        let base = f(
+            ImageQuality::Bad,
+            CropFactor::C75,
+            Resolution::R360,
+            FrameSampling::S1_2,
+        );
+        let richer_q = f(
+            ImageQuality::Good,
+            CropFactor::C75,
+            Resolution::R360,
+            FrameSampling::S1_2,
+        );
+        let richer_r = f(
+            ImageQuality::Bad,
+            CropFactor::C75,
+            Resolution::R540,
+            FrameSampling::S1_2,
+        );
         assert!(richer_q.richness_volume() > base.richness_volume());
         assert!(richer_r.richness_volume() > base.richness_volume());
     }

@@ -47,7 +47,10 @@ impl CodingOption {
         let mut out = Vec::with_capacity(25);
         for ki in KeyframeInterval::ALL {
             for sp in SpeedStep::ALL {
-                out.push(CodingOption::Encoded { keyframe_interval: ki, speed: sp });
+                out.push(CodingOption::Encoded {
+                    keyframe_interval: ki,
+                    speed: sp,
+                });
             }
         }
         out
@@ -57,7 +60,10 @@ impl CodingOption {
     pub fn label(&self) -> String {
         match self {
             CodingOption::Raw => "RAW".to_owned(),
-            CodingOption::Encoded { keyframe_interval, speed } => {
+            CodingOption::Encoded {
+                keyframe_interval,
+                speed,
+            } => {
                 format!("{}-{}", keyframe_interval.label(), speed.label())
             }
         }
@@ -129,9 +135,7 @@ impl fmt::Display for StorageFormat {
 ///
 /// `FormatId(0)` is reserved for the *golden* format by convention
 /// ([`FormatId::GOLDEN`]); derived formats are numbered from 1.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct FormatId(pub u32);
 
 impl FormatId {

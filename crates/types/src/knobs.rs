@@ -504,7 +504,12 @@ mod tests {
     fn resolution_count_and_order() {
         assert_eq!(Resolution::ALL.len(), 10);
         for pair in Resolution::ALL.windows(2) {
-            assert!(pair[0].pixels() < pair[1].pixels(), "{:?} !< {:?}", pair[0], pair[1]);
+            assert!(
+                pair[0].pixels() < pair[1].pixels(),
+                "{:?} !< {:?}",
+                pair[0],
+                pair[1]
+            );
             assert!(pair[0].rank() < pair[1].rank());
         }
         assert_eq!(Resolution::R720.width(), 1280);

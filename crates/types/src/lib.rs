@@ -33,6 +33,7 @@ pub mod error;
 pub mod fidelity;
 pub mod format;
 pub mod knobs;
+pub mod runtime;
 pub mod space;
 pub mod units;
 
@@ -42,5 +43,6 @@ pub use error::{Result, VStoreError};
 pub use fidelity::{Fidelity, Richness};
 pub use format::{CodingOption, ConsumptionFormat, FormatId, StorageFormat};
 pub use knobs::{CropFactor, FrameSampling, ImageQuality, KeyframeInterval, Resolution, SpeedStep};
+pub use runtime::{available_workers, RuntimeOptions, DEFAULT_SHARDS};
 pub use space::{CodingSpace, FidelitySpace};
 pub use units::{ByteSize, CoreSeconds, Fraction, Speed, VideoSeconds};

@@ -1,0 +1,108 @@
+//! Runtime parallelism options shared by the storage, ingestion and query
+//! layers.
+//!
+//! VStore's premise is saturating the hardware: ingestion transcodes one
+//! stream into many storage formats under a CPU budget (§4.3) and queries
+//! are retrieval-bound on decode bandwidth (§6.2). These options size the
+//! sharded store and the worker pools that deliver that parallelism. Every
+//! knob set to 1 reproduces the fully sequential behaviour, and all paths
+//! produce *identical* reports regardless of the values — parallelism never
+//! changes results, only wall-clock time.
+
+use serde::{Deserialize, Serialize};
+
+/// Parallelism configuration for a VStore instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuntimeOptions {
+    /// Number of independent segment-store shards. Each shard owns its own
+    /// index, log-file set, roll-over and compaction; keys are routed by
+    /// hash. 1 reproduces the original single-lock store.
+    pub shards: usize,
+    /// Worker threads fanning per-segment transcode work across the storage
+    /// formats at ingestion. Capped further by the configuration's ingestion
+    /// CPU budget when one is set.
+    pub ingest_workers: usize,
+    /// Segment lookahead of the query engine's prefetch/decode stage: how
+    /// many segments are fetched and decoded in parallel ahead of the
+    /// operator cascade. 1 disables prefetching.
+    pub query_prefetch: usize,
+}
+
+/// Default shard count: enough to spread MB-sized segment appends across
+/// locks without creating needless log files on small hosts.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// The host's available parallelism (1 when it cannot be determined).
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+impl RuntimeOptions {
+    /// Fully sequential execution: one shard, one worker, no prefetch.
+    /// This is byte-for-byte the behaviour of the original serial runtime.
+    pub fn sequential() -> Self {
+        RuntimeOptions {
+            shards: 1,
+            ingest_workers: 1,
+            query_prefetch: 1,
+        }
+    }
+
+    /// Clamp every knob to at least 1.
+    pub fn normalized(self) -> Self {
+        RuntimeOptions {
+            shards: self.shards.max(1),
+            ingest_workers: self.ingest_workers.max(1),
+            query_prefetch: self.query_prefetch.max(1),
+        }
+    }
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        let workers = available_workers();
+        RuntimeOptions {
+            shards: DEFAULT_SHARDS,
+            ingest_workers: workers,
+            query_prefetch: workers.max(2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_parallel() {
+        let opts = RuntimeOptions::default();
+        assert_eq!(opts.shards, DEFAULT_SHARDS);
+        assert!(opts.ingest_workers >= 1);
+        assert!(opts.query_prefetch >= 2);
+    }
+
+    #[test]
+    fn sequential_means_all_ones() {
+        assert_eq!(
+            RuntimeOptions::sequential(),
+            RuntimeOptions {
+                shards: 1,
+                ingest_workers: 1,
+                query_prefetch: 1
+            }
+        );
+    }
+
+    #[test]
+    fn normalized_clamps_zeroes() {
+        let opts = RuntimeOptions {
+            shards: 0,
+            ingest_workers: 0,
+            query_prefetch: 0,
+        }
+        .normalized();
+        assert_eq!(opts, RuntimeOptions::sequential());
+    }
+}

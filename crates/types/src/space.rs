@@ -4,7 +4,9 @@
 
 use crate::fidelity::Fidelity;
 use crate::format::CodingOption;
-use crate::knobs::{CropFactor, FrameSampling, ImageQuality, KeyframeInterval, Resolution, SpeedStep};
+use crate::knobs::{
+    CropFactor, FrameSampling, ImageQuality, KeyframeInterval, Resolution, SpeedStep,
+};
 use serde::{Deserialize, Serialize};
 
 /// The 4-D fidelity space `F = quality × crop × resolution × sampling`.
@@ -97,9 +99,12 @@ impl FidelitySpace {
         self.qualities.iter().flat_map(move |&q| {
             self.crops.iter().flat_map(move |&c| {
                 self.resolutions.iter().flat_map(move |&r| {
-                    self.samplings
-                        .iter()
-                        .map(move |&s| Fidelity { quality: q, crop: c, resolution: r, sampling: s })
+                    self.samplings.iter().map(move |&s| Fidelity {
+                        quality: q,
+                        crop: c,
+                        resolution: r,
+                        sampling: s,
+                    })
                 })
             })
         })
@@ -155,9 +160,10 @@ impl CodingSpace {
     /// Iterate over every coding option; RAW comes last when admissible.
     pub fn iter(&self) -> impl Iterator<Item = CodingOption> + '_ {
         let encoded = self.keyframe_intervals.iter().flat_map(move |&ki| {
-            self.speeds
-                .iter()
-                .map(move |&sp| CodingOption::Encoded { keyframe_interval: ki, speed: sp })
+            self.speeds.iter().map(move |&sp| CodingOption::Encoded {
+                keyframe_interval: ki,
+                speed: sp,
+            })
         });
         encoded.chain(self.allow_raw.then_some(CodingOption::Raw))
     }
@@ -209,7 +215,12 @@ mod tests {
         let mut all: Vec<Fidelity> = space.iter().collect();
         let before = all.len();
         all.sort_by_key(|f| {
-            (f.quality.rank(), f.crop.rank(), f.resolution.rank(), f.sampling.rank())
+            (
+                f.quality.rank(),
+                f.crop.rank(),
+                f.resolution.rank(),
+                f.sampling.rank(),
+            )
         });
         all.dedup();
         assert_eq!(all.len(), before);

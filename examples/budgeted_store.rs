@@ -57,8 +57,11 @@ fn main() -> vstore::Result<()> {
     );
     for step in &config.erosion.steps {
         if !step.deleted.is_empty() {
-            let detail: Vec<String> =
-                step.deleted.iter().map(|(id, f)| format!("{id}: {f}")).collect();
+            let detail: Vec<String> = step
+                .deleted
+                .iter()
+                .map(|(id, f)| format!("{id}: {f}"))
+                .collect();
             println!(
                 "  day {:>2}: overall speed {:.2}, deleted {{{}}}",
                 step.age_days,

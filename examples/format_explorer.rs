@@ -17,7 +17,9 @@ use vstore_types::{
 };
 
 fn parse_operator(name: &str) -> Option<OperatorKind> {
-    OperatorKind::ALL.into_iter().find(|op| op.name().eq_ignore_ascii_case(name))
+    OperatorKind::ALL
+        .into_iter()
+        .find(|op| op.name().eq_ignore_ascii_case(name))
 }
 
 fn main() {
@@ -30,14 +32,27 @@ fn main() {
         CodingCostModel::paper_testbed(),
         ProfilerConfig::paper_evaluation(),
     );
-    println!("operator: {op}  (profiled on {})", profiler.config().dataset_for(op));
+    println!(
+        "operator: {op}  (profiled on {})",
+        profiler.config().dataset_for(op)
+    );
     println!(
         "{:<28} {:>9} {:>14} {:>14} {:>14}",
         "fidelity", "F1", "consume (x rt)", "storage KB/s", "ingest cores"
     );
     for quality in [ImageQuality::Best, ImageQuality::Good, ImageQuality::Bad] {
-        for resolution in [Resolution::R720, Resolution::R540, Resolution::R400, Resolution::R200, Resolution::R100] {
-            for sampling in [FrameSampling::Full, FrameSampling::S1_6, FrameSampling::S1_30] {
+        for resolution in [
+            Resolution::R720,
+            Resolution::R540,
+            Resolution::R400,
+            Resolution::R200,
+            Resolution::R100,
+        ] {
+            for sampling in [
+                FrameSampling::Full,
+                FrameSampling::S1_6,
+                FrameSampling::S1_30,
+            ] {
                 let fidelity = Fidelity::new(quality, CropFactor::C100, resolution, sampling);
                 let consumer = profiler.profile_consumer(op, fidelity);
                 let storage =

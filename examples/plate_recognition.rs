@@ -14,8 +14,10 @@ fn main() -> vstore::Result<()> {
 
     // Configure for query B at all four of the paper's accuracy levels.
     let accuracies = [0.95, 0.9, 0.8, 0.7];
-    let consumers: Vec<_> =
-        accuracies.iter().flat_map(|&a| QuerySpec::query_b(a).consumers()).collect();
+    let consumers: Vec<_> = accuracies
+        .iter()
+        .flat_map(|&a| QuerySpec::query_b(a).consumers())
+        .collect();
     let config = store.configure(&consumers)?;
     println!(
         "configuration: {} unique consumption formats coalesced into {} storage formats",

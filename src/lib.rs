@@ -45,7 +45,9 @@ pub use vstore_types as types;
 
 pub use vstore_core::{Alternative, ConfigurationEngine, EngineOptions};
 pub use vstore_query::{QueryResult, QuerySpec};
-pub use vstore_types::{Configuration, Consumer, OperatorKind, Result, VStoreError};
+pub use vstore_types::{
+    Configuration, Consumer, OperatorKind, Result, RuntimeOptions, VStoreError,
+};
 
 use std::path::Path;
 use std::sync::Arc;
@@ -65,6 +67,10 @@ pub struct VStoreOptions {
     pub engine: EngineOptions,
     /// Profiler configuration (clip length, per-operator datasets).
     pub profiler: ProfilerConfig,
+    /// Runtime parallelism: store shards, ingest workers, query prefetch.
+    /// Defaults to `shards = 8` and worker counts sized to the host's cores;
+    /// [`RuntimeOptions::sequential`] reproduces the serial runtime exactly.
+    pub runtime: RuntimeOptions,
 }
 
 impl Default for VStoreOptions {
@@ -72,6 +78,7 @@ impl Default for VStoreOptions {
         VStoreOptions {
             engine: EngineOptions::default(),
             profiler: ProfilerConfig::paper_evaluation(),
+            runtime: RuntimeOptions::default(),
         }
     }
 }
@@ -86,7 +93,14 @@ impl VStoreOptions {
                 ..EngineOptions::default()
             },
             profiler: ProfilerConfig::fast_test(),
+            runtime: RuntimeOptions::default(),
         }
+    }
+
+    /// Replace the runtime parallelism options.
+    pub fn with_runtime(mut self, runtime: RuntimeOptions) -> Self {
+        self.runtime = runtime;
+        self
     }
 }
 
@@ -104,30 +118,45 @@ pub struct VStore {
 impl VStore {
     /// Open a store rooted at `dir`.
     pub fn open(dir: impl AsRef<Path>, options: VStoreOptions) -> Result<VStore> {
-        let store = Arc::new(SegmentStore::open(dir)?);
+        let runtime = options.runtime.normalized();
+        let store = Arc::new(SegmentStore::open_with_shards(dir, runtime.shards)?);
         Ok(Self::assemble(store, options))
     }
 
     /// Open a store in a fresh temporary directory (tests and examples).
     pub fn open_temp(tag: &str, options: VStoreOptions) -> Result<VStore> {
-        let store = Arc::new(SegmentStore::open_temp(tag)?);
+        let runtime = options.runtime.normalized();
+        let store = Arc::new(SegmentStore::open_temp_with_shards(tag, runtime.shards)?);
         Ok(Self::assemble(store, options))
     }
 
     fn assemble(store: Arc<SegmentStore>, options: VStoreOptions) -> VStore {
+        let runtime = options.runtime.normalized();
         let clock = VirtualClock::new();
         let library = OperatorLibrary::paper_testbed();
         let coding = CodingCostModel::paper_testbed();
         let profiler = Arc::new(Profiler::new(library.clone(), coding, options.profiler));
+        let ingest =
+            IngestionPipeline::new(Arc::clone(&store), Transcoder::new(coding), clock.clone())
+                .with_workers(runtime.ingest_workers)
+                .with_ingest_budget(options.engine.ingest_budget_cores);
         let engine = ConfigurationEngine::new(Arc::clone(&profiler), options.engine);
-        let ingest = IngestionPipeline::new(
+        let queries = QueryEngine::new(
             Arc::clone(&store),
+            library,
             Transcoder::new(coding),
             clock.clone(),
-        );
-        let queries =
-            QueryEngine::new(Arc::clone(&store), library, Transcoder::new(coding), clock.clone());
-        VStore { profiler, engine, store, ingest, queries, configuration: None, clock }
+        )
+        .with_prefetch(runtime.query_prefetch);
+        VStore {
+            profiler,
+            engine,
+            store,
+            ingest,
+            queries,
+            configuration: None,
+            clock,
+        }
     }
 
     /// The profiler (exposed for experiments that report profiling cost).
@@ -140,9 +169,19 @@ impl VStore {
         &self.engine
     }
 
-    /// The segment store statistics.
+    /// The segment store statistics (aggregated across shards).
     pub fn store_stats(&self) -> StoreStats {
         self.store.stats()
+    }
+
+    /// Per-shard segment store statistics, in shard order.
+    pub fn shard_stats(&self) -> Vec<StoreStats> {
+        self.store.shard_stats()
+    }
+
+    /// The root directory of the segment store.
+    pub fn store_dir(&self) -> std::path::PathBuf {
+        self.store.dir()
     }
 
     /// The shared virtual clock (ingestion + query resource ledger).
@@ -185,7 +224,8 @@ impl VStore {
         count: u64,
     ) -> Result<IngestReport> {
         let config = self.active()?;
-        self.ingest.ingest_segments(source, first_segment, count, config)
+        self.ingest
+            .ingest_segments(source, first_segment, count, config)
     }
 
     /// Execute a query over stored segments of a stream.
@@ -197,7 +237,8 @@ impl VStore {
         count: u64,
     ) -> Result<QueryResult> {
         let config = self.active()?;
-        self.queries.execute(stream, query, config, first_segment, count)
+        self.queries
+            .execute(stream, query, config, first_segment, count)
     }
 
     /// Apply the erosion plan of the active configuration to a stream at a
@@ -218,7 +259,9 @@ mod tests {
     fn facade_lifecycle() {
         let mut store = VStore::open_temp("facade", VStoreOptions::fast()).unwrap();
         assert!(store.configuration().is_none());
-        assert!(store.ingest(&VideoSource::new(Dataset::Jackson), 0, 1).is_err());
+        assert!(store
+            .ingest(&VideoSource::new(Dataset::Jackson), 0, 1)
+            .is_err());
 
         let query = QuerySpec::query_a(0.8);
         store.configure(&query.consumers()).unwrap();

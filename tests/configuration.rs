@@ -18,7 +18,10 @@ fn profiler() -> Arc<Profiler> {
 }
 
 fn reduced_options() -> EngineOptions {
-    EngineOptions { fidelity_space: FidelitySpace::reduced(), ..EngineOptions::default() }
+    EngineOptions {
+        fidelity_space: FidelitySpace::reduced(),
+        ..EngineOptions::default()
+    }
 }
 
 #[test]
@@ -45,7 +48,11 @@ fn full_24_consumer_configuration_satisfies_r1_to_r3() {
         assert!(sub.expected_accuracy + 1e-9 >= sub.consumer.accuracy.value());
     }
     // The configuration is non-trivial: multiple knobs derived automatically.
-    assert!(config.knob_count() > 40, "only {} knobs", config.knob_count());
+    assert!(
+        config.knob_count() > 40,
+        "only {} knobs",
+        config.knob_count()
+    );
 }
 
 #[test]
@@ -79,9 +86,15 @@ fn alternatives_rank_as_in_the_paper() {
         Consumer::new(OperatorKind::FullNN, 0.7),
     ];
     let vstore = engine.derive(&consumers).unwrap();
-    let one_to_one = engine.derive_alternative(&consumers, Alternative::OneToOne).unwrap();
-    let one_to_n = engine.derive_alternative(&consumers, Alternative::OneToN).unwrap();
-    let n_to_n = engine.derive_alternative(&consumers, Alternative::NToN).unwrap();
+    let one_to_one = engine
+        .derive_alternative(&consumers, Alternative::OneToOne)
+        .unwrap();
+    let one_to_n = engine
+        .derive_alternative(&consumers, Alternative::OneToN)
+        .unwrap();
+    let n_to_n = engine
+        .derive_alternative(&consumers, Alternative::NToN)
+        .unwrap();
 
     // Storage cost: 1→1 = 1→N ≤ VStore ≤ N→N.
     let storage = |cfg: &vstore_types::Configuration| engine.storage_bytes_per_second(cfg).bytes();
@@ -108,13 +121,18 @@ fn distance_based_coalescing_never_beats_heuristic_storage() {
     let heuristic_engine = ConfigurationEngine::new(Arc::clone(&profiler), reduced_options());
     let distance_engine = ConfigurationEngine::new(
         Arc::clone(&profiler),
-        EngineOptions { strategy: CoalesceStrategy::DistanceBased, ..reduced_options() },
+        EngineOptions {
+            strategy: CoalesceStrategy::DistanceBased,
+            ..reduced_options()
+        },
     );
     let consumers: Vec<Consumer> = OperatorKind::QUERY_OPS
         .iter()
         .flat_map(|&op| [0.9, 0.8].into_iter().map(move |a| Consumer::new(op, a)))
         .collect();
-    let cfs = heuristic_engine.derive_consumption_formats(&consumers).unwrap();
+    let cfs = heuristic_engine
+        .derive_consumption_formats(&consumers)
+        .unwrap();
     let heuristic = heuristic_engine.derive_storage_formats(&cfs).unwrap();
     let distance = distance_engine.derive_storage_formats(&cfs).unwrap();
     assert!(

@@ -21,7 +21,7 @@ fn configure_ingest_query_lifecycle() {
 
     let config = store.configure(&consumers).unwrap().clone();
     config.validate().unwrap();
-    assert!(config.storage_formats.len() >= 1);
+    assert!(!config.storage_formats.is_empty());
     assert_eq!(config.subscriptions.len(), 6);
 
     let source = VideoSource::new(Dataset::Jackson);
@@ -105,7 +105,11 @@ fn erosion_degrades_speed_but_preserves_results() {
         .filter(|id| !id.is_golden())
         .map(|id| (*id, Fraction::ONE))
         .collect();
-    config.erosion.steps = vec![ErosionStep { age_days: 1, deleted, overall_relative_speed: 0.5 }];
+    config.erosion.steps = vec![ErosionStep {
+        age_days: 1,
+        deleted,
+        overall_relative_speed: 0.5,
+    }];
     store.install_configuration(config);
     let removed = store.erode("tucson", 1).unwrap();
     assert!(removed > 0, "expected some segments to be eroded");

@@ -203,7 +203,10 @@ fn codec_round_trips_are_lossless_across_gop_choices() {
         let segment = encode_segment(&frames, ki, SpeedStep::Fast).unwrap();
         let container = SegmentData::Encoded(segment);
         let bytes = container.to_bytes();
-        let decoded = SegmentData::from_bytes(&bytes).unwrap().decode_all().unwrap();
+        let decoded = SegmentData::from_bytes(&bytes)
+            .unwrap()
+            .decode_all()
+            .unwrap();
         assert_eq!(decoded.len(), frames.len(), "keyframe interval {ki}");
         for (d, f) in decoded.iter().zip(frames.iter()) {
             assert_eq!(d.plane, f.plane);
@@ -225,13 +228,38 @@ fn detection_monotonicity_holds_over_fidelity_chains() {
     let scenes = source.clip(0, 150);
     let reference = materialize_clip(&scenes, Fidelity::INGESTION);
     let chain = [
-        Fidelity::new(ImageQuality::Worst, CropFactor::C50, Resolution::R100, FrameSampling::Full),
-        Fidelity::new(ImageQuality::Bad, CropFactor::C75, Resolution::R200, FrameSampling::Full),
-        Fidelity::new(ImageQuality::Good, CropFactor::C75, Resolution::R400, FrameSampling::Full),
-        Fidelity::new(ImageQuality::Good, CropFactor::C100, Resolution::R540, FrameSampling::Full),
+        Fidelity::new(
+            ImageQuality::Worst,
+            CropFactor::C50,
+            Resolution::R100,
+            FrameSampling::Full,
+        ),
+        Fidelity::new(
+            ImageQuality::Bad,
+            CropFactor::C75,
+            Resolution::R200,
+            FrameSampling::Full,
+        ),
+        Fidelity::new(
+            ImageQuality::Good,
+            CropFactor::C75,
+            Resolution::R400,
+            FrameSampling::Full,
+        ),
+        Fidelity::new(
+            ImageQuality::Good,
+            CropFactor::C100,
+            Resolution::R540,
+            FrameSampling::Full,
+        ),
         Fidelity::INGESTION,
     ];
-    for op in [OperatorKind::FullNN, OperatorKind::License, OperatorKind::Motion, OperatorKind::Ocr] {
+    for op in [
+        OperatorKind::FullNN,
+        OperatorKind::License,
+        OperatorKind::Motion,
+        OperatorKind::Ocr,
+    ] {
         let mut prev = -1.0f64;
         for fidelity in chain {
             let frames = materialize_clip(&scenes, fidelity);

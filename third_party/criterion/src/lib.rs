@@ -1,0 +1,219 @@
+//! A minimal timing harness exposing the subset of criterion's API the
+//! `vstore-bench` benches use (offline stub — see `third_party/README.md`).
+//!
+//! Each `bench_function` runs a short warm-up, then `sample_size` timed
+//! samples, and prints the per-iteration median. No statistics beyond that:
+//! the goal is comparable numbers between configurations in one run, not
+//! criterion's full regression machinery.
+
+use std::time::{Duration, Instant};
+
+/// How a batched benchmark's input batches are sized. The stub runs one
+/// input per iteration regardless, so the variants only exist for API
+/// compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// Per-iteration setup output of unknown size.
+    PerIteration,
+}
+
+/// One recorded measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/function` benchmark id.
+    pub id: String,
+    /// Median per-iteration time across samples.
+    pub median: Duration,
+    /// Iterations run per sample.
+    pub iters_per_sample: u64,
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    measurements: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// A driver with default settings.
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Accepted for API compatibility; command-line options are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmark a function outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let m = run_bench(name, 20, f);
+        self.measurements.push(m);
+        self
+    }
+
+    /// All measurements recorded so far (used by benches that export
+    /// baselines to disk).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Accepted for API compatibility; throughput annotation is ignored.
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmark one function within the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let id = format!("{}/{}", self.name, name);
+        let m = run_bench(&id, self.sample_size, f);
+        self.criterion.measurements.push(m);
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Throughput annotation (ignored by the stub).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to the benchmarked closure; runs and times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, called `self.iters` times.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_bench(id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) -> Measurement {
+    // Calibrate the per-sample iteration count so one sample takes roughly
+    // 5 ms (bounded to keep total bench time low on slow hosts).
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let once = bencher.elapsed.max(Duration::from_nanos(1));
+    let iters = (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+    let mut samples: Vec<Duration> = (0..sample_size)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed / iters as u32
+        })
+        .collect();
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    println!("{id:<50} time: {median:>12.3?}  ({iters} iters/sample, {sample_size} samples)");
+    Measurement {
+        id: id.to_string(),
+        median,
+        iters_per_sample: iters,
+    }
+}
+
+/// Declare a group of benchmark entry points.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::new().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_records() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(c.measurements().len(), 2);
+        assert_eq!(c.measurements()[0].id, "stub/noop");
+    }
+}

@@ -1,0 +1,67 @@
+//! `any::<T>()` and the `Arbitrary` implementations the tests need.
+
+use crate::runner::TestRunner;
+use crate::strategy::Strategy;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary {
+    /// Draw an unconstrained value.
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+/// The canonical strategy for `T` (`any::<T>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> bool {
+        runner.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(runner: &mut TestRunner) -> $t {
+                runner.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(runner: &mut TestRunner) -> f64 {
+        runner.unit()
+    }
+}
+
+macro_rules! tuple_arbitrary {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+            fn arbitrary(runner: &mut TestRunner) -> Self {
+                ($($name::arbitrary(runner),)+)
+            }
+        }
+    )*};
+}
+
+tuple_arbitrary! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}

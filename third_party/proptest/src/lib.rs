@@ -1,0 +1,160 @@
+//! A small, deterministic property-testing framework exposing the subset of
+//! proptest's API this repository uses (offline stub — see
+//! `third_party/README.md`).
+//!
+//! Differences from real proptest, by design:
+//!
+//! * values are drawn from a deterministic SplitMix64 stream seeded by the
+//!   test name, so runs are reproducible without a persistence file;
+//! * there is no shrinking — a failing case panics with its case number;
+//! * string strategies support only the simple `[a-z]{m,n}` char-class
+//!   pattern form (which is all the test suite uses).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod runner;
+pub mod sample;
+pub mod strategy;
+
+pub use arbitrary::{any, Arbitrary};
+pub use runner::{ProptestConfig, TestRunner};
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// Everything a proptest-based test file needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::runner::ProptestConfig;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+
+    /// The `prop::` namespace (`prop::sample::select`,
+    /// `prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Define property tests over generated inputs.
+///
+/// Supports the `#![proptest_config(..)]` inner attribute followed by
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut runner = $crate::TestRunner::deterministic(
+                        $crate::runner::seed_from_name(stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::Strategy::new_value(&($strat), &mut runner);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($arg in $strat),+) $body)*
+        }
+    };
+}
+
+/// Compose strategies into a named strategy-returning function.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($param:ident: $pty:ty),* $(,)?)
+        ($($arg:ident in $strat:expr),+ $(,)?) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($param: $pty),*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy::new(move |runner: &mut $crate::TestRunner| {
+                $(let $arg = $crate::Strategy::new_value(&($strat), runner);)+
+                $body
+            })
+        }
+    };
+}
+
+/// A strategy choosing uniformly between the given strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Assert a property holds (stub: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert two values are equal (stub: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert two values differ (stub: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn arb_pair()(a in 0u8..10, b in 0u8..10) -> (u8, u8) { (a, b) }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn composed_pairs(p in arb_pair()) {
+            prop_assert!(p.0 < 10 && p.1 < 10);
+        }
+
+        #[test]
+        fn oneof_selects_an_arm(v in prop_oneof![Just(1u32), (2u32..5).prop_map(|x| x * 10)]) {
+            prop_assert!(v == 1 || (20..50).contains(&v));
+        }
+
+        #[test]
+        fn vectors_and_strings(
+            xs in prop::collection::vec(any::<u8>(), 2..6),
+            s in "[a-z]{1,4}",
+            pick in prop::sample::select(vec![7u8, 8, 9]),
+        ) {
+            prop_assert!((2..6).contains(&xs.len()));
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!((7..=9).contains(&pick));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRunner::deterministic(1, 2);
+        let mut b = crate::TestRunner::deterministic(1, 2);
+        let s = crate::Strategy::new_value(&(0u64..1000), &mut a);
+        let t = crate::Strategy::new_value(&(0u64..1000), &mut b);
+        assert_eq!(s, t);
+    }
+}

@@ -1,0 +1,24 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::runner::TestRunner;
+use crate::strategy::Strategy;
+
+/// A strategy choosing uniformly from a fixed set of values.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select() needs at least one option");
+    Select { options }
+}
+
+/// Strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        let idx = runner.below(self.options.len() as u64) as usize;
+        self.options[idx].clone()
+    }
+}

@@ -1,0 +1,13 @@
+//! Marker-trait facade for serde (offline stub).
+//!
+//! Provides the `Serialize` / `Deserialize` trait names plus the derive
+//! macros of the same names, which is all this repository uses of serde.
+//! See `third_party/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
