@@ -1,7 +1,10 @@
 //! Criterion microbenchmarks of the segment store: put, get, range scan —
 //! plus the shard-scaling experiment (1/2/4/8 shards under parallel
-//! writers), whose results are exported to `BENCH_storage.json` at the
-//! repository root as the performance baseline for this host.
+//! writers) and the storage-backend comparison (`FsBackend` vs
+//! `MemBackend` get/put), whose results are exported to
+//! `BENCH_storage.json` at the repository root as the performance baseline
+//! for this host. The backend case tracks the overhead of the
+//! `StorageBackend` seam from the PR that introduced it onward.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
@@ -88,6 +91,40 @@ fn measure_parallel_puts(shards: usize) -> (f64, f64) {
     (elapsed, total_puts / elapsed)
 }
 
+/// Sequential puts of `ops` 256 KiB segments followed by the same number of
+/// gets, against one already-open store. Returns
+/// `(put_seconds, put_mib_per_sec, get_seconds, get_mib_per_sec)` —
+/// single-threaded so the numbers isolate backend overhead from lock
+/// contention.
+fn measure_backend_get_put(store: &SegmentStore, ops: u64) -> (f64, f64, f64, f64) {
+    let value = vec![0xC3u8; VALUE_BYTES];
+    let mib = |count: u64, seconds: f64| {
+        (count as f64 * VALUE_BYTES as f64) / (1024.0 * 1024.0) / seconds
+    };
+    let start = Instant::now();
+    for i in 0..ops {
+        store
+            .put(&SegmentKey::new("backend", FormatId(1), i), &value)
+            .unwrap();
+    }
+    let put_seconds = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    for i in 0..ops {
+        let got = store
+            .get(&SegmentKey::new("backend", FormatId(1), i))
+            .unwrap()
+            .unwrap();
+        assert_eq!(got.len(), VALUE_BYTES);
+    }
+    let get_seconds = start.elapsed().as_secs_f64();
+    (
+        put_seconds,
+        mib(ops, put_seconds),
+        get_seconds,
+        mib(ops, get_seconds),
+    )
+}
+
 fn bench_shard_scaling(_c: &mut Criterion) {
     // A bare (non-flag, non-flag-value) CLI argument is a bench name filter:
     // such a run wants one of the criterion benches above, not a full scaling
@@ -104,7 +141,7 @@ fn bench_shard_scaling(_c: &mut Criterion) {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let mut rows = Vec::new();
+    let mut scaling_rows = Vec::new();
     for shards in [1usize, 2, 4, 8] {
         // Warm-up pass, then the measured pass.
         measure_parallel_puts(shards);
@@ -114,7 +151,7 @@ fn bench_shard_scaling(_c: &mut Criterion) {
             "segment_store/scaling shards={shards} writers={WRITERS}: \
              {puts_per_sec:>8.0} puts/s ({mib_per_sec:>7.0} MiB/s, {seconds:.3}s)"
         );
-        rows.push(format!(
+        scaling_rows.push(format!(
             "    {{ \"shards\": {shards}, \"writers\": {WRITERS}, \"puts\": {}, \
              \"value_bytes\": {VALUE_BYTES}, \"seconds\": {seconds:.6}, \
              \"puts_per_sec\": {puts_per_sec:.1}, \"mib_per_sec\": {mib_per_sec:.1} }}",
@@ -122,19 +159,48 @@ fn bench_shard_scaling(_c: &mut Criterion) {
         ));
     }
 
+    // Backend comparison: the same single-threaded get/put workload on the
+    // filesystem backend and the in-memory backend, so the overhead of the
+    // StorageBackend seam (and the headroom above the disk) is tracked from
+    // the PR that introduced it onward.
+    const BACKEND_OPS: u64 = 256;
+    let mut backend_rows = Vec::new();
+    for (label, store) in [
+        (
+            "fs",
+            SegmentStore::open_temp_with_shards("bench-backend-fs", 8).unwrap(),
+        ),
+        ("mem", SegmentStore::open_mem_with_shards(8).unwrap()),
+    ] {
+        let (put_seconds, put_mib, get_seconds, get_mib) =
+            measure_backend_get_put(&store, BACKEND_OPS);
+        println!(
+            "segment_store/backend {label}: put {put_mib:>7.0} MiB/s ({put_seconds:.3}s), \
+             get {get_mib:>7.0} MiB/s ({get_seconds:.3}s)"
+        );
+        backend_rows.push(format!(
+            "    {{ \"backend\": \"{label}\", \"ops\": {BACKEND_OPS}, \
+             \"value_bytes\": {VALUE_BYTES}, \"put_seconds\": {put_seconds:.6}, \
+             \"put_mib_per_sec\": {put_mib:.1}, \"get_seconds\": {get_seconds:.6}, \
+             \"get_mib_per_sec\": {get_mib:.1} }}"
+        ));
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
     // Record the baseline next to the workspace root so runs are comparable
     // across PRs. Override the destination with VSTORE_BENCH_JSON.
     let path = std::env::var("VSTORE_BENCH_JSON")
         .unwrap_or_else(|_| format!("{}/../../BENCH_storage.json", env!("CARGO_MANIFEST_DIR")));
     let json = format!(
-        "{{\n  \"bench\": \"segment_store_shard_scaling\",\n  \"host_cores\": {cores},\n  \
-         \"cases\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+        "{{\n  \"bench\": \"segment_store\",\n  \"host_cores\": {cores},\n  \
+         \"shard_scaling\": [\n{}\n  ],\n  \"backend_get_put\": [\n{}\n  ]\n}}\n",
+        scaling_rows.join(",\n"),
+        backend_rows.join(",\n")
     );
     if let Err(e) = std::fs::write(&path, &json) {
         eprintln!("could not write {path}: {e}");
     } else {
-        println!("shard-scaling baseline written to {path}");
+        println!("storage baseline written to {path}");
     }
 }
 

@@ -12,15 +12,11 @@
 //! the derived formats.
 
 use std::sync::Arc;
+use vstore::{BackendOptions, IngestRequest, QueryRequest, VStore, VStoreOptions};
 use vstore_bench::{fast_profiler, fmt_speed, print_table, reduced_engine};
-use vstore_codec::Transcoder;
 use vstore_core::Alternative;
 use vstore_datasets::{Dataset, VideoSource};
-use vstore_ingest::IngestionPipeline;
-use vstore_ops::OperatorLibrary;
-use vstore_query::{QueryEngine, QuerySpec};
-use vstore_sim::VirtualClock;
-use vstore_storage::SegmentStore;
+use vstore_query::QuerySpec;
 use vstore_types::Consumer;
 
 const SEGMENTS: u64 = 2; // 16 s of video per stream keeps the sweep tractable
@@ -92,29 +88,30 @@ fn main() {
             format!("{:.0}%", cores(&n_to_n)),
         ]);
 
-        // Query-speed sweep: ingest once into the union of VStore + golden
-        // formats, then run each accuracy under each configuration.
-        let store = Arc::new(SegmentStore::open_temp("fig11").unwrap());
-        let clock = VirtualClock::new();
-        let ingest =
-            IngestionPipeline::new(Arc::clone(&store), Transcoder::default(), clock.clone());
+        // Query-speed sweep through the service facade: ingest once into
+        // the union of VStore + golden formats, then run each accuracy under
+        // each configuration by installing it as the active epoch. The
+        // in-memory backend keeps the sweep off the disk entirely.
+        let store = VStore::open_temp(
+            "fig11",
+            VStoreOptions::fast().with_backend(BackendOptions::Mem),
+        )
+        .unwrap();
         let source = VideoSource::new(dataset);
-        ingest
-            .ingest_segments(&source, 0, SEGMENTS, &vstore_cfg)
+        store.install_configuration(vstore_cfg.clone());
+        store
+            .ingest(IngestRequest::new(&source).segments(SEGMENTS))
             .unwrap();
-        ingest
-            .ingest_segments(&source, 0, SEGMENTS, &one_to_n)
+        store.install_configuration(one_to_n.clone());
+        store
+            .ingest(IngestRequest::new(&source).segments(SEGMENTS))
             .unwrap();
-        let qe = QueryEngine::new(
-            Arc::clone(&store),
-            OperatorLibrary::paper_testbed(),
-            Transcoder::default(),
-            clock,
-        );
         for &acc in &accuracies {
             let spec = query_spec(acc);
             let run = |cfg: &vstore_types::Configuration| {
-                qe.execute(source.name(), &spec, cfg, 0, SEGMENTS)
+                store.install_configuration(cfg.clone());
+                store
+                    .query(QueryRequest::new(source.name(), &spec).segments(SEGMENTS))
                     .map(|r| fmt_speed(r.speed.factor()))
                     .unwrap_or_else(|_| "-".into())
             };
@@ -126,7 +123,6 @@ fn main() {
                 run(&vstore_cfg),
             ]);
         }
-        std::fs::remove_dir_all(store.dir()).ok();
     }
 
     print_table(

@@ -116,6 +116,11 @@ impl ConfigurationEngine {
     /// Run the full backward derivation for a consumer set and return a
     /// validated configuration.
     pub fn derive(&self, consumers: &[Consumer]) -> Result<Configuration> {
+        if consumers.is_empty() {
+            return Err(vstore_types::VStoreError::invalid_argument(
+                "cannot derive a configuration for an empty consumer set",
+            ));
+        }
         let cfs = self.derive_consumption_formats(consumers)?;
         let mut coalesced = self.derive_storage_formats(&cfs)?;
         if let Some(budget) = self.options.ingest_budget_cores {

@@ -168,6 +168,11 @@ impl IngestionPipeline {
                 "configuration has no storage formats to ingest into".into(),
             ));
         }
+        if first_segment.checked_add(count).is_none() {
+            return Err(VStoreError::invalid_argument(
+                "ingest segment range overflows u64",
+            ));
+        }
         let motion = source.motion_intensity();
         let stream = source.name().to_owned();
         let workers = self.effective_workers();

@@ -131,8 +131,16 @@ impl QueryEngine {
         first_segment: u64,
         segment_count: u64,
     ) -> Result<QueryResult> {
+        if stream.is_empty() {
+            return Err(VStoreError::invalid_argument("query stream name is empty"));
+        }
         if segment_count == 0 {
             return Err(VStoreError::invalid_argument("query covers zero segments"));
+        }
+        if first_segment.checked_add(segment_count).is_none() {
+            return Err(VStoreError::invalid_argument(
+                "query segment range overflows u64",
+            ));
         }
         let mut active: BTreeSet<u64> = (first_segment..first_segment + segment_count).collect();
         let mut stages = Vec::with_capacity(query.cascade.len());

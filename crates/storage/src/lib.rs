@@ -24,14 +24,23 @@
 //! compaction runs shards in parallel. The shard count is recorded in a
 //! `SHARDS` meta file at creation and honoured on reopen; a single-shard
 //! store reproduces the original single-lock behaviour exactly.
+//!
+//! The store is **backend-pluggable**: every byte flows through the
+//! [`StorageBackend`] trait (open/append/read-at/sync/remove/list over named
+//! logs), never through `std::fs` directly. [`FsBackend`] is the default and
+//! reproduces the original on-disk format byte for byte; [`MemBackend`]
+//! keeps the same observable behaviour in memory for tests and benchmarks.
+//! Tiered and object-store backends slot in behind the same trait.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod key;
 pub mod log;
 mod shard;
 pub mod store;
 
+pub use backend::{BackendOptions, FsBackend, LogHandle, MemBackend, StorageBackend};
 pub use key::SegmentKey;
 pub use store::{SegmentStore, StoreStats};

@@ -13,10 +13,12 @@
 //! is a tombstone (its value is empty). A torn tail (partial record after a
 //! crash) is detected by the CRC or a truncated read and the scan stops at
 //! the last complete record — earlier records stay readable.
+//!
+//! All I/O flows through a [`StorageBackend`]: a `LogFile` is a named log
+//! plus an open append handle, and never touches the filesystem directly.
 
-use std::fs::{File, OpenOptions};
-use std::io::{BufReader, Read, Seek, SeekFrom, Write};
-use std::path::{Path, PathBuf};
+use crate::backend::{LogHandle, StorageBackend};
+use std::sync::Arc;
 use vstore_types::{Result, VStoreError};
 
 /// Magic number at the start of every record.
@@ -67,11 +69,12 @@ pub fn record_size(key_len: usize, value_len: usize) -> u64 {
     4 + 1 + 4 + 4 + key_len as u64 + value_len as u64 + 4
 }
 
-/// An append-only log file.
+/// An append-only log file over a [`StorageBackend`].
 #[derive(Debug)]
 pub struct LogFile {
-    path: PathBuf,
-    file: File,
+    backend: Arc<dyn StorageBackend>,
+    name: String,
+    handle: Box<dyn LogHandle>,
     len: u64,
     /// Numeric id used to order log files.
     pub id: u64,
@@ -89,47 +92,48 @@ impl LogFile {
         rest.parse().ok()
     }
 
-    /// Create a new, empty log file (truncating any existing file).
-    pub fn create(dir: &Path, id: u64) -> Result<LogFile> {
-        let path = dir.join(Self::file_name(id));
-        let file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(&path)?;
+    /// Backend name of a log: `dir/vlog-<id>.dat` (`dir` may be empty).
+    pub fn log_name(dir: &str, id: u64) -> String {
+        if dir.is_empty() {
+            Self::file_name(id)
+        } else {
+            format!("{dir}/{}", Self::file_name(id))
+        }
+    }
+
+    /// Create a new, empty log (truncating any existing log of that name).
+    pub fn create(backend: Arc<dyn StorageBackend>, dir: &str, id: u64) -> Result<LogFile> {
+        let name = Self::log_name(dir, id);
+        let handle = backend.open(&name, true)?;
         Ok(LogFile {
-            path,
-            file,
+            backend,
+            name,
+            handle,
             len: 0,
             id,
         })
     }
 
-    /// Open an existing log file for appending.
-    pub fn open(dir: &Path, id: u64) -> Result<LogFile> {
-        let path = dir.join(Self::file_name(id));
-        let file = OpenOptions::new()
-            .create(true)
-            .truncate(false)
-            .write(true)
-            .open(&path)?;
-        let len = file.metadata()?.len();
-        let mut log = LogFile {
-            path,
-            file,
+    /// Open an existing log for appending.
+    pub fn open(backend: Arc<dyn StorageBackend>, dir: &str, id: u64) -> Result<LogFile> {
+        let name = Self::log_name(dir, id);
+        let handle = backend.open(&name, false)?;
+        let len = backend.len(&name)?.unwrap_or(0);
+        Ok(LogFile {
+            backend,
+            name,
+            handle,
             len,
             id,
-        };
-        log.file.seek(SeekFrom::End(0))?;
-        Ok(log)
+        })
     }
 
-    /// The file path.
-    pub fn path(&self) -> &Path {
-        &self.path
+    /// The backend name of this log.
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
-    /// Current file length in bytes.
+    /// Current log length in bytes.
     pub fn len(&self) -> u64 {
         self.len
     }
@@ -152,31 +156,31 @@ impl LogFile {
         buf.extend_from_slice(value);
         buf.extend_from_slice(&crc.to_le_bytes());
         let offset = self.len;
-        self.file.write_all(&buf)?;
+        self.handle.append(&buf)?;
         self.len += buf.len() as u64;
         Ok((offset, buf.len() as u64))
     }
 
-    /// Flush buffered writes and fsync to stable storage.
+    /// Flush buffered writes to stable storage.
     pub fn sync(&mut self) -> Result<()> {
-        self.file.flush()?;
-        self.file.sync_data()?;
-        Ok(())
+        self.handle.sync()
     }
 
     /// Read the value of a record given its offset and total length, and
     /// verify its CRC.
     pub fn read_value(&self, offset: u64, total_len: u64) -> Result<Vec<u8>> {
-        Self::read_value_at(&self.path, offset, total_len)
+        Self::read_value_in(self.backend.as_ref(), &self.name, offset, total_len)
     }
 
-    /// [`read_value`](Self::read_value) against a log file that is not open
+    /// [`read_value`](Self::read_value) against a log that is not open
     /// (random access into sealed logs).
-    pub fn read_value_at(path: &Path, offset: u64, total_len: u64) -> Result<Vec<u8>> {
-        let mut file = File::open(path)?;
-        file.seek(SeekFrom::Start(offset))?;
-        let mut buf = vec![0u8; total_len as usize];
-        file.read_exact(&mut buf)?;
+    pub fn read_value_in(
+        backend: &dyn StorageBackend,
+        name: &str,
+        offset: u64,
+        total_len: u64,
+    ) -> Result<Vec<u8>> {
+        let buf = backend.read_at(name, offset, total_len)?;
         let record = parse_record(&buf, offset)?
             .ok_or_else(|| VStoreError::corruption("record truncated on read"))?;
         Ok(record.value)
@@ -201,29 +205,14 @@ impl LogFile {
         Ok(records)
     }
 
-    /// Scan all complete records in the file. Stops cleanly at a torn tail.
-    pub fn scan(path: &Path) -> Result<Vec<LogRecord>> {
-        let file = match File::open(path) {
-            Ok(f) => f,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
-            Err(e) => return Err(e.into()),
+    /// Scan all complete records of a named log. Stops cleanly at a torn
+    /// tail; a missing log scans as empty.
+    pub fn scan(backend: &dyn StorageBackend, name: &str) -> Result<Vec<LogRecord>> {
+        let data = match backend.read_all(name)? {
+            Some(data) => data,
+            None => return Ok(Vec::new()),
         };
-        let mut reader = BufReader::new(file);
-        let mut data = Vec::new();
-        reader.read_to_end(&mut data)?;
-        let mut records = Vec::new();
-        let mut offset = 0u64;
-        while (offset as usize) < data.len() {
-            match parse_record(&data[offset as usize..], offset)? {
-                Some(record) => {
-                    let advance = record.total_len;
-                    records.push(record);
-                    offset += advance;
-                }
-                None => break, // torn tail
-            }
-        }
-        Ok(records)
+        Self::scan_buffer(&data, 0)
     }
 }
 
@@ -272,100 +261,124 @@ fn parse_record(buf: &[u8], offset: u64) -> Result<Option<LogRecord>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::{FsBackend, MemBackend};
     use std::fs;
+    use std::path::PathBuf;
 
     fn temp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
             "vstore-log-test-{tag}-{}-{}",
             std::process::id(),
             std::time::SystemTime::now()
-                .elapsed()
-                .map(|d| d.subsec_nanos())
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
                 .unwrap_or(0)
         ));
         fs::create_dir_all(&dir).unwrap();
         dir
     }
 
+    /// Every test runs against both backends; the on-log behaviour must be
+    /// indistinguishable.
+    fn backends(tag: &str) -> Vec<(Arc<dyn StorageBackend>, Option<PathBuf>)> {
+        let dir = temp_dir(tag);
+        vec![
+            (Arc::new(FsBackend::new(&dir).unwrap()), Some(dir)),
+            (Arc::new(MemBackend::new()), None),
+        ]
+    }
+
+    fn cleanup(dir: Option<PathBuf>) {
+        if let Some(dir) = dir {
+            fs::remove_dir_all(dir).ok();
+        }
+    }
+
     #[test]
     fn append_and_scan_round_trip() {
-        let dir = temp_dir("roundtrip");
-        let mut log = LogFile::create(&dir, 1).unwrap();
-        let (off1, len1) = log.append(b"key-a", b"value-a", false).unwrap();
-        let (off2, _) = log.append(b"key-b", &vec![7u8; 10_000], false).unwrap();
-        let (_, _) = log.append(b"key-a", b"", true).unwrap();
-        log.sync().unwrap();
-        assert_eq!(off2, off1 + len1);
+        for (backend, dir) in backends("roundtrip") {
+            let mut log = LogFile::create(Arc::clone(&backend), "", 1).unwrap();
+            let (off1, len1) = log.append(b"key-a", b"value-a", false).unwrap();
+            let (off2, _) = log.append(b"key-b", &vec![7u8; 10_000], false).unwrap();
+            let (_, _) = log.append(b"key-a", b"", true).unwrap();
+            log.sync().unwrap();
+            assert_eq!(off2, off1 + len1);
 
-        let records = LogFile::scan(log.path()).unwrap();
-        assert_eq!(records.len(), 3);
-        assert_eq!(records[0].key, b"key-a");
-        assert_eq!(records[0].value, b"value-a");
-        assert!(!records[0].is_tombstone);
-        assert_eq!(records[1].value.len(), 10_000);
-        assert!(records[2].is_tombstone);
+            let records = LogFile::scan(backend.as_ref(), log.name()).unwrap();
+            assert_eq!(records.len(), 3);
+            assert_eq!(records[0].key, b"key-a");
+            assert_eq!(records[0].value, b"value-a");
+            assert!(!records[0].is_tombstone);
+            assert_eq!(records[1].value.len(), 10_000);
+            assert!(records[2].is_tombstone);
 
-        // Random access read of the second value.
-        let value = log
-            .read_value(records[1].offset, records[1].total_len)
-            .unwrap();
-        assert_eq!(value, vec![7u8; 10_000]);
-        fs::remove_dir_all(&dir).ok();
+            // Random access read of the second value.
+            let value = log
+                .read_value(records[1].offset, records[1].total_len)
+                .unwrap();
+            assert_eq!(value, vec![7u8; 10_000]);
+            cleanup(dir);
+        }
     }
 
     #[test]
     fn torn_tail_is_ignored_but_earlier_records_survive() {
-        let dir = temp_dir("torn");
-        let mut log = LogFile::create(&dir, 1).unwrap();
-        log.append(b"k1", b"v1", false).unwrap();
-        let (off2, len2) = log.append(b"k2", b"v2", false).unwrap();
-        log.sync().unwrap();
-        // Truncate the file mid-way through the second record.
-        let path = log.path().to_path_buf();
-        drop(log);
-        let file = OpenOptions::new().write(true).open(&path).unwrap();
-        file.set_len(off2 + len2 / 2).unwrap();
-        drop(file);
-        let records = LogFile::scan(&path).unwrap();
-        assert_eq!(records.len(), 1);
-        assert_eq!(records[0].key, b"k1");
-        fs::remove_dir_all(&dir).ok();
+        for (backend, dir) in backends("torn") {
+            let mut log = LogFile::create(Arc::clone(&backend), "", 1).unwrap();
+            log.append(b"k1", b"v1", false).unwrap();
+            let (off2, len2) = log.append(b"k2", b"v2", false).unwrap();
+            log.sync().unwrap();
+            let name = log.name().to_owned();
+            drop(log);
+            // Truncate the log mid-way through the second record.
+            let data = backend.read_all(&name).unwrap().unwrap();
+            backend
+                .write_all(&name, &data[..(off2 + len2 / 2) as usize])
+                .unwrap();
+            let records = LogFile::scan(backend.as_ref(), &name).unwrap();
+            assert_eq!(records.len(), 1);
+            assert_eq!(records[0].key, b"k1");
+            cleanup(dir);
+        }
     }
 
     #[test]
     fn corrupted_value_fails_crc_and_is_dropped() {
-        let dir = temp_dir("crc");
-        let mut log = LogFile::create(&dir, 1).unwrap();
-        log.append(b"k1", b"v1", false).unwrap();
-        let (off2, len2) = log.append(b"k2", b"AAAAAAAA", false).unwrap();
-        log.sync().unwrap();
-        let path = log.path().to_path_buf();
-        drop(log);
-        // Flip a byte inside the second record's value.
-        let mut data = fs::read(&path).unwrap();
-        let value_pos = (off2 + len2 - 5) as usize;
-        data[value_pos] ^= 0xFF;
-        fs::write(&path, &data).unwrap();
-        let records = LogFile::scan(&path).unwrap();
-        assert_eq!(records.len(), 1, "corrupt record should not be returned");
-        fs::remove_dir_all(&dir).ok();
+        for (backend, dir) in backends("crc") {
+            let mut log = LogFile::create(Arc::clone(&backend), "", 1).unwrap();
+            log.append(b"k1", b"v1", false).unwrap();
+            let (off2, len2) = log.append(b"k2", b"AAAAAAAA", false).unwrap();
+            log.sync().unwrap();
+            let name = log.name().to_owned();
+            drop(log);
+            // Flip a byte inside the second record's value.
+            let mut data = backend.read_all(&name).unwrap().unwrap();
+            let value_pos = (off2 + len2 - 5) as usize;
+            data[value_pos] ^= 0xFF;
+            backend.write_all(&name, &data).unwrap();
+            let records = LogFile::scan(backend.as_ref(), &name).unwrap();
+            assert_eq!(records.len(), 1, "corrupt record should not be returned");
+            cleanup(dir);
+        }
     }
 
     #[test]
-    fn scan_of_missing_file_is_empty() {
-        let dir = temp_dir("missing");
-        let records = LogFile::scan(&dir.join("vlog-99999999.dat")).unwrap();
-        assert!(records.is_empty());
-        fs::remove_dir_all(&dir).ok();
+    fn scan_of_missing_log_is_empty() {
+        for (backend, dir) in backends("missing") {
+            let records = LogFile::scan(backend.as_ref(), "vlog-99999999.dat").unwrap();
+            assert!(records.is_empty());
+            cleanup(dir);
+        }
     }
 
     #[test]
     fn bad_magic_is_reported_as_corruption() {
-        let dir = temp_dir("magic");
-        let path = dir.join(LogFile::file_name(1));
-        fs::write(&path, [0u8; 64]).unwrap();
-        assert!(LogFile::scan(&path).is_err());
-        fs::remove_dir_all(&dir).ok();
+        for (backend, dir) in backends("magic") {
+            let name = LogFile::file_name(1);
+            backend.write_all(&name, &[0u8; 64]).unwrap();
+            assert!(LogFile::scan(backend.as_ref(), &name).is_err());
+            cleanup(dir);
+        }
     }
 
     #[test]
@@ -374,24 +387,30 @@ mod tests {
         assert_eq!(LogFile::parse_id("vlog-00000042.dat"), Some(42));
         assert_eq!(LogFile::parse_id("manifest"), None);
         assert_eq!(LogFile::parse_id("vlog-xx.dat"), None);
+        assert_eq!(
+            LogFile::log_name("shard-003", 1),
+            "shard-003/vlog-00000001.dat"
+        );
+        assert_eq!(LogFile::log_name("", 1), "vlog-00000001.dat");
     }
 
     #[test]
     fn reopen_appends_after_existing_records() {
-        let dir = temp_dir("reopen");
-        {
-            let mut log = LogFile::create(&dir, 3).unwrap();
-            log.append(b"k1", b"v1", false).unwrap();
-            log.sync().unwrap();
+        for (backend, dir) in backends("reopen") {
+            {
+                let mut log = LogFile::create(Arc::clone(&backend), "", 3).unwrap();
+                log.append(b"k1", b"v1", false).unwrap();
+                log.sync().unwrap();
+            }
+            {
+                let mut log = LogFile::open(Arc::clone(&backend), "", 3).unwrap();
+                assert!(!log.is_empty());
+                log.append(b"k2", b"v2", false).unwrap();
+                log.sync().unwrap();
+            }
+            let records = LogFile::scan(backend.as_ref(), &LogFile::file_name(3)).unwrap();
+            assert_eq!(records.len(), 2);
+            cleanup(dir);
         }
-        {
-            let mut log = LogFile::open(&dir, 3).unwrap();
-            assert!(!log.is_empty());
-            log.append(b"k2", b"v2", false).unwrap();
-            log.sync().unwrap();
-        }
-        let records = LogFile::scan(&dir.join(LogFile::file_name(3))).unwrap();
-        assert_eq!(records.len(), 2);
-        fs::remove_dir_all(&dir).ok();
     }
 }

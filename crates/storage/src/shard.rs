@@ -2,18 +2,20 @@
 //!
 //! A shard is exactly the original `SegmentStore` design — an in-memory
 //! index over CRC-guarded value logs with tombstone deletes and rewrite
-//! compaction — owning its own directory, log-file set, roll-over and
+//! compaction — owning its own log namespace, log-file set, roll-over and
 //! statistics. [`SegmentStore`](crate::store::SegmentStore) composes N of
 //! these behind a key-hash router so operations on different shards never
-//! contend on a lock.
+//! contend on a lock. All I/O flows through the store's
+//! [`StorageBackend`](crate::backend::StorageBackend); a shard never touches
+//! the filesystem directly.
 
+use crate::backend::StorageBackend;
 use crate::key::SegmentKey;
 use crate::log::LogFile;
 use crate::store::StoreStats;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
-use std::fs;
-use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use vstore_types::{FormatId, Result, VStoreError};
 
 /// Target maximum size of one value log file before the shard rolls over to
@@ -32,10 +34,13 @@ struct ValueLocation {
 
 #[derive(Debug)]
 struct ShardInner {
-    dir: PathBuf,
+    backend: Arc<dyn StorageBackend>,
+    /// Log-namespace prefix of this shard (e.g. `shard-003`).
+    dir: String,
     index: BTreeMap<SegmentKey, ValueLocation>,
     active: LogFile,
-    sealed: BTreeMap<u64, PathBuf>,
+    /// Sealed logs by id, mapped to their backend names.
+    sealed: BTreeMap<u64, String>,
     stats_writes: u64,
     stats_reads: u64,
     disk_bytes: u64,
@@ -48,15 +53,14 @@ pub(crate) struct Shard {
 }
 
 impl Shard {
-    /// Open (or create) a shard rooted at `dir`, rebuilding the index by
-    /// scanning the value logs.
-    pub(crate) fn open(dir: impl AsRef<Path>) -> Result<Shard> {
-        let dir = dir.as_ref().to_path_buf();
-        fs::create_dir_all(&dir)?;
+    /// Open (or create) a shard under the backend namespace `dir`,
+    /// rebuilding the index by scanning the value logs.
+    pub(crate) fn open(backend: Arc<dyn StorageBackend>, dir: String) -> Result<Shard> {
         // Discover existing log files in id order.
-        let mut ids: Vec<u64> = fs::read_dir(&dir)?
-            .filter_map(|e| e.ok())
-            .filter_map(|e| e.file_name().to_str().and_then(LogFile::parse_id))
+        let mut ids: Vec<u64> = backend
+            .list(&dir)?
+            .iter()
+            .filter_map(|name| LogFile::parse_id(name))
             .collect();
         ids.sort_unstable();
 
@@ -64,8 +68,8 @@ impl Shard {
         let mut sealed = BTreeMap::new();
         let mut disk_bytes = 0u64;
         for &id in &ids {
-            let path = dir.join(LogFile::file_name(id));
-            let records = LogFile::scan(&path)?;
+            let name = LogFile::log_name(&dir, id);
+            let records = LogFile::scan(backend.as_ref(), &name)?;
             for record in records {
                 let key = SegmentKey::decode(&record.key)?;
                 if record.is_tombstone {
@@ -82,15 +86,16 @@ impl Shard {
                     );
                 }
             }
-            disk_bytes += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-            sealed.insert(id, path);
+            disk_bytes += backend.len(&name)?.unwrap_or(0);
+            sealed.insert(id, name);
         }
         // The active log is a fresh file after the highest existing id; this
         // keeps recovery simple (sealed files are never appended to again).
         let next_id = ids.last().map(|id| id + 1).unwrap_or(1);
-        let active = LogFile::create(&dir, next_id)?;
+        let active = LogFile::create(Arc::clone(&backend), &dir, next_id)?;
         Ok(Shard {
             inner: Mutex::new(ShardInner {
+                backend,
                 dir,
                 index,
                 active,
@@ -220,16 +225,16 @@ impl Shard {
         for (key, loc) in &entries {
             values.push((key.clone(), inner.read_at(*loc)?));
         }
-        // Remember the old files, then start a new generation.
-        let old_files: Vec<PathBuf> = inner
+        // Remember the old logs, then start a new generation.
+        let old_logs: Vec<String> = inner
             .sealed
             .values()
             .cloned()
-            .chain(std::iter::once(inner.active.path().to_path_buf()))
+            .chain(std::iter::once(inner.active.name().to_owned()))
             .collect();
         let next_id = inner.active.id + 1;
         inner.sealed.clear();
-        inner.active = LogFile::create(&inner.dir, next_id)?;
+        inner.active = LogFile::create(Arc::clone(&inner.backend), &inner.dir, next_id)?;
         inner.index.clear();
         inner.disk_bytes = 0;
         for (key, value) in values {
@@ -249,8 +254,8 @@ impl Shard {
             inner.disk_bytes += total_len;
         }
         inner.active.sync()?;
-        for path in old_files {
-            fs::remove_file(&path).ok();
+        for name in old_logs {
+            inner.backend.remove(&name).ok();
         }
         Ok(before.saturating_sub(inner.disk_bytes))
     }
@@ -261,9 +266,9 @@ impl ShardInner {
         if self.active.len() >= LOG_ROLL_BYTES {
             self.active.sync()?;
             let old_id = self.active.id;
-            let old_path = self.active.path().to_path_buf();
-            self.sealed.insert(old_id, old_path);
-            self.active = LogFile::create(&self.dir, old_id + 1)?;
+            let old_name = self.active.name().to_owned();
+            self.sealed.insert(old_id, old_name);
+            self.active = LogFile::create(Arc::clone(&self.backend), &self.dir, old_id + 1)?;
         }
         Ok(())
     }
@@ -273,9 +278,14 @@ impl ShardInner {
         if location.file_id == self.active.id {
             return self.active.read_value(location.offset, location.total_len);
         }
-        let path = self.sealed.get(&location.file_id).ok_or_else(|| {
+        let name = self.sealed.get(&location.file_id).ok_or_else(|| {
             VStoreError::corruption(format!("missing log file {}", location.file_id))
         })?;
-        LogFile::read_value_at(path, location.offset, location.total_len)
+        LogFile::read_value_in(
+            self.backend.as_ref(),
+            name,
+            location.offset,
+            location.total_len,
+        )
     }
 }

@@ -1,5 +1,5 @@
 //! The segment store: N independently locked, log-structured shards behind
-//! a key-hash router.
+//! a key-hash router, over a pluggable storage backend.
 //!
 //! Writers and readers hitting different shards never contend on a lock, so
 //! put/get throughput scales with shards on a multi-core host; compaction
@@ -7,12 +7,17 @@
 //! persisted in a `SHARDS` meta file so reopening a store always routes keys
 //! the way they were written. One shard reproduces the original single-lock
 //! store exactly.
+//!
+//! All I/O flows through a [`StorageBackend`]: [`FsBackend`] (the default)
+//! reproduces the pre-backend on-disk format byte for byte, and
+//! [`MemBackend`] keeps everything in memory for tests and benchmarks.
 
+use crate::backend::{BackendOptions, FsBackend, MemBackend, StorageBackend};
 use crate::key::SegmentKey;
 use crate::log::record_size;
 use crate::shard::Shard;
-use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use vstore_sim::{scoped_map, DeterministicHasher};
 use vstore_types::{ByteSize, FormatId, Result, VStoreError, DEFAULT_SHARDS};
 
@@ -73,12 +78,14 @@ impl StoreStats {
 #[derive(Debug)]
 pub struct SegmentStore {
     dir: PathBuf,
+    backend: Arc<dyn StorageBackend>,
     shards: Vec<Shard>,
 }
 
 impl SegmentStore {
-    /// Open (or create) a store rooted at `dir` with the default shard
-    /// count, rebuilding each shard's index by scanning its value logs.
+    /// Open (or create) a store rooted at `dir` on the local filesystem with
+    /// the default shard count, rebuilding each shard's index by scanning
+    /// its value logs.
     ///
     /// Reopening an existing store always uses the shard count it was
     /// created with (recorded in its `SHARDS` meta file).
@@ -86,54 +93,74 @@ impl SegmentStore {
         Self::open_with_shards(dir, DEFAULT_SHARDS)
     }
 
-    /// Open (or create) a store rooted at `dir` with `shards` shards.
+    /// Open (or create) a filesystem store rooted at `dir` with `shards`
+    /// shards.
     ///
     /// `shards` applies only when the store is created; an existing store
     /// keeps its recorded shard count (keys must keep routing to the shard
     /// they were written to).
     pub fn open_with_shards(dir: impl AsRef<Path>, shards: usize) -> Result<SegmentStore> {
-        let dir = dir.as_ref().to_path_buf();
-        fs::create_dir_all(&dir)?;
-        let meta_path = dir.join(SHARD_META_FILE);
-        let shard_count = match fs::read_to_string(&meta_path) {
-            Ok(contents) => contents.trim().parse::<usize>().map_err(|_| {
-                VStoreError::corruption(format!("invalid shard meta file {}", meta_path.display()))
-            })?,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                // No meta file. Refuse directories that already hold store
+        let backend: Arc<dyn StorageBackend> = Arc::new(FsBackend::new(dir)?);
+        Self::open_with_backend(backend, shards)
+    }
+
+    /// Open (or create) a store over an arbitrary [`StorageBackend`].
+    ///
+    /// This is the constructor every other `open_*` funnels into; the
+    /// `SHARDS` meta handling and the recovery scan are identical for every
+    /// backend.
+    pub fn open_with_backend(
+        backend: Arc<dyn StorageBackend>,
+        shards: usize,
+    ) -> Result<SegmentStore> {
+        let shard_count = match backend.read_all(SHARD_META_FILE)? {
+            Some(contents) => String::from_utf8_lossy(&contents)
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| {
+                    VStoreError::corruption(format!(
+                        "invalid shard meta file in {}",
+                        backend.describe()
+                    ))
+                })?,
+            None => {
+                // No meta file. Refuse namespaces that already hold store
                 // data — value logs at the root (the pre-shard layout) or
                 // shard directories whose meta file was lost — rather than
                 // guessing a shard count and misrouting every existing key.
                 let mut legacy_logs = false;
                 let mut orphan_shards = false;
-                for entry in fs::read_dir(&dir)?.filter_map(|e| e.ok()) {
-                    let name = entry.file_name();
-                    let Some(name) = name.to_str() else { continue };
-                    if crate::log::LogFile::parse_id(name).is_some() {
+                for name in backend.list("")? {
+                    if crate::log::LogFile::parse_id(&name).is_some() {
                         legacy_logs = true;
                     }
-                    if name.starts_with("shard-") && entry.path().is_dir() {
+                    // Only names the store itself would have created
+                    // (`shard-<digits>`) count as orphans; an unrelated
+                    // file like `shard-backup.tar` must not block creation.
+                    let is_shard_name = name.strip_prefix("shard-").is_some_and(|rest| {
+                        !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit())
+                    });
+                    if is_shard_name {
                         orphan_shards = true;
                     }
                 }
                 if legacy_logs {
                     return Err(VStoreError::corruption(format!(
                         "{} holds un-sharded value logs but no SHARDS meta file",
-                        dir.display()
+                        backend.describe()
                     )));
                 }
                 if orphan_shards {
                     return Err(VStoreError::corruption(format!(
                         "{} holds shard directories but no SHARDS meta file; \
                          refusing to guess the shard count",
-                        dir.display()
+                        backend.describe()
                     )));
                 }
                 let count = shards.max(1);
-                fs::write(&meta_path, format!("{count}\n"))?;
+                backend.write_all(SHARD_META_FILE, format!("{count}\n").as_bytes())?;
                 count
             }
-            Err(e) => return Err(e.into()),
         };
         if shard_count == 0 {
             return Err(VStoreError::corruption(
@@ -141,30 +168,63 @@ impl SegmentStore {
             ));
         }
         let shards = (0..shard_count)
-            .map(|i| Shard::open(dir.join(format!("shard-{i:03}"))))
+            .map(|i| Shard::open(Arc::clone(&backend), format!("shard-{i:03}")))
             .collect::<Result<Vec<_>>>()?;
-        Ok(SegmentStore { dir, shards })
+        Ok(SegmentStore {
+            dir: PathBuf::from(backend.describe()),
+            backend,
+            shards,
+        })
     }
 
-    /// Open a store in a fresh temporary directory (tests, examples and
-    /// benchmarks). The directory is *not* cleaned up automatically.
+    /// Open a store over the backend chosen by `options`, rooted at `dir`
+    /// (the root is ignored by the in-memory backend).
+    pub fn open_with_options(
+        dir: impl AsRef<Path>,
+        options: BackendOptions,
+        shards: usize,
+    ) -> Result<SegmentStore> {
+        let backend = options.create(dir.as_ref())?;
+        Self::open_with_backend(backend, shards)
+    }
+
+    /// Open a fresh in-memory store ([`MemBackend`]) with `shards` shards.
+    /// Nothing survives the store being dropped.
+    pub fn open_mem_with_shards(shards: usize) -> Result<SegmentStore> {
+        Self::open_with_backend(Arc::new(MemBackend::new()), shards)
+    }
+
+    /// Open a filesystem store in a fresh temporary directory (tests,
+    /// examples and benchmarks). The directory is *not* cleaned up
+    /// automatically.
     pub fn open_temp(tag: &str) -> Result<SegmentStore> {
         Self::open_temp_with_shards(tag, DEFAULT_SHARDS)
     }
 
     /// [`open_temp`](Self::open_temp) with an explicit shard count.
     pub fn open_temp_with_shards(tag: &str, shards: usize) -> Result<SegmentStore> {
+        SegmentStore::open_with_shards(Self::temp_dir(tag), shards)
+    }
+
+    /// A fresh, collision-resistant directory under the system temp dir for
+    /// a store tagged `tag` (used by every `open_temp` flavour, including
+    /// the facade's).
+    pub fn temp_dir(tag: &str) -> PathBuf {
         let nanos = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_nanos())
             .unwrap_or(0);
-        let dir = std::env::temp_dir().join(format!("vstore-{tag}-{}-{nanos}", std::process::id()));
-        SegmentStore::open_with_shards(dir, shards)
+        std::env::temp_dir().join(format!("vstore-{tag}-{}-{nanos}", std::process::id()))
     }
 
-    /// The root directory of the store.
+    /// The root directory of the store (`<mem>` for the in-memory backend).
     pub fn dir(&self) -> PathBuf {
         self.dir.clone()
+    }
+
+    /// The storage backend behind this store.
+    pub fn backend(&self) -> &Arc<dyn StorageBackend> {
+        &self.backend
     }
 
     /// Number of shards.
@@ -367,6 +427,29 @@ mod tests {
     }
 
     #[test]
+    fn recovery_after_reopen_on_shared_mem_backend() {
+        // The mem backend recovers through the same scan path as the fs
+        // backend when the backend outlives the store handle.
+        let backend: Arc<dyn StorageBackend> = Arc::new(crate::backend::MemBackend::new());
+        let s = SegmentStore::open_with_backend(Arc::clone(&backend), 4).unwrap();
+        for i in 0..20 {
+            s.put(&key("park", 0, i), &vec![i as u8; 1000]).unwrap();
+        }
+        s.delete(&key("park", 0, 3)).unwrap();
+        s.sync().unwrap();
+        drop(s);
+
+        let reopened = SegmentStore::open_with_backend(backend, 16).unwrap();
+        assert_eq!(reopened.shard_count(), 4, "recorded shard count wins");
+        assert_eq!(reopened.len(), 19);
+        assert!(!reopened.contains(&key("park", 0, 3)));
+        assert_eq!(
+            reopened.get(&key("park", 0, 7)).unwrap().unwrap(),
+            vec![7u8; 1000]
+        );
+    }
+
+    #[test]
     fn stats_track_live_and_garbage() {
         let s = store("stats");
         let k = key("x", 1, 1);
@@ -383,28 +466,32 @@ mod tests {
 
     #[test]
     fn compaction_reclaims_space_and_preserves_data() {
-        let s = store("compact");
-        for i in 0..50 {
-            s.put(&key("y", 1, i), &vec![9u8; 2000]).unwrap();
+        for s in [
+            store("compact"),
+            SegmentStore::open_mem_with_shards(DEFAULT_SHARDS).unwrap(),
+        ] {
+            for i in 0..50 {
+                s.put(&key("y", 1, i), &vec![9u8; 2000]).unwrap();
+            }
+            for i in 0..40 {
+                s.delete(&key("y", 1, i)).unwrap();
+            }
+            let before = s.stats();
+            assert!(before.garbage_ratio() > 0.5);
+            let reclaimed = s.compact().unwrap();
+            assert!(reclaimed > 0);
+            let after = s.stats();
+            assert_eq!(after.live_segments, 10);
+            assert!(
+                after.garbage_ratio() < 0.05,
+                "garbage {:.2}",
+                after.garbage_ratio()
+            );
+            for i in 40..50 {
+                assert_eq!(s.get(&key("y", 1, i)).unwrap().unwrap(), vec![9u8; 2000]);
+            }
+            cleanup(&s);
         }
-        for i in 0..40 {
-            s.delete(&key("y", 1, i)).unwrap();
-        }
-        let before = s.stats();
-        assert!(before.garbage_ratio() > 0.5);
-        let reclaimed = s.compact().unwrap();
-        assert!(reclaimed > 0);
-        let after = s.stats();
-        assert_eq!(after.live_segments, 10);
-        assert!(
-            after.garbage_ratio() < 0.05,
-            "garbage {:.2}",
-            after.garbage_ratio()
-        );
-        for i in 40..50 {
-            assert_eq!(s.get(&key("y", 1, i)).unwrap().unwrap(), vec![9u8; 2000]);
-        }
-        cleanup(&s);
     }
 
     #[test]
@@ -538,6 +625,19 @@ mod tests {
     }
 
     #[test]
+    fn unrelated_shard_prefixed_files_do_not_block_creation() {
+        // Only `shard-<digits>` names count as orphaned store data; a stray
+        // user file must not make a fresh directory unopenable.
+        let dir = SegmentStore::temp_dir("stray-file");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("shard-backup.tar"), b"not a shard").unwrap();
+        let s = SegmentStore::open_with_shards(&dir, 2).unwrap();
+        s.put(&key("stray", 1, 0), &[1u8; 8]).unwrap();
+        assert_eq!(s.len(), 1);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
     fn shard_dirs_without_meta_file_are_rejected_not_reseeded() {
         let s = SegmentStore::open_temp_with_shards("orphan", 5).unwrap();
         let dir = s.dir();
@@ -572,5 +672,15 @@ mod tests {
             assert_eq!(s.get(&key("pc", 1, i)).unwrap().unwrap(), vec![6u8; 3000]);
         }
         cleanup(&s);
+    }
+
+    #[test]
+    fn mem_store_reports_mem_dir_and_empty_state() {
+        let s = SegmentStore::open_mem_with_shards(2).unwrap();
+        assert_eq!(s.dir(), PathBuf::from("<mem>"));
+        assert!(s.is_empty());
+        assert_eq!(s.shard_count(), 2);
+        s.put(&key("m", 1, 0), b"bytes").unwrap();
+        assert_eq!(s.get(&key("m", 1, 0)).unwrap().unwrap(), b"bytes");
     }
 }

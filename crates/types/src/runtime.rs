@@ -9,6 +9,7 @@
 //! produce *identical* reports regardless of the values — parallelism never
 //! changes results, only wall-clock time.
 
+use crate::{Result, VStoreError};
 use serde::{Deserialize, Serialize};
 
 /// Parallelism configuration for a VStore instance.
@@ -58,6 +59,29 @@ impl RuntimeOptions {
             query_prefetch: self.query_prefetch.max(1),
         }
     }
+
+    /// Reject configurations with zeroed knobs. The service front door
+    /// (`VStore::open`) calls this so a bad knob surfaces as a
+    /// [`VStoreError::InvalidArgument`] at open time instead of panicking
+    /// (or being silently rewritten) deep inside the store or a worker pool.
+    pub fn validate(&self) -> Result<()> {
+        let reject = |knob: &str| {
+            Err(VStoreError::invalid_argument(format!(
+                "RuntimeOptions::{knob} must be >= 1 (use RuntimeOptions::sequential() \
+                 for the serial runtime)"
+            )))
+        };
+        if self.shards == 0 {
+            return reject("shards");
+        }
+        if self.ingest_workers == 0 {
+            return reject("ingest_workers");
+        }
+        if self.query_prefetch == 0 {
+            return reject("query_prefetch");
+        }
+        Ok(())
+    }
 }
 
 impl Default for RuntimeOptions {
@@ -93,6 +117,25 @@ mod tests {
                 query_prefetch: 1
             }
         );
+    }
+
+    #[test]
+    fn validate_rejects_zeroed_knobs() {
+        assert!(RuntimeOptions::default().validate().is_ok());
+        assert!(RuntimeOptions::sequential().validate().is_ok());
+        for (shards, ingest_workers, query_prefetch) in [(0, 1, 1), (1, 0, 1), (1, 1, 0), (0, 0, 0)]
+        {
+            let opts = RuntimeOptions {
+                shards,
+                ingest_workers,
+                query_prefetch,
+            };
+            let err = opts.validate().unwrap_err();
+            assert!(
+                matches!(err, VStoreError::InvalidArgument(_)),
+                "expected InvalidArgument, got {err}"
+            );
+        }
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! cargo run --release --example budgeted_store
 //! ```
 
-use vstore::{ConfigurationEngine, EngineOptions, QuerySpec, VStore, VStoreOptions};
+use vstore::{
+    ConfigurationEngine, EngineOptions, ErodeRequest, IngestRequest, QueryRequest, QuerySpec,
+    VStore, VStoreOptions,
+};
 use vstore_datasets::{Dataset, VideoSource};
 use vstore_types::{ByteSize, FidelitySpace};
 
@@ -48,8 +51,8 @@ fn main() -> vstore::Result<()> {
         lifespan_days: 10,
         ..EngineOptions::default()
     };
-    let mut store = VStore::open_temp("budgeted", options)?;
-    let config = store.configure(&consumers)?.clone();
+    let store = VStore::open_temp("budgeted", options)?;
+    let config = store.configure(&consumers)?;
     println!("\nbudgeted configuration:\n{config}");
     println!(
         "erosion plan: decay factor k = {:.2}, Pmin = {:.2}",
@@ -75,13 +78,13 @@ fn main() -> vstore::Result<()> {
     // query — consumers whose segments were deleted transparently fall back
     // to richer formats (slower, but still accurate).
     let source = VideoSource::new(Dataset::Airport);
-    store.ingest(&source, 0, 4)?;
-    let fresh = store.query("airport", &query, 0, 4)?;
+    store.ingest(IngestRequest::new(&source).segments(4))?;
+    let fresh = store.query(QueryRequest::new("airport", &query).segments(4))?;
     let mut deleted_total = 0;
     for age in 1..=10 {
-        deleted_total += store.erode("airport", age)?;
+        deleted_total += store.erode(ErodeRequest::new("airport").at_age_days(age))?;
     }
-    let aged = store.query("airport", &query, 0, 4)?;
+    let aged = store.query(QueryRequest::new("airport", &query).segments(4))?;
     let fallbacks: usize = aged.stages.iter().map(|s| s.fallback_segments).sum();
     println!(
         "\nquery B @0.9 on fresh video: {}; after eroding {} segments: {} ({} fallback segment reads)",

@@ -6,11 +6,11 @@
 //! cargo run --release --example plate_recognition
 //! ```
 
-use vstore::{QuerySpec, VStore, VStoreOptions};
+use vstore::{IngestRequest, QueryRequest, QuerySpec, VStore, VStoreOptions};
 use vstore_datasets::{Dataset, VideoSource};
 
 fn main() -> vstore::Result<()> {
-    let mut store = VStore::open_temp("plates", VStoreOptions::fast())?;
+    let store = VStore::open_temp("plates", VStoreOptions::fast())?;
 
     // Configure for query B at all four of the paper's accuracy levels.
     let accuracies = [0.95, 0.9, 0.8, 0.7];
@@ -28,7 +28,7 @@ fn main() -> vstore::Result<()> {
     // Ingest 3 segments (24 s) of dash-cam video — the hardest content for
     // the encoder because of its global motion.
     let source = VideoSource::new(Dataset::Dashcam);
-    let report = store.ingest(&source, 0, 3)?;
+    let report = store.ingest(IngestRequest::new(&source).segments(3))?;
     println!(
         "dashcam ingest: {:.1} transcode cores, {:.0} GB/day",
         report.transcode_cores(),
@@ -41,7 +41,7 @@ fn main() -> vstore::Result<()> {
     println!("\naccuracy  speed       plates-read  fallback-segments");
     for &accuracy in &accuracies {
         let query = QuerySpec::query_b(accuracy);
-        let result = store.query("dashcam", &query, 0, 3)?;
+        let result = store.query(QueryRequest::new("dashcam", &query).segments(3))?;
         let fallbacks: usize = result.stages.iter().map(|s| s.fallback_segments).sum();
         println!(
             "{accuracy:<9} {:<11} {:<12} {fallbacks}",

@@ -6,13 +6,13 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use vstore::{QuerySpec, VStore, VStoreOptions};
+use vstore::{IngestRequest, QueryRequest, QuerySpec, VStore, VStoreOptions};
 use vstore_datasets::{Dataset, VideoSource};
 
 fn main() -> vstore::Result<()> {
     // A store in a temporary directory, with the fast (reduced-space)
     // configuration options so the example finishes in seconds.
-    let mut store = VStore::open_temp("quickstart", VStoreOptions::fast())?;
+    let store = VStore::open_temp("quickstart", VStoreOptions::fast())?;
 
     // Query A of the paper: Diff → specialised NN → full NN, at two target
     // accuracies. VStore configures consumption and storage formats for all
@@ -27,7 +27,7 @@ fn main() -> vstore::Result<()> {
     // Ingest 4 segments (32 seconds) of the jackson stream into every
     // derived storage format.
     let source = VideoSource::new(Dataset::Jackson);
-    let report = store.ingest(&source, 0, 4)?;
+    let report = store.ingest(IngestRequest::new(&source).segments(4))?;
     println!(
         "ingested {} of video: {} segments, {:.1} transcode cores, {:.1} GB/day storage growth",
         report.video,
@@ -39,7 +39,7 @@ fn main() -> vstore::Result<()> {
     // Run the query at both accuracies; the lower target runs much faster
     // because its operators subscribe to cheaper formats.
     for query in [&precise, &sloppy] {
-        let result = store.query("jackson", query, 0, 4)?;
+        let result = store.query(QueryRequest::new("jackson", query).segments(4))?;
         println!(
             "query A @ F1≥{}: speed {}, {} positive frames, cascade selectivity {:.0}%",
             query.accuracy,

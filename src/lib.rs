@@ -3,34 +3,53 @@
 //! The top-level facade over the VStore system: a data store for analytics
 //! on large videos (EuroSys '19), reproduced in Rust.
 //!
-//! This crate re-exports every component crate and provides [`VStore`], the
-//! handle that ties them together the way the paper's prototype does:
+//! This crate re-exports every component crate and provides [`VStore`], a
+//! cheaply-cloneable **service handle** that ties them together the way the
+//! paper's prototype does. The handle is `Clone + Send + Sync`: clone it
+//! freely and hand the clones to ingest, query and control threads — every
+//! clone shares the same store, pipelines and resource ledger, and every
+//! method takes `&self`.
 //!
 //! * **configure** — run backward derivation for a set of
 //!   `<operator, accuracy>` consumers (§4), producing the global set of
-//!   consumption and storage formats plus the erosion plan;
+//!   consumption and storage formats plus the erosion plan. Installing a
+//!   configuration is an atomic epoch swap: requests already in flight keep
+//!   the configuration they started with;
 //! * **ingest** — transcode incoming video into every storage format and
-//!   persist 8-second segments (§2.2);
+//!   persist 8-second segments (§2.2), via [`IngestRequest`];
 //! * **query** — execute operator cascades over the stored video at a chosen
-//!   accuracy, streaming segments from disk through the decoder to the
-//!   operators (§6.2);
+//!   accuracy, streaming segments from the store through the decoder to the
+//!   operators (§6.2), via [`QueryRequest`];
 //! * **erode** — apply the age-based erosion plan to keep storage under
-//!   budget (§4.4).
+//!   budget (§4.4), via [`ErodeRequest`].
+//!
+//! Storage I/O flows through a pluggable [`StorageBackend`]: the local
+//! filesystem by default, or an in-memory backend for tests and benchmarks,
+//! selected with [`VStoreOptions::with_backend`].
 //!
 //! ```no_run
-//! use vstore::{QuerySpec, VStore, VStoreOptions};
-//! use vstore_datasets::{Dataset, VideoSource};
+//! use vstore::{IngestRequest, QueryRequest, QuerySpec, VStore, VStoreOptions};
+//! use vstore::datasets::{Dataset, VideoSource};
 //!
-//! let mut store = VStore::open_temp("quickstart", VStoreOptions::default()).unwrap();
+//! let store = VStore::open_temp("quickstart", VStoreOptions::default()).unwrap();
 //! let query = QuerySpec::query_a(0.9);
 //! store.configure(&query.consumers()).unwrap();
-//! store.ingest(&VideoSource::new(Dataset::Jackson), 0, 4).unwrap();
-//! let result = store.query("jackson", &query, 0, 4).unwrap();
+//!
+//! let source = VideoSource::new(Dataset::Jackson);
+//! store.ingest(IngestRequest::new(&source).segments(4)).unwrap();
+//!
+//! // Clones serve requests concurrently against the same store.
+//! let handle = store.clone();
+//! let result = handle
+//!     .query(QueryRequest::new("jackson", &query).segments(4))
+//!     .unwrap();
 //! println!("query A ran at {}", result.speed);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod requests;
 
 pub use vstore_codec as codec;
 pub use vstore_core as core;
@@ -43,16 +62,18 @@ pub use vstore_sim as sim;
 pub use vstore_storage as storage;
 pub use vstore_types as types;
 
+pub use requests::{ErodeRequest, IngestRequest, QueryRequest};
 pub use vstore_core::{Alternative, ConfigurationEngine, EngineOptions};
 pub use vstore_query::{QueryResult, QuerySpec};
+pub use vstore_storage::{BackendOptions, FsBackend, MemBackend, StorageBackend};
 pub use vstore_types::{
     Configuration, Consumer, OperatorKind, Result, RuntimeOptions, VStoreError,
 };
 
+use parking_lot::RwLock;
 use std::path::Path;
 use std::sync::Arc;
 use vstore_codec::Transcoder;
-use vstore_datasets::VideoSource;
 use vstore_ingest::{IngestReport, IngestionPipeline};
 use vstore_ops::OperatorLibrary;
 use vstore_profiler::{Profiler, ProfilerConfig};
@@ -70,7 +91,11 @@ pub struct VStoreOptions {
     /// Runtime parallelism: store shards, ingest workers, query prefetch.
     /// Defaults to `shards = 8` and worker counts sized to the host's cores;
     /// [`RuntimeOptions::sequential`] reproduces the serial runtime exactly.
+    /// Validated at [`VStore::open`] — zeroed knobs are rejected.
     pub runtime: RuntimeOptions,
+    /// Which storage backend the segment store runs on: the local
+    /// filesystem (default) or an in-memory backend for tests and benches.
+    pub backend: BackendOptions,
 }
 
 impl Default for VStoreOptions {
@@ -79,6 +104,7 @@ impl Default for VStoreOptions {
             engine: EngineOptions::default(),
             profiler: ProfilerConfig::paper_evaluation(),
             runtime: RuntimeOptions::default(),
+            backend: BackendOptions::default(),
         }
     }
 }
@@ -94,6 +120,7 @@ impl VStoreOptions {
             },
             profiler: ProfilerConfig::fast_test(),
             runtime: RuntimeOptions::default(),
+            backend: BackendOptions::default(),
         }
     }
 
@@ -102,36 +129,97 @@ impl VStoreOptions {
         self.runtime = runtime;
         self
     }
+
+    /// Replace the storage backend selection.
+    pub fn with_backend(mut self, backend: BackendOptions) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
-/// The VStore handle.
-pub struct VStore {
+/// The active configuration slot: an epoch counter plus the configuration
+/// shared (via `Arc`) with every request that started under it.
+#[derive(Debug, Default)]
+struct ConfigSlot {
+    epoch: u64,
+    config: Option<Arc<Configuration>>,
+}
+
+/// Everything a [`VStore`] handle points at. One instance exists per opened
+/// store, shared by every clone of the handle.
+struct VStoreInner {
     profiler: Arc<Profiler>,
     engine: ConfigurationEngine,
     store: Arc<SegmentStore>,
     ingest: IngestionPipeline,
     queries: QueryEngine,
-    configuration: Option<Configuration>,
+    active: RwLock<ConfigSlot>,
     clock: VirtualClock,
 }
 
+/// The VStore service handle.
+///
+/// Cloning is an `Arc` bump: all clones share one store, one ingestion
+/// pipeline, one query engine and one resource ledger, and every method
+/// takes `&self` — the handle is made to be cloned into however many ingest
+/// and query threads the deployment needs. Configuration changes are atomic
+/// epoch swaps ([`configure`](Self::configure) /
+/// [`install_configuration`](Self::install_configuration)); requests in
+/// flight keep the configuration they started with.
+#[derive(Clone)]
+pub struct VStore {
+    inner: Arc<VStoreInner>,
+}
+
+impl std::fmt::Debug for VStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VStore")
+            .field("store_dir", &self.inner.store.dir())
+            .field("shards", &self.inner.store.shard_count())
+            .field("epoch", &self.inner.active.read().epoch)
+            .field("handles", &Arc::strong_count(&self.inner))
+            .finish()
+    }
+}
+
 impl VStore {
-    /// Open a store rooted at `dir`.
+    /// Open a store rooted at `dir` (ignored by the in-memory backend).
+    ///
+    /// Validates `options.runtime` first: zeroed knobs are rejected with
+    /// [`VStoreError::InvalidArgument`] instead of panicking deep inside the
+    /// store.
     pub fn open(dir: impl AsRef<Path>, options: VStoreOptions) -> Result<VStore> {
-        let runtime = options.runtime.normalized();
-        let store = Arc::new(SegmentStore::open_with_shards(dir, runtime.shards)?);
+        options.runtime.validate()?;
+        let store = Arc::new(SegmentStore::open_with_options(
+            dir,
+            options.backend,
+            options.runtime.shards,
+        )?);
         Ok(Self::assemble(store, options))
     }
 
     /// Open a store in a fresh temporary directory (tests and examples).
     pub fn open_temp(tag: &str, options: VStoreOptions) -> Result<VStore> {
-        let runtime = options.runtime.normalized();
-        let store = Arc::new(SegmentStore::open_temp_with_shards(tag, runtime.shards)?);
+        Self::open(SegmentStore::temp_dir(tag), options)
+    }
+
+    /// Open a store over an externally constructed [`StorageBackend`]
+    /// (`options.backend` is ignored). This is how a store is reopened on a
+    /// backend that outlives the handle, and how custom backends plug in.
+    pub fn open_with_backend(
+        backend: Arc<dyn StorageBackend>,
+        options: VStoreOptions,
+    ) -> Result<VStore> {
+        options.runtime.validate()?;
+        let store = Arc::new(SegmentStore::open_with_backend(
+            backend,
+            options.runtime.shards,
+        )?);
         Ok(Self::assemble(store, options))
     }
 
     fn assemble(store: Arc<SegmentStore>, options: VStoreOptions) -> VStore {
-        let runtime = options.runtime.normalized();
+        let runtime = options.runtime;
         let clock = VirtualClock::new();
         let library = OperatorLibrary::paper_testbed();
         let coding = CodingCostModel::paper_testbed();
@@ -149,131 +237,227 @@ impl VStore {
         )
         .with_prefetch(runtime.query_prefetch);
         VStore {
-            profiler,
-            engine,
-            store,
-            ingest,
-            queries,
-            configuration: None,
-            clock,
+            inner: Arc::new(VStoreInner {
+                profiler,
+                engine,
+                store,
+                ingest,
+                queries,
+                active: RwLock::new(ConfigSlot::default()),
+                clock,
+            }),
         }
     }
 
     /// The profiler (exposed for experiments that report profiling cost).
     pub fn profiler(&self) -> &Profiler {
-        &self.profiler
+        &self.inner.profiler
     }
 
     /// The configuration engine.
     pub fn engine(&self) -> &ConfigurationEngine {
-        &self.engine
+        &self.inner.engine
     }
 
     /// The segment store statistics (aggregated across shards).
     pub fn store_stats(&self) -> StoreStats {
-        self.store.stats()
+        self.inner.store.stats()
     }
 
     /// Per-shard segment store statistics, in shard order.
     pub fn shard_stats(&self) -> Vec<StoreStats> {
-        self.store.shard_stats()
+        self.inner.store.shard_stats()
     }
 
-    /// The root directory of the segment store.
+    /// The root directory of the segment store (`<mem>` for the in-memory
+    /// backend).
     pub fn store_dir(&self) -> std::path::PathBuf {
-        self.store.dir()
+        self.inner.store.dir()
     }
 
     /// The shared virtual clock (ingestion + query resource ledger).
     pub fn clock(&self) -> &VirtualClock {
-        &self.clock
+        &self.inner.clock
     }
 
-    /// The active configuration, if one has been derived.
-    pub fn configuration(&self) -> Option<&Configuration> {
-        self.configuration.as_ref()
+    /// The active configuration, if one has been installed. The returned
+    /// `Arc` is a stable snapshot: a concurrent
+    /// [`configure`](Self::configure) swaps the slot but never mutates a
+    /// configuration already handed out.
+    pub fn configuration(&self) -> Option<Arc<Configuration>> {
+        self.inner.active.read().config.clone()
+    }
+
+    /// The configuration epoch: 0 before any configuration is installed,
+    /// then incremented by every [`configure`](Self::configure) /
+    /// [`install_configuration`](Self::install_configuration).
+    pub fn configuration_epoch(&self) -> u64 {
+        self.inner.active.read().epoch
     }
 
     /// Derive (or re-derive) the video format configuration for a consumer
     /// set via backward derivation, and make it the active configuration.
-    pub fn configure(&mut self, consumers: &[Consumer]) -> Result<&Configuration> {
-        let config = self.engine.derive(consumers)?;
-        self.configuration = Some(config);
-        Ok(self.configuration.as_ref().expect("just set"))
+    ///
+    /// Derivation runs outside the configuration lock — concurrent requests
+    /// keep serving the previous epoch until the atomic swap at the end.
+    pub fn configure(&self, consumers: &[Consumer]) -> Result<Arc<Configuration>> {
+        let config = self.inner.engine.derive(consumers)?;
+        Ok(self.install_configuration(config))
     }
 
     /// Install an externally derived configuration (e.g. one of the §6.2
-    /// baselines) as the active configuration.
-    pub fn install_configuration(&mut self, configuration: Configuration) {
-        self.configuration = Some(configuration);
+    /// baselines) as the active configuration, atomically advancing the
+    /// epoch. Requests in flight keep the configuration they started with.
+    pub fn install_configuration(&self, configuration: Configuration) -> Arc<Configuration> {
+        let config = Arc::new(configuration);
+        let mut slot = self.inner.active.write();
+        slot.epoch += 1;
+        slot.config = Some(Arc::clone(&config));
+        config
     }
 
-    fn active(&self) -> Result<&Configuration> {
-        self.configuration.as_ref().ok_or_else(|| {
+    /// Snapshot the active configuration for one request.
+    fn active(&self) -> Result<Arc<Configuration>> {
+        self.inner.active.read().config.clone().ok_or_else(|| {
             VStoreError::InvalidState("no configuration derived yet; call configure()".into())
         })
     }
 
-    /// Ingest `count` consecutive 8-second segments of a stream, starting at
-    /// `first_segment`, into every storage format of the active
-    /// configuration.
-    pub fn ingest(
-        &self,
-        source: &VideoSource,
-        first_segment: u64,
-        count: u64,
-    ) -> Result<IngestReport> {
+    /// Ingest a contiguous range of 8-second segments of a stream into
+    /// every storage format of the active configuration.
+    pub fn ingest(&self, request: IngestRequest) -> Result<IngestReport> {
+        request.validate()?;
         let config = self.active()?;
-        self.ingest
-            .ingest_segments(source, first_segment, count, config)
+        self.inner.ingest.ingest_segments(
+            &request.source,
+            request.first_segment,
+            request.count,
+            &config,
+        )
     }
 
     /// Execute a query over stored segments of a stream.
-    pub fn query(
-        &self,
-        stream: &str,
-        query: &QuerySpec,
-        first_segment: u64,
-        count: u64,
-    ) -> Result<QueryResult> {
+    pub fn query(&self, request: QueryRequest) -> Result<QueryResult> {
+        request.validate()?;
         let config = self.active()?;
-        self.queries
-            .execute(stream, query, config, first_segment, count)
+        self.inner.queries.execute(
+            &request.stream,
+            &request.spec,
+            &config,
+            request.first_segment,
+            request.count,
+        )
     }
 
     /// Apply the erosion plan of the active configuration to a stream at a
     /// given video age, deleting the planned fraction of segments. Returns
     /// the number of segments deleted.
-    pub fn erode(&self, stream: &str, age_days: u32) -> Result<usize> {
+    pub fn erode(&self, request: ErodeRequest) -> Result<usize> {
+        request.validate()?;
         let config = self.active()?;
-        self.ingest.apply_erosion(stream, config, age_days)
+        self.inner
+            .ingest
+            .apply_erosion(&request.stream, &config, request.age_days)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vstore_datasets::Dataset;
+    use vstore_datasets::{Dataset, VideoSource};
+
+    /// The service-handle contract of this redesign, checked at compile
+    /// time.
+    #[test]
+    fn handle_is_clone_send_sync() {
+        fn assert_service_handle<T: Clone + Send + Sync + 'static>() {}
+        assert_service_handle::<VStore>();
+    }
 
     #[test]
     fn facade_lifecycle() {
-        let mut store = VStore::open_temp("facade", VStoreOptions::fast()).unwrap();
+        let store = VStore::open_temp("facade", VStoreOptions::fast()).unwrap();
         assert!(store.configuration().is_none());
-        assert!(store
-            .ingest(&VideoSource::new(Dataset::Jackson), 0, 1)
-            .is_err());
+        assert_eq!(store.configuration_epoch(), 0);
+        let source = VideoSource::new(Dataset::Jackson);
+        assert!(store.ingest(IngestRequest::new(&source)).is_err());
 
         let query = QuerySpec::query_a(0.8);
         store.configure(&query.consumers()).unwrap();
         assert!(store.configuration().is_some());
+        assert_eq!(store.configuration_epoch(), 1);
 
-        let source = VideoSource::new(Dataset::Jackson);
-        let report = store.ingest(&source, 0, 1).unwrap();
+        let report = store.ingest(IngestRequest::new(&source)).unwrap();
         assert!(report.segments_written >= 1);
         assert!(store.store_stats().live_segments >= 1);
 
-        let result = store.query("jackson", &query, 0, 1).unwrap();
+        let result = store.query(QueryRequest::new("jackson", &query)).unwrap();
         assert!(result.speed.factor() > 0.0);
-        std::fs::remove_dir_all(store.store.dir()).ok();
+        std::fs::remove_dir_all(store.store_dir()).ok();
+    }
+
+    #[test]
+    fn open_rejects_zeroed_runtime_knobs() {
+        let options = VStoreOptions::fast().with_runtime(RuntimeOptions {
+            shards: 0,
+            ingest_workers: 1,
+            query_prefetch: 1,
+        });
+        let err = VStore::open_temp("zero-shards", options).unwrap_err();
+        assert!(matches!(err, VStoreError::InvalidArgument(_)), "{err}");
+
+        let options = VStoreOptions::fast().with_runtime(RuntimeOptions {
+            shards: 1,
+            ingest_workers: 1,
+            query_prefetch: 0,
+        });
+        let err = VStore::open_temp("zero-prefetch", options).unwrap_err();
+        assert!(matches!(err, VStoreError::InvalidArgument(_)), "{err}");
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_before_the_runtime() {
+        let store = VStore::open_temp(
+            "bad-requests",
+            VStoreOptions::fast().with_backend(BackendOptions::Mem),
+        )
+        .unwrap();
+        let query = QuerySpec::query_a(0.8);
+        // Even with no configuration installed, validation fires first.
+        let source = VideoSource::new(Dataset::Jackson);
+        let err = store
+            .ingest(IngestRequest::new(&source).segments(0))
+            .unwrap_err();
+        assert!(matches!(err, VStoreError::InvalidArgument(_)), "{err}");
+        let err = store.query(QueryRequest::new("", &query)).unwrap_err();
+        assert!(matches!(err, VStoreError::InvalidArgument(_)), "{err}");
+        let err = store.erode(ErodeRequest::new("")).unwrap_err();
+        assert!(matches!(err, VStoreError::InvalidArgument(_)), "{err}");
+    }
+
+    #[test]
+    fn cloned_handles_share_state_and_epochs_advance() {
+        let store = VStore::open_temp(
+            "clone-share",
+            VStoreOptions::fast().with_backend(BackendOptions::Mem),
+        )
+        .unwrap();
+        let clone = store.clone();
+        let query = QuerySpec::query_a(0.8);
+        let config = store.configure(&query.consumers()).unwrap();
+        // The clone sees the configuration installed through the original.
+        assert_eq!(clone.configuration_epoch(), 1);
+        assert_eq!(clone.configuration().as_deref(), Some(&*config));
+
+        let source = VideoSource::new(Dataset::Jackson);
+        clone.ingest(IngestRequest::new(&source)).unwrap();
+        assert_eq!(
+            store.store_stats().live_segments,
+            clone.store_stats().live_segments
+        );
+
+        // Reinstalling advances the epoch on every handle.
+        clone.install_configuration((*config).clone());
+        assert_eq!(store.configuration_epoch(), 2);
     }
 }

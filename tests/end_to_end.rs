@@ -1,8 +1,11 @@
 //! Cross-crate integration tests: the full VStore lifecycle — configure,
-//! ingest, query, erode — exercised through the public facade, plus the
-//! §6.2-style comparison against the baseline configurations.
+//! ingest, query, erode — exercised through the public service handle and
+//! its request builders, plus the §6.2-style comparison against the
+//! baseline configurations.
 
-use vstore::{Alternative, QuerySpec, VStore, VStoreOptions};
+use vstore::{
+    Alternative, ErodeRequest, IngestRequest, QueryRequest, QuerySpec, VStore, VStoreOptions,
+};
 use vstore_datasets::{Dataset, VideoSource};
 use vstore_types::{Consumer, OperatorKind};
 
@@ -13,26 +16,32 @@ fn cleanup(store: &VStore) {
 
 #[test]
 fn configure_ingest_query_lifecycle() {
-    let mut store = VStore::open_temp("e2e-lifecycle", VStoreOptions::fast()).unwrap();
+    let store = VStore::open_temp("e2e-lifecycle", VStoreOptions::fast()).unwrap();
     let query_hi = QuerySpec::query_a(0.9);
     let query_lo = QuerySpec::query_a(0.7);
     let mut consumers = query_hi.consumers();
     consumers.extend(query_lo.consumers());
 
-    let config = store.configure(&consumers).unwrap().clone();
+    let config = store.configure(&consumers).unwrap();
     config.validate().unwrap();
     assert!(!config.storage_formats.is_empty());
     assert_eq!(config.subscriptions.len(), 6);
 
     let source = VideoSource::new(Dataset::Jackson);
-    let report = store.ingest(&source, 0, 3).unwrap();
+    let report = store
+        .ingest(IngestRequest::new(&source).segments(3))
+        .unwrap();
     assert_eq!(report.segments_written, 3 * config.storage_formats.len());
     assert!(report.transcode_cores() > 0.0);
     assert!(store.store_stats().live_segments > 0);
 
     // The query runs and the relaxed accuracy target is at least as fast.
-    let hi = store.query("jackson", &query_hi, 0, 3).unwrap();
-    let lo = store.query("jackson", &query_lo, 0, 3).unwrap();
+    let hi = store
+        .query(QueryRequest::new("jackson", &query_hi).segments(3))
+        .unwrap();
+    let lo = store
+        .query(QueryRequest::new("jackson", &query_lo).segments(3))
+        .unwrap();
     assert!(hi.speed.factor() > 1.0);
     assert!(
         lo.speed.factor() >= hi.speed.factor() * 0.9,
@@ -52,28 +61,36 @@ fn configure_ingest_query_lifecycle() {
 
 #[test]
 fn vstore_beats_one_to_n_baseline_end_to_end() {
-    let mut store = VStore::open_temp("e2e-baseline", VStoreOptions::fast()).unwrap();
+    let store = VStore::open_temp("e2e-baseline", VStoreOptions::fast()).unwrap();
     let query = QuerySpec::query_b(0.8);
     let consumers = query.consumers();
 
-    let vstore_cfg = store.configure(&consumers).unwrap().clone();
+    let vstore_cfg = store.configure(&consumers).unwrap();
     let baseline = store
         .engine()
         .derive_alternative(&consumers, Alternative::OneToN)
         .unwrap();
 
     let source = VideoSource::new(Dataset::Park);
-    store.ingest(&source, 0, 2).unwrap();
+    store
+        .ingest(IngestRequest::new(&source).segments(2))
+        .unwrap();
     // Also ingest the baseline's golden format (same stream, different id
     // space is already covered because both configurations share the golden
     // format id).
     store.install_configuration(baseline.clone());
-    store.ingest(&source, 0, 2).unwrap();
+    store
+        .ingest(IngestRequest::new(&source).segments(2))
+        .unwrap();
 
-    store.install_configuration(vstore_cfg);
-    let fast = store.query("park", &query, 0, 2).unwrap();
+    store.install_configuration((*vstore_cfg).clone());
+    let fast = store
+        .query(QueryRequest::new("park", &query).segments(2))
+        .unwrap();
     store.install_configuration(baseline);
-    let slow = store.query("park", &query, 0, 2).unwrap();
+    let slow = store
+        .query(QueryRequest::new("park", &query).segments(2))
+        .unwrap();
     assert!(
         fast.speed.factor() > slow.speed.factor(),
         "VStore {} should beat 1→N {}",
@@ -85,19 +102,23 @@ fn vstore_beats_one_to_n_baseline_end_to_end() {
 
 #[test]
 fn erosion_degrades_speed_but_preserves_results() {
-    let mut store = VStore::open_temp("e2e-erosion", VStoreOptions::fast()).unwrap();
+    let store = VStore::open_temp("e2e-erosion", VStoreOptions::fast()).unwrap();
     let query = QuerySpec::query_a(0.8);
     store.configure(&query.consumers()).unwrap();
     let source = VideoSource::new(Dataset::Tucson);
-    store.ingest(&source, 0, 2).unwrap();
+    store
+        .ingest(IngestRequest::new(&source).segments(2))
+        .unwrap();
 
-    let before = store.query("tucson", &query, 0, 2).unwrap();
+    let before = store
+        .query(QueryRequest::new("tucson", &query).segments(2))
+        .unwrap();
 
     // Manufacture an erosion by deleting every non-golden segment via a
     // hand-crafted plan application: emulate "all non-golden formats fully
     // eroded" by installing a configuration whose erosion plan deletes 100 %
     // of every non-golden format on day 1.
-    let mut config = store.configuration().unwrap().clone();
+    let mut config = (*store.configuration().unwrap()).clone();
     use vstore_types::{ErosionStep, Fraction};
     let deleted: std::collections::BTreeMap<_, _> = config
         .storage_formats
@@ -111,10 +132,14 @@ fn erosion_degrades_speed_but_preserves_results() {
         overall_relative_speed: 0.5,
     }];
     store.install_configuration(config);
-    let removed = store.erode("tucson", 1).unwrap();
+    let removed = store
+        .erode(ErodeRequest::new("tucson").at_age_days(1))
+        .unwrap();
     assert!(removed > 0, "expected some segments to be eroded");
 
-    let after = store.query("tucson", &query, 0, 2).unwrap();
+    let after = store
+        .query(QueryRequest::new("tucson", &query).segments(2))
+        .unwrap();
     // All stages still execute (fallback to the golden format)…
     assert_eq!(after.stages[0].segments_processed, 2);
     assert!(after.stages.iter().any(|s| s.fallback_segments > 0));
@@ -125,7 +150,7 @@ fn erosion_degrades_speed_but_preserves_results() {
 
 #[test]
 fn every_consumer_meets_its_accuracy_target() {
-    let mut store = VStore::open_temp("e2e-accuracy", VStoreOptions::fast()).unwrap();
+    let store = VStore::open_temp("e2e-accuracy", VStoreOptions::fast()).unwrap();
     let consumers: Vec<Consumer> = [
         (OperatorKind::Diff, 0.9),
         (OperatorKind::SpecializedNN, 0.8),

@@ -3,7 +3,9 @@
 //! may not change when sharding, ingest workers or query prefetch are
 //! enabled — parallelism buys wall-clock time, never different results.
 
-use vstore::{QuerySpec, RuntimeOptions, VStore, VStoreOptions};
+use vstore::{
+    ErodeRequest, IngestRequest, QueryRequest, QuerySpec, RuntimeOptions, VStore, VStoreOptions,
+};
 use vstore_datasets::{Dataset, VideoSource};
 use vstore_sim::ResourceKind;
 
@@ -16,9 +18,9 @@ fn parallel_ingest_and_query_reports_match_sequential_exactly() {
     let query = QuerySpec::query_a(0.8);
     let source = VideoSource::new(Dataset::Jackson);
 
-    let mut sequential =
+    let sequential =
         VStore::open_temp("parity-seq", options(RuntimeOptions::sequential())).unwrap();
-    let mut parallel = VStore::open_temp(
+    let parallel = VStore::open_temp(
         "parity-par",
         options(RuntimeOptions {
             shards: 8,
@@ -32,8 +34,12 @@ fn parallel_ingest_and_query_reports_match_sequential_exactly() {
     parallel.configure(&query.consumers()).unwrap();
     assert_eq!(sequential.configuration(), parallel.configuration());
 
-    let seq_ingest = sequential.ingest(&source, 0, 3).unwrap();
-    let par_ingest = parallel.ingest(&source, 0, 3).unwrap();
+    let seq_ingest = sequential
+        .ingest(IngestRequest::new(&source).segments(3))
+        .unwrap();
+    let par_ingest = parallel
+        .ingest(IngestRequest::new(&source).segments(3))
+        .unwrap();
     // Byte-identical ingest reports: every field, including the f64 sums.
     assert_eq!(seq_ingest, par_ingest);
     assert_eq!(seq_ingest.segments_written, par_ingest.segments_written);
@@ -55,8 +61,12 @@ fn parallel_ingest_and_query_reports_match_sequential_exactly() {
     assert_eq!(parallel.shard_stats().len(), 8);
     assert_eq!(sequential.shard_stats().len(), 1);
 
-    let seq_result = sequential.query("jackson", &query, 0, 3).unwrap();
-    let par_result = parallel.query("jackson", &query, 0, 3).unwrap();
+    let seq_result = sequential
+        .query(QueryRequest::new("jackson", &query).segments(3))
+        .unwrap();
+    let par_result = parallel
+        .query(QueryRequest::new("jackson", &query).segments(3))
+        .unwrap();
     // Byte-identical query results: stage reports, speeds, positives, bytes.
     assert_eq!(seq_result, par_result);
 
@@ -85,9 +95,9 @@ fn erosion_behaves_identically_on_sharded_stores() {
     let query = QuerySpec::query_a(0.8);
     let source = VideoSource::new(Dataset::Park);
 
-    let mut sequential =
+    let sequential =
         VStore::open_temp("parity-erode-seq", options(RuntimeOptions::sequential())).unwrap();
-    let mut parallel = VStore::open_temp(
+    let parallel = VStore::open_temp(
         "parity-erode-par",
         options(RuntimeOptions {
             shards: 4,
@@ -98,13 +108,21 @@ fn erosion_behaves_identically_on_sharded_stores() {
     .unwrap();
     sequential.configure(&query.consumers()).unwrap();
     parallel.configure(&query.consumers()).unwrap();
-    sequential.ingest(&source, 0, 4).unwrap();
-    parallel.ingest(&source, 0, 4).unwrap();
+    sequential
+        .ingest(IngestRequest::new(&source).segments(4))
+        .unwrap();
+    parallel
+        .ingest(IngestRequest::new(&source).segments(4))
+        .unwrap();
 
     for age in 0..30 {
         assert_eq!(
-            sequential.erode("park", age).unwrap(),
-            parallel.erode("park", age).unwrap(),
+            sequential
+                .erode(ErodeRequest::new("park").at_age_days(age))
+                .unwrap(),
+            parallel
+                .erode(ErodeRequest::new("park").at_age_days(age))
+                .unwrap(),
             "erosion diverged at age {age}"
         );
     }

@@ -1,0 +1,139 @@
+//! The service-handle contract: `VStore` is a cheaply-cloneable
+//! `Clone + Send + Sync` handle whose clones configure, ingest and query the
+//! same store concurrently. Configuration swaps are atomic epoch changes —
+//! requests in flight keep the configuration they started with, so every
+//! request sees one coherent configuration end to end.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use vstore::{
+    BackendOptions, Configuration, IngestRequest, QueryRequest, QuerySpec, VStore, VStoreOptions,
+};
+use vstore_datasets::{Dataset, VideoSource};
+
+fn mem_store(tag: &str) -> VStore {
+    VStore::open_temp(tag, VStoreOptions::fast().with_backend(BackendOptions::Mem)).unwrap()
+}
+
+#[test]
+fn handle_type_is_clone_send_sync() {
+    fn assert_service_handle<T: Clone + Send + Sync + 'static>() {}
+    assert_service_handle::<VStore>();
+}
+
+#[test]
+fn concurrent_configure_ingest_query_from_cloned_handles() {
+    let store = mem_store("service-concurrent");
+    let query = QuerySpec::query_a(0.8);
+    let consumers = query.consumers();
+    let source = VideoSource::new(Dataset::Jackson);
+
+    // Warm up: derive the configuration and ingest the range the query
+    // threads will read, so every thread below has work it can complete.
+    let config: Arc<Configuration> = store.configure(&consumers).unwrap();
+    let formats = config.storage_formats.len();
+    store
+        .ingest(IngestRequest::new(&source).segments(4))
+        .unwrap();
+
+    const QUERY_THREADS: usize = 4;
+    const CONFIGURE_THREADS: usize = 2;
+    const INGEST_THREADS: usize = 2;
+    const QUERIES_PER_THREAD: usize = 8;
+    const CONFIGURES_PER_THREAD: usize = 4;
+    const SEGMENTS_PER_INGEST: u64 = 2;
+
+    let queries_ok = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|scope| {
+        // ≥ 4 cloned handles querying while other clones swap the active
+        // configuration and ingest new segments.
+        for _ in 0..QUERY_THREADS {
+            let handle = store.clone();
+            let query = query.clone();
+            let queries_ok = Arc::clone(&queries_ok);
+            scope.spawn(move || {
+                for _ in 0..QUERIES_PER_THREAD {
+                    let result = handle
+                        .query(QueryRequest::new("jackson", &query).segments(4))
+                        .unwrap();
+                    assert_eq!(result.stages[0].segments_processed, 4);
+                    assert!(result.speed.factor() > 0.0);
+                    queries_ok.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // Concurrent configure: re-derivation hits the profiler cache, and
+        // each install is an atomic epoch swap under the queries above.
+        for _ in 0..CONFIGURE_THREADS {
+            let handle = store.clone();
+            let consumers = consumers.clone();
+            scope.spawn(move || {
+                for _ in 0..CONFIGURES_PER_THREAD {
+                    let installed = handle.configure(&consumers).unwrap();
+                    assert_eq!(installed.storage_formats.len(), formats);
+                }
+            });
+        }
+        // Concurrent ingest of disjoint segment ranges.
+        for t in 0..INGEST_THREADS {
+            let handle = store.clone();
+            let source = source.clone();
+            scope.spawn(move || {
+                let first = 4 + t as u64 * SEGMENTS_PER_INGEST;
+                let report = handle
+                    .ingest(
+                        IngestRequest::new(&source)
+                            .starting_at(first)
+                            .segments(SEGMENTS_PER_INGEST),
+                    )
+                    .unwrap();
+                assert_eq!(
+                    report.segments_written,
+                    SEGMENTS_PER_INGEST as usize * formats
+                );
+            });
+        }
+    });
+
+    assert_eq!(
+        queries_ok.load(Ordering::Relaxed),
+        QUERY_THREADS * QUERIES_PER_THREAD
+    );
+    // Every install advanced the epoch exactly once: 1 warm-up configure +
+    // the configure threads.
+    assert_eq!(
+        store.configuration_epoch(),
+        1 + (CONFIGURE_THREADS * CONFIGURES_PER_THREAD) as u64
+    );
+    // All ingested segments are live: the warm-up 4 plus the two disjoint
+    // ranges, in every storage format.
+    let expected_segments = 4 + INGEST_THREADS as u64 * SEGMENTS_PER_INGEST;
+    assert_eq!(
+        store.store_stats().live_segments,
+        expected_segments as usize * formats
+    );
+}
+
+#[test]
+fn requests_in_flight_keep_their_epoch_snapshot() {
+    let store = mem_store("service-epoch");
+    let query = QuerySpec::query_a(0.8);
+    let config = store.configure(&query.consumers()).unwrap();
+    let source = VideoSource::new(Dataset::Jackson);
+    store
+        .ingest(IngestRequest::new(&source).segments(2))
+        .unwrap();
+
+    // A snapshot taken before a swap stays valid and unchanged after it.
+    let before = store.configuration().unwrap();
+    store.install_configuration((*config).clone());
+    store.install_configuration((*config).clone());
+    assert_eq!(*before, *config);
+    assert_eq!(store.configuration_epoch(), 3);
+
+    // The store still answers queries under the new epoch.
+    let result = store
+        .query(QueryRequest::new("jackson", &query).segments(2))
+        .unwrap();
+    assert_eq!(result.stages[0].segments_processed, 2);
+}
