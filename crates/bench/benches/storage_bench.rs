@@ -1,16 +1,25 @@
 //! Criterion microbenchmarks of the segment store: put, get, range scan —
 //! plus the shard-scaling experiment (1/2/4/8 shards under parallel
-//! writers) and the storage-backend comparison (`FsBackend` vs
-//! `MemBackend` get/put), whose results are exported to
-//! `BENCH_storage.json` at the repository root as the performance baseline
-//! for this host. The backend case tracks the overhead of the
-//! `StorageBackend` seam from the PR that introduced it onward.
+//! writers), the storage-backend comparison (`FsBackend` vs `MemBackend`
+//! get/put) and the segment-cache hot/cold experiment (cold gets through
+//! the `SegmentReader` vs repeated hot gets served by its two cache
+//! tiers), whose results are exported to `BENCH_storage.json` at the
+//! repository root as the performance baseline for this host. The backend
+//! case tracks the overhead of the `StorageBackend` seam, and the cache
+//! case the hit-rate and hot-get latency of the read path, from the PRs
+//! that introduced them onward.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 use std::time::Instant;
-use vstore_storage::{SegmentKey, SegmentStore};
-use vstore_types::FormatId;
+use vstore_codec::frame::materialize_clip;
+use vstore_codec::{encode_segment, SegmentData};
+use vstore_datasets::{Dataset, VideoSource};
+use vstore_storage::{SegmentKey, SegmentReader, SegmentStore};
+use vstore_types::{
+    CropFactor, Fidelity, FormatId, FrameSampling, ImageQuality, KeyframeInterval, Resolution,
+    SpeedStep,
+};
 
 /// 256 KiB values: the size class of one encoded 8-second segment.
 const VALUE_BYTES: usize = 256 * 1024;
@@ -125,6 +134,117 @@ fn measure_backend_get_put(store: &SegmentStore, ops: u64) -> (f64, f64, f64, f6
     )
 }
 
+/// The segment-cache hot/cold experiment: every key is read once cold
+/// (cache miss — backend read + CRC, plus container parse + decode for the
+/// decoded tier) and then `hot_rounds` times hot. `MemBackend` backs the
+/// store, so the cold side is already a pure in-memory baseline and the
+/// reported speedup is the cache's own win, not disk avoidance. Returns
+/// one JSON row per tier.
+fn measure_cache_hot_cold(hot_rounds: u64) -> Vec<String> {
+    let mut rows = Vec::new();
+    let us_per_get = |seconds: f64, gets: u64| seconds / gets as f64 * 1e6;
+
+    // Tier 1 (raw bytes): 256 KiB opaque values; a hit skips the backend
+    // read and the CRC verification.
+    const RAW_KEYS: u64 = 64;
+    let store = Arc::new(SegmentStore::open_mem_with_shards(8).unwrap());
+    let reader = SegmentReader::new(Arc::clone(&store), 256 << 20, 0);
+    let value = vec![0x7Eu8; VALUE_BYTES];
+    let raw_key = |seg: u64| SegmentKey::new("hotcold", FormatId(1), seg);
+    for seg in 0..RAW_KEYS {
+        reader.put(&raw_key(seg), &value).unwrap();
+    }
+    let start = Instant::now();
+    for seg in 0..RAW_KEYS {
+        let (bytes, source) = reader.get(&raw_key(seg)).unwrap().unwrap();
+        assert_eq!(bytes.len(), VALUE_BYTES);
+        assert!(!source.is_cached());
+    }
+    let cold_seconds = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    for _ in 0..hot_rounds {
+        for seg in 0..RAW_KEYS {
+            let (_, source) = reader.get(&raw_key(seg)).unwrap().unwrap();
+            assert!(source.is_cached());
+        }
+    }
+    let hot_seconds = start.elapsed().as_secs_f64() / hot_rounds as f64;
+    let hit_rate = reader.cache_stats().raw_hit_rate();
+    let speedup = cold_seconds / hot_seconds;
+    println!(
+        "segment_store/cache raw: cold {:>7.1} µs/get, hot {:>7.2} µs/get \
+         ({speedup:.0}x, {:.0}% hits)",
+        us_per_get(cold_seconds, RAW_KEYS),
+        us_per_get(hot_seconds, RAW_KEYS),
+        hit_rate * 100.0
+    );
+    rows.push(format!(
+        "    {{ \"tier\": \"raw\", \"keys\": {RAW_KEYS}, \"value_bytes\": {VALUE_BYTES}, \
+         \"cold_us_per_get\": {:.3}, \"hot_us_per_get\": {:.3}, \
+         \"speedup\": {speedup:.1}, \"hit_rate\": {hit_rate:.4} }}",
+        us_per_get(cold_seconds, RAW_KEYS),
+        us_per_get(hot_seconds, RAW_KEYS)
+    ));
+
+    // Tier 2 (decoded frames): real encoded segments, so a miss pays
+    // container parsing and decode_sampled while a hit skips both.
+    const DECODED_KEYS: u64 = 16;
+    let store = Arc::new(SegmentStore::open_mem_with_shards(8).unwrap());
+    let reader = SegmentReader::new(Arc::clone(&store), 0, 1024);
+    let fidelity = Fidelity::new(
+        ImageQuality::Good,
+        CropFactor::C75,
+        Resolution::R180,
+        FrameSampling::Full,
+    );
+    let frames = materialize_clip(&VideoSource::new(Dataset::Jackson).clip(0, 30), fidelity);
+    let encoded = encode_segment(&frames, KeyframeInterval::K5, SpeedStep::Fast).unwrap();
+    let segment_bytes = SegmentData::Encoded(encoded).to_bytes();
+    let decoded_key = |seg: u64| SegmentKey::new("hotcold-decoded", FormatId(1), seg);
+    for seg in 0..DECODED_KEYS {
+        reader.put(&decoded_key(seg), &segment_bytes).unwrap();
+    }
+    let start = Instant::now();
+    for seg in 0..DECODED_KEYS {
+        let read = reader
+            .get_decoded(&decoded_key(seg), FrameSampling::Full)
+            .unwrap()
+            .unwrap();
+        assert!(!read.source.is_cached());
+        assert_eq!(read.segment.frames.len(), frames.len());
+    }
+    let cold_seconds = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    for _ in 0..hot_rounds {
+        for seg in 0..DECODED_KEYS {
+            let read = reader
+                .get_decoded(&decoded_key(seg), FrameSampling::Full)
+                .unwrap()
+                .unwrap();
+            assert!(read.source.is_cached());
+        }
+    }
+    let hot_seconds = start.elapsed().as_secs_f64() / hot_rounds as f64;
+    let hit_rate = reader.cache_stats().decoded_hit_rate();
+    let speedup = cold_seconds / hot_seconds;
+    println!(
+        "segment_store/cache decoded: cold {:>7.1} µs/get, hot {:>7.2} µs/get \
+         ({speedup:.0}x, {:.0}% hits)",
+        us_per_get(cold_seconds, DECODED_KEYS),
+        us_per_get(hot_seconds, DECODED_KEYS),
+        hit_rate * 100.0
+    );
+    rows.push(format!(
+        "    {{ \"tier\": \"decoded\", \"keys\": {DECODED_KEYS}, \"value_bytes\": {}, \
+         \"cold_us_per_get\": {:.3}, \"hot_us_per_get\": {:.3}, \
+         \"speedup\": {speedup:.1}, \"hit_rate\": {hit_rate:.4} }}",
+        segment_bytes.len(),
+        us_per_get(cold_seconds, DECODED_KEYS),
+        us_per_get(hot_seconds, DECODED_KEYS)
+    ));
+    rows
+}
+
 fn bench_shard_scaling(_c: &mut Criterion) {
     // A bare (non-flag, non-flag-value) CLI argument is a bench name filter:
     // such a run wants one of the criterion benches above, not a full scaling
@@ -187,15 +307,21 @@ fn bench_shard_scaling(_c: &mut Criterion) {
         std::fs::remove_dir_all(store.dir()).ok();
     }
 
+    // The read-path cache: hit-rate and hot-get latency vs the cold path,
+    // tracked per tier so a regression in either cache shows up here.
+    let cache_rows = measure_cache_hot_cold(8);
+
     // Record the baseline next to the workspace root so runs are comparable
     // across PRs. Override the destination with VSTORE_BENCH_JSON.
     let path = std::env::var("VSTORE_BENCH_JSON")
         .unwrap_or_else(|_| format!("{}/../../BENCH_storage.json", env!("CARGO_MANIFEST_DIR")));
     let json = format!(
         "{{\n  \"bench\": \"segment_store\",\n  \"host_cores\": {cores},\n  \
-         \"shard_scaling\": [\n{}\n  ],\n  \"backend_get_put\": [\n{}\n  ]\n}}\n",
+         \"shard_scaling\": [\n{}\n  ],\n  \"backend_get_put\": [\n{}\n  ],\n  \
+         \"cache_hot_cold\": [\n{}\n  ]\n}}\n",
         scaling_rows.join(",\n"),
-        backend_rows.join(",\n")
+        backend_rows.join(",\n"),
+        cache_rows.join(",\n")
     );
     if let Err(e) = std::fs::write(&path, &json) {
         eprintln!("could not write {path}: {e}");

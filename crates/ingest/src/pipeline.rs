@@ -5,7 +5,7 @@ use std::sync::Arc;
 use vstore_codec::Transcoder;
 use vstore_datasets::{SceneFrame, VideoSource};
 use vstore_sim::{scoped_map, ResourceKind, VirtualClock};
-use vstore_storage::{SegmentKey, SegmentStore};
+use vstore_storage::{SegmentKey, SegmentReader, SegmentStore};
 use vstore_types::{
     ByteSize, Configuration, CoreSeconds, FormatId, Result, StorageFormat, VStoreError,
     VideoSeconds,
@@ -69,8 +69,13 @@ struct IngestTask {
 /// never runs more concurrent transcodes than the budget pays for. Reports
 /// are merged in deterministic `(segment, format)` order, so they are
 /// byte-identical to the sequential (`workers = 1`) path.
+///
+/// All writes (puts and erosion deletes) flow through a [`SegmentReader`]
+/// so that, when the deployment shares a caching reader between ingestion
+/// and queries, every overwrite and erosion invalidates the cached entries
+/// for the key — an erode-then-read can never serve stale bytes.
 pub struct IngestionPipeline {
-    store: Arc<SegmentStore>,
+    reader: Arc<SegmentReader>,
     transcoder: Transcoder,
     clock: VirtualClock,
     workers: usize,
@@ -78,15 +83,32 @@ pub struct IngestionPipeline {
 }
 
 impl IngestionPipeline {
-    /// A sequential pipeline (one worker) writing into the given store.
+    /// A sequential pipeline (one worker) writing into the given store
+    /// through a passthrough (non-caching) reader.
     pub fn new(store: Arc<SegmentStore>, transcoder: Transcoder, clock: VirtualClock) -> Self {
         IngestionPipeline {
-            store,
+            reader: Arc::new(SegmentReader::disabled(store)),
             transcoder,
             clock,
             workers: 1,
             budget_cores: None,
         }
+    }
+
+    /// Write through the given (possibly caching, possibly shared)
+    /// [`SegmentReader`] so puts and erosion deletes invalidate its cache.
+    /// The reader must front the same store this pipeline was built over.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `reader` fronts a different store instance.
+    pub fn with_reader(mut self, reader: Arc<SegmentReader>) -> Self {
+        assert!(
+            Arc::ptr_eq(reader.store(), self.reader.store()),
+            "SegmentReader fronts a different store than this pipeline"
+        );
+        self.reader = reader;
+        self
     }
 
     /// Fan transcode work across up to `workers` threads (clamped to ≥ 1).
@@ -121,7 +143,7 @@ impl IngestionPipeline {
 
     /// The segment store being written to.
     pub fn store(&self) -> &Arc<SegmentStore> {
-        &self.store
+        self.reader.store()
     }
 
     /// The virtual clock charged by this pipeline.
@@ -234,7 +256,7 @@ impl IngestionPipeline {
                     .transcode_segment(&task.scenes, &task.format, motion)?;
                 let bytes = out.data.to_bytes();
                 let key = SegmentKey::new(stream, task.id, task.segment);
-                self.store.put(&key, &bytes)?;
+                self.reader.put(&key, &bytes)?;
                 Ok(TaskOutput {
                     id: task.id,
                     encode_core_seconds: out.encode_core_seconds,
@@ -291,10 +313,11 @@ impl IngestionPipeline {
             if id.is_golden() {
                 continue;
             }
-            let keys = self.store.segments_of(stream, *id);
+            let keys = self.store().segments_of(stream, *id);
             let to_delete = (keys.len() as f64 * fraction.value()).floor() as usize;
             for key in keys.iter().take(to_delete) {
-                self.store.delete(key)?;
+                // Through the reader: erosion must drop cached entries too.
+                self.reader.delete(key)?;
                 deleted += 1;
             }
         }

@@ -6,7 +6,9 @@ use std::sync::Arc;
 use vstore_codec::Transcoder;
 use vstore_ops::OperatorLibrary;
 use vstore_sim::{scoped_map, ResourceKind, VirtualClock};
-use vstore_storage::{SegmentKey, SegmentStore};
+use vstore_storage::{
+    DecodedRead, DecodedSegment, ReadSource, SegmentKey, SegmentReader, SegmentStore,
+};
 use vstore_types::{
     ByteSize, Configuration, Consumer, OperatorKind, Result, Speed, VStoreError, VideoSeconds,
 };
@@ -70,8 +72,16 @@ impl QueryResult {
 /// lookahead), while operators and all accounting run on the calling thread
 /// in segment order — [`StageReport`]s are identical to the sequential
 /// (`prefetch = 1`) path.
+///
+/// All reads flow through a [`SegmentReader`]: when its two-tier segment
+/// cache is enabled (see [`SegmentReader::new`]), repeated cascade stages
+/// and hot streams are served from memory — charged to
+/// [`ResourceKind::MemRead`] instead of [`ResourceKind::DiskRead`] — and a
+/// decoded-frames hit skips `decode_sampled` entirely. Query *results* are
+/// identical with the cache on or off; only the resource ledger (and
+/// wall-clock time) changes.
 pub struct QueryEngine {
-    store: Arc<SegmentStore>,
+    reader: Arc<SegmentReader>,
     library: OperatorLibrary,
     transcoder: Transcoder,
     clock: VirtualClock,
@@ -81,14 +91,16 @@ pub struct QueryEngine {
 /// One segment's data after the prefetch/decode stage.
 struct PrefetchedSegment {
     segment: u64,
-    data: vstore_codec::SegmentData,
+    decoded: Arc<DecodedSegment>,
     used_fallback: bool,
     read_bytes: ByteSize,
+    source: ReadSource,
     frames: Vec<vstore_codec::VideoFrame>,
 }
 
 impl QueryEngine {
-    /// An engine reading from the given store, without prefetching.
+    /// An engine reading from the given store, without prefetching and
+    /// without caching (a passthrough [`SegmentReader`]).
     pub fn new(
         store: Arc<SegmentStore>,
         library: OperatorLibrary,
@@ -96,12 +108,28 @@ impl QueryEngine {
         clock: VirtualClock,
     ) -> Self {
         QueryEngine {
-            store,
+            reader: Arc::new(SegmentReader::disabled(store)),
             library,
             transcoder,
             clock,
             prefetch: 1,
         }
+    }
+
+    /// Read through the given (possibly caching, possibly shared)
+    /// [`SegmentReader`] instead of the default passthrough one. The reader
+    /// must front the same store this engine was built over.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `reader` fronts a different store instance.
+    pub fn with_reader(mut self, reader: Arc<SegmentReader>) -> Self {
+        assert!(
+            Arc::ptr_eq(reader.store(), self.reader.store()),
+            "SegmentReader fronts a different store than this engine"
+        );
+        self.reader = reader;
+        self
     }
 
     /// Fetch and decode up to `prefetch` segments in parallel ahead of the
@@ -177,9 +205,10 @@ impl QueryEngine {
                 for prefetched in self.prefetch_window(stream, config, sub, window)? {
                     let PrefetchedSegment {
                         segment,
-                        data,
+                        decoded,
                         used_fallback,
                         read_bytes,
+                        source: _,
                         frames,
                     } = prefetched;
                     bytes_read += read_bytes;
@@ -195,7 +224,7 @@ impl QueryEngine {
                     let retrieval = if used_fallback {
                         // Re-profile retrieval against the format actually used.
                         self.transcoder.retrieval_speed(
-                            &data.storage_format(),
+                            &decoded.storage_format,
                             0.3,
                             &sub.consumption,
                         )
@@ -203,8 +232,8 @@ impl QueryEngine {
                         sub.retrieval_speed
                     };
                     let effective = sub.consumption_speed.min(retrieval);
-                    let segment_seconds = data.frame_count() as f64
-                        / (30.0 * data.fidelity().sampling.fraction()).max(1e-9);
+                    let segment_seconds = decoded.frame_count as f64
+                        / (30.0 * decoded.storage_format.fidelity.sampling.fraction()).max(1e-9);
                     report.processing_seconds += segment_seconds / effective.factor().max(1e-9);
                     if output.positives() > 0 {
                         report.segments_passed += 1;
@@ -213,7 +242,6 @@ impl QueryEngine {
                     if stage_idx + 1 == query.cascade.len() {
                         stage_positive_frames.extend(output.positive_indices());
                     }
-                    self.clock.charge_bytes(ResourceKind::DiskRead, read_bytes);
                     let compute = self.library.compute_seconds(
                         op,
                         &sub.consumption.fidelity,
@@ -262,11 +290,20 @@ impl QueryEngine {
         })
     }
 
-    /// The prefetch/decode stage: fetch one window of segments from the
-    /// store, decode the sampled frames and convert them to the consumption
-    /// format, all in parallel. Segments not ingested at all are dropped;
-    /// segment order is preserved, so downstream accounting is identical to
-    /// the sequential path.
+    /// The prefetch/decode stage: fetch one window of segments through the
+    /// [`SegmentReader`], decode the sampled frames (skipped on a tier-2
+    /// cache hit) and convert them to the consumption format, all in
+    /// parallel. Segments not ingested at all are dropped; segment order is
+    /// preserved, so downstream accounting is identical to the sequential
+    /// path.
+    ///
+    /// Read charging happens here and only here, on the calling thread in
+    /// segment order: every fetched segment is charged **exactly once** —
+    /// to [`ResourceKind::DiskRead`] when the store served it, to
+    /// [`ResourceKind::MemRead`] when a cache tier did — on the success and
+    /// the error path alike. The caller never charges reads, so a window
+    /// re-entered after an operator error cannot double-charge segments the
+    /// failing attempt already paid for.
     fn prefetch_window(
         &self,
         stream: &str,
@@ -278,22 +315,29 @@ impl QueryEngine {
             window.to_vec(),
             self.prefetch,
             |_, segment| -> Result<Option<PrefetchedSegment>> {
-                let (data, used_fallback, read_bytes) =
-                    self.fetch_segment(stream, config, sub.storage, segment, &sub.consumption)?;
-                let data = match data {
-                    Some(d) => d,
+                let (read, used_fallback) = match self.fetch_decoded(
+                    stream,
+                    config,
+                    sub.storage,
+                    segment,
+                    &sub.consumption,
+                )? {
+                    Some(found) => found,
                     None => return Ok(None), // segment not ingested at all
                 };
-                // Decode only the frames the consumption format samples.
-                let (stored_frames, _) = data.decode_sampled(sub.consumption.fidelity.sampling)?;
+                let DecodedRead {
+                    segment: decoded,
+                    source,
+                } = read;
                 let frames = self
                     .transcoder
-                    .convert_for_consumption(&stored_frames, &sub.consumption)?;
+                    .convert_for_consumption(&decoded.frames, &sub.consumption)?;
                 Ok(Some(PrefetchedSegment {
                     segment,
-                    data,
+                    read_bytes: ByteSize(decoded.raw_len),
+                    decoded,
                     used_fallback,
-                    read_bytes,
+                    source,
                     frames,
                 }))
             },
@@ -309,41 +353,42 @@ impl QueryEngine {
                 }
             }
         }
+        // Charge every segment this window actually fetched, exactly once,
+        // whether or not the window as a whole succeeds — the ledger always
+        // reflects real traffic, like the ingest side's
+        // charge-everything-persisted policy. (With prefetch = 1 a failing
+        // window is one segment and nothing was fetched, matching the
+        // sequential path.)
+        for prefetched in &out {
+            let kind = if prefetched.source.is_cached() {
+                ResourceKind::MemRead
+            } else {
+                ResourceKind::DiskRead
+            };
+            self.clock.charge_bytes(kind, prefetched.read_bytes);
+        }
         match first_error {
-            // On error, the caller discards the window, so charge the reads
-            // that did happen here — the ledger always reflects real disk
-            // traffic, like the ingest side's charge-everything-persisted
-            // policy. (With prefetch = 1 the window is one segment and
-            // nothing was read on error, matching the sequential path.)
-            Some(e) => {
-                for prefetched in &out {
-                    self.clock
-                        .charge_bytes(ResourceKind::DiskRead, prefetched.read_bytes);
-                }
-                Err(e)
-            }
+            Some(e) => Err(e),
             None => Ok(out),
         }
     }
 
-    /// Fetch one segment in the subscribed format, falling back to a richer
-    /// stored format when it is missing (eroded).
-    fn fetch_segment(
+    /// Fetch one segment decoded at the subscription's sampling rate, in
+    /// the subscribed format, falling back to a richer stored format when
+    /// it is missing (eroded). Each candidate key goes through the reader's
+    /// two cache tiers before touching the store.
+    fn fetch_decoded(
         &self,
         stream: &str,
         config: &Configuration,
         preferred: vstore_types::FormatId,
         segment: u64,
         consumption: &vstore_types::ConsumptionFormat,
-    ) -> Result<(Option<vstore_codec::SegmentData>, bool, ByteSize)> {
+    ) -> Result<Option<(DecodedRead, bool)>> {
+        let sampling = consumption.fidelity.sampling;
         let key = SegmentKey::new(stream, preferred, segment);
-        if let Some(bytes) = self.store.get(&key)? {
-            let size = ByteSize(bytes.len() as u64);
-            return Ok((
-                Some(vstore_codec::SegmentData::from_bytes(&bytes)?),
-                false,
-                size,
-            ));
+        if let Some(read) = self.reader.get_decoded(&key, sampling)? {
+            return Ok(Some((read, false)));
         }
         // Fallback: any stored format with satisfiable fidelity, preferring
         // the cheapest (fewest bytes would be nice, but richer-or-equal and
@@ -357,16 +402,11 @@ impl QueryEngine {
         candidates.sort_by_key(|(id, _)| std::cmp::Reverse(id.0));
         for (id, _) in candidates {
             let key = SegmentKey::new(stream, *id, segment);
-            if let Some(bytes) = self.store.get(&key)? {
-                let size = ByteSize(bytes.len() as u64);
-                return Ok((
-                    Some(vstore_codec::SegmentData::from_bytes(&bytes)?),
-                    true,
-                    size,
-                ));
+            if let Some(read) = self.reader.get_decoded(&key, sampling)? {
+                return Ok(Some((read, true)));
             }
         }
-        Ok((None, false, ByteSize::ZERO))
+        Ok(None)
     }
 }
 
@@ -487,6 +527,94 @@ mod tests {
             .engine
             .execute("jackson", &QuerySpec::query_a(0.8), &fx.config, 0, 0)
             .is_err());
+        std::fs::remove_dir_all(fx.store.dir()).ok();
+    }
+
+    /// Regression (DiskRead double-charging): a window that fails mid-fetch
+    /// charges each segment it actually fetched exactly once, and
+    /// re-entering the window after the error charges the re-fetches once
+    /// more — never the failed attempt's segments twice.
+    #[test]
+    fn failed_and_reentered_windows_charge_each_fetched_segment_exactly_once() {
+        let fx = fixture(0.8);
+        let query = QuerySpec::query_a(0.8);
+        let consumer = Consumer {
+            op: query.cascade[0],
+            accuracy: query.accuracy,
+        };
+        let sub = fx.config.subscription(&consumer).unwrap();
+        // Corrupt segment 1 of the stage-1 subscribed format: the fetch
+        // reads its bytes but container parsing fails.
+        let bad_key = SegmentKey::new("jackson", sub.storage, 1);
+        fx.store.put(&bad_key, b"corrupted-not-a-segment").unwrap();
+        let good_len = fx
+            .store
+            .get(&SegmentKey::new("jackson", sub.storage, 0))
+            .unwrap()
+            .unwrap()
+            .len() as u64;
+
+        // Fresh clock, prefetch 2: both segments share one window.
+        let engine = QueryEngine::new(
+            Arc::clone(&fx.store),
+            OperatorLibrary::paper_testbed(),
+            Transcoder::default(),
+            VirtualClock::new(),
+        )
+        .with_prefetch(2);
+        let err = engine
+            .execute("jackson", &query, &fx.config, 0, 2)
+            .unwrap_err();
+        assert!(matches!(err, VStoreError::Corruption(_)), "{err}");
+        let usage = engine.clock().usage();
+        assert_eq!(
+            usage.bytes(ResourceKind::DiskRead).bytes(),
+            good_len,
+            "the good segment is charged exactly once, the corrupt one never"
+        );
+        // Re-enter the same window: the retry's real re-read is charged
+        // once more — exactly double, not more.
+        let _ = engine
+            .execute("jackson", &query, &fx.config, 0, 2)
+            .unwrap_err();
+        assert_eq!(
+            engine.clock().usage().bytes(ResourceKind::DiskRead).bytes(),
+            2 * good_len
+        );
+        std::fs::remove_dir_all(fx.store.dir()).ok();
+    }
+
+    /// With the two-tier cache enabled, repeated queries return identical
+    /// results while their reads move from DiskRead to MemRead.
+    #[test]
+    fn cache_hits_charge_memory_reads_and_leave_results_identical() {
+        let fx = fixture(0.8);
+        let reader = Arc::new(SegmentReader::new(Arc::clone(&fx.store), 64 << 20, 256));
+        let engine = QueryEngine::new(
+            Arc::clone(&fx.store),
+            OperatorLibrary::paper_testbed(),
+            Transcoder::default(),
+            VirtualClock::new(),
+        )
+        .with_prefetch(2)
+        .with_reader(Arc::clone(&reader));
+        let query = QuerySpec::query_a(0.8);
+
+        let first = engine.execute("jackson", &query, &fx.config, 0, 2).unwrap();
+        let disk_after_first = engine.clock().usage().bytes(ResourceKind::DiskRead);
+        assert!(disk_after_first.bytes() > 0);
+
+        let second = engine.execute("jackson", &query, &fx.config, 0, 2).unwrap();
+        assert_eq!(first, second, "cache must never change query results");
+        let usage = engine.clock().usage();
+        assert_eq!(
+            usage.bytes(ResourceKind::DiskRead),
+            disk_after_first,
+            "a fully warm query reads nothing from disk"
+        );
+        assert!(usage.bytes(ResourceKind::MemRead).bytes() > 0);
+        let stats = reader.cache_stats();
+        assert!(stats.decoded_hits > 0, "stats: {stats:?}");
         std::fs::remove_dir_all(fx.store.dir()).ok();
     }
 

@@ -22,6 +22,10 @@ pub enum ResourceKind {
     Decode,
     /// Bytes read from disk in retrieval.
     DiskRead,
+    /// Bytes served from the in-memory segment cache in retrieval (reads
+    /// that would have been [`DiskRead`](ResourceKind::DiskRead) had the
+    /// cache missed).
+    MemRead,
     /// Bytes written to disk at ingestion.
     DiskWrite,
     /// Disk space currently occupied.
@@ -34,10 +38,11 @@ pub enum ResourceKind {
 
 impl ResourceKind {
     /// All tracked resource kinds.
-    pub const ALL: [ResourceKind; 7] = [
+    pub const ALL: [ResourceKind; 8] = [
         ResourceKind::TranscodeCpu,
         ResourceKind::Decode,
         ResourceKind::DiskRead,
+        ResourceKind::MemRead,
         ResourceKind::DiskWrite,
         ResourceKind::DiskSpace,
         ResourceKind::GpuCompute,
@@ -51,6 +56,7 @@ impl fmt::Display for ResourceKind {
             ResourceKind::TranscodeCpu => "transcode-cpu",
             ResourceKind::Decode => "decode",
             ResourceKind::DiskRead => "disk-read",
+            ResourceKind::MemRead => "mem-read",
             ResourceKind::DiskWrite => "disk-write",
             ResourceKind::DiskSpace => "disk-space",
             ResourceKind::GpuCompute => "gpu",

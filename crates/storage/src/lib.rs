@@ -31,6 +31,14 @@
 //! reproduces the original on-disk format byte for byte; [`MemBackend`]
 //! keeps the same observable behaviour in memory for tests and benchmarks.
 //! Tiered and object-store backends slot in behind the same trait.
+//!
+//! The **unified read path** sits above the store: a [`SegmentReader`]
+//! fronts `SegmentStore::get` with a two-tier, shard-aware cache — a
+//! per-shard raw-bytes LRU (tier 1) and a decoded-frames cache keyed by
+//! `(segment key, sampling rate)` (tier 2) — so repeated cascade stages and
+//! hot streams stop re-paying disk + CRC + decode. Writes routed through
+//! the reader invalidate both tiers; with both tiers disabled the reader is
+//! a byte-identical passthrough. See the [`reader`] module docs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,9 +46,11 @@
 pub mod backend;
 pub mod key;
 pub mod log;
+pub mod reader;
 mod shard;
 pub mod store;
 
 pub use backend::{BackendOptions, FsBackend, LogHandle, MemBackend, StorageBackend};
 pub use key::SegmentKey;
+pub use reader::{CacheStats, DecodedRead, DecodedSegment, ReadSource, SegmentReader};
 pub use store::{SegmentStore, StoreStats};

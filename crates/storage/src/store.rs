@@ -47,11 +47,13 @@ pub struct StoreStats {
 
 impl StoreStats {
     /// Live bytes as a [`ByteSize`].
+    #[must_use]
     pub fn live_size(&self) -> ByteSize {
         ByteSize(self.live_bytes)
     }
 
     /// Fraction of on-disk bytes that are garbage (superseded or deleted).
+    #[must_use]
     pub fn garbage_ratio(&self) -> f64 {
         if self.disk_bytes == 0 {
             0.0
@@ -61,6 +63,18 @@ impl StoreStats {
     }
 
     /// Accumulate another shard's statistics into this aggregate.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vstore_storage::StoreStats;
+    /// let mut total = StoreStats::default();
+    /// let shard = StoreStats { live_segments: 2, live_bytes: 100, ..Default::default() };
+    /// total.accumulate(&shard);
+    /// total.accumulate(&shard);
+    /// assert_eq!(total.live_segments, 4);
+    /// assert_eq!(total.live_size().bytes(), 200);
+    /// ```
     pub fn accumulate(&mut self, other: &StoreStats) {
         self.live_segments += other.live_segments;
         self.live_bytes += other.live_bytes;
@@ -304,6 +318,7 @@ impl SegmentStore {
     }
 
     /// Aggregate store statistics (the sum of every shard's statistics).
+    #[must_use]
     pub fn stats(&self) -> StoreStats {
         let mut total = StoreStats::default();
         for shard in &self.shards {
@@ -313,6 +328,23 @@ impl SegmentStore {
     }
 
     /// Per-shard statistics, in shard order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vstore_storage::{SegmentKey, SegmentStore, StoreStats};
+    /// use vstore_types::FormatId;
+    /// let store = SegmentStore::open_mem_with_shards(4)?;
+    /// store.put(&SegmentKey::new("cam", FormatId(1), 0), b"bytes")?;
+    /// let per_shard = store.shard_stats();
+    /// assert_eq!(per_shard.len(), 4);
+    /// // Summing the shards reproduces the aggregate exactly.
+    /// let mut summed = StoreStats::default();
+    /// per_shard.iter().for_each(|s| summed.accumulate(s));
+    /// assert_eq!(summed, store.stats());
+    /// # Ok::<(), vstore_types::VStoreError>(())
+    /// ```
+    #[must_use]
     pub fn shard_stats(&self) -> Vec<StoreStats> {
         self.shards.iter().map(|s| s.stats()).collect()
     }

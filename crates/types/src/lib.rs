@@ -43,6 +43,6 @@ pub use error::{Result, VStoreError};
 pub use fidelity::{Fidelity, Richness};
 pub use format::{CodingOption, ConsumptionFormat, FormatId, StorageFormat};
 pub use knobs::{CropFactor, FrameSampling, ImageQuality, KeyframeInterval, Resolution, SpeedStep};
-pub use runtime::{available_workers, RuntimeOptions, DEFAULT_SHARDS};
+pub use runtime::{available_workers, RuntimeOptions, DEFAULT_SHARDS, MIN_CACHE_BYTES_PER_SHARD};
 pub use space::{CodingSpace, FidelitySpace};
 pub use units::{ByteSize, CoreSeconds, Fraction, Speed, VideoSeconds};

@@ -27,11 +27,31 @@ pub struct RuntimeOptions {
     /// many segments are fetched and decoded in parallel ahead of the
     /// operator cascade. 1 disables prefetching.
     pub query_prefetch: usize,
+    /// Capacity in bytes of the tier-1 raw-segment cache fronting
+    /// `SegmentStore::get`, split evenly across the store's shards (each
+    /// shard cache has its own lock, so hot reads stay lock-cheap under the
+    /// parallel query runtime). `0` disables the tier entirely — the read
+    /// path is then byte-identical to the uncached store. Non-zero values
+    /// must be at least `shards ×` [`MIN_CACHE_BYTES_PER_SHARD`].
+    pub cache_bytes: u64,
+    /// Entry capacity of the tier-2 decoded-frames cache, keyed by
+    /// `(segment key, consumer sampling rate)` so repeated cascade stages
+    /// skip `decode_sampled` entirely. Split across shards like
+    /// `cache_bytes`. `0` disables the tier.
+    pub decoded_cache_entries: usize,
 }
 
 /// Default shard count: enough to spread MB-sized segment appends across
 /// locks without creating needless log files on small hosts.
 pub const DEFAULT_SHARDS: usize = 8;
+
+/// Smallest accepted non-zero [`RuntimeOptions::cache_bytes`] **per
+/// shard**: one MiB. `cache_bytes` is split evenly across the shards, and
+/// segments are hundreds of KiB, so a shard slice smaller than this cannot
+/// hold a single entry and the tier would silently behave as a disabled
+/// cache. `validate` therefore rejects non-zero `cache_bytes` below
+/// `shards × MIN_CACHE_BYTES_PER_SHARD`.
+pub const MIN_CACHE_BYTES_PER_SHARD: u64 = 1 << 20;
 
 /// The host's available parallelism (1 when it cannot be determined).
 pub fn available_workers() -> usize {
@@ -41,23 +61,38 @@ pub fn available_workers() -> usize {
 }
 
 impl RuntimeOptions {
-    /// Fully sequential execution: one shard, one worker, no prefetch.
-    /// This is byte-for-byte the behaviour of the original serial runtime.
+    /// Fully sequential execution: one shard, one worker, no prefetch, no
+    /// caching. This is byte-for-byte the behaviour of the original serial
+    /// runtime.
     pub fn sequential() -> Self {
         RuntimeOptions {
             shards: 1,
             ingest_workers: 1,
             query_prefetch: 1,
+            cache_bytes: 0,
+            decoded_cache_entries: 0,
         }
     }
 
-    /// Clamp every knob to at least 1.
+    /// Clamp every parallelism knob to at least 1 (cache knobs are left
+    /// untouched: 0 is their valid "disabled" state).
     pub fn normalized(self) -> Self {
         RuntimeOptions {
             shards: self.shards.max(1),
             ingest_workers: self.ingest_workers.max(1),
             query_prefetch: self.query_prefetch.max(1),
+            cache_bytes: self.cache_bytes,
+            decoded_cache_entries: self.decoded_cache_entries,
         }
+    }
+
+    /// Enable the two-tier segment cache: `cache_bytes` of raw segment
+    /// bytes (tier 1) and `decoded_entries` decoded-frame entries (tier 2).
+    /// Either knob may be 0 to disable that tier.
+    pub fn with_cache(mut self, cache_bytes: u64, decoded_entries: usize) -> Self {
+        self.cache_bytes = cache_bytes;
+        self.decoded_cache_entries = decoded_entries;
+        self
     }
 
     /// Reject configurations with zeroed knobs. The service front door
@@ -80,6 +115,15 @@ impl RuntimeOptions {
         if self.query_prefetch == 0 {
             return reject("query_prefetch");
         }
+        let cache_floor = self.shards as u64 * MIN_CACHE_BYTES_PER_SHARD;
+        if self.cache_bytes != 0 && self.cache_bytes < cache_floor {
+            return Err(VStoreError::invalid_argument(format!(
+                "RuntimeOptions::cache_bytes must be 0 (cache disabled) or at least \
+                 {MIN_CACHE_BYTES_PER_SHARD} bytes per shard ({cache_floor} for {} shards); \
+                 {} cannot hold one segment per shard",
+                self.shards, self.cache_bytes
+            )));
+        }
         Ok(())
     }
 }
@@ -91,6 +135,10 @@ impl Default for RuntimeOptions {
             shards: DEFAULT_SHARDS,
             ingest_workers: workers,
             query_prefetch: workers.max(2),
+            // Caching is opt-in: the default read path stays byte-identical
+            // to the seed runtime (every get pays disk + CRC + decode).
+            cache_bytes: 0,
+            decoded_cache_entries: 0,
         }
     }
 }
@@ -108,15 +156,24 @@ mod tests {
     }
 
     #[test]
-    fn sequential_means_all_ones() {
+    fn sequential_means_all_ones_and_no_cache() {
         assert_eq!(
             RuntimeOptions::sequential(),
             RuntimeOptions {
                 shards: 1,
                 ingest_workers: 1,
-                query_prefetch: 1
+                query_prefetch: 1,
+                cache_bytes: 0,
+                decoded_cache_entries: 0,
             }
         );
+    }
+
+    #[test]
+    fn defaults_leave_the_cache_disabled() {
+        let opts = RuntimeOptions::default();
+        assert_eq!(opts.cache_bytes, 0);
+        assert_eq!(opts.decoded_cache_entries, 0);
     }
 
     #[test]
@@ -129,6 +186,7 @@ mod tests {
                 shards,
                 ingest_workers,
                 query_prefetch,
+                ..RuntimeOptions::sequential()
             };
             let err = opts.validate().unwrap_err();
             assert!(
@@ -139,13 +197,62 @@ mod tests {
     }
 
     #[test]
+    fn validate_rejects_useless_tiny_caches_but_accepts_disabled_and_real_ones() {
+        // 0 is the valid "disabled" state.
+        assert!(RuntimeOptions::sequential()
+            .with_cache(0, 0)
+            .validate()
+            .is_ok());
+        // Tier 2 alone is fine at any entry count.
+        assert!(RuntimeOptions::sequential()
+            .with_cache(0, 7)
+            .validate()
+            .is_ok());
+        // A cache too small to hold one segment per shard is rejected.
+        let err = RuntimeOptions::sequential()
+            .with_cache(MIN_CACHE_BYTES_PER_SHARD - 1, 0)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, VStoreError::InvalidArgument(_)), "{err}");
+        assert!(RuntimeOptions::sequential()
+            .with_cache(MIN_CACHE_BYTES_PER_SHARD, 0)
+            .validate()
+            .is_ok());
+        // The floor scales with the shard count: what one shard accepts,
+        // eight shards reject (each shard slice must hold a segment).
+        let eight = RuntimeOptions {
+            shards: 8,
+            ..RuntimeOptions::sequential()
+        };
+        let err = eight
+            .with_cache(MIN_CACHE_BYTES_PER_SHARD, 0)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, VStoreError::InvalidArgument(_)), "{err}");
+        assert!(eight
+            .with_cache(8 * MIN_CACHE_BYTES_PER_SHARD, 0)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
     fn normalized_clamps_zeroes() {
         let opts = RuntimeOptions {
             shards: 0,
             ingest_workers: 0,
             query_prefetch: 0,
+            cache_bytes: 0,
+            decoded_cache_entries: 0,
         }
         .normalized();
         assert_eq!(opts, RuntimeOptions::sequential());
+    }
+
+    #[test]
+    fn with_cache_sets_both_tiers() {
+        let opts = RuntimeOptions::default().with_cache(64 << 20, 256);
+        assert_eq!(opts.cache_bytes, 64 << 20);
+        assert_eq!(opts.decoded_cache_entries, 256);
+        assert!(opts.validate().is_ok());
     }
 }

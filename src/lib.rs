@@ -65,7 +65,9 @@ pub use vstore_types as types;
 pub use requests::{ErodeRequest, IngestRequest, QueryRequest};
 pub use vstore_core::{Alternative, ConfigurationEngine, EngineOptions};
 pub use vstore_query::{QueryResult, QuerySpec};
-pub use vstore_storage::{BackendOptions, FsBackend, MemBackend, StorageBackend};
+pub use vstore_storage::{
+    BackendOptions, CacheStats, FsBackend, MemBackend, SegmentReader, StorageBackend,
+};
 pub use vstore_types::{
     Configuration, Consumer, OperatorKind, Result, RuntimeOptions, VStoreError,
 };
@@ -130,10 +132,77 @@ impl VStoreOptions {
         self
     }
 
+    /// Enable the two-tier segment cache on the read path: `cache_bytes`
+    /// of raw segment bytes (tier 1) and `decoded_entries` decoded-frame
+    /// entries (tier 2), each split across the store's shards. Either knob
+    /// may be 0 to disable that tier; both default to 0 (disabled).
+    pub fn with_cache(mut self, cache_bytes: u64, decoded_entries: usize) -> Self {
+        self.runtime = self.runtime.with_cache(cache_bytes, decoded_entries);
+        self
+    }
+
     /// Replace the storage backend selection.
     pub fn with_backend(mut self, backend: BackendOptions) -> Self {
         self.backend = backend;
         self
+    }
+}
+
+/// A combined, operator-facing snapshot of store and cache statistics, as
+/// returned by [`VStore::stats_report`]. `Display` renders a compact
+/// multi-line report suitable for logs and consoles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsReport {
+    /// Aggregate store statistics across every shard.
+    pub store: StoreStats,
+    /// Aggregate cache statistics across every shard (all zeros when the
+    /// cache is disabled).
+    pub cache: CacheStats,
+    /// Per-shard store statistics, in shard order.
+    pub shards: Vec<StoreStats>,
+    /// Per-shard cache statistics, in shard order (empty when the cache is
+    /// disabled).
+    pub shard_caches: Vec<CacheStats>,
+}
+
+impl std::fmt::Display for StatsReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "store: {} segments, {} live, {} on disk ({:.0}% garbage), \
+             {} writes, {} reads",
+            self.store.live_segments,
+            self.store.live_size(),
+            vstore_types::ByteSize(self.store.disk_bytes),
+            self.store.garbage_ratio() * 100.0,
+            self.store.writes,
+            self.store.reads,
+        )?;
+        if self.shard_caches.is_empty() {
+            writeln!(f, "cache: disabled")?;
+        } else {
+            writeln!(f, "cache: {}", self.cache)?;
+        }
+        for (i, shard) in self.shards.iter().enumerate() {
+            write!(
+                f,
+                "  shard {i:03}: {} segments, {} live",
+                shard.live_segments,
+                shard.live_size(),
+            )?;
+            match self.shard_caches.get(i) {
+                Some(cache) if !cache.is_idle() => writeln!(
+                    f,
+                    " | cache {}/{} raw hits, {}/{} decoded hits",
+                    cache.raw_hits,
+                    cache.raw_hits + cache.raw_misses,
+                    cache.decoded_hits,
+                    cache.decoded_hits + cache.decoded_misses,
+                )?,
+                _ => writeln!(f)?,
+            }
+        }
+        Ok(())
     }
 }
 
@@ -151,6 +220,10 @@ struct VStoreInner {
     profiler: Arc<Profiler>,
     engine: ConfigurationEngine,
     store: Arc<SegmentStore>,
+    /// The unified read path: one shard-aware, two-tier segment cache
+    /// shared by the query engine (reads) and the ingestion pipeline
+    /// (invalidating writes, including erosion).
+    reader: Arc<SegmentReader>,
     ingest: IngestionPipeline,
     queries: QueryEngine,
     active: RwLock<ConfigSlot>,
@@ -224,10 +297,19 @@ impl VStore {
         let library = OperatorLibrary::paper_testbed();
         let coding = CodingCostModel::paper_testbed();
         let profiler = Arc::new(Profiler::new(library.clone(), coding, options.profiler));
+        // One reader shared by ingest and query: queries read through its
+        // two cache tiers, and every ingest put / erosion delete invalidates
+        // them, so a cached read can never observe stale bytes.
+        let reader = Arc::new(SegmentReader::new(
+            Arc::clone(&store),
+            runtime.cache_bytes,
+            runtime.decoded_cache_entries,
+        ));
         let ingest =
             IngestionPipeline::new(Arc::clone(&store), Transcoder::new(coding), clock.clone())
                 .with_workers(runtime.ingest_workers)
-                .with_ingest_budget(options.engine.ingest_budget_cores);
+                .with_ingest_budget(options.engine.ingest_budget_cores)
+                .with_reader(Arc::clone(&reader));
         let engine = ConfigurationEngine::new(Arc::clone(&profiler), options.engine);
         let queries = QueryEngine::new(
             Arc::clone(&store),
@@ -235,12 +317,14 @@ impl VStore {
             Transcoder::new(coding),
             clock.clone(),
         )
-        .with_prefetch(runtime.query_prefetch);
+        .with_prefetch(runtime.query_prefetch)
+        .with_reader(Arc::clone(&reader));
         VStore {
             inner: Arc::new(VStoreInner {
                 profiler,
                 engine,
                 store,
+                reader,
                 ingest,
                 queries,
                 active: RwLock::new(ConfigSlot::default()),
@@ -260,13 +344,47 @@ impl VStore {
     }
 
     /// The segment store statistics (aggregated across shards).
+    #[must_use]
     pub fn store_stats(&self) -> StoreStats {
         self.inner.store.stats()
     }
 
     /// Per-shard segment store statistics, in shard order.
+    #[must_use]
     pub fn shard_stats(&self) -> Vec<StoreStats> {
         self.inner.store.shard_stats()
+    }
+
+    /// Aggregate segment-cache statistics across every shard (all zeros
+    /// when the cache is disabled).
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.reader.cache_stats()
+    }
+
+    /// Per-shard segment-cache statistics, in shard order (empty when the
+    /// cache is disabled).
+    #[must_use]
+    pub fn shard_cache_stats(&self) -> Vec<CacheStats> {
+        self.inner.reader.shard_cache_stats()
+    }
+
+    /// One combined operator-facing report: store statistics and cache
+    /// statistics, aggregate and per shard.
+    ///
+    /// ```no_run
+    /// # use vstore::{VStore, VStoreOptions};
+    /// # let store = VStore::open_temp("report", VStoreOptions::default()).unwrap();
+    /// println!("{}", store.stats_report());
+    /// ```
+    #[must_use]
+    pub fn stats_report(&self) -> StatsReport {
+        StatsReport {
+            store: self.store_stats(),
+            cache: self.cache_stats(),
+            shards: self.shard_stats(),
+            shard_caches: self.shard_cache_stats(),
+        }
     }
 
     /// The root directory of the segment store (`<mem>` for the in-memory
@@ -402,6 +520,7 @@ mod tests {
             shards: 0,
             ingest_workers: 1,
             query_prefetch: 1,
+            ..RuntimeOptions::sequential()
         });
         let err = VStore::open_temp("zero-shards", options).unwrap_err();
         assert!(matches!(err, VStoreError::InvalidArgument(_)), "{err}");
@@ -410,6 +529,7 @@ mod tests {
             shards: 1,
             ingest_workers: 1,
             query_prefetch: 0,
+            ..RuntimeOptions::sequential()
         });
         let err = VStore::open_temp("zero-prefetch", options).unwrap_err();
         assert!(matches!(err, VStoreError::InvalidArgument(_)), "{err}");

@@ -12,7 +12,7 @@ use vstore_codec::frame::materialize_clip;
 use vstore_codec::{encode_segment, SegmentData};
 use vstore_datasets::{Dataset, VideoSource};
 use vstore_ops::{f1_score, ConsumptionCostModel};
-use vstore_storage::{SegmentKey, SegmentStore};
+use vstore_storage::{SegmentKey, SegmentReader, SegmentStore};
 use vstore_types::{CodingOption, FormatId, OperatorKind, StorageFormat};
 
 fn arb_quality() -> impl Strategy<Value = ImageQuality> {
@@ -184,6 +184,50 @@ proptest! {
         }
         prop_assert_eq!(store.len(), model.len());
         std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    // Cache coherence: a reader with the two-tier segment cache enabled is
+    // observationally identical to a passthrough reader under random
+    // put/get/erode interleavings — invalidation can drop performance,
+    // never correctness.
+    #[test]
+    fn cached_reader_returns_identical_bytes_to_uncached_under_random_ops(
+        ops in prop::collection::vec((0u8..4, 0u64..24, prop::collection::vec(any::<u8>(), 0..512)), 1..80)
+    ) {
+        use std::sync::Arc;
+        let cached = SegmentReader::new(
+            Arc::new(SegmentStore::open_mem_with_shards(4).unwrap()),
+            1 << 20,
+            16,
+        );
+        let uncached =
+            SegmentReader::disabled(Arc::new(SegmentStore::open_mem_with_shards(4).unwrap()));
+        let read = |reader: &SegmentReader, key: &SegmentKey| {
+            reader
+                .get(key)
+                .unwrap()
+                .map(|(bytes, _source)| (*bytes).clone())
+        };
+        for (op, seg, value) in ops {
+            let key = SegmentKey::new("prop-cache", FormatId(1), seg);
+            match op {
+                0 => {
+                    cached.put(&key, &value).unwrap();
+                    uncached.put(&key, &value).unwrap();
+                }
+                1 => {
+                    // Erosion's storage primitive.
+                    cached.delete(&key).unwrap();
+                    uncached.delete(&key).unwrap();
+                }
+                _ => prop_assert_eq!(read(&cached, &key), read(&uncached, &key)),
+            }
+        }
+        // Final sweep: every key agrees, whether served hot or cold.
+        for seg in 0..24u64 {
+            let key = SegmentKey::new("prop-cache", FormatId(1), seg);
+            prop_assert_eq!(read(&cached, &key), read(&uncached, &key));
+        }
     }
 }
 

@@ -26,6 +26,7 @@ fn parallel_ingest_and_query_reports_match_sequential_exactly() {
             shards: 8,
             ingest_workers: 4,
             query_prefetch: 4,
+            ..RuntimeOptions::sequential()
         }),
     )
     .unwrap();
@@ -103,6 +104,7 @@ fn erosion_behaves_identically_on_sharded_stores() {
             shards: 4,
             ingest_workers: 2,
             query_prefetch: 2,
+            ..RuntimeOptions::sequential()
         }),
     )
     .unwrap();

@@ -7,7 +7,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use vstore::{
-    BackendOptions, Configuration, IngestRequest, QueryRequest, QuerySpec, VStore, VStoreOptions,
+    BackendOptions, Configuration, ErodeRequest, IngestRequest, QueryRequest, QuerySpec, VStore,
+    VStoreOptions,
 };
 use vstore_datasets::{Dataset, VideoSource};
 
@@ -112,6 +113,124 @@ fn concurrent_configure_ingest_query_from_cloned_handles() {
         store.store_stats().live_segments,
         expected_segments as usize * formats
     );
+}
+
+/// Cache invalidation under concurrency: 8 cloned handles hammer one
+/// cached store — 7 querying while 1 erodes segments age by age under a
+/// storage budget tight enough that erosion really deletes. Every erosion
+/// delete must drop the cached entries for the key, so a query that raced
+/// the erosion falls back to a richer stored format instead of being
+/// served stale bytes. Afterwards the same erosion sequence is replayed on
+/// an uncached twin: the final state and query results must be identical —
+/// the cache is invisible everywhere but the resource ledger.
+#[test]
+fn concurrent_erode_and_query_with_cache_never_serve_stale_bytes() {
+    use vstore::{ConfigurationEngine, EngineOptions};
+    use vstore_types::{ByteSize, FidelitySpace};
+
+    let query = QuerySpec::query_b(0.9);
+    let consumers = query.consumers();
+    // Derive the workload's natural storage appetite, then budget away half
+    // of the non-golden footprint so the plan erodes (as in
+    // examples/budgeted_store.rs).
+    let probe = mem_store("service-cache-probe");
+    let engine: &ConfigurationEngine = probe.engine();
+    let baseline = engine.derive(&consumers).unwrap();
+    let per_second = engine.storage_bytes_per_second(&baseline).bytes();
+    let golden_per_second = probe
+        .profiler()
+        .profile_storage(*baseline.golden().unwrap())
+        .bytes_per_video_second
+        .bytes();
+    let lifespan_seconds = 86_400 * 10;
+    let non_golden = per_second.saturating_sub(golden_per_second) * lifespan_seconds;
+    let budgeted = || {
+        let mut options = VStoreOptions::fast().with_backend(BackendOptions::Mem);
+        options.engine = EngineOptions {
+            fidelity_space: FidelitySpace::reduced(),
+            storage_budget: Some(ByteSize(per_second * lifespan_seconds - non_golden / 2)),
+            lifespan_days: 10,
+            ..EngineOptions::default()
+        };
+        options
+    };
+    let cached =
+        VStore::open_temp("service-cache-on", budgeted().with_cache(64 << 20, 256)).unwrap();
+    let uncached = VStore::open_temp("service-cache-off", budgeted()).unwrap();
+    let source = VideoSource::new(Dataset::Jackson);
+    for store in [&cached, &uncached] {
+        store.configure(&consumers).unwrap();
+        store
+            .ingest(IngestRequest::new(&source).segments(4))
+            .unwrap();
+    }
+
+    // Warm the cache before the erosion starts: the eroder below deletes
+    // segments whose entries are now resident, so at least some deletes
+    // must drop cached data (asserted via `invalidations` at the end).
+    cached
+        .query(QueryRequest::new("jackson", &query).segments(4))
+        .unwrap();
+
+    const QUERY_HANDLES: usize = 7;
+    const QUERIES_PER_HANDLE: usize = 6;
+    const ERODE_AGES: u32 = 10;
+    std::thread::scope(|scope| {
+        for _ in 0..QUERY_HANDLES {
+            let handle = cached.clone();
+            let query = query.clone();
+            scope.spawn(move || {
+                for _ in 0..QUERIES_PER_HANDLE {
+                    let result = handle
+                        .query(QueryRequest::new("jackson", &query).segments(4))
+                        .unwrap();
+                    // Erosion never touches the golden format, so the
+                    // fallback always finds every segment.
+                    assert_eq!(result.stages[0].segments_processed, 4);
+                    assert!(result.speed.factor() > 0.0);
+                }
+            });
+        }
+        let eroder = cached.clone();
+        scope.spawn(move || {
+            for age in 1..=ERODE_AGES {
+                eroder
+                    .erode(ErodeRequest::new("jackson").at_age_days(age))
+                    .unwrap();
+            }
+        });
+    });
+
+    let mut replay_deleted = 0;
+    for age in 1..=ERODE_AGES {
+        replay_deleted += uncached
+            .erode(ErodeRequest::new("jackson").at_age_days(age))
+            .unwrap();
+    }
+    assert!(replay_deleted > 0, "the budget must force real erosion");
+    assert_eq!(
+        cached.store_stats().live_segments,
+        uncached.store_stats().live_segments
+    );
+    let warm = cached
+        .query(QueryRequest::new("jackson", &query).segments(4))
+        .unwrap();
+    let cold = uncached
+        .query(QueryRequest::new("jackson", &query).segments(4))
+        .unwrap();
+    assert_eq!(warm, cold, "the cache must never change query results");
+
+    let stats = cached.cache_stats();
+    assert!(
+        stats.invalidations > 0,
+        "erosion must invalidate cached entries: {stats}"
+    );
+    assert!(
+        stats.raw_hits + stats.decoded_hits > 0,
+        "repeated queries should hit the cache: {stats}"
+    );
+    assert!(uncached.cache_stats().is_idle());
+    assert!(uncached.shard_cache_stats().is_empty());
 }
 
 #[test]
