@@ -12,13 +12,16 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 use std::time::Instant;
+use vstore::{
+    BackendOptions, IngestRequest, QuerySpec, ServeRequest, ServeResponse, VStore, VStoreOptions,
+};
 use vstore_codec::frame::materialize_clip;
 use vstore_codec::{encode_segment, SegmentData};
 use vstore_datasets::{Dataset, VideoSource};
 use vstore_storage::{SegmentKey, SegmentReader, SegmentStore};
 use vstore_types::{
-    CropFactor, Fidelity, FormatId, FrameSampling, ImageQuality, KeyframeInterval, Resolution,
-    SpeedStep,
+    CropFactor, Fidelity, FormatId, FrameSampling, ImageQuality, KeyframeInterval, QueueFullPolicy,
+    Resolution, ServeOptions, SpeedStep,
 };
 
 /// 256 KiB values: the size class of one encoded 8-second segment.
@@ -245,6 +248,88 @@ fn measure_cache_hot_cold(hot_rounds: u64) -> Vec<String> {
     rows
 }
 
+/// The serve-throughput experiment: `clients` client threads issue
+/// `requests_per_client` query requests each through the `vstore-serve`
+/// front end (thread-per-core workers, blocking back-pressure so nothing is
+/// shed), against a pre-ingested in-memory store. Returns
+/// `(seconds, requests_per_sec, p99_queue_wait_us)`.
+fn measure_serve_throughput(
+    store: &VStore,
+    query: &QuerySpec,
+    clients: usize,
+    requests_per_client: usize,
+) -> (f64, f64, u64) {
+    let server = store
+        .serve(
+            ServeOptions::default()
+                .with_queue_depth(256)
+                .with_on_full(QueueFullPolicy::Block),
+        )
+        .unwrap();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            let mut client = server.connect();
+            let query = query.clone();
+            scope.spawn(move || {
+                for _ in 0..requests_per_client {
+                    let response = client
+                        .call(ServeRequest::Query {
+                            stream: "jackson".into(),
+                            spec: query.clone(),
+                            first_segment: 0,
+                            count: 2,
+                        })
+                        .unwrap();
+                    assert!(matches!(response, ServeResponse::Query(_)), "{response:?}");
+                }
+            });
+        }
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    let stats = server.shutdown();
+    let total = (clients * requests_per_client) as u64;
+    assert_eq!(stats.completed, total);
+    assert_eq!(stats.rejected_busy, 0, "Block policy never sheds");
+    (
+        seconds,
+        total as f64 / seconds,
+        stats.queue_wait.quantile_us(0.99),
+    )
+}
+
+/// The serve-throughput rows for 1/4/16 clients over one shared store.
+fn measure_serve_throughput_cases() -> Vec<String> {
+    const REQUESTS_PER_CLIENT: usize = 12;
+    let store = VStore::open_temp(
+        "bench-serve",
+        VStoreOptions::fast().with_backend(BackendOptions::Mem),
+    )
+    .unwrap();
+    let query = QuerySpec::query_a(0.8);
+    store.configure(&query.consumers()).unwrap();
+    store
+        .ingest(IngestRequest::new(&VideoSource::new(Dataset::Jackson)).segments(2))
+        .unwrap();
+    let mut rows = Vec::new();
+    for clients in [1usize, 4, 16] {
+        // Warm-up pass, then the measured pass.
+        measure_serve_throughput(&store, &query, clients, 2);
+        let (seconds, req_per_sec, p99_wait_us) =
+            measure_serve_throughput(&store, &query, clients, REQUESTS_PER_CLIENT);
+        println!(
+            "segment_store/serve clients={clients:>2}: {req_per_sec:>7.0} req/s \
+             ({seconds:.3}s, p99 queue wait <{p99_wait_us} µs)"
+        );
+        rows.push(format!(
+            "    {{ \"clients\": {clients}, \"requests_per_client\": {REQUESTS_PER_CLIENT}, \
+             \"seconds\": {seconds:.6}, \"requests_per_sec\": {req_per_sec:.1}, \
+             \"p99_queue_wait_us\": {p99_wait_us} }}"
+        ));
+    }
+    rows
+}
+
 fn bench_shard_scaling(_c: &mut Criterion) {
     // A bare (non-flag, non-flag-value) CLI argument is a bench name filter:
     // such a run wants one of the criterion benches above, not a full scaling
@@ -311,6 +396,10 @@ fn bench_shard_scaling(_c: &mut Criterion) {
     // tracked per tier so a regression in either cache shows up here.
     let cache_rows = measure_cache_hot_cold(8);
 
+    // The serving front end: end-to-end request throughput at 1/4/16
+    // concurrent clients through the bounded queue + worker pool.
+    let serve_rows = measure_serve_throughput_cases();
+
     // Record the baseline next to the workspace root so runs are comparable
     // across PRs. Override the destination with VSTORE_BENCH_JSON.
     let path = std::env::var("VSTORE_BENCH_JSON")
@@ -318,10 +407,11 @@ fn bench_shard_scaling(_c: &mut Criterion) {
     let json = format!(
         "{{\n  \"bench\": \"segment_store\",\n  \"host_cores\": {cores},\n  \
          \"shard_scaling\": [\n{}\n  ],\n  \"backend_get_put\": [\n{}\n  ],\n  \
-         \"cache_hot_cold\": [\n{}\n  ]\n}}\n",
+         \"cache_hot_cold\": [\n{}\n  ],\n  \"serve_throughput\": [\n{}\n  ]\n}}\n",
         scaling_rows.join(",\n"),
         backend_rows.join(",\n"),
-        cache_rows.join(",\n")
+        cache_rows.join(",\n"),
+        serve_rows.join(",\n")
     );
     if let Err(e) = std::fs::write(&path, &json) {
         eprintln!("could not write {path}: {e}");

@@ -21,7 +21,7 @@ pub const SEGMENT_SECONDS: u32 = 8;
 pub const SEGMENT_FRAMES: u32 = FRAME_RATE * SEGMENT_SECONDS;
 
 /// A deterministic synthetic video stream.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct VideoSource {
     name: String,
     profile: DatasetProfile,

@@ -170,6 +170,10 @@ impl QueryEngine {
                 "query segment range overflows u64",
             ));
         }
+        // The active set and per-stage buffers are sized from the segment
+        // count; reject counts the platform cannot even address instead of
+        // silently truncating them (or dying mid-allocation) further down.
+        vstore_types::cast::usize_from_u64(segment_count, "query segment count")?;
         let mut active: BTreeSet<u64> = (first_segment..first_segment + segment_count).collect();
         let mut stages = Vec::with_capacity(query.cascade.len());
         let mut total_seconds = 0.0f64;

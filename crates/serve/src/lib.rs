@@ -1,0 +1,41 @@
+//! # vstore-serve
+//!
+//! The connection-serving front end of VStore: the piece that turns the
+//! `Clone + Send + Sync` service handle into a **servable system** for many
+//! concurrent analytics clients (paper §3: queries arrive continuously
+//! while ingestion competes for the same resources).
+//!
+//! The crate provides three layers:
+//!
+//! * **Typed requests and a wire codec** ([`ServeRequest`],
+//!   [`ServeResponse`]): the facade's request-builder vocabulary as an
+//!   enum, plus a versioned little-endian wire format in `vstore-codec`'s
+//!   style — malformed frames surface as typed corruption errors, never
+//!   panics.
+//! * **A bounded request queue with back-pressure** ([`Server`],
+//!   [`Connection`]): requests beyond `ServeOptions::queue_depth` are shed
+//!   with `VStoreError::Busy` or block the client, per
+//!   `QueueFullPolicy` — the server can never be ballooned out of memory
+//!   by fast clients.
+//! * **A thread-per-core executor pool** ([`ServerHandle`]): workers drain
+//!   the queue driving cloned service handles, isolate per-request panics
+//!   via the scoped pool's panic capture, shut down gracefully (drain,
+//!   then join) and report [`ServeStats`] — queue depth, lag and per-kind
+//!   latency histograms — which `VStore::stats_report` folds in.
+//!
+//! The front end is generic over [`VideoService`], implemented by `VStore`
+//! in the facade crate; tests drive it with deterministic mocks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod server;
+mod stats;
+mod wire;
+
+pub use server::{Connection, ServeProbe, Server, ServerHandle, VideoService};
+pub use stats::{LatencyHistogram, ServeStats};
+pub use wire::{
+    ErrorCode, RemoteError, RequestKind, ServeRequest, ServeResponse, REQUEST_MAGIC,
+    RESPONSE_MAGIC, WIRE_VERSION,
+};

@@ -1,0 +1,313 @@
+//! Serving-layer statistics: queue depth, lag, and per-kind latency
+//! histograms.
+//!
+//! All rate math follows the store's stats conventions: additions saturate
+//! (a pinned counter degrades, never panics), and every ratio renders `0%`
+//! when its denominator is zero — an idle server's report contains no NaN.
+
+use std::fmt;
+
+/// Number of power-of-two latency buckets: bucket `i` counts samples with
+/// `latency_us < 2^i`, the last bucket collects everything larger
+/// (≈ 35 minutes and up).
+const BUCKETS: usize = 32;
+
+/// A fixed-size power-of-two latency histogram over microseconds.
+///
+/// Recording is O(1), merging is element-wise, and percentiles are answered
+/// as the upper bound of the bucket containing the requested rank — exact
+/// enough for an operator report, with no allocation anywhere.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    total_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            total_us: 0,
+            max_us: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one sample in microseconds.
+    pub fn record(&mut self, micros: u64) {
+        let bucket = (64 - micros.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket] = self.buckets[bucket].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.total_us = self.total_us.saturating_add(micros);
+        self.max_us = self.max_us.max(micros);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean latency in microseconds (0 when empty — never NaN).
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample in microseconds.
+    #[must_use]
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Upper bound (µs) of the bucket holding the `p`-quantile sample
+    /// (`p` in `[0, 1]`, clamped). 0 when empty.
+    #[must_use]
+    pub fn quantile_us(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * p.clamp(0.0, 1.0)).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                // Bucket i holds samples < 2^i µs (i == 0 holds 0 µs).
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max_us
+    }
+
+    /// Merge another histogram into this one (element-wise, saturating).
+    pub fn accumulate(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.total_us = self.total_us.saturating_add(other.total_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "idle");
+        }
+        write!(
+            f,
+            "n={}, mean {:.0} µs, p50 <{} µs, p99 <{} µs, max {} µs",
+            self.count,
+            self.mean_us(),
+            self.quantile_us(0.50),
+            self.quantile_us(0.99),
+            self.max_us,
+        )
+    }
+}
+
+/// One snapshot of a serving front end's statistics, as returned by
+/// `ServerHandle::stats` and folded into `VStore::stats_report`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServeStats {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Capacity of the bounded request queue.
+    pub queue_capacity: usize,
+    /// Requests waiting in the queue at snapshot time.
+    pub queue_depth: usize,
+    /// Deepest the queue has ever been.
+    pub peak_queue_depth: usize,
+    /// Requests accepted onto the queue.
+    pub submitted: u64,
+    /// Requests fully executed (success or error response).
+    pub completed: u64,
+    /// Requests shed with `Busy` because the queue was full.
+    pub rejected_busy: u64,
+    /// Completed requests whose response was an error.
+    pub failed: u64,
+    /// Worker panics converted into error responses (the server survived).
+    pub panics: u64,
+    /// Responses dropped because the client disconnected mid-stream.
+    pub disconnects: u64,
+    /// Time requests spent waiting in the queue (lag).
+    pub queue_wait: LatencyHistogram,
+    /// Execution latency of ingest requests.
+    pub ingest_latency: LatencyHistogram,
+    /// Execution latency of query requests.
+    pub query_latency: LatencyHistogram,
+    /// Execution latency of erode requests.
+    pub erode_latency: LatencyHistogram,
+}
+
+impl ServeStats {
+    /// Fraction of submission attempts shed with `Busy` (0.0 when idle —
+    /// never NaN).
+    #[must_use]
+    pub fn busy_rate(&self) -> f64 {
+        let attempts = self.submitted.saturating_add(self.rejected_busy);
+        if attempts == 0 {
+            0.0
+        } else {
+            self.rejected_busy as f64 / attempts as f64
+        }
+    }
+
+    /// Fraction of completed requests that returned an error (0.0 when
+    /// idle — never NaN).
+    #[must_use]
+    pub fn failure_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.failed as f64 / self.completed as f64
+        }
+    }
+
+    /// Merge another server's snapshot into this one (multi-server
+    /// aggregate for `VStore::stats_report`). Depths and capacities add;
+    /// histograms merge.
+    pub fn accumulate(&mut self, other: &ServeStats) {
+        self.workers = self.workers.saturating_add(other.workers);
+        self.queue_capacity = self.queue_capacity.saturating_add(other.queue_capacity);
+        self.queue_depth = self.queue_depth.saturating_add(other.queue_depth);
+        self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+        self.submitted = self.submitted.saturating_add(other.submitted);
+        self.completed = self.completed.saturating_add(other.completed);
+        self.rejected_busy = self.rejected_busy.saturating_add(other.rejected_busy);
+        self.failed = self.failed.saturating_add(other.failed);
+        self.panics = self.panics.saturating_add(other.panics);
+        self.disconnects = self.disconnects.saturating_add(other.disconnects);
+        self.queue_wait.accumulate(&other.queue_wait);
+        self.ingest_latency.accumulate(&other.ingest_latency);
+        self.query_latency.accumulate(&other.query_latency);
+        self.erode_latency.accumulate(&other.erode_latency);
+    }
+}
+
+impl fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "serve: {} workers, queue {}/{} (peak {}), {} submitted, {} completed, \
+             {} busy ({:.0}%), {} failed ({:.0}%), {} panics, {} disconnects",
+            self.workers,
+            self.queue_depth,
+            self.queue_capacity,
+            self.peak_queue_depth,
+            self.submitted,
+            self.completed,
+            self.rejected_busy,
+            self.busy_rate() * 100.0,
+            self.failed,
+            self.failure_rate() * 100.0,
+            self.panics,
+            self.disconnects,
+        )?;
+        writeln!(f, "  queue wait: {}", self.queue_wait)?;
+        writeln!(f, "  ingest:     {}", self.ingest_latency)?;
+        writeln!(f, "  query:      {}", self.query_latency)?;
+        write!(f, "  erode:      {}", self.erode_latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_records_and_answers_quantiles() {
+        let mut h = LatencyHistogram::default();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile_us(0.99), 0);
+        for us in [1u64, 2, 3, 100, 1000, 100_000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max_us(), 100_000);
+        assert!(h.mean_us() > 0.0);
+        // p50 falls in a small bucket, p99 near the top sample.
+        assert!(h.quantile_us(0.5) <= 128);
+        assert!(h.quantile_us(0.99) >= 100_000 / 2);
+        assert!(h.quantile_us(1.0) >= h.quantile_us(0.5));
+    }
+
+    #[test]
+    fn histogram_merge_is_element_wise_and_saturating() {
+        let mut a = LatencyHistogram::default();
+        a.record(10);
+        let mut b = LatencyHistogram::default();
+        b.record(1000);
+        b.count = u64::MAX; // pinned counter must not wrap the merge
+        a.accumulate(&b);
+        assert_eq!(a.count, u64::MAX);
+        assert_eq!(a.max_us(), 1000);
+    }
+
+    /// The empty and saturated cases of the serving report: 0% everywhere
+    /// when idle (no NaN), graceful saturation at the counter limits.
+    #[test]
+    fn stats_display_handles_empty_and_saturated_counters() {
+        let empty = ServeStats::default();
+        assert_eq!(empty.busy_rate(), 0.0);
+        assert_eq!(empty.failure_rate(), 0.0);
+        let rendered = empty.to_string();
+        assert!(rendered.contains("(0%)"), "{rendered}");
+        assert!(rendered.contains("idle"), "{rendered}");
+        assert!(!rendered.contains("NaN"), "{rendered}");
+
+        let mut saturated = ServeStats {
+            submitted: u64::MAX,
+            completed: u64::MAX,
+            rejected_busy: u64::MAX,
+            failed: 1,
+            ..ServeStats::default()
+        };
+        let rendered = saturated.to_string();
+        assert!(!rendered.contains("NaN"), "{rendered}");
+        assert!(saturated.busy_rate() > 0.0 && saturated.busy_rate() <= 1.0);
+        let other = saturated.clone();
+        saturated.accumulate(&other);
+        assert_eq!(saturated.submitted, u64::MAX, "accumulate must saturate");
+    }
+
+    #[test]
+    fn accumulate_merges_across_servers() {
+        let mut a = ServeStats {
+            workers: 2,
+            queue_capacity: 4,
+            submitted: 10,
+            completed: 9,
+            ..ServeStats::default()
+        };
+        let b = ServeStats {
+            workers: 3,
+            queue_capacity: 8,
+            submitted: 5,
+            completed: 5,
+            peak_queue_depth: 7,
+            ..ServeStats::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.workers, 5);
+        assert_eq!(a.queue_capacity, 12);
+        assert_eq!(a.submitted, 15);
+        assert_eq!(a.peak_queue_depth, 7);
+    }
+}

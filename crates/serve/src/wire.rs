@@ -1,0 +1,823 @@
+//! Typed requests/responses of the serving front end, plus their binary
+//! wire codec.
+//!
+//! The wire format follows `vstore-codec`'s conventions: a hand-rolled,
+//! explicit little-endian layout over [`ByteWriter`]/[`ByteReader`], with a
+//! magic, a version byte and typed errors — a malformed frame surfaces as
+//! [`VStoreError::Corruption`], never a panic. Requests validate with the
+//! same rules as the facade's `IngestRequest`/`QueryRequest`/`ErodeRequest`
+//! builders, so a request rejected at the handle is rejected identically at
+//! the wire.
+
+use vstore_codec::wire::{ByteReader, ByteWriter};
+use vstore_datasets::{DatasetProfile, VideoSource};
+use vstore_ingest::IngestReport;
+use vstore_query::{QueryResult, QuerySpec, StageReport};
+use vstore_types::cast::usize_from_u64;
+use vstore_types::{
+    AccuracyLevel, ByteSize, CoreSeconds, FormatId, OperatorKind, Result, Speed, VStoreError,
+    VideoSeconds,
+};
+
+/// Magic of a serialized request frame ("VSRQ").
+pub const REQUEST_MAGIC: u32 = 0x5653_5251;
+/// Magic of a serialized response frame ("VSRS").
+pub const RESPONSE_MAGIC: u32 = 0x5653_5253;
+/// Wire protocol version.
+pub const WIRE_VERSION: u8 = 1;
+
+/// The kind of a serve request (used for routing and per-kind latency
+/// accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    /// Transcode + persist a segment range of a source.
+    Ingest,
+    /// Execute an operator cascade over stored segments.
+    Query,
+    /// Apply the erosion plan to a stream at an age.
+    Erode,
+}
+
+impl RequestKind {
+    /// All kinds, indexed by their wire tag.
+    pub const ALL: [RequestKind; 3] = [RequestKind::Ingest, RequestKind::Query, RequestKind::Erode];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RequestKind::Ingest => "ingest",
+            RequestKind::Query => "query",
+            RequestKind::Erode => "erode",
+        }
+    }
+}
+
+/// One typed request accepted by the serving front end. The variants mirror
+/// the facade's request builders one-to-one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeRequest {
+    /// Ingest `count` segments of `source` starting at `first_segment`.
+    Ingest {
+        /// The video source to ingest.
+        source: VideoSource,
+        /// First segment index of the range.
+        first_segment: u64,
+        /// Number of consecutive segments.
+        count: u64,
+    },
+    /// Run `spec` over `count` segments of `stream` starting at
+    /// `first_segment`.
+    Query {
+        /// The stream to query.
+        stream: String,
+        /// The operator cascade and target accuracy.
+        spec: QuerySpec,
+        /// First segment index of the range.
+        first_segment: u64,
+        /// Number of consecutive segments.
+        count: u64,
+    },
+    /// Apply the active erosion plan to `stream` at `age_days`.
+    Erode {
+        /// The stream to erode.
+        stream: String,
+        /// The video age whose erosion step applies.
+        age_days: u32,
+    },
+}
+
+/// One typed response produced by the serving front end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeResponse {
+    /// A successful ingest.
+    Ingest(IngestReport),
+    /// A successful query.
+    Query(QueryResult),
+    /// A successful erosion (number of segments deleted).
+    Erode(u64),
+    /// The request failed; the error crossed the wire as a [`RemoteError`].
+    Error(RemoteError),
+}
+
+impl ServeResponse {
+    /// `true` when the response carries an error.
+    #[must_use]
+    pub fn is_error(&self) -> bool {
+        matches!(self, ServeResponse::Error(_))
+    }
+}
+
+/// The error classes a [`RemoteError`] distinguishes: every
+/// [`VStoreError`] variant plus [`Panicked`](ErrorCode::Panicked) for a
+/// request whose worker panicked (the connection's request failed; the
+/// server kept serving).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum ErrorCode {
+    Io,
+    Corruption,
+    NotFound,
+    FidelityUnsatisfiable,
+    BudgetUnsatisfiable,
+    AccuracyUnreachable,
+    InvalidArgument,
+    InvalidState,
+    Busy,
+    Panicked,
+}
+
+impl ErrorCode {
+    /// All codes, indexed by their wire tag.
+    pub const ALL: [ErrorCode; 10] = [
+        ErrorCode::Io,
+        ErrorCode::Corruption,
+        ErrorCode::NotFound,
+        ErrorCode::FidelityUnsatisfiable,
+        ErrorCode::BudgetUnsatisfiable,
+        ErrorCode::AccuracyUnreachable,
+        ErrorCode::InvalidArgument,
+        ErrorCode::InvalidState,
+        ErrorCode::Busy,
+        ErrorCode::Panicked,
+    ];
+}
+
+/// A [`VStoreError`] as it crosses the wire: the error class plus its
+/// message. `PartialEq` so parity tests can compare error responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteError {
+    /// The error class.
+    pub code: ErrorCode,
+    /// The error message.
+    pub message: String,
+}
+
+impl RemoteError {
+    /// Wrap a request-execution error for the wire.
+    pub fn from_error(err: &VStoreError) -> Self {
+        let code = match err {
+            VStoreError::Io(_) => ErrorCode::Io,
+            VStoreError::Corruption(_) => ErrorCode::Corruption,
+            VStoreError::NotFound(_) => ErrorCode::NotFound,
+            VStoreError::FidelityUnsatisfiable(_) => ErrorCode::FidelityUnsatisfiable,
+            VStoreError::BudgetUnsatisfiable(_) => ErrorCode::BudgetUnsatisfiable,
+            VStoreError::AccuracyUnreachable(_) => ErrorCode::AccuracyUnreachable,
+            VStoreError::InvalidArgument(_) => ErrorCode::InvalidArgument,
+            VStoreError::InvalidState(_) => ErrorCode::InvalidState,
+            VStoreError::Busy(_) => ErrorCode::Busy,
+        };
+        RemoteError {
+            code,
+            message: err.to_string(),
+        }
+    }
+
+    /// Record a caught worker panic.
+    pub fn from_panic(message: &str) -> Self {
+        RemoteError {
+            code: ErrorCode::Panicked,
+            message: format!("request worker panicked: {message}"),
+        }
+    }
+
+    /// Rebuild a client-side [`VStoreError`] (a panic surfaces as
+    /// [`VStoreError::InvalidState`]).
+    pub fn into_error(self) -> VStoreError {
+        match self.code {
+            ErrorCode::Io => VStoreError::Io(std::io::Error::other(self.message)),
+            ErrorCode::Corruption => VStoreError::Corruption(self.message),
+            ErrorCode::NotFound => VStoreError::NotFound(self.message),
+            ErrorCode::FidelityUnsatisfiable => VStoreError::FidelityUnsatisfiable(self.message),
+            ErrorCode::BudgetUnsatisfiable => VStoreError::BudgetUnsatisfiable(self.message),
+            ErrorCode::AccuracyUnreachable => VStoreError::AccuracyUnreachable(self.message),
+            ErrorCode::InvalidArgument => VStoreError::InvalidArgument(self.message),
+            ErrorCode::InvalidState | ErrorCode::Panicked => {
+                VStoreError::InvalidState(self.message)
+            }
+            ErrorCode::Busy => VStoreError::Busy(self.message),
+        }
+    }
+}
+
+impl ServeRequest {
+    /// The request's kind.
+    #[must_use]
+    pub fn kind(&self) -> RequestKind {
+        match self {
+            ServeRequest::Ingest { .. } => RequestKind::Ingest,
+            ServeRequest::Query { .. } => RequestKind::Query,
+            ServeRequest::Erode { .. } => RequestKind::Erode,
+        }
+    }
+
+    /// Validate the request with the facade builders' rules, **before** it
+    /// touches the queue: a malformed request is rejected at submission,
+    /// without spending a queue slot or a worker.
+    pub fn validate(&self) -> Result<()> {
+        let range = |what: &str, first: u64, count: u64| {
+            if count == 0 {
+                return Err(VStoreError::invalid_argument(format!(
+                    "{what} covers zero segments"
+                )));
+            }
+            if first.checked_add(count).is_none() {
+                return Err(VStoreError::invalid_argument(format!(
+                    "{what} segment range {first}+{count} overflows u64"
+                )));
+            }
+            Ok(())
+        };
+        match self {
+            ServeRequest::Ingest {
+                first_segment,
+                count,
+                ..
+            } => range("ingest request", *first_segment, *count),
+            ServeRequest::Query {
+                stream,
+                first_segment,
+                count,
+                ..
+            } => {
+                if stream.is_empty() {
+                    return Err(VStoreError::invalid_argument(
+                        "query request has an empty stream name",
+                    ));
+                }
+                range("query request", *first_segment, *count)
+            }
+            ServeRequest::Erode { stream, .. } => {
+                if stream.is_empty() {
+                    return Err(VStoreError::invalid_argument(
+                        "erode request has an empty stream name",
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Serialize the request to wire bytes.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(64);
+        w.put_u32(REQUEST_MAGIC);
+        w.put_u8(WIRE_VERSION);
+        match self {
+            ServeRequest::Ingest {
+                source,
+                first_segment,
+                count,
+            } => {
+                w.put_u8(0);
+                put_source(&mut w, source);
+                w.put_u64(*first_segment);
+                w.put_u64(*count);
+            }
+            ServeRequest::Query {
+                stream,
+                spec,
+                first_segment,
+                count,
+            } => {
+                w.put_u8(1);
+                w.put_bytes(stream.as_bytes());
+                put_spec(&mut w, spec);
+                w.put_u64(*first_segment);
+                w.put_u64(*count);
+            }
+            ServeRequest::Erode { stream, age_days } => {
+                w.put_u8(2);
+                w.put_bytes(stream.as_bytes());
+                w.put_u32(*age_days);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Deserialize a request from wire bytes.
+    pub fn from_wire(bytes: &[u8]) -> Result<ServeRequest> {
+        let mut r = ByteReader::new(bytes);
+        check_frame(&mut r, REQUEST_MAGIC, "request")?;
+        let request = match r.get_u8()? {
+            0 => ServeRequest::Ingest {
+                source: get_source(&mut r)?,
+                first_segment: r.get_u64()?,
+                count: r.get_u64()?,
+            },
+            1 => ServeRequest::Query {
+                stream: get_string(&mut r)?,
+                spec: get_spec(&mut r)?,
+                first_segment: r.get_u64()?,
+                count: r.get_u64()?,
+            },
+            2 => ServeRequest::Erode {
+                stream: get_string(&mut r)?,
+                age_days: r.get_u32()?,
+            },
+            tag => {
+                return Err(VStoreError::corruption(format!(
+                    "unknown serve request tag {tag}"
+                )))
+            }
+        };
+        expect_exhausted(&r, "request")?;
+        Ok(request)
+    }
+}
+
+impl ServeResponse {
+    /// Serialize the response to wire bytes.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(64);
+        w.put_u32(RESPONSE_MAGIC);
+        w.put_u8(WIRE_VERSION);
+        match self {
+            ServeResponse::Ingest(report) => {
+                w.put_u8(0);
+                put_ingest_report(&mut w, report);
+            }
+            ServeResponse::Query(result) => {
+                w.put_u8(1);
+                put_query_result(&mut w, result);
+            }
+            ServeResponse::Erode(deleted) => {
+                w.put_u8(2);
+                w.put_u64(*deleted);
+            }
+            ServeResponse::Error(err) => {
+                w.put_u8(3);
+                w.put_u8(err.code as u8);
+                w.put_bytes(err.message.as_bytes());
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Deserialize a response from wire bytes.
+    pub fn from_wire(bytes: &[u8]) -> Result<ServeResponse> {
+        let mut r = ByteReader::new(bytes);
+        check_frame(&mut r, RESPONSE_MAGIC, "response")?;
+        let response = match r.get_u8()? {
+            0 => ServeResponse::Ingest(get_ingest_report(&mut r)?),
+            1 => ServeResponse::Query(get_query_result(&mut r)?),
+            2 => ServeResponse::Erode(r.get_u64()?),
+            3 => {
+                let tag = r.get_u8()?;
+                let code = *ErrorCode::ALL.get(tag as usize).ok_or_else(|| {
+                    VStoreError::corruption(format!("unknown serve error code {tag}"))
+                })?;
+                ServeResponse::Error(RemoteError {
+                    code,
+                    message: get_string(&mut r)?,
+                })
+            }
+            tag => {
+                return Err(VStoreError::corruption(format!(
+                    "unknown serve response tag {tag}"
+                )))
+            }
+        };
+        expect_exhausted(&r, "response")?;
+        Ok(response)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame helpers
+// ---------------------------------------------------------------------
+
+fn check_frame(r: &mut ByteReader<'_>, magic: u32, what: &str) -> Result<()> {
+    let found = r.get_u32()?;
+    if found != magic {
+        return Err(VStoreError::corruption(format!(
+            "bad serve {what} magic {found:#x}"
+        )));
+    }
+    let version = r.get_u8()?;
+    if version != WIRE_VERSION {
+        return Err(VStoreError::corruption(format!(
+            "unsupported serve {what} version {version} (expected {WIRE_VERSION})"
+        )));
+    }
+    Ok(())
+}
+
+fn expect_exhausted(r: &ByteReader<'_>, what: &str) -> Result<()> {
+    if r.is_exhausted() {
+        Ok(())
+    } else {
+        Err(VStoreError::corruption(format!(
+            "trailing garbage after serve {what} ({} bytes)",
+            r.remaining()
+        )))
+    }
+}
+
+fn get_string(r: &mut ByteReader<'_>) -> Result<String> {
+    let bytes = r.get_bytes()?;
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| VStoreError::corruption("serve frame string is not UTF-8"))
+}
+
+fn get_count(r: &mut ByteReader<'_>, what: &str) -> Result<usize> {
+    usize_from_u64(r.get_varint()?, what)
+}
+
+// ---------------------------------------------------------------------
+// Payload encoders/decoders
+// ---------------------------------------------------------------------
+
+fn put_source(w: &mut ByteWriter, source: &VideoSource) {
+    w.put_bytes(source.name().as_bytes());
+    let p = source.profile();
+    w.put_u64(p.seed);
+    for field in [
+        p.motion_intensity,
+        p.object_arrivals_per_minute,
+        p.mean_object_height,
+        p.object_height_spread,
+        p.vehicle_fraction,
+        p.plate_visible_fraction,
+        p.background_texture,
+        p.mean_dwell_seconds,
+    ] {
+        w.put_f64(field);
+    }
+}
+
+fn get_source(r: &mut ByteReader<'_>) -> Result<VideoSource> {
+    let name = get_string(r)?;
+    let profile = DatasetProfile {
+        seed: r.get_u64()?,
+        motion_intensity: r.get_f64()?,
+        object_arrivals_per_minute: r.get_f64()?,
+        mean_object_height: r.get_f64()?,
+        object_height_spread: r.get_f64()?,
+        vehicle_fraction: r.get_f64()?,
+        plate_visible_fraction: r.get_f64()?,
+        background_texture: r.get_f64()?,
+        mean_dwell_seconds: r.get_f64()?,
+    };
+    Ok(VideoSource::from_profile(name, profile))
+}
+
+fn put_op(w: &mut ByteWriter, op: OperatorKind) {
+    let tag = OperatorKind::ALL
+        .iter()
+        .position(|&o| o == op)
+        .expect("OperatorKind::ALL is exhaustive");
+    w.put_u8(tag as u8);
+}
+
+fn get_op(r: &mut ByteReader<'_>) -> Result<OperatorKind> {
+    let tag = r.get_u8()?;
+    OperatorKind::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or_else(|| VStoreError::corruption(format!("unknown operator tag {tag}")))
+}
+
+fn put_spec(w: &mut ByteWriter, spec: &QuerySpec) {
+    w.put_bytes(spec.name.as_bytes());
+    w.put_varint(spec.cascade.len() as u64);
+    for &op in &spec.cascade {
+        put_op(w, op);
+    }
+    w.put_f64(spec.accuracy.value());
+}
+
+fn get_spec(r: &mut ByteReader<'_>) -> Result<QuerySpec> {
+    let name = get_string(r)?;
+    let stages = get_count(r, "query cascade length")?;
+    let mut cascade = Vec::with_capacity(stages.min(64));
+    for _ in 0..stages {
+        cascade.push(get_op(r)?);
+    }
+    let accuracy = r.get_f64()?;
+    // AccuracyLevel stores thousandths, so value() → new() round-trips
+    // exactly.
+    Ok(QuerySpec {
+        name,
+        cascade,
+        accuracy: AccuracyLevel::new(accuracy),
+    })
+}
+
+fn put_ingest_report(w: &mut ByteWriter, report: &IngestReport) {
+    w.put_f64(report.video.seconds());
+    w.put_varint(report.segments_written as u64);
+    w.put_f64(report.transcode_work.0);
+    w.put_varint(report.modeled_bytes.len() as u64);
+    for (id, bytes) in &report.modeled_bytes {
+        w.put_u32(id.0);
+        w.put_u64(bytes.bytes());
+    }
+    w.put_u64(report.actual_bytes.bytes());
+}
+
+fn get_ingest_report(r: &mut ByteReader<'_>) -> Result<IngestReport> {
+    let video = VideoSeconds(r.get_f64()?);
+    let segments_written = get_count(r, "ingest report segment count")?;
+    let transcode_work = CoreSeconds(r.get_f64()?);
+    let formats = get_count(r, "ingest report format count")?;
+    let mut modeled_bytes = std::collections::BTreeMap::new();
+    for _ in 0..formats {
+        let id = FormatId(r.get_u32()?);
+        let bytes = ByteSize(r.get_u64()?);
+        modeled_bytes.insert(id, bytes);
+    }
+    let actual_bytes = ByteSize(r.get_u64()?);
+    Ok(IngestReport {
+        video,
+        segments_written,
+        transcode_work,
+        modeled_bytes,
+        actual_bytes,
+    })
+}
+
+fn put_query_result(w: &mut ByteWriter, result: &QueryResult) {
+    put_spec(w, &result.query);
+    w.put_f64(result.video.seconds());
+    w.put_f64(result.speed.factor());
+    w.put_varint(result.positive_frames.len() as u64);
+    for &frame in &result.positive_frames {
+        w.put_varint(frame);
+    }
+    w.put_varint(result.stages.len() as u64);
+    for stage in &result.stages {
+        put_op(w, stage.op);
+        w.put_varint(stage.segments_processed as u64);
+        w.put_varint(stage.segments_passed as u64);
+        w.put_varint(stage.frames_consumed as u64);
+        w.put_f64(stage.processing_seconds);
+        w.put_varint(stage.fallback_segments as u64);
+    }
+    w.put_u64(result.bytes_read.bytes());
+}
+
+fn get_query_result(r: &mut ByteReader<'_>) -> Result<QueryResult> {
+    let query = get_spec(r)?;
+    let video = VideoSeconds(r.get_f64()?);
+    let speed = Speed(r.get_f64()?);
+    let frames = get_count(r, "query result frame count")?;
+    let mut positive_frames = Vec::with_capacity(frames.min(1 << 16));
+    for _ in 0..frames {
+        positive_frames.push(r.get_varint()?);
+    }
+    let stage_count = get_count(r, "query result stage count")?;
+    let mut stages = Vec::with_capacity(stage_count.min(64));
+    for _ in 0..stage_count {
+        stages.push(StageReport {
+            op: get_op(r)?,
+            segments_processed: get_count(r, "stage segments processed")?,
+            segments_passed: get_count(r, "stage segments passed")?,
+            frames_consumed: get_count(r, "stage frames consumed")?,
+            processing_seconds: r.get_f64()?,
+            fallback_segments: get_count(r, "stage fallback segments")?,
+        });
+    }
+    let bytes_read = ByteSize(r.get_u64()?);
+    Ok(QueryResult {
+        query,
+        video,
+        speed,
+        positive_frames,
+        stages,
+        bytes_read,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstore_datasets::Dataset;
+
+    fn sample_query_result() -> QueryResult {
+        QueryResult {
+            query: QuerySpec::query_a(0.85),
+            video: VideoSeconds(16.0),
+            speed: Speed(421.5),
+            positive_frames: vec![3, 77, 1_000_000],
+            stages: vec![
+                StageReport {
+                    op: OperatorKind::Diff,
+                    segments_processed: 2,
+                    segments_passed: 1,
+                    frames_consumed: 480,
+                    processing_seconds: 0.125,
+                    fallback_segments: 0,
+                },
+                StageReport {
+                    op: OperatorKind::FullNN,
+                    segments_processed: 1,
+                    segments_passed: 1,
+                    frames_consumed: 240,
+                    processing_seconds: 1.5,
+                    fallback_segments: 1,
+                },
+            ],
+            bytes_read: ByteSize(123_456),
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = vec![
+            ServeRequest::Ingest {
+                source: VideoSource::new(Dataset::Jackson),
+                first_segment: 8,
+                count: 4,
+            },
+            ServeRequest::Query {
+                stream: "jackson".into(),
+                spec: QuerySpec::query_b(0.7),
+                first_segment: 0,
+                count: 2,
+            },
+            ServeRequest::Erode {
+                stream: "park".into(),
+                age_days: 9,
+            },
+        ];
+        for request in requests {
+            let bytes = request.to_wire();
+            let decoded = ServeRequest::from_wire(&bytes).unwrap();
+            assert_eq!(decoded, request);
+            // Round-tripping the decoded request is byte-identical.
+            assert_eq!(decoded.to_wire(), bytes);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let mut report = IngestReport {
+            video: VideoSeconds(32.0),
+            segments_written: 12,
+            transcode_work: CoreSeconds(7.25),
+            modeled_bytes: std::collections::BTreeMap::new(),
+            actual_bytes: ByteSize(9_999_999),
+        };
+        report.modeled_bytes.insert(FormatId(0), ByteSize(1 << 30));
+        report.modeled_bytes.insert(FormatId(3), ByteSize(12_345));
+        let responses = vec![
+            ServeResponse::Ingest(report),
+            ServeResponse::Query(sample_query_result()),
+            ServeResponse::Erode(17),
+            ServeResponse::Error(RemoteError {
+                code: ErrorCode::Busy,
+                message: "busy: serve queue full".into(),
+            }),
+            ServeResponse::Error(RemoteError::from_panic("boom")),
+        ];
+        for response in responses {
+            let bytes = response.to_wire();
+            let decoded = ServeResponse::from_wire(&bytes).unwrap();
+            assert_eq!(decoded, response);
+            assert_eq!(decoded.to_wire(), bytes);
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_corruption_not_panics() {
+        let good = ServeRequest::Erode {
+            stream: "x".into(),
+            age_days: 1,
+        }
+        .to_wire();
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            ServeRequest::from_wire(&bad),
+            Err(VStoreError::Corruption(_))
+        ));
+        // Bad version.
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            ServeRequest::from_wire(&bad),
+            Err(VStoreError::Corruption(_))
+        ));
+        // Truncated.
+        assert!(matches!(
+            ServeRequest::from_wire(&good[..good.len() - 1]),
+            Err(VStoreError::Corruption(_))
+        ));
+        // Trailing garbage.
+        let mut bad = good.clone();
+        bad.push(0);
+        assert!(matches!(
+            ServeRequest::from_wire(&bad),
+            Err(VStoreError::Corruption(_))
+        ));
+        // Unknown request tag.
+        let mut bad = good;
+        bad[5] = 9;
+        assert!(matches!(
+            ServeRequest::from_wire(&bad),
+            Err(VStoreError::Corruption(_))
+        ));
+        // A request frame is not a response frame.
+        let request = ServeRequest::Erode {
+            stream: "x".into(),
+            age_days: 1,
+        };
+        assert!(ServeResponse::from_wire(&request.to_wire()).is_err());
+    }
+
+    #[test]
+    fn unknown_operator_and_error_tags_are_rejected() {
+        let query = ServeRequest::Query {
+            stream: "s".into(),
+            spec: QuerySpec::query_a(0.9),
+            first_segment: 0,
+            count: 1,
+        };
+        let bytes = query.to_wire();
+        // The first cascade op byte sits after magic(4) + version(1) +
+        // tag(1) + stream(varint 1 + 1 byte) + spec name(varint 1 + 1 byte)
+        // + cascade len varint(1).
+        let op_pos = 4 + 1 + 1 + 2 + 2 + 1;
+        let mut bad = bytes.clone();
+        assert!(
+            bad[op_pos] < OperatorKind::ALL.len() as u8,
+            "layout drifted"
+        );
+        bad[op_pos] = 200;
+        assert!(matches!(
+            ServeRequest::from_wire(&bad),
+            Err(VStoreError::Corruption(_))
+        ));
+
+        let err = ServeResponse::Error(RemoteError {
+            code: ErrorCode::NotFound,
+            message: "m".into(),
+        });
+        let mut bad = err.to_wire();
+        bad[6] = 250; // error-code byte
+        assert!(matches!(
+            ServeResponse::from_wire(&bad),
+            Err(VStoreError::Corruption(_))
+        ));
+    }
+
+    #[test]
+    fn validation_mirrors_the_facade_builders() {
+        let source = VideoSource::new(Dataset::Jackson);
+        assert!(ServeRequest::Ingest {
+            source: source.clone(),
+            first_segment: 0,
+            count: 0,
+        }
+        .validate()
+        .is_err());
+        assert!(ServeRequest::Ingest {
+            source,
+            first_segment: u64::MAX,
+            count: 2,
+        }
+        .validate()
+        .is_err());
+        assert!(ServeRequest::Query {
+            stream: String::new(),
+            spec: QuerySpec::query_a(0.9),
+            first_segment: 0,
+            count: 1,
+        }
+        .validate()
+        .is_err());
+        assert!(ServeRequest::Erode {
+            stream: String::new(),
+            age_days: 0,
+        }
+        .validate()
+        .is_err());
+        assert!(ServeRequest::Erode {
+            stream: "ok".into(),
+            age_days: 3,
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn remote_errors_map_to_and_from_vstore_errors() {
+        let original = VStoreError::not_found("segment 9");
+        let remote = RemoteError::from_error(&original);
+        assert_eq!(remote.code, ErrorCode::NotFound);
+        let back = remote.into_error();
+        assert!(back.is_not_found());
+        assert!(back.to_string().contains("segment 9"));
+
+        let busy = RemoteError::from_error(&VStoreError::busy("queue full"));
+        assert_eq!(busy.code, ErrorCode::Busy);
+        assert!(busy.into_error().is_busy());
+
+        let panic = RemoteError::from_panic("kaboom");
+        assert_eq!(panic.code, ErrorCode::Panicked);
+        let err = panic.into_error();
+        assert!(matches!(err, VStoreError::InvalidState(_)));
+        assert!(err.to_string().contains("kaboom"));
+    }
+}

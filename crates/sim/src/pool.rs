@@ -1,22 +1,65 @@
 //! A minimal scoped worker pool: parallel map with deterministic output
 //! order.
 //!
-//! The ingest fan-out, the query prefetch stage and parallel shard
-//! compaction all need the same shape of parallelism: apply a function to
-//! every item of a batch on up to `workers` threads and get the results back
-//! *in input order*, so downstream accounting is identical to the sequential
-//! path. `scoped_map` provides exactly that on `std::thread::scope` — no
-//! executor, no channels, no external dependency.
+//! The ingest fan-out, the query prefetch stage, parallel shard compaction
+//! and the serving front end's executor all need the same shape of
+//! parallelism: apply a function to every item of a batch on up to
+//! `workers` threads and get the results back *in input order*, so
+//! downstream accounting is identical to the sequential path. `scoped_map`
+//! provides exactly that on `std::thread::scope` — no executor, no
+//! channels, no external dependency.
+//!
+//! ## Panic safety
+//!
+//! A panicking task must never take the rest of the batch down with it
+//! half-processed: every worker wraps the task body in [`catch_panic`], so
+//! a panic in `f` stops only that task — the panicking worker and its
+//! peers keep draining the remaining items, and only once the whole batch
+//! has been processed does `scoped_map` resume the unwind with the
+//! **original payload** (the caller sees `panic!("boom")`, not a generic
+//! "a scoped thread panicked"). Long-running executors (the serve worker
+//! pool) reuse [`catch_panic`] directly to convert a per-request panic
+//! into an error response instead of a dead worker.
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The payload of a caught panic, as produced by
+/// [`std::panic::catch_unwind`].
+pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// Run `f`, capturing a panic as an `Err(payload)` instead of unwinding
+/// the caller.
+///
+/// The closure is wrapped in `AssertUnwindSafe`: callers hand in work whose
+/// partial effects are either discarded on panic (`scoped_map` publishes a
+/// result slot only on success) or confined to the failing request (the
+/// serve executor answers that request with an error and moves on), so
+/// observing interrupted state is not possible through this function.
+pub fn catch_panic<R>(f: impl FnOnce() -> R) -> std::result::Result<R, PanicPayload> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+}
+
+/// Best-effort human-readable message of a caught panic payload
+/// (`panic!("…")` string literals and `format!`-style messages).
+pub fn panic_message(payload: &PanicPayload) -> &str {
+    if let Some(msg) = payload.downcast_ref::<&'static str>() {
+        msg
+    } else if let Some(msg) = payload.downcast_ref::<String>() {
+        msg
+    } else {
+        "<non-string panic payload>"
+    }
+}
 
 /// Apply `f` to every item, using up to `workers` threads, returning the
 /// results in input order.
 ///
 /// With `workers <= 1` (or fewer than two items) the items are processed on
-/// the calling thread in order — the exact sequential path. Panics in `f`
-/// propagate to the caller.
+/// the calling thread in order — the exact sequential path. A panic in `f`
+/// propagates to the caller with its original payload, but only after the
+/// remaining items have been drained by the surviving workers (see the
+/// [module docs](self)).
 pub fn scoped_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -26,17 +69,33 @@ where
     let n = items.len();
     let workers = workers.min(n).max(1);
     if workers <= 1 || n <= 1 {
-        return items
-            .into_iter()
-            .enumerate()
-            .map(|(i, item)| f(i, item))
-            .collect();
+        // Same drain-then-unwind contract as the parallel path below, so a
+        // panicking task leaves identical side effects at every worker
+        // count (the repo's sequential == parallel parity invariant).
+        let mut results = Vec::with_capacity(n);
+        let mut first_panic: Option<PanicPayload> = None;
+        for (i, item) in items.into_iter().enumerate() {
+            match catch_panic(|| f(i, item)) {
+                Ok(result) => results.push(result),
+                Err(payload) => {
+                    first_panic.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+        return results;
     }
     // Work-stealing by atomic cursor: each worker claims the next unclaimed
     // index, so long and short items balance across threads.
     let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
+    // First panic payload caught by any worker; the workers themselves never
+    // unwind, so the scope always joins cleanly and every non-panicking item
+    // is processed exactly once.
+    let first_panic: Mutex<Option<PanicPayload>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -45,11 +104,21 @@ where
                     break;
                 }
                 let item = tasks[i].lock().take().expect("task claimed twice");
-                let result = f(i, item);
-                *results[i].lock() = Some(result);
+                match catch_panic(|| f(i, item)) {
+                    Ok(result) => *results[i].lock() = Some(result),
+                    Err(payload) => {
+                        let mut slot = first_panic.lock();
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                    }
+                }
             });
         }
     });
+    if let Some(payload) = first_panic.into_inner() {
+        std::panic::resume_unwind(payload);
+    }
     results
         .into_iter()
         .map(|slot| {
@@ -97,14 +166,73 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "scoped thread panicked")]
-    fn worker_panics_propagate() {
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate_with_their_original_payload() {
         scoped_map(vec![1, 2, 3, 4], 2, |_, x| {
             if x == 3 {
                 panic!("boom");
             }
             x
         });
+    }
+
+    /// Regression (panic safety): a panicking task must not deadlock the
+    /// pool or silently drop the other workers' results — every
+    /// non-panicking item is still processed before the unwind resumes,
+    /// identically at every worker count (sequential == parallel parity
+    /// extends to the panic path).
+    #[test]
+    fn panicking_task_lets_remaining_workers_drain() {
+        const ITEMS: usize = 64;
+        for workers in [1, 4] {
+            let processed = AtomicUsize::new(0);
+            let outcome = catch_panic(|| {
+                scoped_map((0..ITEMS).collect::<Vec<usize>>(), workers, |_, x| {
+                    if x == 5 {
+                        panic!("boom at {x}");
+                    }
+                    processed.fetch_add(1, Ordering::Relaxed);
+                    x
+                })
+            });
+            let payload = outcome.expect_err("the batch panic must propagate");
+            assert_eq!(panic_message(&payload), "boom at 5");
+            // Every item except the panicking one ran to completion: no
+            // worker died early, no task was abandoned in the queue.
+            assert_eq!(
+                processed.load(Ordering::Relaxed),
+                ITEMS - 1,
+                "workers={workers}"
+            );
+        }
+    }
+
+    /// Several panicking tasks still drain the batch and resume exactly one
+    /// unwind (the first payload caught) — never a deadlock or an abort.
+    #[test]
+    fn multiple_panics_resume_a_single_unwind() {
+        let processed = AtomicUsize::new(0);
+        let outcome = catch_panic(|| {
+            scoped_map((0..32).collect::<Vec<usize>>(), 4, |_, x| {
+                if x % 8 == 0 {
+                    panic!("boom at {x}");
+                }
+                processed.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+        });
+        let payload = outcome.expect_err("the batch panic must propagate");
+        assert!(panic_message(&payload).starts_with("boom at"));
+        assert_eq!(processed.load(Ordering::Relaxed), 32 - 4);
+    }
+
+    #[test]
+    fn catch_panic_round_trips_success_and_payloads() {
+        assert_eq!(catch_panic(|| 41 + 1).unwrap(), 42);
+        let payload = catch_panic(|| -> u32 { panic!("kaput") }).unwrap_err();
+        assert_eq!(panic_message(&payload), "kaput");
+        let payload = catch_panic(|| -> u32 { panic!("{}-{}", "a", 7) }).unwrap_err();
+        assert_eq!(panic_message(&payload), "a-7");
     }
 
     #[test]

@@ -169,7 +169,7 @@ impl StorageBackend for FsBackend {
     fn read_at(&self, name: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
         let mut file = File::open(self.resolve(name)?)?;
         file.seek(SeekFrom::Start(offset))?;
-        let mut buf = vec![0u8; len as usize];
+        let mut buf = vec![0u8; vstore_types::cast::usize_from_u64(len, "log read")?];
         file.read_exact(&mut buf)?;
         Ok(buf)
     }
@@ -306,21 +306,25 @@ impl StorageBackend for MemBackend {
     fn read_at(&self, name: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
         let log = self.log(name).ok_or_else(|| Self::not_found(name))?;
         let data = log.lock();
-        let start = offset as usize;
-        let end = start
-            .checked_add(len as usize)
-            .filter(|&end| end <= data.len())
-            .ok_or_else(|| {
-                // The same error class FsBackend's read_exact surfaces for a
-                // read past the end of a file.
-                VStoreError::Io(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    format!(
-                        "read past end of log {name}: {offset}+{len} > {}",
-                        data.len()
-                    ),
-                ))
-            })?;
+        // Bounds arithmetic in u64, so a 32-bit host can never wrap
+        // `offset as usize` into a bogus in-range slice.
+        let in_range = offset
+            .checked_add(len)
+            .is_some_and(|end| end <= data.len() as u64);
+        if !in_range {
+            // The same error class FsBackend's read_exact surfaces for a
+            // read past the end of a file.
+            return Err(VStoreError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                format!(
+                    "read past end of log {name}: {offset}+{len} > {}",
+                    data.len()
+                ),
+            )));
+        }
+        // In range within an in-memory buffer, so both fit a usize.
+        let start = vstore_types::cast::usize_from_u64(offset, "log read offset")?;
+        let end = vstore_types::cast::usize_from_u64(offset + len, "log read end")?;
         Ok(data[start..end].to_vec())
     }
 

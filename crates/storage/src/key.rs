@@ -46,15 +46,19 @@ impl SegmentKey {
         if bytes.len() < 4 {
             return Err(VStoreError::corruption("segment key too short"));
         }
-        let stream_len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
-        let expected = 4 + stream_len + 4 + 8;
-        if bytes.len() != expected {
+        let stream_len_u32 = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        // Compare in u64: a near-u32::MAX length field would overflow the
+        // expected-size sum on a 32-bit usize and mis-frame the key.
+        let expected = 4 + u64::from(stream_len_u32) + 4 + 8;
+        if bytes.len() as u64 != expected {
             return Err(VStoreError::corruption(format!(
                 "segment key length {} does not match expected {}",
                 bytes.len(),
                 expected
             )));
         }
+        // The whole key is resident in `bytes`, so the length fits a usize.
+        let stream_len = stream_len_u32 as usize;
         let stream = std::str::from_utf8(&bytes[4..4 + stream_len])
             .map_err(|_| VStoreError::corruption("segment key stream is not UTF-8"))?
             .to_owned();

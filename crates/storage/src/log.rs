@@ -19,6 +19,7 @@
 
 use crate::backend::{LogHandle, StorageBackend};
 use std::sync::Arc;
+use vstore_types::cast::{u32_from_usize, usize_from_u64};
 use vstore_types::{Result, VStoreError};
 
 /// Magic number at the start of every record.
@@ -42,8 +43,11 @@ pub struct LogRecord {
     pub is_tombstone: bool,
 }
 
-/// Compute the CRC-32 (IEEE) of the record body.
-fn record_crc(flags: u8, key: &[u8], value: &[u8]) -> u32 {
+/// Compute the CRC-32 (IEEE) of the record body. `klen`/`vlen` are the
+/// lengths exactly as framed on disk — callers validate that the slices
+/// really are that long, so the CRC can never cover silently truncated
+/// length fields.
+fn record_crc(flags: u8, klen: u32, vlen: u32, key: &[u8], value: &[u8]) -> u32 {
     // Reuse the same polynomial as the codec's wire module, implemented
     // locally to avoid a dependency edge from storage to codec.
     let mut crc = 0xFFFF_FFFFu32;
@@ -57,8 +61,8 @@ fn record_crc(flags: u8, key: &[u8], value: &[u8]) -> u32 {
         }
     };
     feed(&[flags]);
-    feed(&(key.len() as u32).to_le_bytes());
-    feed(&(value.len() as u32).to_le_bytes());
+    feed(&klen.to_le_bytes());
+    feed(&vlen.to_le_bytes());
     feed(key);
     feed(value);
     !crc
@@ -144,14 +148,24 @@ impl LogFile {
     }
 
     /// Append a record; returns its offset and total length.
+    ///
+    /// Keys and values longer than `u32::MAX` bytes are rejected with
+    /// [`VStoreError::InvalidArgument`]: the record frame stores both
+    /// lengths as `u32`, and writing a truncated length would corrupt every
+    /// record that follows.
     pub fn append(&mut self, key: &[u8], value: &[u8], is_tombstone: bool) -> Result<(u64, u64)> {
         let flags = if is_tombstone { FLAG_TOMBSTONE } else { 0 };
-        let crc = record_crc(flags, key, value);
-        let mut buf = Vec::with_capacity(record_size(key.len(), value.len()) as usize);
+        let klen = u32_from_usize(key.len(), "log record key")?;
+        let vlen = u32_from_usize(value.len(), "log record value")?;
+        let crc = record_crc(flags, klen, vlen, key, value);
+        let mut buf = Vec::with_capacity(usize_from_u64(
+            record_size(key.len(), value.len()),
+            "log record",
+        )?);
         buf.extend_from_slice(&RECORD_MAGIC.to_le_bytes());
         buf.push(flags);
-        buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
-        buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&klen.to_le_bytes());
+        buf.extend_from_slice(&vlen.to_le_bytes());
         buf.extend_from_slice(key);
         buf.extend_from_slice(value);
         buf.extend_from_slice(&crc.to_le_bytes());
@@ -195,7 +209,10 @@ impl LogFile {
         while offset < buf.len() {
             match parse_record(&buf[offset..], base_offset + offset as u64)? {
                 Some(record) => {
-                    let advance = record.total_len as usize;
+                    // parse_record only returns records fully contained in
+                    // the buffer, so the length always fits a usize.
+                    let advance = usize_from_u64(record.total_len, "log record length")
+                        .map_err(|e| VStoreError::corruption(e.to_string()))?;
                     records.push(record);
                     offset += advance;
                 }
@@ -230,12 +247,21 @@ fn parse_record(buf: &[u8], offset: u64) -> Result<Option<LogRecord>> {
         )));
     }
     let flags = buf[4];
-    let klen = u32::from_le_bytes([buf[5], buf[6], buf[7], buf[8]]) as usize;
-    let vlen = u32::from_le_bytes([buf[9], buf[10], buf[11], buf[12]]) as usize;
-    let total = HEADER + klen + vlen + 4;
-    if buf.len() < total {
+    let klen = u32::from_le_bytes([buf[5], buf[6], buf[7], buf[8]]);
+    let vlen = u32::from_le_bytes([buf[9], buf[10], buf[11], buf[12]]);
+    // Size arithmetic stays in u64: near-u32::MAX lengths would overflow a
+    // 32-bit usize here and index the buffer with a wrapped total.
+    let total = HEADER as u64 + u64::from(klen) + u64::from(vlen) + 4;
+    if (buf.len() as u64) < total {
         return Ok(None);
     }
+    // The record is fully contained in `buf`, so all three lengths fit a
+    // usize on this platform; the checked conversions are the proof.
+    let to_len =
+        |v: u64, what| usize_from_u64(v, what).map_err(|e| VStoreError::corruption(e.to_string()));
+    let total = to_len(total, "log record length")?;
+    let klen = to_len(u64::from(klen), "log record key length")?;
+    let vlen = to_len(u64::from(vlen), "log record value length")?;
     let key = buf[HEADER..HEADER + klen].to_vec();
     let value = buf[HEADER + klen..HEADER + klen + vlen].to_vec();
     let stored_crc = u32::from_le_bytes([
@@ -244,7 +270,7 @@ fn parse_record(buf: &[u8], offset: u64) -> Result<Option<LogRecord>> {
         buf[total - 2],
         buf[total - 1],
     ]);
-    if stored_crc != record_crc(flags, &key, &value) {
+    if stored_crc != record_crc(flags, klen as u32, vlen as u32, &key, &value) {
         // A CRC mismatch on the last record is a torn write; report it as a
         // torn tail rather than corruption so recovery keeps earlier data.
         return Ok(None);

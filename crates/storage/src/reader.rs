@@ -123,22 +123,31 @@ impl CacheStats {
     /// assert_eq!(total.raw_hits, 6);
     /// assert!((total.raw_hit_rate() - 0.75).abs() < 1e-12);
     /// ```
+    /// All additions saturate: a counter pinned at `u64::MAX` (a saturated,
+    /// long-lived store) must degrade gracefully, never panic an operator's
+    /// stats call in debug builds or wrap to a nonsense aggregate in
+    /// release.
     pub fn accumulate(&mut self, other: &CacheStats) {
-        self.raw_hits += other.raw_hits;
-        self.raw_misses += other.raw_misses;
-        self.raw_evictions += other.raw_evictions;
-        self.raw_resident_bytes += other.raw_resident_bytes;
-        self.decoded_hits += other.decoded_hits;
-        self.decoded_misses += other.decoded_misses;
-        self.decoded_evictions += other.decoded_evictions;
-        self.decoded_entries += other.decoded_entries;
-        self.invalidations += other.invalidations;
+        self.raw_hits = self.raw_hits.saturating_add(other.raw_hits);
+        self.raw_misses = self.raw_misses.saturating_add(other.raw_misses);
+        self.raw_evictions = self.raw_evictions.saturating_add(other.raw_evictions);
+        self.raw_resident_bytes = self
+            .raw_resident_bytes
+            .saturating_add(other.raw_resident_bytes);
+        self.decoded_hits = self.decoded_hits.saturating_add(other.decoded_hits);
+        self.decoded_misses = self.decoded_misses.saturating_add(other.decoded_misses);
+        self.decoded_evictions = self
+            .decoded_evictions
+            .saturating_add(other.decoded_evictions);
+        self.decoded_entries = self.decoded_entries.saturating_add(other.decoded_entries);
+        self.invalidations = self.invalidations.saturating_add(other.invalidations);
     }
 
-    /// Fraction of tier-1 reads served from cache (0.0 when idle).
+    /// Fraction of tier-1 reads served from cache (0.0 when idle — never
+    /// NaN).
     #[must_use]
     pub fn raw_hit_rate(&self) -> f64 {
-        let total = self.raw_hits + self.raw_misses;
+        let total = self.raw_hits.saturating_add(self.raw_misses);
         if total == 0 {
             0.0
         } else {
@@ -146,10 +155,11 @@ impl CacheStats {
         }
     }
 
-    /// Fraction of tier-2 reads served from cache (0.0 when idle).
+    /// Fraction of tier-2 reads served from cache (0.0 when idle — never
+    /// NaN).
     #[must_use]
     pub fn decoded_hit_rate(&self) -> f64 {
-        let total = self.decoded_hits + self.decoded_misses;
+        let total = self.decoded_hits.saturating_add(self.decoded_misses);
         if total == 0 {
             0.0
         } else {
@@ -160,7 +170,10 @@ impl CacheStats {
     /// `true` when no read has touched the cache yet.
     #[must_use]
     pub fn is_idle(&self) -> bool {
-        self.raw_hits + self.raw_misses + self.decoded_hits + self.decoded_misses == 0
+        self.raw_hits == 0
+            && self.raw_misses == 0
+            && self.decoded_hits == 0
+            && self.decoded_misses == 0
     }
 }
 
@@ -171,12 +184,12 @@ impl std::fmt::Display for CacheStats {
             "raw {}/{} hits ({:.0}%), {} resident bytes, {} evictions | \
              decoded {}/{} hits ({:.0}%), {} entries, {} evictions | {} invalidations",
             self.raw_hits,
-            self.raw_hits + self.raw_misses,
+            self.raw_hits.saturating_add(self.raw_misses),
             self.raw_hit_rate() * 100.0,
             self.raw_resident_bytes,
             self.raw_evictions,
             self.decoded_hits,
-            self.decoded_hits + self.decoded_misses,
+            self.decoded_hits.saturating_add(self.decoded_misses),
             self.decoded_hit_rate() * 100.0,
             self.decoded_entries,
             self.decoded_evictions,
@@ -792,6 +805,37 @@ mod tests {
             assert!(matches!(err, VStoreError::Corruption(_)), "{err}");
         }
         assert_eq!(reader.cache_stats().decoded_entries, 0);
+    }
+
+    /// Regression (stats rate math): an idle cache renders 0% rates —
+    /// never NaN from 0/0 — and a counter-saturated cache renders without
+    /// overflowing the totals (a debug-build panic before the hardening).
+    #[test]
+    fn stats_display_handles_empty_and_saturated_counters() {
+        let empty = CacheStats::default();
+        assert!(empty.is_idle());
+        assert_eq!(empty.raw_hit_rate(), 0.0);
+        assert_eq!(empty.decoded_hit_rate(), 0.0);
+        let rendered = empty.to_string();
+        assert!(rendered.contains("0/0 hits (0%)"), "{rendered}");
+        assert!(!rendered.contains("NaN"), "{rendered}");
+
+        let saturated = CacheStats {
+            raw_hits: u64::MAX,
+            raw_misses: u64::MAX,
+            decoded_hits: u64::MAX,
+            decoded_misses: 1,
+            ..CacheStats::default()
+        };
+        // Totals saturate instead of wrapping/panicking, and the rates stay
+        // finite fractions.
+        let rendered = saturated.to_string();
+        assert!(!rendered.contains("NaN"), "{rendered}");
+        assert!(saturated.raw_hit_rate() > 0.0 && saturated.raw_hit_rate() <= 1.0);
+        assert!(saturated.decoded_hit_rate() > 0.0 && saturated.decoded_hit_rate() <= 1.0);
+        let mut total = saturated;
+        total.accumulate(&saturated);
+        assert_eq!(total.raw_hits, u64::MAX, "accumulate must saturate");
     }
 
     #[test]

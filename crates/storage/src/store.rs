@@ -76,12 +76,14 @@ impl StoreStats {
     /// assert_eq!(total.live_size().bytes(), 200);
     /// ```
     pub fn accumulate(&mut self, other: &StoreStats) {
-        self.live_segments += other.live_segments;
-        self.live_bytes += other.live_bytes;
-        self.disk_bytes += other.disk_bytes;
-        self.log_files += other.log_files;
-        self.writes += other.writes;
-        self.reads += other.reads;
+        // Saturating like `CacheStats::accumulate`: shard counters pinned at
+        // the maximum must never panic the aggregate in debug builds.
+        self.live_segments = self.live_segments.saturating_add(other.live_segments);
+        self.live_bytes = self.live_bytes.saturating_add(other.live_bytes);
+        self.disk_bytes = self.disk_bytes.saturating_add(other.disk_bytes);
+        self.log_files = self.log_files.saturating_add(other.log_files);
+        self.writes = self.writes.saturating_add(other.writes);
+        self.reads = self.reads.saturating_add(other.reads);
     }
 }
 

@@ -28,6 +28,10 @@ pub enum VStoreError {
     /// The store or a component is in a state that does not permit the
     /// requested operation (e.g. querying before any configuration exists).
     InvalidState(String),
+    /// The serving layer shed the request because its bounded queue is full
+    /// (back-pressure). The request was not executed; retrying later is
+    /// safe.
+    Busy(String),
 }
 
 impl VStoreError {
@@ -46,9 +50,20 @@ impl VStoreError {
         VStoreError::Corruption(msg.to_string())
     }
 
+    /// Build an [`VStoreError::Busy`] from anything displayable.
+    pub fn busy(msg: impl fmt::Display) -> Self {
+        VStoreError::Busy(msg.to_string())
+    }
+
     /// `true` if the error indicates a missing key rather than a failure.
     pub fn is_not_found(&self) -> bool {
         matches!(self, VStoreError::NotFound(_))
+    }
+
+    /// `true` if the error is back-pressure from a full serving queue: the
+    /// request was shed, not failed, and retrying later is safe.
+    pub fn is_busy(&self) -> bool {
+        matches!(self, VStoreError::Busy(_))
     }
 }
 
@@ -63,6 +78,7 @@ impl fmt::Display for VStoreError {
             VStoreError::AccuracyUnreachable(m) => write!(f, "accuracy unreachable: {m}"),
             VStoreError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             VStoreError::InvalidState(m) => write!(f, "invalid state: {m}"),
+            VStoreError::Busy(m) => write!(f, "busy: {m}"),
         }
     }
 }
@@ -94,6 +110,15 @@ mod tests {
         let e = VStoreError::invalid_argument("empty consumer set");
         assert!(e.to_string().contains("invalid argument"));
         assert!(!e.is_not_found());
+    }
+
+    #[test]
+    fn busy_is_distinguishable_back_pressure() {
+        let e = VStoreError::busy("serve queue full (depth 256)");
+        assert!(e.is_busy());
+        assert!(!e.is_not_found());
+        assert_eq!(e.to_string(), "busy: serve queue full (depth 256)");
+        assert!(!VStoreError::invalid_argument("x").is_busy());
     }
 
     #[test]

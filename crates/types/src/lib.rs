@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cast;
 pub mod config;
 pub mod consumer;
 pub mod error;
@@ -34,6 +35,7 @@ pub mod fidelity;
 pub mod format;
 pub mod knobs;
 pub mod runtime;
+pub mod serve;
 pub mod space;
 pub mod units;
 
@@ -44,5 +46,6 @@ pub use fidelity::{Fidelity, Richness};
 pub use format::{CodingOption, ConsumptionFormat, FormatId, StorageFormat};
 pub use knobs::{CropFactor, FrameSampling, ImageQuality, KeyframeInterval, Resolution, SpeedStep};
 pub use runtime::{available_workers, RuntimeOptions, DEFAULT_SHARDS, MIN_CACHE_BYTES_PER_SHARD};
+pub use serve::{QueueFullPolicy, ServeOptions, DEFAULT_QUEUE_DEPTH};
 pub use space::{CodingSpace, FidelitySpace};
 pub use units::{ByteSize, CoreSeconds, Fraction, Speed, VideoSeconds};

@@ -58,6 +58,7 @@ pub use vstore_ingest as ingest;
 pub use vstore_ops as ops;
 pub use vstore_profiler as profiler;
 pub use vstore_query as query;
+pub use vstore_serve as serve;
 pub use vstore_sim as sim;
 pub use vstore_storage as storage;
 pub use vstore_types as types;
@@ -65,11 +66,16 @@ pub use vstore_types as types;
 pub use requests::{ErodeRequest, IngestRequest, QueryRequest};
 pub use vstore_core::{Alternative, ConfigurationEngine, EngineOptions};
 pub use vstore_query::{QueryResult, QuerySpec};
+pub use vstore_serve::{
+    Connection, RemoteError, RequestKind, ServeRequest, ServeResponse, ServeStats, ServerHandle,
+    VideoService,
+};
 pub use vstore_storage::{
     BackendOptions, CacheStats, FsBackend, MemBackend, SegmentReader, StorageBackend,
 };
 pub use vstore_types::{
-    Configuration, Consumer, OperatorKind, Result, RuntimeOptions, VStoreError,
+    Configuration, Consumer, OperatorKind, QueueFullPolicy, Result, RuntimeOptions, ServeOptions,
+    VStoreError,
 };
 
 use parking_lot::RwLock;
@@ -148,9 +154,10 @@ impl VStoreOptions {
     }
 }
 
-/// A combined, operator-facing snapshot of store and cache statistics, as
-/// returned by [`VStore::stats_report`]. `Display` renders a compact
-/// multi-line report suitable for logs and consoles.
+/// A combined, operator-facing snapshot of store, cache and serving
+/// statistics, as returned by [`VStore::stats_report`]. `Display` renders a
+/// compact multi-line report suitable for logs and consoles; every rate
+/// renders `0%` on an empty store — never NaN.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StatsReport {
     /// Aggregate store statistics across every shard.
@@ -163,6 +170,9 @@ pub struct StatsReport {
     /// Per-shard cache statistics, in shard order (empty when the cache is
     /// disabled).
     pub shard_caches: Vec<CacheStats>,
+    /// Aggregate serving-layer statistics across every front end started
+    /// with [`VStore::serve`] (`None` when none has been started).
+    pub serve: Option<ServeStats>,
 }
 
 impl std::fmt::Display for StatsReport {
@@ -183,6 +193,9 @@ impl std::fmt::Display for StatsReport {
         } else {
             writeln!(f, "cache: {}", self.cache)?;
         }
+        if let Some(serve) = &self.serve {
+            writeln!(f, "{serve}")?;
+        }
         for (i, shard) in self.shards.iter().enumerate() {
             write!(
                 f,
@@ -195,9 +208,9 @@ impl std::fmt::Display for StatsReport {
                     f,
                     " | cache {}/{} raw hits, {}/{} decoded hits",
                     cache.raw_hits,
-                    cache.raw_hits + cache.raw_misses,
+                    cache.raw_hits.saturating_add(cache.raw_misses),
                     cache.decoded_hits,
-                    cache.decoded_hits + cache.decoded_misses,
+                    cache.decoded_hits.saturating_add(cache.decoded_misses),
                 )?,
                 _ => writeln!(f)?,
             }
@@ -228,6 +241,50 @@ struct VStoreInner {
     queries: QueryEngine,
     active: RwLock<ConfigSlot>,
     clock: VirtualClock,
+    /// Serving front ends started through [`VStore::serve`];
+    /// [`VStore::stats_report`] folds them in.
+    serving: RwLock<ServeRegistry>,
+}
+
+/// The store's view of its serving front ends: live probes plus the folded
+/// final counters of servers that have shut down. Retiring dead probes
+/// keeps the registry bounded no matter how many `serve` calls the store's
+/// lifetime sees, while their request history stays in the report; a
+/// retired server's `workers`/`queue_capacity` are no longer provisioned,
+/// so only live servers contribute capacity.
+#[derive(Default)]
+struct ServeRegistry {
+    probes: Vec<vstore_serve::ServeProbe>,
+    retired: Option<ServeStats>,
+}
+
+impl ServeRegistry {
+    /// Fold every live probe plus the retired history into one aggregate
+    /// (`None` before the first `serve`), dropping probes of servers that
+    /// have shut down.
+    fn aggregate(&mut self) -> Option<ServeStats> {
+        self.probes.retain(|probe| {
+            if probe.is_live() {
+                return true;
+            }
+            let mut finals = probe.stats();
+            finals.workers = 0;
+            finals.queue_capacity = 0;
+            finals.queue_depth = 0;
+            self.retired
+                .get_or_insert_with(ServeStats::default)
+                .accumulate(&finals);
+            false
+        });
+        if self.probes.is_empty() && self.retired.is_none() {
+            return None;
+        }
+        let mut total = self.retired.clone().unwrap_or_default();
+        for probe in &self.probes {
+            total.accumulate(&probe.stats());
+        }
+        Some(total)
+    }
 }
 
 /// The VStore service handle.
@@ -329,6 +386,7 @@ impl VStore {
                 queries,
                 active: RwLock::new(ConfigSlot::default()),
                 clock,
+                serving: RwLock::new(ServeRegistry::default()),
             }),
         }
     }
@@ -379,11 +437,13 @@ impl VStore {
     /// ```
     #[must_use]
     pub fn stats_report(&self) -> StatsReport {
+        let serve = self.inner.serving.write().aggregate();
         StatsReport {
             store: self.store_stats(),
             cache: self.cache_stats(),
             shards: self.shard_stats(),
             shard_caches: self.shard_cache_stats(),
+            serve,
         }
     }
 
@@ -477,6 +537,71 @@ impl VStore {
             .ingest
             .apply_erosion(&request.stream, &config, request.age_days)
     }
+
+    /// Start a connection-serving front end over this store: a bounded
+    /// request queue with back-pressure (`Busy` or blocking, per
+    /// [`ServeOptions`]) drained by a thread-per-core worker pool of cloned
+    /// handles. The returned [`ServerHandle`] accepts client
+    /// [`Connection`]s; its statistics are folded into
+    /// [`stats_report`](Self::stats_report) for as long as the store lives.
+    ///
+    /// ```no_run
+    /// # use vstore::{ServeOptions, ServeRequest, QuerySpec, VStore, VStoreOptions};
+    /// # let store = VStore::open_temp("serve", VStoreOptions::default()).unwrap();
+    /// let server = store.serve(ServeOptions::default()).unwrap();
+    /// let mut client = server.connect();
+    /// let response = client.call(ServeRequest::Query {
+    ///     stream: "jackson".into(),
+    ///     spec: QuerySpec::query_a(0.9),
+    ///     first_segment: 0,
+    ///     count: 4,
+    /// }).unwrap();
+    /// println!("{response:?}\n{}", store.stats_report());
+    /// ```
+    pub fn serve(&self, options: ServeOptions) -> Result<ServerHandle> {
+        let server = vstore_serve::Server::start(self.clone(), options)?;
+        self.inner.serving.write().probes.push(server.probe());
+        Ok(server)
+    }
+}
+
+/// The serving front end drives `VStore` through this impl: each wire
+/// request is rebuilt into the corresponding validating request builder, so
+/// a request served through [`VStore::serve`] takes exactly the same path —
+/// validation included — as one issued directly on the handle.
+impl VideoService for VStore {
+    fn ingest(
+        &self,
+        source: &datasets::VideoSource,
+        first_segment: u64,
+        count: u64,
+    ) -> Result<IngestReport> {
+        VStore::ingest(
+            self,
+            IngestRequest::new(source)
+                .starting_at(first_segment)
+                .segments(count),
+        )
+    }
+
+    fn query(
+        &self,
+        stream: &str,
+        spec: &QuerySpec,
+        first_segment: u64,
+        count: u64,
+    ) -> Result<QueryResult> {
+        VStore::query(
+            self,
+            QueryRequest::new(stream, spec)
+                .starting_at(first_segment)
+                .segments(count),
+        )
+    }
+
+    fn erode(&self, stream: &str, age_days: u32) -> Result<usize> {
+        VStore::erode(self, ErodeRequest::new(stream).at_age_days(age_days))
+    }
 }
 
 #[cfg(test)]
@@ -553,6 +678,97 @@ mod tests {
         assert!(matches!(err, VStoreError::InvalidArgument(_)), "{err}");
         let err = store.erode(ErodeRequest::new("")).unwrap_err();
         assert!(matches!(err, VStoreError::InvalidArgument(_)), "{err}");
+    }
+
+    /// Regression (stats rate math): the report of a freshly opened, empty
+    /// store renders `0%` rates and no NaN; a report with saturated
+    /// counters renders without overflowing.
+    #[test]
+    fn stats_report_renders_zero_rates_on_an_empty_store_and_survives_saturation() {
+        let store = VStore::open_temp(
+            "empty-report",
+            VStoreOptions::fast()
+                .with_backend(BackendOptions::Mem)
+                .with_cache(64 << 20, 16),
+        )
+        .unwrap();
+        let report = store.stats_report();
+        let rendered = report.to_string();
+        assert!(rendered.contains("(0% garbage)"), "{rendered}");
+        assert!(rendered.contains("0/0 hits (0%)"), "{rendered}");
+        assert!(!rendered.contains("NaN"), "{rendered}");
+        assert!(report.serve.is_none(), "no server started yet");
+        assert_eq!(report.cache.raw_hit_rate(), 0.0);
+        assert_eq!(report.store.garbage_ratio(), 0.0);
+
+        // Saturated counters: the Display math saturates instead of
+        // panicking in debug builds.
+        let mut saturated = report.clone();
+        saturated.store.live_bytes = u64::MAX;
+        saturated.store.disk_bytes = u64::MAX;
+        saturated.store.writes = u64::MAX;
+        saturated.cache.raw_hits = u64::MAX;
+        saturated.cache.raw_misses = u64::MAX;
+        saturated.shard_caches[0].raw_hits = u64::MAX;
+        saturated.shard_caches[0].raw_misses = u64::MAX;
+        saturated.serve = Some(ServeStats {
+            submitted: u64::MAX,
+            rejected_busy: u64::MAX,
+            ..ServeStats::default()
+        });
+        let rendered = saturated.to_string();
+        assert!(!rendered.contains("NaN"), "{rendered}");
+        std::fs::remove_dir_all(store.store_dir()).ok();
+    }
+
+    /// The serving front end smoke test: serve a query through the bounded
+    /// queue and see the serve section appear in `stats_report`.
+    #[test]
+    fn serve_front_end_answers_requests_and_reports_into_stats() {
+        let store = VStore::open_temp(
+            "serve-smoke",
+            VStoreOptions::fast().with_backend(BackendOptions::Mem),
+        )
+        .unwrap();
+        let query = QuerySpec::query_a(0.8);
+        store.configure(&query.consumers()).unwrap();
+        let source = VideoSource::new(Dataset::Jackson);
+        store
+            .ingest(IngestRequest::new(&source).segments(2))
+            .unwrap();
+
+        let server = store
+            .serve(ServeOptions::default().with_workers(2).with_queue_depth(8))
+            .unwrap();
+        let mut client = server.connect();
+        let direct = store
+            .query(QueryRequest::new("jackson", &query).segments(2))
+            .unwrap();
+        let served = client
+            .call(ServeRequest::Query {
+                stream: "jackson".into(),
+                spec: query.clone(),
+                first_segment: 0,
+                count: 2,
+            })
+            .unwrap();
+        assert_eq!(served, ServeResponse::Query(direct));
+
+        let report = store.stats_report();
+        let serve = report.serve.clone().expect("serve stats folded in");
+        assert_eq!(serve.completed, 1);
+        assert_eq!(serve.query_latency.count(), 1);
+        assert!(report.to_string().contains("serve:"), "{report}");
+        drop(server);
+        // A shut-down server is retired: its request history stays in the
+        // report, but it no longer contributes provisioned capacity, and
+        // repeated reports don't re-count it.
+        let retired = store.stats_report().serve.unwrap();
+        assert_eq!(retired.completed, 1);
+        assert_eq!(retired.workers, 0);
+        assert_eq!(retired.queue_capacity, 0);
+        assert_eq!(store.stats_report().serve.unwrap().completed, 1);
+        std::fs::remove_dir_all(store.store_dir()).ok();
     }
 
     #[test]
