@@ -18,7 +18,10 @@ use vstore::{
 use vstore_codec::frame::materialize_clip;
 use vstore_codec::{encode_segment, SegmentData};
 use vstore_datasets::{Dataset, VideoSource};
-use vstore_storage::{SegmentKey, SegmentReader, SegmentStore};
+use vstore_storage::{
+    ColdBackend, MemBackend, ReadSource, SegmentKey, SegmentReader, SegmentStore, StorageBackend,
+    TierEngine, TierOptions,
+};
 use vstore_types::{
     CropFactor, Fidelity, FormatId, FrameSampling, ImageQuality, KeyframeInterval, QueueFullPolicy,
     Resolution, ServeOptions, SpeedStep,
@@ -248,6 +251,141 @@ fn measure_cache_hot_cold(hot_rounds: u64) -> Vec<String> {
     rows
 }
 
+/// A fresh tiered fixture: an in-memory hot store behind a caching reader,
+/// with a cold-object store and a tiering engine attached.
+fn tier_fixture(options: TierOptions) -> (Arc<SegmentReader>, Arc<TierEngine>) {
+    let hot = Arc::new(SegmentStore::open_mem_with_shards(8).unwrap());
+    let reader = Arc::new(SegmentReader::new(hot, 256 << 20, 0));
+    let cold_backend: Arc<dyn StorageBackend> =
+        Arc::new(ColdBackend::new(Arc::new(MemBackend::new())).unwrap());
+    let cold = Arc::new(SegmentStore::open_with_backend(cold_backend, 8).unwrap());
+    let engine = TierEngine::start(Arc::clone(&reader), cold, options).unwrap();
+    reader.attach_tier(&engine);
+    (reader, engine)
+}
+
+/// The tier read-path experiment: µs/get for a **cold read** (segment
+/// demoted to the cold tier; promotion off so every pass pays the object
+/// fetch + checksum) vs a **hot read** (first store read) vs a **cache
+/// hit** (the reader's raw tier). One JSON row per case.
+fn measure_tier_reads(rounds: u64) -> Vec<String> {
+    const KEYS: u64 = 64;
+    let us_per_get = |seconds: f64, gets: u64| seconds / gets as f64 * 1e6;
+    let (reader, engine) = tier_fixture(TierOptions::cold_mem().with_promotion(false));
+    let value = vec![0x42u8; VALUE_BYTES];
+    let key = |seg: u64| SegmentKey::new("tiered", FormatId(1), seg);
+    for seg in 0..KEYS {
+        reader.put(&key(seg), &value).unwrap();
+    }
+
+    // Hot read: the first pass reads the store (cache cold).
+    let start = Instant::now();
+    for seg in 0..KEYS {
+        let (bytes, source) = reader.get(&key(seg)).unwrap().unwrap();
+        assert_eq!(bytes.len(), VALUE_BYTES);
+        assert_eq!(source, ReadSource::Disk);
+    }
+    let hot_seconds = start.elapsed().as_secs_f64();
+
+    // Cache hit: repeated passes served by the raw tier.
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for seg in 0..KEYS {
+            let (_, source) = reader.get(&key(seg)).unwrap().unwrap();
+            assert_eq!(source, ReadSource::RawCache);
+        }
+    }
+    let cache_seconds = start.elapsed().as_secs_f64() / rounds as f64;
+
+    // Cold read: demote everything; with promotion off every pass pays the
+    // cold fetch (manifest lookup + object read + checksum).
+    let report = engine.demote_batch((0..KEYS).map(key).collect()).unwrap();
+    assert_eq!(report.segments as u64, KEYS);
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for seg in 0..KEYS {
+            let (bytes, source) = reader.get(&key(seg)).unwrap().unwrap();
+            assert_eq!(bytes.len(), VALUE_BYTES);
+            assert_eq!(source, ReadSource::Cold);
+        }
+    }
+    let cold_seconds = start.elapsed().as_secs_f64() / rounds as f64;
+
+    let mut rows = Vec::new();
+    for (case, seconds) in [
+        ("cold_read", cold_seconds),
+        ("hot_read", hot_seconds),
+        ("cache_hit", cache_seconds),
+    ] {
+        println!(
+            "segment_store/tier {case}: {:>8.2} µs/get",
+            us_per_get(seconds, KEYS)
+        );
+        rows.push(format!(
+            "    {{ \"case\": \"{case}\", \"keys\": {KEYS}, \"value_bytes\": {VALUE_BYTES}, \
+             \"us_per_get\": {:.3} }}",
+            us_per_get(seconds, KEYS)
+        ));
+    }
+    rows
+}
+
+/// The demotion-throughput experiment: how fast the migration queue drains
+/// a demote batch (unthrottled, 2 workers) while `readers` query threads
+/// hammer hot segments of a different format the whole time. Returns one
+/// JSON row.
+fn measure_demotion_throughput(readers: usize) -> String {
+    const DEMOTE_KEYS: u64 = 192;
+    const HOT_KEYS: u64 = 32;
+    let (reader, engine) = tier_fixture(TierOptions::cold_mem().with_demote_queue(2, 64));
+    let value = vec![0x99u8; VALUE_BYTES];
+    let demote_key = |seg: u64| SegmentKey::new("aging", FormatId(1), seg);
+    let hot_key = |seg: u64| SegmentKey::new("busy", FormatId(2), seg);
+    for seg in 0..DEMOTE_KEYS {
+        reader.put(&demote_key(seg), &value).unwrap();
+    }
+    for seg in 0..HOT_KEYS {
+        reader.put(&hot_key(seg), &value).unwrap();
+    }
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let queries_served = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let (seconds, batch) = std::thread::scope(|scope| {
+        for _ in 0..readers {
+            let reader = Arc::clone(&reader);
+            let stop = Arc::clone(&stop);
+            let served = Arc::clone(&queries_served);
+            scope.spawn(move || {
+                let mut seg = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    seg = (seg + 1) % HOT_KEYS;
+                    reader.get(&hot_key(seg)).unwrap().unwrap();
+                    served.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        }
+        let start = Instant::now();
+        let batch = engine
+            .demote_batch((0..DEMOTE_KEYS).map(demote_key).collect())
+            .unwrap();
+        let seconds = start.elapsed().as_secs_f64();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        (seconds, batch)
+    });
+    assert_eq!(batch.segments as u64, DEMOTE_KEYS);
+    let mib_per_sec = batch.bytes as f64 / (1024.0 * 1024.0) / seconds;
+    let queries = queries_served.load(std::sync::atomic::Ordering::Relaxed);
+    println!(
+        "segment_store/tier demote: {mib_per_sec:>7.0} MiB/s over {seconds:.3}s \
+         with {readers} concurrent readers ({queries} queries served)"
+    );
+    format!(
+        "    {{ \"segments\": {DEMOTE_KEYS}, \"value_bytes\": {VALUE_BYTES}, \
+         \"seconds\": {seconds:.6}, \"mib_per_sec\": {mib_per_sec:.1}, \
+         \"concurrent_readers\": {readers}, \"concurrent_queries_served\": {queries} }}"
+    )
+}
+
 /// The serve-throughput experiment: `clients` client threads issue
 /// `requests_per_client` query requests each through the `vstore-serve`
 /// front end (thread-per-core workers, blocking back-pressure so nothing is
@@ -396,6 +534,11 @@ fn bench_shard_scaling(_c: &mut Criterion) {
     // tracked per tier so a regression in either cache shows up here.
     let cache_rows = measure_cache_hot_cold(8);
 
+    // The cold-storage tier: cold-read vs hot-read vs cache-hit latency,
+    // and demotion throughput under concurrent queries.
+    let tier_rows = measure_tier_reads(8);
+    let demote_row = measure_demotion_throughput(2);
+
     // The serving front end: end-to-end request throughput at 1/4/16
     // concurrent clients through the bounded queue + worker pool.
     let serve_rows = measure_serve_throughput_cases();
@@ -407,10 +550,13 @@ fn bench_shard_scaling(_c: &mut Criterion) {
     let json = format!(
         "{{\n  \"bench\": \"segment_store\",\n  \"host_cores\": {cores},\n  \
          \"shard_scaling\": [\n{}\n  ],\n  \"backend_get_put\": [\n{}\n  ],\n  \
-         \"cache_hot_cold\": [\n{}\n  ],\n  \"serve_throughput\": [\n{}\n  ]\n}}\n",
+         \"cache_hot_cold\": [\n{}\n  ],\n  \"tier_reads\": [\n{}\n  ],\n  \
+         \"demote_throughput\": [\n{}\n  ],\n  \"serve_throughput\": [\n{}\n  ]\n}}\n",
         scaling_rows.join(",\n"),
         backend_rows.join(",\n"),
         cache_rows.join(",\n"),
+        tier_rows.join(",\n"),
+        demote_row,
         serve_rows.join(",\n")
     );
     if let Err(e) = std::fs::write(&path, &json) {

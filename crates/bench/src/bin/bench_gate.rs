@@ -1,0 +1,156 @@
+//! The storage-bench regression gate: compares a fresh `storage_bench`
+//! JSON output against the recorded `BENCH_storage.json` baseline with a
+//! generous tolerance, so CI catches an order-of-magnitude regression
+//! without flaking on shared-runner noise.
+//!
+//! Usage: `bench_gate <baseline.json> <candidate.json> [tolerance]`
+//! (default tolerance 3.0 — a metric may be up to 3x worse than baseline).
+//!
+//! The parser is deliberately minimal: it scans for `"key": number` pairs
+//! in file order (the bench emits flat rows), compares every occurrence of
+//! each **gated** metric pairwise, and exits non-zero when any metric is
+//! worse than `tolerance`× its baseline. Metrics are gated by name:
+//! throughput metrics must not fall below `baseline / tolerance`, latency
+//! metrics must not rise above `baseline × tolerance`. Anything else
+//! (sizes, counts, seconds of a fixed workload) is informational only.
+
+use std::process::ExitCode;
+
+/// Metrics where higher is better (throughput-shaped).
+const HIGHER_BETTER: &[&str] = &[
+    "puts_per_sec",
+    "mib_per_sec",
+    "put_mib_per_sec",
+    "get_mib_per_sec",
+    "requests_per_sec",
+    "speedup",
+];
+
+/// Metrics where lower is better (latency-shaped).
+const LOWER_BETTER: &[&str] = &["cold_us_per_get", "hot_us_per_get", "us_per_get"];
+
+/// Extract every `"key": number` pair, in file order.
+fn numeric_pairs(json: &str) -> Vec<(String, f64)> {
+    let mut pairs = Vec::new();
+    let bytes = json.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'"' {
+            i += 1;
+            continue;
+        }
+        let Some(end) = json[i + 1..].find('"') else {
+            break;
+        };
+        let key = &json[i + 1..i + 1 + end];
+        let mut j = i + 1 + end + 1;
+        while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j] == b':' {
+            j += 1;
+            while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+                j += 1;
+            }
+            let start = j;
+            while j < bytes.len()
+                && matches!(bytes[j], b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E')
+            {
+                j += 1;
+            }
+            if j > start {
+                if let Ok(value) = json[start..j].parse::<f64>() {
+                    pairs.push((key.to_owned(), value));
+                }
+            }
+        }
+        // Continue past this string's closing quote.
+        i = i + end + 2;
+    }
+    pairs
+}
+
+/// The values of one metric, in file order.
+fn metric_values(pairs: &[(String, f64)], key: &str) -> Vec<f64> {
+    pairs
+        .iter()
+        .filter(|(k, _)| k == key)
+        .map(|(_, v)| *v)
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: bench_gate <baseline.json> <candidate.json> [tolerance]");
+        return ExitCode::from(2);
+    }
+    let tolerance = args
+        .get(2)
+        .and_then(|t| t.parse::<f64>().ok())
+        .unwrap_or(3.0)
+        .max(1.0);
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(contents) => Some(contents),
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(candidate)) = (read(&args[0]), read(&args[1])) else {
+        return ExitCode::from(2);
+    };
+    let base_pairs = numeric_pairs(&baseline);
+    let cand_pairs = numeric_pairs(&candidate);
+
+    let mut checked = 0usize;
+    let mut failures = 0usize;
+    for (keys, higher_better) in [(HIGHER_BETTER, true), (LOWER_BETTER, false)] {
+        for key in keys {
+            let base = metric_values(&base_pairs, key);
+            let cand = metric_values(&cand_pairs, key);
+            if base.len() != cand.len() {
+                // A new bench case has no baseline row yet (or one was
+                // removed): compare the common prefix, never fail on shape.
+                eprintln!(
+                    "bench_gate: {key}: {} baseline rows vs {} candidate rows; \
+                     comparing the first {}",
+                    base.len(),
+                    cand.len(),
+                    base.len().min(cand.len())
+                );
+            }
+            for (i, (b, c)) in base.iter().zip(cand.iter()).enumerate() {
+                checked += 1;
+                let (worse, bound) = if higher_better {
+                    (*c < b / tolerance, b / tolerance)
+                } else {
+                    (*c > b * tolerance, b * tolerance)
+                };
+                if worse {
+                    failures += 1;
+                    eprintln!(
+                        "bench_gate: REGRESSION {key}[{i}]: candidate {c:.2} vs \
+                         baseline {b:.2} (allowed {} {bound:.2})",
+                        if higher_better { ">=" } else { "<=" },
+                    );
+                } else {
+                    println!("bench_gate: ok {key}[{i}]: {c:.2} vs baseline {b:.2}");
+                }
+            }
+        }
+    }
+    if checked == 0 {
+        eprintln!("bench_gate: no gated metrics found in either file");
+        return ExitCode::from(2);
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_gate: {failures}/{checked} metrics regressed past {tolerance}x \
+             the recorded baseline"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: all {checked} gated metrics within {tolerance}x of baseline");
+    ExitCode::SUCCESS
+}

@@ -14,4 +14,4 @@
 
 pub mod pipeline;
 
-pub use pipeline::{IngestReport, IngestionPipeline};
+pub use pipeline::{ErodeReport, IngestReport, IngestionPipeline};

@@ -27,6 +27,49 @@ pub struct IngestReport {
     pub actual_bytes: ByteSize,
 }
 
+/// The report of one erosion step: what actually happened to the planned
+/// fraction of segments. With no cold tier attached every planned segment
+/// is **deleted** (the pre-tiering behaviour); with one, every planned
+/// segment is **demoted** to cold storage instead — reversible by a
+/// read-through promotion. The golden format never appears in either
+/// column: it is never eroded and never leaves the hot tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ErodeReport {
+    /// The video age (days) whose erosion step was applied.
+    pub age_days: u32,
+    /// Segments deleted outright (no cold tier, or tiering disabled).
+    pub segments_deleted: usize,
+    /// Bytes deleted outright.
+    pub deleted_bytes: ByteSize,
+    /// Segments demoted to the cold tier instead of deleted.
+    pub segments_demoted: usize,
+    /// Bytes demoted to the cold tier.
+    pub demoted_bytes: ByteSize,
+}
+
+impl ErodeReport {
+    /// Segments the step removed from the hot store, deleted and demoted
+    /// alike.
+    #[must_use]
+    pub fn total_segments(&self) -> usize {
+        self.segments_deleted + self.segments_demoted
+    }
+}
+
+impl std::fmt::Display for ErodeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "erode @{}d: {} deleted ({}), {} demoted ({})",
+            self.age_days,
+            self.segments_deleted,
+            self.deleted_bytes,
+            self.segments_demoted,
+            self.demoted_bytes,
+        )
+    }
+}
+
 impl IngestReport {
     /// Total modelled bytes across all storage formats.
     pub fn total_modeled_bytes(&self) -> ByteSize {
@@ -295,33 +338,59 @@ impl IngestionPipeline {
         }
     }
 
-    /// Apply one age step of the erosion plan to a stream: delete the planned
-    /// fraction of segments (oldest first) from each non-golden storage
-    /// format.
+    /// Apply one age step of the erosion plan to a stream, oldest segments
+    /// first, from each non-golden storage format.
+    ///
+    /// With no cold tier attached to the reader, the planned fraction is
+    /// **deleted** — the pre-tiering behaviour, byte for byte. With a
+    /// [`TierEngine`](vstore_storage::TierEngine) attached, the same
+    /// segments are **demoted** instead: enqueued onto the engine's bounded
+    /// migration queue (back-pressure applies) and moved to the cold store
+    /// by its background workers; this call returns once the batch has
+    /// drained. Either way the golden format is untouched — it is never
+    /// eroded and never leaves the hot tier.
     pub fn apply_erosion(
         &self,
         stream: &str,
         config: &Configuration,
         age_days: u32,
-    ) -> Result<usize> {
+    ) -> Result<ErodeReport> {
+        let mut report = ErodeReport {
+            age_days,
+            ..ErodeReport::default()
+        };
         let step = match config.erosion.step(age_days) {
             Some(step) => step.clone(),
-            None => return Ok(0),
+            None => return Ok(report),
         };
-        let mut deleted = 0usize;
+        let tier = self.reader.tier();
+        let mut demotions = Vec::new();
         for (id, fraction) in &step.deleted {
             if id.is_golden() {
                 continue;
             }
             let keys = self.store().segments_of(stream, *id);
-            let to_delete = (keys.len() as f64 * fraction.value()).floor() as usize;
-            for key in keys.iter().take(to_delete) {
-                // Through the reader: erosion must drop cached entries too.
-                self.reader.delete(key)?;
-                deleted += 1;
+            let planned = (keys.len() as f64 * fraction.value()).floor() as usize;
+            for key in keys.iter().take(planned) {
+                match &tier {
+                    Some(_) => demotions.push(key.clone()),
+                    None => {
+                        let bytes = self.store().value_len(key).unwrap_or(0);
+                        // Through the reader: erosion must drop cached
+                        // entries too.
+                        self.reader.delete(key)?;
+                        report.segments_deleted += 1;
+                        report.deleted_bytes += ByteSize(bytes);
+                    }
+                }
             }
         }
-        Ok(deleted)
+        if let Some(engine) = tier {
+            let batch = engine.demote_batch(demotions)?;
+            report.segments_demoted = batch.segments;
+            report.demoted_bytes = ByteSize(batch.bytes);
+        }
+        Ok(report)
     }
 }
 
@@ -442,13 +511,87 @@ mod tests {
             deleted,
             overall_relative_speed: 0.8,
         };
-        let removed = p.apply_erosion("airport", &config, 3).unwrap();
-        assert_eq!(removed, 2);
+        let report = p.apply_erosion("airport", &config, 3).unwrap();
+        assert_eq!(report.segments_deleted, 2);
+        assert_eq!(report.total_segments(), 2);
+        assert!(report.deleted_bytes.bytes() > 0, "{report}");
+        assert_eq!(
+            report.segments_demoted, 0,
+            "no cold tier: delete, not demote"
+        );
+        assert_eq!(report.demoted_bytes, ByteSize::ZERO);
         assert_eq!(p.store().segments_of("airport", FormatId(1)).len(), 2);
         assert_eq!(p.store().segments_of("airport", FormatId::GOLDEN).len(), 4);
         // Ages without planned deletion are a no-op.
-        assert_eq!(p.apply_erosion("airport", &config, 1).unwrap(), 0);
+        assert_eq!(
+            p.apply_erosion("airport", &config, 1).unwrap(),
+            ErodeReport {
+                age_days: 1,
+                ..ErodeReport::default()
+            }
+        );
         std::fs::remove_dir_all(p.store().dir()).ok();
+    }
+
+    /// The tiering acceptance path at the pipeline level: with a cold tier
+    /// attached, the same erosion step demotes instead of deleting, the
+    /// golden format never leaves the hot tier, and the report says which
+    /// happened.
+    #[test]
+    fn erosion_with_cold_tier_demotes_instead_of_deleting() {
+        use vstore_storage::{MemBackend, TierEngine, TierOptions};
+
+        let store = Arc::new(SegmentStore::open_mem_with_shards(4).unwrap());
+        let reader = Arc::new(SegmentReader::new(Arc::clone(&store), 0, 0));
+        let cold = Arc::new(
+            SegmentStore::open_with_backend(
+                Arc::new(vstore_storage::ColdBackend::new(Arc::new(MemBackend::new())).unwrap()),
+                1,
+            )
+            .unwrap(),
+        );
+        let engine = TierEngine::start(
+            Arc::clone(&reader),
+            Arc::clone(&cold),
+            TierOptions::cold_mem(),
+        )
+        .unwrap();
+        reader.attach_tier(&engine);
+        let p = IngestionPipeline::new(
+            Arc::clone(&store),
+            Transcoder::default(),
+            VirtualClock::new(),
+        )
+        .with_reader(Arc::clone(&reader));
+
+        let source = VideoSource::new(Dataset::Airport);
+        let mut config = two_format_config();
+        p.ingest_segments(&source, 0, 4, &config).unwrap();
+        let mut deleted = Map::new();
+        deleted.insert(FormatId(1), Fraction::new(0.5));
+        config.erosion.steps[2] = ErosionStep {
+            age_days: 3,
+            deleted,
+            overall_relative_speed: 0.8,
+        };
+        let report = p.apply_erosion("airport", &config, 3).unwrap();
+        assert_eq!(report.segments_demoted, 2, "{report}");
+        assert!(report.demoted_bytes.bytes() > 0);
+        assert_eq!(report.segments_deleted, 0, "demote, not delete");
+        assert_eq!(report.deleted_bytes, ByteSize::ZERO);
+        // The demoted segments are out of the hot store but intact cold;
+        // golden is untouched — it never leaves the hot tier.
+        assert_eq!(p.store().segments_of("airport", FormatId(1)).len(), 2);
+        assert_eq!(p.store().segments_of("airport", FormatId::GOLDEN).len(), 4);
+        assert_eq!(cold.segments_of("airport", FormatId(1)).len(), 2);
+        assert!(cold.segments_of("airport", FormatId::GOLDEN).is_empty());
+        // A read of a demoted segment promotes it back, byte-identical.
+        let demoted_key = &cold.segments_of("airport", FormatId(1))[0];
+        let (bytes, source_tier) = reader.get(demoted_key).unwrap().unwrap();
+        assert_eq!(source_tier, vstore_storage::ReadSource::Cold);
+        assert!(p.store().contains(demoted_key));
+        let (again, _) = reader.get(demoted_key).unwrap().unwrap();
+        assert_eq!(*bytes, *again, "promotion must be byte-identical");
     }
 
     #[test]

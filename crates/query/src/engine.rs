@@ -362,12 +362,14 @@ impl QueryEngine {
         // reflects real traffic, like the ingest side's
         // charge-everything-persisted policy. (With prefetch = 1 a failing
         // window is one segment and nothing was fetched, matching the
-        // sequential path.)
+        // sequential path.) A cold-tier fetch is charged to `ColdRead`, not
+        // `DiskRead`: it is a different (slower, cheaper) device, and the
+        // ledger is how experiments see the tiering trade-off.
         for prefetched in &out {
-            let kind = if prefetched.source.is_cached() {
-                ResourceKind::MemRead
-            } else {
-                ResourceKind::DiskRead
+            let kind = match prefetched.source {
+                ReadSource::DecodedCache | ReadSource::RawCache => ResourceKind::MemRead,
+                ReadSource::Cold => ResourceKind::ColdRead,
+                ReadSource::Disk => ResourceKind::DiskRead,
             };
             self.clock.charge_bytes(kind, prefetched.read_bytes);
         }

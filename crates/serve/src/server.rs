@@ -32,7 +32,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 use vstore_datasets::VideoSource;
-use vstore_ingest::IngestReport;
+use vstore_ingest::{ErodeReport, IngestReport};
 use vstore_query::{QueryResult, QuerySpec};
 use vstore_sim::{catch_panic, panic_message};
 use vstore_types::{QueueFullPolicy, Result, ServeOptions, VStoreError};
@@ -52,9 +52,9 @@ pub trait VideoService: Send + Sync + 'static {
         first_segment: u64,
         count: u64,
     ) -> Result<QueryResult>;
-    /// Apply the active erosion plan to `stream` at `age_days`. Returns the
-    /// number of segments deleted.
-    fn erode(&self, stream: &str, age_days: u32) -> Result<usize>;
+    /// Apply the active erosion plan to `stream` at `age_days`. Reports
+    /// what the step deleted and what it demoted to the cold tier.
+    fn erode(&self, stream: &str, age_days: u32) -> Result<ErodeReport>;
 }
 
 /// One queued request: what to run and where to send the answer.
@@ -447,9 +447,9 @@ fn execute<S: VideoService>(service: &S, request: &ServeRequest) -> Result<Serve
         } => service
             .query(stream, spec, *first_segment, *count)
             .map(ServeResponse::Query),
-        ServeRequest::Erode { stream, age_days } => service
-            .erode(stream, *age_days)
-            .map(|deleted| ServeResponse::Erode(deleted as u64)),
+        ServeRequest::Erode { stream, age_days } => {
+            service.erode(stream, *age_days).map(ServeResponse::Erode)
+        }
     }
 }
 
@@ -602,10 +602,14 @@ mod tests {
             Ok(Self::canned_result(spec, count))
         }
 
-        fn erode(&self, _stream: &str, age_days: u32) -> Result<usize> {
+        fn erode(&self, _stream: &str, age_days: u32) -> Result<ErodeReport> {
             self.await_gate();
             self.executed.fetch_add(1, Ordering::Relaxed);
-            Ok(age_days as usize)
+            Ok(ErodeReport {
+                age_days,
+                segments_deleted: age_days as usize,
+                ..ErodeReport::default()
+            })
         }
     }
 
@@ -650,7 +654,7 @@ mod tests {
             })
             .unwrap()
         {
-            ServeResponse::Erode(deleted) => assert_eq!(deleted, 5),
+            ServeResponse::Erode(report) => assert_eq!(report.segments_deleted, 5),
             other => panic!("unexpected response {other:?}"),
         }
         let stats = server.shutdown();

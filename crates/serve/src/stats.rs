@@ -7,120 +7,10 @@
 
 use std::fmt;
 
-/// Number of power-of-two latency buckets: bucket `i` counts samples with
-/// `latency_us < 2^i`, the last bucket collects everything larger
-/// (≈ 35 minutes and up).
-const BUCKETS: usize = 32;
-
-/// A fixed-size power-of-two latency histogram over microseconds.
-///
-/// Recording is O(1), merging is element-wise, and percentiles are answered
-/// as the upper bound of the bucket containing the requested rank — exact
-/// enough for an operator report, with no allocation anywhere.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LatencyHistogram {
-    buckets: [u64; BUCKETS],
-    count: u64,
-    total_us: u64,
-    max_us: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: [0; BUCKETS],
-            count: 0,
-            total_us: 0,
-            max_us: 0,
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// Record one sample in microseconds.
-    pub fn record(&mut self, micros: u64) {
-        let bucket = (64 - micros.leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[bucket] = self.buckets[bucket].saturating_add(1);
-        self.count = self.count.saturating_add(1);
-        self.total_us = self.total_us.saturating_add(micros);
-        self.max_us = self.max_us.max(micros);
-    }
-
-    /// Number of recorded samples.
-    #[must_use]
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// `true` when nothing has been recorded.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.count == 0
-    }
-
-    /// Mean latency in microseconds (0 when empty — never NaN).
-    #[must_use]
-    pub fn mean_us(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.total_us as f64 / self.count as f64
-        }
-    }
-
-    /// Largest recorded sample in microseconds.
-    #[must_use]
-    pub fn max_us(&self) -> u64 {
-        self.max_us
-    }
-
-    /// Upper bound (µs) of the bucket holding the `p`-quantile sample
-    /// (`p` in `[0, 1]`, clamped). 0 when empty.
-    #[must_use]
-    pub fn quantile_us(&self, p: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((self.count as f64) * p.clamp(0.0, 1.0)).ceil() as u64;
-        let rank = rank.clamp(1, self.count);
-        let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen = seen.saturating_add(n);
-            if seen >= rank {
-                // Bucket i holds samples < 2^i µs (i == 0 holds 0 µs).
-                return if i == 0 { 0 } else { 1u64 << i };
-            }
-        }
-        self.max_us
-    }
-
-    /// Merge another histogram into this one (element-wise, saturating).
-    pub fn accumulate(&mut self, other: &LatencyHistogram) {
-        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *mine = mine.saturating_add(*theirs);
-        }
-        self.count = self.count.saturating_add(other.count);
-        self.total_us = self.total_us.saturating_add(other.total_us);
-        self.max_us = self.max_us.max(other.max_us);
-    }
-}
-
-impl fmt::Display for LatencyHistogram {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.is_empty() {
-            return write!(f, "idle");
-        }
-        write!(
-            f,
-            "n={}, mean {:.0} µs, p50 <{} µs, p99 <{} µs, max {} µs",
-            self.count,
-            self.mean_us(),
-            self.quantile_us(0.50),
-            self.quantile_us(0.99),
-            self.max_us,
-        )
-    }
-}
+// The histogram itself lives in `vstore_types` so the storage tiering
+// subsystem can record cold-hit latency with the exact same machinery;
+// re-exported here so serving-layer callers keep their import path.
+pub use vstore_types::LatencyHistogram;
 
 /// One snapshot of a serving front end's statistics, as returned by
 /// `ServerHandle::stats` and folded into `VStore::stats_report`.
@@ -230,35 +120,6 @@ impl fmt::Display for ServeStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn histogram_records_and_answers_quantiles() {
-        let mut h = LatencyHistogram::default();
-        assert!(h.is_empty());
-        assert_eq!(h.quantile_us(0.99), 0);
-        for us in [1u64, 2, 3, 100, 1000, 100_000] {
-            h.record(us);
-        }
-        assert_eq!(h.count(), 6);
-        assert_eq!(h.max_us(), 100_000);
-        assert!(h.mean_us() > 0.0);
-        // p50 falls in a small bucket, p99 near the top sample.
-        assert!(h.quantile_us(0.5) <= 128);
-        assert!(h.quantile_us(0.99) >= 100_000 / 2);
-        assert!(h.quantile_us(1.0) >= h.quantile_us(0.5));
-    }
-
-    #[test]
-    fn histogram_merge_is_element_wise_and_saturating() {
-        let mut a = LatencyHistogram::default();
-        a.record(10);
-        let mut b = LatencyHistogram::default();
-        b.record(1000);
-        b.count = u64::MAX; // pinned counter must not wrap the merge
-        a.accumulate(&b);
-        assert_eq!(a.count, u64::MAX);
-        assert_eq!(a.max_us(), 1000);
-    }
 
     /// The empty and saturated cases of the serving report: 0% everywhere
     /// when idle (no NaN), graceful saturation at the counter limits.

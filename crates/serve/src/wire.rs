@@ -11,7 +11,7 @@
 
 use vstore_codec::wire::{ByteReader, ByteWriter};
 use vstore_datasets::{DatasetProfile, VideoSource};
-use vstore_ingest::IngestReport;
+use vstore_ingest::{ErodeReport, IngestReport};
 use vstore_query::{QueryResult, QuerySpec, StageReport};
 use vstore_types::cast::usize_from_u64;
 use vstore_types::{
@@ -23,8 +23,10 @@ use vstore_types::{
 pub const REQUEST_MAGIC: u32 = 0x5653_5251;
 /// Magic of a serialized response frame ("VSRS").
 pub const RESPONSE_MAGIC: u32 = 0x5653_5253;
-/// Wire protocol version.
-pub const WIRE_VERSION: u8 = 1;
+/// Wire protocol version. v2 widened the erode response from a bare
+/// deleted-segment count to the full [`ErodeReport`] (deleted vs demoted,
+/// segments and bytes — the tiered-cold-storage erosion outcome).
+pub const WIRE_VERSION: u8 = 2;
 
 /// The kind of a serve request (used for routing and per-kind latency
 /// accounting).
@@ -93,8 +95,8 @@ pub enum ServeResponse {
     Ingest(IngestReport),
     /// A successful query.
     Query(QueryResult),
-    /// A successful erosion (number of segments deleted).
-    Erode(u64),
+    /// A successful erosion: what the step deleted vs demoted.
+    Erode(ErodeReport),
     /// The request failed; the error crossed the wire as a [`RemoteError`].
     Error(RemoteError),
 }
@@ -340,9 +342,13 @@ impl ServeResponse {
                 w.put_u8(1);
                 put_query_result(&mut w, result);
             }
-            ServeResponse::Erode(deleted) => {
+            ServeResponse::Erode(report) => {
                 w.put_u8(2);
-                w.put_u64(*deleted);
+                w.put_u32(report.age_days);
+                w.put_u64(report.segments_deleted as u64);
+                w.put_u64(report.deleted_bytes.bytes());
+                w.put_u64(report.segments_demoted as u64);
+                w.put_u64(report.demoted_bytes.bytes());
             }
             ServeResponse::Error(err) => {
                 w.put_u8(3);
@@ -360,7 +366,13 @@ impl ServeResponse {
         let response = match r.get_u8()? {
             0 => ServeResponse::Ingest(get_ingest_report(&mut r)?),
             1 => ServeResponse::Query(get_query_result(&mut r)?),
-            2 => ServeResponse::Erode(r.get_u64()?),
+            2 => ServeResponse::Erode(ErodeReport {
+                age_days: r.get_u32()?,
+                segments_deleted: usize_from_u64(r.get_u64()?, "eroded segment count")?,
+                deleted_bytes: ByteSize(r.get_u64()?),
+                segments_demoted: usize_from_u64(r.get_u64()?, "demoted segment count")?,
+                demoted_bytes: ByteSize(r.get_u64()?),
+            }),
             3 => {
                 let tag = r.get_u8()?;
                 let code = *ErrorCode::ALL.get(tag as usize).ok_or_else(|| {
@@ -663,7 +675,13 @@ mod tests {
         let responses = vec![
             ServeResponse::Ingest(report),
             ServeResponse::Query(sample_query_result()),
-            ServeResponse::Erode(17),
+            ServeResponse::Erode(ErodeReport {
+                age_days: 5,
+                segments_deleted: 17,
+                deleted_bytes: ByteSize(4_200_000),
+                segments_demoted: 9,
+                demoted_bytes: ByteSize(2_100_000),
+            }),
             ServeResponse::Error(RemoteError {
                 code: ErrorCode::Busy,
                 message: "busy: serve queue full".into(),

@@ -26,6 +26,9 @@ pub enum ResourceKind {
     /// that would have been [`DiskRead`](ResourceKind::DiskRead) had the
     /// cache missed).
     MemRead,
+    /// Bytes fetched from the cold storage tier in retrieval (reads of
+    /// segments that erosion demoted instead of deleting).
+    ColdRead,
     /// Bytes written to disk at ingestion.
     DiskWrite,
     /// Disk space currently occupied.
@@ -38,11 +41,12 @@ pub enum ResourceKind {
 
 impl ResourceKind {
     /// All tracked resource kinds.
-    pub const ALL: [ResourceKind; 8] = [
+    pub const ALL: [ResourceKind; 9] = [
         ResourceKind::TranscodeCpu,
         ResourceKind::Decode,
         ResourceKind::DiskRead,
         ResourceKind::MemRead,
+        ResourceKind::ColdRead,
         ResourceKind::DiskWrite,
         ResourceKind::DiskSpace,
         ResourceKind::GpuCompute,
@@ -57,6 +61,7 @@ impl fmt::Display for ResourceKind {
             ResourceKind::Decode => "decode",
             ResourceKind::DiskRead => "disk-read",
             ResourceKind::MemRead => "mem-read",
+            ResourceKind::ColdRead => "cold-read",
             ResourceKind::DiskWrite => "disk-write",
             ResourceKind::DiskSpace => "disk-space",
             ResourceKind::GpuCompute => "gpu",

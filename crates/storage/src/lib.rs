@@ -39,6 +39,15 @@
 //! hot streams stop re-paying disk + CRC + decode. Writes routed through
 //! the reader invalidate both tiers; with both tiers disabled the reader is
 //! a byte-identical passthrough. See the [`reader`] module docs.
+//!
+//! **Tiered cold storage** sits below and beside the store: the [`tier`]
+//! module packs aged segments into an object-store-style [`ColdBackend`]
+//! (immutable chunked checksummed objects + manifest), composes hot and
+//! cold backends behind [`TieredBackend`], and runs the [`TierEngine`] —
+//! a bounded background migration queue that lets erosion **demote
+//! segments instead of deleting them**, with read-through promotion on
+//! cold hits flowing through the [`SegmentReader`] so both cache tiers
+//! stay coherent.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,8 +58,13 @@ pub mod log;
 pub mod reader;
 mod shard;
 pub mod store;
+pub mod tier;
 
 pub use backend::{BackendOptions, FsBackend, LogHandle, MemBackend, StorageBackend};
 pub use key::SegmentKey;
 pub use reader::{CacheStats, DecodedRead, DecodedSegment, ReadSource, SegmentReader};
 pub use store::{SegmentStore, StoreStats};
+pub use tier::{
+    ColdBackend, DemoteBatchReport, TierEngine, TierOptions, TierStats, TieredBackend,
+    TieredBackendStats, DEFAULT_COLD_CHUNK_BYTES, MIN_COLD_CHUNK_BYTES,
+};

@@ -35,10 +35,11 @@
 
 use crate::key::SegmentKey;
 use crate::store::SegmentStore;
-use parking_lot::Mutex;
+use crate::tier::TierEngine;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use vstore_codec::{SegmentData, VideoFrame};
 use vstore_types::{FrameSampling, Result, StorageFormat};
 
@@ -51,13 +52,22 @@ pub enum ReadSource {
     RawCache,
     /// The segment store itself (a real backend read).
     Disk,
+    /// The cold storage tier (the segment was demoted by erosion; it may
+    /// have been promoted back by this read).
+    Cold,
 }
 
 impl ReadSource {
     /// `true` when the read was served from memory rather than the store.
     #[must_use]
     pub fn is_cached(self) -> bool {
-        !matches!(self, ReadSource::Disk)
+        matches!(self, ReadSource::DecodedCache | ReadSource::RawCache)
+    }
+
+    /// `true` when the read was served by the cold storage tier.
+    #[must_use]
+    pub fn is_cold(self) -> bool {
+        matches!(self, ReadSource::Cold)
     }
 }
 
@@ -351,6 +361,11 @@ pub struct SegmentReader {
     shards: Vec<Mutex<ShardCache>>,
     raw_per_shard: u64,
     decoded_per_shard: u64,
+    /// The cold-storage tiering engine, when one is attached
+    /// ([`attach_tier`](Self::attach_tier)): store misses fall through to
+    /// the cold tier and promote on a hit. Held weakly — the engine (and
+    /// its workers) holds the reader, not the other way round.
+    tier: RwLock<Weak<TierEngine>>,
 }
 
 impl std::fmt::Debug for SegmentReader {
@@ -394,6 +409,38 @@ impl SegmentReader {
             shards,
             raw_per_shard,
             decoded_per_shard,
+            tier: RwLock::new(Weak::new()),
+        }
+    }
+
+    /// Attach a tiering engine: store misses now fall through to its cold
+    /// store ([`ReadSource::Cold`]), promoting on a hit when the engine is
+    /// configured to. The engine must demote from this reader's store.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tier` fronts a different hot store instance.
+    pub fn attach_tier(&self, tier: &Arc<TierEngine>) {
+        assert!(
+            Arc::ptr_eq(tier.hot_store(), &self.store),
+            "TierEngine demotes from a different store than this reader"
+        );
+        *self.tier.write() = Arc::downgrade(tier);
+    }
+
+    /// The attached tiering engine, if it is still alive.
+    #[must_use]
+    pub fn tier(&self) -> Option<Arc<TierEngine>> {
+        self.tier.read().upgrade()
+    }
+
+    /// A store miss falls through to the cold tier (when one is attached):
+    /// returns the segment's bytes and promotes them per the engine's
+    /// configuration. `Ok(None)` when the key is in neither tier.
+    fn cold_fallthrough(&self, key: &SegmentKey) -> Result<Option<Vec<u8>>> {
+        match self.tier() {
+            Some(engine) => engine.read_through(key, self),
+            None => Ok(None),
         }
     }
 
@@ -417,10 +464,12 @@ impl SegmentReader {
     /// where they were served from; `Ok(None)` when the key does not exist.
     pub fn get(&self, key: &SegmentKey) -> Result<Option<(Arc<Vec<u8>>, ReadSource)>> {
         if self.raw_per_shard == 0 {
-            return Ok(self
-                .store
-                .get(key)?
-                .map(|bytes| (Arc::new(bytes), ReadSource::Disk)));
+            return match self.store.get(key)? {
+                Some(bytes) => Ok(Some((Arc::new(bytes), ReadSource::Disk))),
+                None => Ok(self
+                    .cold_fallthrough(key)?
+                    .map(|bytes| (Arc::new(bytes), ReadSource::Cold))),
+            };
         }
         let idx = self.store.shard_index(key);
         let epoch = {
@@ -433,7 +482,14 @@ impl SegmentReader {
         };
         let bytes = match self.store.get(key)? {
             Some(bytes) => Arc::new(bytes),
-            None => return Ok(None),
+            None => {
+                // Cold bytes are returned but not admitted: a promotion has
+                // just bumped the epoch, and the next (hot) read warms the
+                // cache through the ordinary fill path.
+                return Ok(self
+                    .cold_fallthrough(key)?
+                    .map(|bytes| (Arc::new(bytes), ReadSource::Cold)));
+            }
         };
         let mut shard = self.shards[idx].lock();
         shard.raw_misses += 1;
@@ -456,13 +512,16 @@ impl SegmentReader {
         sampling: FrameSampling,
     ) -> Result<Option<DecodedRead>> {
         if self.shards.is_empty() {
-            let bytes = match self.store.get(key)? {
-                Some(bytes) => bytes,
-                None => return Ok(None),
+            let (bytes, source) = match self.store.get(key)? {
+                Some(bytes) => (bytes, ReadSource::Disk),
+                None => match self.cold_fallthrough(key)? {
+                    Some(bytes) => (bytes, ReadSource::Cold),
+                    None => return Ok(None),
+                },
             };
             return Ok(Some(DecodedRead {
                 segment: Arc::new(decode_entry(&bytes, sampling)?),
-                source: ReadSource::Disk,
+                source,
             }));
         }
         let idx = self.store.shard_index(key);
@@ -490,7 +549,10 @@ impl SegmentReader {
             Some(bytes) => (bytes, ReadSource::RawCache),
             None => match self.store.get(key)? {
                 Some(bytes) => (Arc::new(bytes), ReadSource::Disk),
-                None => return Ok(None),
+                None => match self.cold_fallthrough(key)? {
+                    Some(bytes) => (Arc::new(bytes), ReadSource::Cold),
+                    None => return Ok(None),
+                },
             },
         };
         // Decode outside the shard lock: parallel prefetch workers hitting

@@ -145,6 +145,11 @@ impl Shard {
         self.inner.lock().index.contains_key(key)
     }
 
+    /// Length in bytes of the key's live value, without reading it.
+    pub(crate) fn value_len(&self, key: &SegmentKey) -> Option<u64> {
+        self.inner.lock().index.get(key).map(|loc| loc.value_len)
+    }
+
     /// Delete a segment. Deleting a missing key is a no-op.
     pub(crate) fn delete(&self, key: &SegmentKey) -> Result<()> {
         let mut inner = self.inner.lock();

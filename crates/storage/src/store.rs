@@ -280,6 +280,12 @@ impl SegmentStore {
         self.shard_of(key).contains(key)
     }
 
+    /// Length in bytes of the key's live value, from the index alone (no
+    /// backend read). `None` when the key does not exist.
+    pub fn value_len(&self, key: &SegmentKey) -> Option<u64> {
+        self.shard_of(key).value_len(key)
+    }
+
     /// Delete a segment. Deleting a missing key is a no-op.
     pub fn delete(&self, key: &SegmentKey) -> Result<()> {
         self.shard_of(key).delete(key)

@@ -1,0 +1,745 @@
+//! The segment-level tiering engine: a bounded background migration queue
+//! that **demotes** segments to a cold [`SegmentStore`] instead of deleting
+//! them, and a read-through **promotion** path that brings cold segments
+//! back on access.
+//!
+//! ```text
+//!  erosion ──demote batch──► bounded queue ──► migration workers ──► cold store
+//!                             (back-pressure)   (hot get → cold put → hot delete,
+//!                                                paced by the byte/s budget)
+//!  query ──hot miss──► SegmentReader ──cold hit──► promote (hot put → cold delete)
+//! ```
+//!
+//! * **Demotion** reuses the serving layer's bounded-queue discipline: a
+//!   batch enqueues one job per key, blocking when the queue is full (the
+//!   migration backlog can never grow without bound), and waits for its
+//!   jobs to drain. Workers run each job under
+//!   [`vstore_sim::catch_panic`] — a panicking migration fails one segment,
+//!   never the engine — and pace themselves to
+//!   [`TierOptions::demote_budget_bytes_per_sec`].
+//! * **Ordering** makes data loss impossible: a demotion writes the cold
+//!   copy before deleting the hot one, and a promotion writes the hot copy
+//!   before deleting the cold one, so every moment in time has at least one
+//!   full copy of the segment. The hot-side delete and put flow through the
+//!   [`SegmentReader`], so both cache tiers are epoch-invalidated exactly
+//!   like an erosion delete or an ingest overwrite.
+//! * **Observability**: [`TierStats`] reports resident bytes per tier,
+//!   demotion/promotion counts and bytes, queue depth, and a cold-hit
+//!   latency histogram; every rate is 0 %-safe on an idle engine.
+
+use crate::key::SegmentKey;
+use crate::reader::SegmentReader;
+use crate::store::SegmentStore;
+use crate::tier::TierOptions;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use vstore_sim::{catch_panic, panic_message};
+use vstore_types::{ByteSize, LatencyHistogram, Result, VStoreError};
+
+/// One snapshot of the tiering subsystem's statistics, folded into
+/// `VStore::stats_report`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TierStats {
+    /// Live bytes resident in the hot store.
+    pub hot_resident_bytes: u64,
+    /// Live bytes resident in the cold store.
+    pub cold_resident_bytes: u64,
+    /// Segments currently held by the cold store.
+    pub cold_segments: usize,
+    /// Segments demoted hot → cold since open.
+    pub demotions: u64,
+    /// Bytes demoted hot → cold since open.
+    pub demoted_bytes: u64,
+    /// Segments promoted cold → hot since open (read-through).
+    pub promotions: u64,
+    /// Bytes promoted cold → hot since open.
+    pub promoted_bytes: u64,
+    /// Reads served by the cold tier (hot misses that hit cold).
+    pub cold_hits: u64,
+    /// Hot misses that missed the cold tier too.
+    pub cold_misses: u64,
+    /// Demotions that failed (the segment stayed hot).
+    pub failed_demotions: u64,
+    /// Migration jobs waiting in the queue at snapshot time.
+    pub queue_depth: usize,
+    /// Deepest the migration queue has ever been.
+    pub peak_queue_depth: usize,
+    /// Latency of cold-tier fetches (read + checksum + promotion write).
+    pub cold_hit_latency: LatencyHistogram,
+}
+
+impl TierStats {
+    /// Fraction of cold-tier lookups that found the segment (0.0 when idle —
+    /// never NaN).
+    #[must_use]
+    pub fn cold_hit_rate(&self) -> f64 {
+        let total = self.cold_hits.saturating_add(self.cold_misses);
+        if total == 0 {
+            0.0
+        } else {
+            self.cold_hits as f64 / total as f64
+        }
+    }
+
+    /// `true` when no segment has ever moved or been looked up cold.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.demotions == 0 && self.promotions == 0 && self.cold_hits == 0 && self.cold_misses == 0
+    }
+}
+
+impl std::fmt::Display for TierStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "tier: {} hot / {} cold ({} cold segments), {} demotions ({}), \
+             {} promotions ({}), {} failed, queue {} (peak {})",
+            ByteSize(self.hot_resident_bytes),
+            ByteSize(self.cold_resident_bytes),
+            self.cold_segments,
+            self.demotions,
+            ByteSize(self.demoted_bytes),
+            self.promotions,
+            ByteSize(self.promoted_bytes),
+            self.failed_demotions,
+            self.queue_depth,
+            self.peak_queue_depth,
+        )?;
+        write!(
+            f,
+            "  cold hits: {}/{} ({:.0}%), latency: {}",
+            self.cold_hits,
+            self.cold_hits.saturating_add(self.cold_misses),
+            self.cold_hit_rate() * 100.0,
+            self.cold_hit_latency,
+        )
+    }
+}
+
+/// The result of one demotion batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DemoteBatchReport {
+    /// Segments moved to the cold store.
+    pub segments: usize,
+    /// Bytes moved to the cold store.
+    pub bytes: u64,
+    /// Segments skipped because they were already gone from the hot store
+    /// (e.g. raced by a concurrent overwrite or erosion).
+    pub skipped: usize,
+}
+
+/// One queued migration job and the batch it reports back to.
+struct DemoteJob {
+    key: SegmentKey,
+    batch: Arc<BatchState>,
+}
+
+/// Completion state shared by a batch's jobs and its waiting submitter.
+struct BatchState {
+    progress: Mutex<BatchProgress>,
+    done: Condvar,
+}
+
+#[derive(Default)]
+struct BatchProgress {
+    remaining: usize,
+    segments: usize,
+    bytes: u64,
+    skipped: usize,
+    first_error: Option<VStoreError>,
+}
+
+/// Queue + counters, behind one short-held mutex (migration I/O never runs
+/// under it).
+struct EngineState {
+    jobs: VecDeque<DemoteJob>,
+    open: bool,
+    peak_queue_depth: usize,
+    demotions: u64,
+    demoted_bytes: u64,
+    promotions: u64,
+    promoted_bytes: u64,
+    cold_hits: u64,
+    cold_misses: u64,
+    failed_demotions: u64,
+    cold_hit_latency: LatencyHistogram,
+}
+
+struct EngineShared {
+    state: Mutex<EngineState>,
+    /// Signalled when a job is pushed (workers wait) or shutdown begins.
+    not_empty: Condvar,
+    /// Signalled when a job is popped (blocked submitters wait).
+    not_full: Condvar,
+    options: TierOptions,
+    reader: Arc<SegmentReader>,
+    cold: Arc<SegmentStore>,
+    /// Keys with a migration in flight: a demotion and a promotion of the
+    /// same key are serialised, so an interleaving can never delete both
+    /// copies of a segment.
+    migrating: KeyLocks,
+}
+
+/// A wait-on-contention lock set over segment keys.
+#[derive(Default)]
+struct KeyLocks {
+    held: Mutex<std::collections::HashSet<SegmentKey>>,
+    released: Condvar,
+}
+
+impl KeyLocks {
+    fn lock(&self, key: &SegmentKey) -> KeyGuard<'_> {
+        let mut held = self.held.lock().expect("tier key locks");
+        while held.contains(key) {
+            held = self.released.wait(held).expect("tier key locks");
+        }
+        held.insert(key.clone());
+        KeyGuard {
+            locks: self,
+            key: key.clone(),
+        }
+    }
+}
+
+struct KeyGuard<'a> {
+    locks: &'a KeyLocks,
+    key: SegmentKey,
+}
+
+impl Drop for KeyGuard<'_> {
+    fn drop(&mut self) {
+        self.locks
+            .held
+            .lock()
+            .expect("tier key locks")
+            .remove(&self.key);
+        self.locks.released.notify_all();
+    }
+}
+
+/// The tiering engine. Constructed by [`TierEngine::start`]; dropping the
+/// engine drains the queue and joins the migration workers.
+pub struct TierEngine {
+    shared: Arc<EngineShared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for TierEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TierEngine")
+            .field("cold", &self.shared.cold.dir())
+            .field("workers", &self.shared.options.demote_workers)
+            .field(
+                "queue_depth",
+                &self.shared.state.lock().expect("tier state").jobs.len(),
+            )
+            .finish()
+    }
+}
+
+impl TierEngine {
+    /// Start a tiering engine demoting from `reader`'s store into `cold`,
+    /// with `options.demote_workers` background migration workers. The
+    /// engine must then be attached to the reader
+    /// ([`SegmentReader::attach_tier`]) for read-through promotion.
+    pub fn start(
+        reader: Arc<SegmentReader>,
+        cold: Arc<SegmentStore>,
+        options: TierOptions,
+    ) -> Result<Arc<TierEngine>> {
+        options.validate()?;
+        if Arc::ptr_eq(reader.store(), &cold) {
+            return Err(VStoreError::invalid_argument(
+                "tier cold store must be distinct from the hot store",
+            ));
+        }
+        let shared = Arc::new(EngineShared {
+            state: Mutex::new(EngineState {
+                jobs: VecDeque::with_capacity(options.demote_queue_depth),
+                open: true,
+                peak_queue_depth: 0,
+                demotions: 0,
+                demoted_bytes: 0,
+                promotions: 0,
+                promoted_bytes: 0,
+                cold_hits: 0,
+                cold_misses: 0,
+                failed_demotions: 0,
+                cold_hit_latency: LatencyHistogram::default(),
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            options,
+            reader,
+            cold,
+            migrating: KeyLocks::default(),
+        });
+        let mut workers = Vec::with_capacity(options.demote_workers);
+        for i in 0..options.demote_workers {
+            let worker_shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("vstore-tier-{i}"))
+                .spawn(move || worker_loop(&worker_shared));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    shared.state.lock().expect("tier state").open = false;
+                    shared.not_empty.notify_all();
+                    for worker in workers {
+                        let _ = worker.join();
+                    }
+                    return Err(VStoreError::Io(e));
+                }
+            }
+        }
+        Ok(Arc::new(TierEngine {
+            shared,
+            workers: Mutex::new(workers),
+        }))
+    }
+
+    /// The cold segment store.
+    pub fn cold_store(&self) -> &Arc<SegmentStore> {
+        &self.shared.cold
+    }
+
+    /// The hot store this engine demotes from.
+    pub fn hot_store(&self) -> &Arc<SegmentStore> {
+        self.shared.reader.store()
+    }
+
+    /// The engine's options.
+    pub fn options(&self) -> &TierOptions {
+        &self.shared.options
+    }
+
+    /// Demote a batch of segments: enqueue one migration job per key onto
+    /// the bounded queue (blocking while it is full — back-pressure, never
+    /// unbounded memory) and wait until the background workers have drained
+    /// them all. Golden-format keys are refused: the golden format never
+    /// leaves the hot tier.
+    pub fn demote_batch(&self, keys: Vec<SegmentKey>) -> Result<DemoteBatchReport> {
+        for key in &keys {
+            if key.format.is_golden() {
+                return Err(VStoreError::invalid_argument(format!(
+                    "refusing to demote golden-format segment {key}"
+                )));
+            }
+        }
+        if keys.is_empty() {
+            return Ok(DemoteBatchReport::default());
+        }
+        let total = keys.len();
+        let batch = Arc::new(BatchState {
+            progress: Mutex::new(BatchProgress {
+                remaining: keys.len(),
+                ..BatchProgress::default()
+            }),
+            done: Condvar::new(),
+        });
+        let capacity = self.shared.options.demote_queue_depth;
+        for key in keys {
+            let mut state = self.shared.state.lock().expect("tier state");
+            while state.jobs.len() >= capacity && state.open {
+                state = self.shared.not_full.wait(state).expect("tier state");
+            }
+            if !state.open {
+                return Err(VStoreError::InvalidState(
+                    "tier engine shut down while awaiting a queue slot".into(),
+                ));
+            }
+            state.jobs.push_back(DemoteJob {
+                key,
+                batch: Arc::clone(&batch),
+            });
+            let depth = state.jobs.len();
+            state.peak_queue_depth = state.peak_queue_depth.max(depth);
+            drop(state);
+            self.shared.not_empty.notify_one();
+        }
+        let mut progress = batch.progress.lock().expect("tier batch");
+        while progress.remaining > 0 {
+            progress = batch.done.wait(progress).expect("tier batch");
+        }
+        if let Some(e) = progress.first_error.take() {
+            // A failed migration leaves its segment hot (nothing was
+            // deleted), so the batch error carries the partial progress and
+            // re-eroding retries exactly the segments that failed.
+            let failed = total - progress.segments - progress.skipped;
+            return Err(VStoreError::InvalidState(format!(
+                "{failed} of {total} demotions failed (first error: {e}); \
+                 {} segments ({} bytes) were demoted before the failures, \
+                 failed segments remain hot — re-erode to retry",
+                progress.segments, progress.bytes
+            )));
+        }
+        Ok(DemoteBatchReport {
+            segments: progress.segments,
+            bytes: progress.bytes,
+            skipped: progress.skipped,
+        })
+    }
+
+    /// Look a hot-missed key up in the cold tier; on a hit, return the
+    /// bytes and — when [`TierOptions::promotion`] is on — promote them back
+    /// to the hot store through `reader` (hot put before cold delete, cache
+    /// tiers epoch-invalidated by the put).
+    ///
+    /// Called by [`SegmentReader`] on the read path; callers outside the
+    /// reader should read through the reader instead.
+    pub(crate) fn read_through(
+        &self,
+        key: &SegmentKey,
+        reader: &SegmentReader,
+    ) -> Result<Option<Vec<u8>>> {
+        let started = Instant::now();
+        // Serialised against any in-flight demotion of the same key; the
+        // guard spans the cold read and the promotion move.
+        let guard = self.shared.migrating.lock(key);
+        let bytes = match self.shared.cold.get(key)? {
+            Some(bytes) => bytes,
+            None => {
+                // A racing promotion may have moved the key hot between the
+                // caller's hot miss and this lock acquisition: re-probe the
+                // hot store under the key lock, so a concurrent reader can
+                // never report an existing segment as missing.
+                let rescued = self.shared.reader.store().get(key)?;
+                drop(guard);
+                if rescued.is_none() {
+                    self.shared.state.lock().expect("tier state").cold_misses += 1;
+                }
+                return Ok(rescued);
+            }
+        };
+        let promoted = if self.shared.options.promotion {
+            reader.put(key, &bytes)?;
+            self.shared.cold.delete(key)?;
+            true
+        } else {
+            false
+        };
+        drop(guard);
+        let elapsed_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let mut state = self.shared.state.lock().expect("tier state");
+        state.cold_hits += 1;
+        state.cold_hit_latency.record(elapsed_us);
+        if promoted {
+            state.promotions += 1;
+            state.promoted_bytes = state.promoted_bytes.saturating_add(bytes.len() as u64);
+        }
+        Ok(Some(bytes))
+    }
+
+    /// A statistics snapshot (resident bytes are read live from both
+    /// stores).
+    #[must_use]
+    pub fn stats(&self) -> TierStats {
+        let hot = self.shared.reader.store().stats();
+        let cold = self.shared.cold.stats();
+        let state = self.shared.state.lock().expect("tier state");
+        TierStats {
+            hot_resident_bytes: hot.live_bytes,
+            cold_resident_bytes: cold.live_bytes,
+            cold_segments: cold.live_segments,
+            demotions: state.demotions,
+            demoted_bytes: state.demoted_bytes,
+            promotions: state.promotions,
+            promoted_bytes: state.promoted_bytes,
+            cold_hits: state.cold_hits,
+            cold_misses: state.cold_misses,
+            failed_demotions: state.failed_demotions,
+            queue_depth: state.jobs.len(),
+            peak_queue_depth: state.peak_queue_depth,
+            cold_hit_latency: state.cold_hit_latency.clone(),
+        }
+    }
+}
+
+impl Drop for TierEngine {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("tier state");
+            state.open = false;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for worker in self.workers.lock().expect("tier workers").drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Move one segment hot → cold. Returns the bytes moved, or `None` when the
+/// hot store no longer holds the key (raced; nothing to do).
+fn demote_one(shared: &EngineShared, key: &SegmentKey) -> Result<Option<u64>> {
+    // Serialised against any in-flight promotion of the same key.
+    let _guard = shared.migrating.lock(key);
+    let bytes = match shared.reader.store().get(key)? {
+        Some(bytes) => bytes,
+        None => return Ok(None),
+    };
+    // Cold copy first — made durable (the cold backend's manifest is
+    // persisted by sync) — and only then the hot delete: there is no
+    // instant, across crashes included, without a full copy of the
+    // segment.
+    shared.cold.put(key, &bytes)?;
+    shared.cold.sync()?;
+    shared.reader.delete(key)?;
+    Ok(Some(bytes.len() as u64))
+}
+
+/// The migration loop of one worker thread.
+fn worker_loop(shared: &EngineShared) {
+    let budget = shared.options.demote_budget_bytes_per_sec;
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("tier state");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if !state.open {
+                    return; // closed and drained: graceful exit
+                }
+                state = shared.not_empty.wait(state).expect("tier state");
+            }
+        };
+        shared.not_full.notify_one();
+
+        // Panic isolation: a panicking migration fails one segment, not the
+        // engine — the worker survives to drain the rest of the queue.
+        let outcome = match catch_panic(|| demote_one(shared, &job.key)) {
+            Ok(result) => result,
+            Err(payload) => Err(VStoreError::InvalidState(format!(
+                "tier migration worker panicked: {}",
+                panic_message(&payload)
+            ))),
+        };
+        let mut moved_bytes = None;
+        {
+            let mut state = shared.state.lock().expect("tier state");
+            match &outcome {
+                Ok(Some(bytes)) => {
+                    state.demotions += 1;
+                    state.demoted_bytes = state.demoted_bytes.saturating_add(*bytes);
+                    moved_bytes = Some(*bytes);
+                }
+                Ok(None) => {}
+                Err(_) => state.failed_demotions += 1,
+            }
+        }
+        {
+            let mut progress = job.batch.progress.lock().expect("tier batch");
+            match outcome {
+                Ok(Some(bytes)) => {
+                    progress.segments += 1;
+                    progress.bytes = progress.bytes.saturating_add(bytes);
+                }
+                Ok(None) => progress.skipped += 1,
+                Err(e) => {
+                    if progress.first_error.is_none() {
+                        progress.first_error = Some(e);
+                    }
+                }
+            }
+            progress.remaining -= 1;
+            if progress.remaining == 0 {
+                job.batch.done.notify_all();
+            }
+        }
+        // Pace to the byte/s budget (0 = unthrottled): a worker that just
+        // moved N bytes owes N / budget seconds before its next job. The
+        // debt is slept in short slices so engine shutdown never waits out
+        // a large segment's whole debt.
+        if budget > 0 {
+            if let Some(bytes) = moved_bytes {
+                let mut owed = bytes as f64 / budget as f64;
+                while owed > 0.0 {
+                    if !shared.state.lock().expect("tier state").open {
+                        break;
+                    }
+                    let slice = owed.min(0.1);
+                    std::thread::sleep(Duration::from_secs_f64(slice));
+                    owed -= slice;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+    use crate::tier::cold::ColdBackend;
+    use vstore_types::FormatId;
+
+    fn key(format: u32, index: u64) -> SegmentKey {
+        SegmentKey::new("tier", FormatId(format), index)
+    }
+
+    fn fixture(options: TierOptions) -> (Arc<SegmentReader>, Arc<TierEngine>) {
+        let hot = Arc::new(SegmentStore::open_mem_with_shards(4).unwrap());
+        let reader = Arc::new(SegmentReader::new(hot, 1 << 20, 16));
+        let cold_backend: Arc<dyn crate::backend::StorageBackend> =
+            Arc::new(ColdBackend::new(Arc::new(MemBackend::new())).unwrap());
+        let cold = Arc::new(SegmentStore::open_with_backend(cold_backend, 1).unwrap());
+        let engine = TierEngine::start(Arc::clone(&reader), cold, options).unwrap();
+        reader.attach_tier(&engine);
+        (reader, engine)
+    }
+
+    #[test]
+    fn demote_batch_moves_segments_and_reads_promote_them_back() {
+        let (reader, engine) = fixture(TierOptions::cold_mem());
+        for i in 0..6 {
+            reader.put(&key(1, i), &vec![i as u8; 500]).unwrap();
+        }
+        // Warm the cache so demotion must invalidate it.
+        for i in 0..6 {
+            reader.get(&key(1, i)).unwrap().unwrap();
+        }
+        let report = engine
+            .demote_batch((0..4).map(|i| key(1, i)).collect())
+            .unwrap();
+        assert_eq!(report.segments, 4);
+        assert_eq!(report.bytes, 4 * 500);
+        assert_eq!(report.skipped, 0);
+        assert_eq!(engine.cold_store().len(), 4);
+        assert!(!reader.store().contains(&key(1, 0)));
+
+        // Hot read of a demoted key: cold hit, promoted, byte-identical —
+        // never a stale cache entry.
+        let (bytes, source) = reader.get(&key(1, 2)).unwrap().unwrap();
+        assert_eq!(*bytes, vec![2u8; 500]);
+        assert_eq!(source, crate::reader::ReadSource::Cold);
+        assert!(reader.store().contains(&key(1, 2)), "promoted back hot");
+        assert!(!engine.cold_store().contains(&key(1, 2)));
+        let (bytes, source) = reader.get(&key(1, 2)).unwrap().unwrap();
+        assert_eq!(*bytes, vec![2u8; 500]);
+        assert_ne!(
+            source,
+            crate::reader::ReadSource::Cold,
+            "second read is hot"
+        );
+
+        let stats = engine.stats();
+        assert_eq!(stats.demotions, 4);
+        assert_eq!(stats.promotions, 1);
+        assert_eq!(stats.cold_hits, 1);
+        assert!(!stats.is_idle());
+        assert_eq!(stats.cold_hit_rate(), 1.0);
+        assert_eq!(stats.cold_hit_latency.count(), 1);
+        assert!(stats.to_string().contains("4 demotions"));
+    }
+
+    #[test]
+    fn promotion_off_serves_cold_without_moving() {
+        let (reader, engine) = fixture(TierOptions::cold_mem().with_promotion(false));
+        reader.put(&key(1, 0), b"stay-cold").unwrap();
+        engine.demote_batch(vec![key(1, 0)]).unwrap();
+        for _ in 0..2 {
+            let (bytes, source) = reader.get(&key(1, 0)).unwrap().unwrap();
+            assert_eq!(&*bytes, b"stay-cold");
+            assert_eq!(source, crate::reader::ReadSource::Cold);
+        }
+        assert!(!reader.store().contains(&key(1, 0)));
+        let stats = engine.stats();
+        assert_eq!(stats.promotions, 0);
+        assert_eq!(stats.cold_hits, 2);
+    }
+
+    #[test]
+    fn golden_keys_are_refused_and_missing_keys_are_skipped() {
+        let (reader, engine) = fixture(TierOptions::cold_mem());
+        let err = engine
+            .demote_batch(vec![SegmentKey::new("tier", FormatId::GOLDEN, 0)])
+            .unwrap_err();
+        assert!(matches!(err, VStoreError::InvalidArgument(_)), "{err}");
+        reader.put(&key(1, 0), b"present").unwrap();
+        let report = engine.demote_batch(vec![key(1, 0), key(1, 99)]).unwrap();
+        assert_eq!(report.segments, 1);
+        assert_eq!(report.skipped, 1);
+    }
+
+    /// Regression: a demotion must be durable on the cold device before
+    /// the hot copy is deleted — a process that dies right after an erode
+    /// must find every demoted segment in the persisted cold manifest.
+    #[test]
+    fn demotion_is_durable_on_the_cold_device_before_the_hot_delete() {
+        let hot = Arc::new(SegmentStore::open_mem_with_shards(2).unwrap());
+        let reader = Arc::new(SegmentReader::new(hot, 0, 0));
+        let device: Arc<dyn crate::backend::StorageBackend> = Arc::new(MemBackend::new());
+        let cold = Arc::new(
+            SegmentStore::open_with_backend(
+                Arc::new(ColdBackend::new(Arc::clone(&device)).unwrap()),
+                1,
+            )
+            .unwrap(),
+        );
+        let engine = TierEngine::start(Arc::clone(&reader), cold, TierOptions::cold_mem()).unwrap();
+        reader.attach_tier(&engine);
+        reader.put(&key(1, 0), b"must-survive").unwrap();
+        engine.demote_batch(vec![key(1, 0)]).unwrap();
+        assert!(!reader.store().contains(&key(1, 0)));
+        // Simulate a crash: reopen a fresh ColdBackend over the same device
+        // with no sync in between. The persisted manifest must already
+        // reference the demoted segment.
+        let reopened = SegmentStore::open_with_backend(
+            Arc::new(ColdBackend::new(device).unwrap()) as Arc<dyn crate::backend::StorageBackend>,
+            1,
+        )
+        .unwrap();
+        assert_eq!(
+            reopened.get(&key(1, 0)).unwrap().unwrap(),
+            b"must-survive",
+            "demoted segment lost across a crash"
+        );
+    }
+
+    #[test]
+    fn tiny_queue_applies_back_pressure_but_completes() {
+        let options = TierOptions::cold_mem().with_demote_queue(1, 1);
+        let (reader, engine) = fixture(options);
+        for i in 0..32 {
+            reader.put(&key(1, i), &[7u8; 64]).unwrap();
+        }
+        let report = engine
+            .demote_batch((0..32).map(|i| key(1, i)).collect())
+            .unwrap();
+        assert_eq!(report.segments, 32);
+        let stats = engine.stats();
+        assert!(stats.peak_queue_depth <= 1, "bounded queue overflowed");
+        assert_eq!(stats.queue_depth, 0, "drained");
+    }
+
+    #[test]
+    fn concurrent_queries_during_demotion_always_see_every_segment() {
+        let (reader, engine) = fixture(TierOptions::cold_mem());
+        let n = 48u64;
+        for i in 0..n {
+            reader.put(&key(1, i), &vec![(i % 251) as u8; 256]).unwrap();
+        }
+        std::thread::scope(|scope| {
+            let r = Arc::clone(&reader);
+            scope.spawn(move || {
+                for round in 0..200u64 {
+                    let i = round % n;
+                    let (bytes, _) = r.get(&key(1, i)).unwrap().expect("segment vanished");
+                    assert_eq!(*bytes, vec![(i % 251) as u8; 256], "torn or stale read");
+                }
+            });
+            let report = engine
+                .demote_batch((0..n).map(|i| key(1, i)).collect())
+                .unwrap();
+            // Concurrent promotions may race segments back hot before their
+            // demote job runs; every segment is either moved or skipped.
+            assert_eq!(report.segments + report.skipped, n as usize);
+        });
+        for i in 0..n {
+            let (bytes, _) = reader.get(&key(1, i)).unwrap().unwrap();
+            assert_eq!(*bytes, vec![(i % 251) as u8; 256]);
+        }
+    }
+}

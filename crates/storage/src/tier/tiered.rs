@@ -1,0 +1,471 @@
+//! A [`StorageBackend`] composing a **hot** backend and a **cold** backend
+//! behind one namespace, with a persisted placement map.
+//!
+//! Logs are born hot (the active value logs a shard appends to must stay on
+//! fast storage); [`demote_log`](TieredBackend::demote_log) moves a sealed
+//! log's bytes to the cold backend and [`promote_log`](TieredBackend::promote_log)
+//! brings them back. The placement map — which logs are cold, grouped
+//! per shard by the `shard-XXX/` name prefix — is persisted in a
+//! `TIER_PLACEMENT` meta log on the hot backend (atomically, via
+//! `write_all`), so a reopened store keeps routing reads to the tier that
+//! holds the bytes. Every read is routed by placement; a
+//! [`SegmentStore`](crate::SegmentStore) on a `TieredBackend` is
+//! observationally identical to one on a single-tier backend
+//! (`tests/backend_parity.rs` enforces it).
+
+use crate::backend::{LogHandle, StorageBackend};
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use vstore_types::cast::usize_from_u64;
+use vstore_types::{Result, VStoreError};
+
+/// Hot-backend name of the persisted placement map.
+const PLACEMENT_NAME: &str = "TIER_PLACEMENT";
+/// Placement map magic + format version.
+const PLACEMENT_MAGIC: &[u8; 4] = b"VTPL";
+const PLACEMENT_VERSION: u8 = 1;
+
+/// Log-migration counters of one [`TieredBackend`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TieredBackendStats {
+    /// Logs currently placed on the cold backend.
+    pub cold_logs: usize,
+    /// Reads (`read_at`/`read_all`) served by the cold backend.
+    pub cold_reads: u64,
+    /// Logs demoted hot → cold since open.
+    pub demoted_logs: u64,
+    /// Bytes demoted hot → cold since open.
+    pub demoted_bytes: u64,
+    /// Logs promoted cold → hot since open.
+    pub promoted_logs: u64,
+    /// Bytes promoted cold → hot since open.
+    pub promoted_bytes: u64,
+}
+
+#[derive(Default)]
+struct Placement {
+    /// Names currently living on the cold backend; everything else is hot.
+    cold: BTreeSet<String>,
+    cold_reads: u64,
+    demoted_logs: u64,
+    demoted_bytes: u64,
+    promoted_logs: u64,
+    promoted_bytes: u64,
+}
+
+impl Placement {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(PLACEMENT_MAGIC);
+        out.push(PLACEMENT_VERSION);
+        out.extend_from_slice(&(self.cold.len() as u32).to_le_bytes());
+        for name in &self.cold {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+        }
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<BTreeSet<String>> {
+        let corrupt = || VStoreError::corruption("tier placement map truncated");
+        if bytes.len() < 9 || &bytes[0..4] != PLACEMENT_MAGIC {
+            return Err(VStoreError::corruption("tier placement map has bad magic"));
+        }
+        if bytes[4] != PLACEMENT_VERSION {
+            return Err(VStoreError::corruption(format!(
+                "unsupported tier placement version {}",
+                bytes[4]
+            )));
+        }
+        let count = u32::from_le_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]);
+        let mut pos = 9usize;
+        let mut cold = BTreeSet::new();
+        for _ in 0..count {
+            let len_end = pos
+                .checked_add(4)
+                .filter(|&e| e <= bytes.len())
+                .ok_or_else(corrupt)?;
+            let len = usize_from_u64(
+                u64::from(u32::from_le_bytes([
+                    bytes[pos],
+                    bytes[pos + 1],
+                    bytes[pos + 2],
+                    bytes[pos + 3],
+                ])),
+                "tier placement name",
+            )?;
+            let end = len_end
+                .checked_add(len)
+                .filter(|&e| e <= bytes.len())
+                .ok_or_else(corrupt)?;
+            let name = String::from_utf8(bytes[len_end..end].to_vec())
+                .map_err(|_| VStoreError::corruption("tier placement name is not UTF-8"))?;
+            cold.insert(name);
+            pos = end;
+        }
+        Ok(cold)
+    }
+}
+
+/// The two-tier backend. See the [module docs](self).
+pub struct TieredBackend {
+    hot: Arc<dyn StorageBackend>,
+    cold: Arc<dyn StorageBackend>,
+    placement: Mutex<Placement>,
+}
+
+impl std::fmt::Debug for TieredBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TieredBackend")
+            .field("hot", &self.hot.describe())
+            .field("cold", &self.cold.describe())
+            .field("cold_logs", &self.placement.lock().cold.len())
+            .finish()
+    }
+}
+
+impl TieredBackend {
+    /// A tiered backend over `hot` and `cold`, reloading any placement map
+    /// persisted by a previous instance on the hot backend.
+    pub fn new(
+        hot: Arc<dyn StorageBackend>,
+        cold: Arc<dyn StorageBackend>,
+    ) -> Result<TieredBackend> {
+        let cold_names = match hot.read_all(PLACEMENT_NAME)? {
+            Some(bytes) => Placement::decode(&bytes)?,
+            None => BTreeSet::new(),
+        };
+        Ok(TieredBackend {
+            hot,
+            cold,
+            placement: Mutex::new(Placement {
+                cold: cold_names,
+                ..Placement::default()
+            }),
+        })
+    }
+
+    /// Migration counters and current cold-log count.
+    #[must_use]
+    pub fn stats(&self) -> TieredBackendStats {
+        let p = self.placement.lock();
+        TieredBackendStats {
+            cold_logs: p.cold.len(),
+            cold_reads: p.cold_reads,
+            demoted_logs: p.demoted_logs,
+            demoted_bytes: p.demoted_bytes,
+            promoted_logs: p.promoted_logs,
+            promoted_bytes: p.promoted_bytes,
+        }
+    }
+
+    /// `true` when the named log currently lives on the cold backend.
+    #[must_use]
+    pub fn is_cold(&self, name: &str) -> bool {
+        self.placement.lock().cold.contains(name)
+    }
+
+    fn persist(&self, placement: &Placement) -> Result<()> {
+        self.hot.write_all(PLACEMENT_NAME, &placement.encode())
+    }
+
+    /// Demote one log's bytes hot → cold; returns the bytes moved.
+    /// Demoting an already-cold log is a no-op; demoting a missing log is an
+    /// error. The bytes land cold before the placement flips and the hot
+    /// copy is removed, so a concurrent reader always finds one full copy.
+    pub fn demote_log(&self, name: &str) -> Result<u64> {
+        if self.is_cold(name) {
+            return Ok(0);
+        }
+        let data = self
+            .hot
+            .read_all(name)?
+            .ok_or_else(|| VStoreError::not_found(format!("cannot demote missing log {name}")))?;
+        self.cold.write_all(name, &data)?;
+        let mut placement = self.placement.lock();
+        placement.cold.insert(name.to_owned());
+        placement.demoted_logs += 1;
+        placement.demoted_bytes = placement.demoted_bytes.saturating_add(data.len() as u64);
+        self.persist(&placement)?;
+        drop(placement);
+        self.hot.remove(name)?;
+        Ok(data.len() as u64)
+    }
+
+    /// Promote one log's bytes cold → hot; returns the bytes moved.
+    /// Promoting a hot log is a no-op.
+    pub fn promote_log(&self, name: &str) -> Result<u64> {
+        if !self.is_cold(name) {
+            return Ok(0);
+        }
+        let data = self.cold.read_all(name)?.ok_or_else(|| {
+            VStoreError::corruption(format!("placement says {name} is cold but it is missing"))
+        })?;
+        self.hot.write_all(name, &data)?;
+        let mut placement = self.placement.lock();
+        placement.cold.remove(name);
+        placement.promoted_logs += 1;
+        placement.promoted_bytes = placement.promoted_bytes.saturating_add(data.len() as u64);
+        self.persist(&placement)?;
+        drop(placement);
+        self.cold.remove(name)?;
+        Ok(data.len() as u64)
+    }
+
+    /// Route a read: `true` = cold (also counts it).
+    fn reads_cold(&self, name: &str) -> bool {
+        let mut placement = self.placement.lock();
+        if placement.cold.contains(name) {
+            placement.cold_reads += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl StorageBackend for TieredBackend {
+    fn open(&self, name: &str, truncate: bool) -> Result<Box<dyn LogHandle>> {
+        // Active (appendable) logs always live hot. A cold log being
+        // reopened for append is pulled back first so its existing bytes
+        // stay reachable through the one hot handle.
+        if self.is_cold(name) {
+            if truncate {
+                let mut placement = self.placement.lock();
+                placement.cold.remove(name);
+                self.persist(&placement)?;
+                drop(placement);
+                self.cold.remove(name)?;
+            } else {
+                self.promote_log(name)?;
+            }
+        }
+        self.hot.open(name, truncate)
+    }
+
+    fn read_at(&self, name: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        if self.reads_cold(name) {
+            return self.cold.read_at(name, offset, len);
+        }
+        match self.hot.read_at(name, offset, len) {
+            // A demotion can complete between the routing decision and the
+            // hot read; the full cold copy already exists, so retry there
+            // instead of surfacing a spurious miss.
+            Err(_) if self.reads_cold(name) => self.cold.read_at(name, offset, len),
+            other => other,
+        }
+    }
+
+    fn read_all(&self, name: &str) -> Result<Option<Vec<u8>>> {
+        if self.reads_cold(name) {
+            return self.cold.read_all(name);
+        }
+        match self.hot.read_all(name) {
+            // See `read_at`: a concurrent demotion moved the log cold.
+            Ok(None) if self.reads_cold(name) => self.cold.read_all(name),
+            other => other,
+        }
+    }
+
+    fn write_all(&self, name: &str, data: &[u8]) -> Result<()> {
+        // Replacement lands hot (meta files are hot by definition); a cold
+        // copy of the name is superseded and dropped.
+        self.hot.write_all(name, data)?;
+        let mut placement = self.placement.lock();
+        if placement.cold.remove(name) {
+            self.persist(&placement)?;
+            drop(placement);
+            self.cold.remove(name)?;
+        }
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> Result<()> {
+        let mut placement = self.placement.lock();
+        if placement.cold.remove(name) {
+            self.persist(&placement)?;
+            drop(placement);
+            self.cold.remove(name)
+        } else {
+            drop(placement);
+            self.hot.remove(name)
+        }
+    }
+
+    fn len(&self, name: &str) -> Result<Option<u64>> {
+        if self.reads_cold(name) {
+            return self.cold.len(name);
+        }
+        match self.hot.len(name) {
+            // See `read_at`: a concurrent demotion moved the log cold.
+            Ok(None) if self.reads_cold(name) => self.cold.len(name),
+            other => other,
+        }
+    }
+
+    fn list(&self, dir: &str) -> Result<Vec<String>> {
+        let prefix = if dir.is_empty() {
+            String::new()
+        } else {
+            format!("{dir}/")
+        };
+        let mut children: BTreeSet<String> = self.hot.list(dir)?.into_iter().collect();
+        // The placement meta log is an implementation detail, not store data.
+        if dir.is_empty() {
+            children.remove(PLACEMENT_NAME);
+        }
+        let placement = self.placement.lock();
+        for name in &placement.cold {
+            if let Some(rest) = name.strip_prefix(&prefix) {
+                children.insert(match rest.split_once('/') {
+                    Some((first, _)) => first.to_owned(),
+                    None => rest.to_owned(),
+                });
+            }
+        }
+        Ok(children.into_iter().collect())
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "tiered[hot:{} cold:{}]",
+            self.hot.describe(),
+            self.cold.describe()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+    use crate::tier::cold::ColdBackend;
+
+    fn tiered() -> (TieredBackend, Arc<dyn StorageBackend>) {
+        let hot: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+        let cold: Arc<dyn StorageBackend> =
+            Arc::new(ColdBackend::new(Arc::new(MemBackend::new())).unwrap());
+        (TieredBackend::new(Arc::clone(&hot), cold).unwrap(), hot)
+    }
+
+    #[test]
+    fn logs_are_born_hot_and_round_trip() {
+        let (backend, _) = tiered();
+        let mut log = backend.open("shard-000/vlog-00000001.dat", true).unwrap();
+        log.append(b"hot bytes").unwrap();
+        log.sync().unwrap();
+        assert!(!backend.is_cold("shard-000/vlog-00000001.dat"));
+        assert_eq!(
+            backend
+                .read_at("shard-000/vlog-00000001.dat", 4, 5)
+                .unwrap(),
+            b"bytes"
+        );
+    }
+
+    #[test]
+    fn demote_then_read_serves_identical_bytes_from_cold() {
+        let (backend, hot) = tiered();
+        backend
+            .write_all("shard-001/vlog-00000001.dat", b"sealed log")
+            .unwrap();
+        let moved = backend.demote_log("shard-001/vlog-00000001.dat").unwrap();
+        assert_eq!(moved, 10);
+        assert!(backend.is_cold("shard-001/vlog-00000001.dat"));
+        assert_eq!(
+            hot.read_all("shard-001/vlog-00000001.dat").unwrap(),
+            None,
+            "hot copy is gone"
+        );
+        assert_eq!(
+            backend
+                .read_all("shard-001/vlog-00000001.dat")
+                .unwrap()
+                .unwrap(),
+            b"sealed log"
+        );
+        assert_eq!(
+            backend
+                .read_at("shard-001/vlog-00000001.dat", 7, 3)
+                .unwrap(),
+            b"log"
+        );
+        let stats = backend.stats();
+        assert_eq!(stats.cold_logs, 1);
+        assert_eq!(stats.demoted_bytes, 10);
+        assert!(stats.cold_reads >= 2);
+        // Demoting again is a no-op; promote restores the hot copy.
+        assert_eq!(
+            backend.demote_log("shard-001/vlog-00000001.dat").unwrap(),
+            0
+        );
+        assert_eq!(
+            backend.promote_log("shard-001/vlog-00000001.dat").unwrap(),
+            10
+        );
+        assert!(!backend.is_cold("shard-001/vlog-00000001.dat"));
+        assert_eq!(
+            backend
+                .read_all("shard-001/vlog-00000001.dat")
+                .unwrap()
+                .unwrap(),
+            b"sealed log"
+        );
+    }
+
+    #[test]
+    fn placement_survives_reopen_on_shared_backends() {
+        let hot: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+        let cold: Arc<dyn StorageBackend> =
+            Arc::new(ColdBackend::new(Arc::new(MemBackend::new())).unwrap());
+        {
+            let backend = TieredBackend::new(Arc::clone(&hot), Arc::clone(&cold)).unwrap();
+            backend
+                .write_all("shard-000/vlog-00000001.dat", b"aging")
+                .unwrap();
+            backend.demote_log("shard-000/vlog-00000001.dat").unwrap();
+        }
+        let reopened = TieredBackend::new(hot, cold).unwrap();
+        assert!(reopened.is_cold("shard-000/vlog-00000001.dat"));
+        assert_eq!(
+            reopened
+                .read_all("shard-000/vlog-00000001.dat")
+                .unwrap()
+                .unwrap(),
+            b"aging"
+        );
+    }
+
+    #[test]
+    fn list_merges_tiers_and_hides_the_placement_meta() {
+        let (backend, _) = tiered();
+        backend.write_all("SHARDS", b"2\n").unwrap();
+        backend.write_all("shard-000/a.dat", b"x").unwrap();
+        backend.write_all("shard-001/b.dat", b"y").unwrap();
+        backend.demote_log("shard-001/b.dat").unwrap();
+        assert_eq!(
+            backend.list("").unwrap(),
+            vec!["SHARDS", "shard-000", "shard-001"]
+        );
+        assert_eq!(backend.list("shard-001").unwrap(), vec!["b.dat"]);
+        backend.remove("shard-001/b.dat").unwrap();
+        assert!(backend.list("shard-001").unwrap().is_empty());
+    }
+
+    #[test]
+    fn reopening_a_cold_log_for_append_promotes_it_first() {
+        let (backend, _) = tiered();
+        backend.write_all("log", b"one").unwrap();
+        backend.demote_log("log").unwrap();
+        let mut handle = backend.open("log", false).unwrap();
+        handle.append(b"two").unwrap();
+        assert!(!backend.is_cold("log"));
+        assert_eq!(backend.read_all("log").unwrap().unwrap(), b"onetwo");
+        // Truncating reopen of a cold log just drops the cold copy.
+        backend.demote_log("log").unwrap();
+        let mut handle = backend.open("log", true).unwrap();
+        handle.append(b"z").unwrap();
+        assert_eq!(backend.read_all("log").unwrap().unwrap(), b"z");
+    }
+}

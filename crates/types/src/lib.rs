@@ -33,6 +33,7 @@ pub mod consumer;
 pub mod error;
 pub mod fidelity;
 pub mod format;
+pub mod hist;
 pub mod knobs;
 pub mod runtime;
 pub mod serve;
@@ -44,6 +45,7 @@ pub use consumer::{AccuracyLevel, Consumer, OperatorKind, DEFAULT_ACCURACY_LEVEL
 pub use error::{Result, VStoreError};
 pub use fidelity::{Fidelity, Richness};
 pub use format::{CodingOption, ConsumptionFormat, FormatId, StorageFormat};
+pub use hist::LatencyHistogram;
 pub use knobs::{CropFactor, FrameSampling, ImageQuality, KeyframeInterval, Resolution, SpeedStep};
 pub use runtime::{available_workers, RuntimeOptions, DEFAULT_SHARDS, MIN_CACHE_BYTES_PER_SHARD};
 pub use serve::{QueueFullPolicy, ServeOptions, DEFAULT_QUEUE_DEPTH};

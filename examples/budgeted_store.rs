@@ -82,7 +82,9 @@ fn main() -> vstore::Result<()> {
     let fresh = store.query(QueryRequest::new("airport", &query).segments(4))?;
     let mut deleted_total = 0;
     for age in 1..=10 {
-        deleted_total += store.erode(ErodeRequest::new("airport").at_age_days(age))?;
+        deleted_total += store
+            .erode(ErodeRequest::new("airport").at_age_days(age))?
+            .total_segments();
     }
     let aged = store.query(QueryRequest::new("airport", &query).segments(4))?;
     let fallbacks: usize = aged.stages.iter().map(|s| s.fallback_segments).sum();

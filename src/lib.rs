@@ -65,13 +65,15 @@ pub use vstore_types as types;
 
 pub use requests::{ErodeRequest, IngestRequest, QueryRequest};
 pub use vstore_core::{Alternative, ConfigurationEngine, EngineOptions};
+pub use vstore_ingest::ErodeReport;
 pub use vstore_query::{QueryResult, QuerySpec};
 pub use vstore_serve::{
     Connection, RemoteError, RequestKind, ServeRequest, ServeResponse, ServeStats, ServerHandle,
     VideoService,
 };
 pub use vstore_storage::{
-    BackendOptions, CacheStats, FsBackend, MemBackend, SegmentReader, StorageBackend,
+    BackendOptions, CacheStats, ColdBackend, FsBackend, MemBackend, ReadSource, SegmentReader,
+    StorageBackend, TierEngine, TierOptions, TierStats, TieredBackend,
 };
 pub use vstore_types::{
     Configuration, Consumer, OperatorKind, QueueFullPolicy, Result, RuntimeOptions, ServeOptions,
@@ -104,6 +106,11 @@ pub struct VStoreOptions {
     /// Which storage backend the segment store runs on: the local
     /// filesystem (default) or an in-memory backend for tests and benches.
     pub backend: BackendOptions,
+    /// The cold-storage tier: disabled by default (erosion deletes, byte-
+    /// identical to the untiered store). With a cold backend configured,
+    /// erosion **demotes** segments to an object-store-style cold tier and
+    /// queries promote them back on access. Validated at [`VStore::open`].
+    pub tier: TierOptions,
 }
 
 impl Default for VStoreOptions {
@@ -113,6 +120,7 @@ impl Default for VStoreOptions {
             profiler: ProfilerConfig::paper_evaluation(),
             runtime: RuntimeOptions::default(),
             backend: BackendOptions::default(),
+            tier: TierOptions::default(),
         }
     }
 }
@@ -129,6 +137,7 @@ impl VStoreOptions {
             profiler: ProfilerConfig::fast_test(),
             runtime: RuntimeOptions::default(),
             backend: BackendOptions::default(),
+            tier: TierOptions::default(),
         }
     }
 
@@ -152,6 +161,19 @@ impl VStoreOptions {
         self.backend = backend;
         self
     }
+
+    /// Replace the tiering options (see [`TierOptions`]). With a cold
+    /// backend configured, erosion demotes instead of deleting.
+    pub fn with_tier(mut self, tier: TierOptions) -> Self {
+        self.tier = tier;
+        self
+    }
+
+    /// Enable the cold tier on the chosen backend with default tiering
+    /// knobs (shorthand for `with_tier(TierOptions::cold(backend))`).
+    pub fn with_cold_backend(self, backend: BackendOptions) -> Self {
+        self.with_tier(TierOptions::cold(backend))
+    }
 }
 
 /// A combined, operator-facing snapshot of store, cache and serving
@@ -170,6 +192,9 @@ pub struct StatsReport {
     /// Per-shard cache statistics, in shard order (empty when the cache is
     /// disabled).
     pub shard_caches: Vec<CacheStats>,
+    /// Tiering statistics — resident bytes per tier, demotions/promotions,
+    /// cold-hit latency (`None` when no cold tier is configured).
+    pub tier: Option<TierStats>,
     /// Aggregate serving-layer statistics across every front end started
     /// with [`VStore::serve`] (`None` when none has been started).
     pub serve: Option<ServeStats>,
@@ -192,6 +217,9 @@ impl std::fmt::Display for StatsReport {
             writeln!(f, "cache: disabled")?;
         } else {
             writeln!(f, "cache: {}", self.cache)?;
+        }
+        if let Some(tier) = &self.tier {
+            writeln!(f, "{tier}")?;
         }
         if let Some(serve) = &self.serve {
             writeln!(f, "{serve}")?;
@@ -237,6 +265,11 @@ struct VStoreInner {
     /// shared by the query engine (reads) and the ingestion pipeline
     /// (invalidating writes, including erosion).
     reader: Arc<SegmentReader>,
+    /// The cold-storage tiering engine, when a cold backend is configured:
+    /// erosion demotes onto its migration queue and cold read hits promote
+    /// through the shared reader. Dropping the inner drains and joins the
+    /// migration workers.
+    tier: Option<Arc<TierEngine>>,
     ingest: IngestionPipeline,
     queries: QueryEngine,
     active: RwLock<ConfigSlot>,
@@ -325,7 +358,7 @@ impl VStore {
             options.backend,
             options.runtime.shards,
         )?);
-        Ok(Self::assemble(store, options))
+        Self::assemble(store, options)
     }
 
     /// Open a store in a fresh temporary directory (tests and examples).
@@ -345,10 +378,11 @@ impl VStore {
             backend,
             options.runtime.shards,
         )?);
-        Ok(Self::assemble(store, options))
+        Self::assemble(store, options)
     }
 
-    fn assemble(store: Arc<SegmentStore>, options: VStoreOptions) -> VStore {
+    fn assemble(store: Arc<SegmentStore>, options: VStoreOptions) -> Result<VStore> {
+        options.tier.validate()?;
         let runtime = options.runtime;
         let clock = VirtualClock::new();
         let library = OperatorLibrary::paper_testbed();
@@ -362,6 +396,34 @@ impl VStore {
             runtime.cache_bytes,
             runtime.decoded_cache_entries,
         ));
+        // The cold tier, when configured: an object-store-style ColdBackend
+        // (rooted under `<store dir>/cold-tier` for the fs backend) holding
+        // its own segment store. Erosion demotes onto the engine's bounded
+        // migration queue; cold read hits promote back through the shared
+        // reader, epoch-invalidating both cache tiers.
+        let tier = match options.tier.cold_backend {
+            Some(cold_options) => {
+                let root = match store.dir() {
+                    dir if dir == std::path::Path::new("<mem>") => {
+                        SegmentStore::temp_dir("cold-tier")
+                    }
+                    dir => dir.join("cold-tier"),
+                };
+                let device = cold_options.create(&root)?;
+                let cold_backend = Arc::new(vstore_storage::ColdBackend::with_chunk_bytes(
+                    device,
+                    options.tier.cold_chunk_bytes,
+                )?);
+                let cold_store = Arc::new(SegmentStore::open_with_backend(
+                    cold_backend,
+                    runtime.shards,
+                )?);
+                let engine = TierEngine::start(Arc::clone(&reader), cold_store, options.tier)?;
+                reader.attach_tier(&engine);
+                Some(engine)
+            }
+            None => None,
+        };
         let ingest =
             IngestionPipeline::new(Arc::clone(&store), Transcoder::new(coding), clock.clone())
                 .with_workers(runtime.ingest_workers)
@@ -376,19 +438,20 @@ impl VStore {
         )
         .with_prefetch(runtime.query_prefetch)
         .with_reader(Arc::clone(&reader));
-        VStore {
+        Ok(VStore {
             inner: Arc::new(VStoreInner {
                 profiler,
                 engine,
                 store,
                 reader,
+                tier,
                 ingest,
                 queries,
                 active: RwLock::new(ConfigSlot::default()),
                 clock,
                 serving: RwLock::new(ServeRegistry::default()),
             }),
-        }
+        })
     }
 
     /// The profiler (exposed for experiments that report profiling cost).
@@ -427,6 +490,12 @@ impl VStore {
         self.inner.reader.shard_cache_stats()
     }
 
+    /// Tiering statistics (`None` when no cold tier is configured).
+    #[must_use]
+    pub fn tier_stats(&self) -> Option<TierStats> {
+        self.inner.tier.as_ref().map(|tier| tier.stats())
+    }
+
     /// One combined operator-facing report: store statistics and cache
     /// statistics, aggregate and per shard.
     ///
@@ -443,6 +512,7 @@ impl VStore {
             cache: self.cache_stats(),
             shards: self.shard_stats(),
             shard_caches: self.shard_cache_stats(),
+            tier: self.tier_stats(),
             serve,
         }
     }
@@ -528,9 +598,12 @@ impl VStore {
     }
 
     /// Apply the erosion plan of the active configuration to a stream at a
-    /// given video age, deleting the planned fraction of segments. Returns
-    /// the number of segments deleted.
-    pub fn erode(&self, request: ErodeRequest) -> Result<usize> {
+    /// given video age. With no cold tier configured the planned fraction
+    /// of segments is **deleted** (the pre-tiering behaviour); with one
+    /// ([`VStoreOptions::with_cold_backend`]) it is **demoted** to cold
+    /// storage instead and stays queryable. The report says which happened,
+    /// in segments and bytes; the golden format is never touched.
+    pub fn erode(&self, request: ErodeRequest) -> Result<ErodeReport> {
         request.validate()?;
         let config = self.active()?;
         self.inner
@@ -599,7 +672,7 @@ impl VideoService for VStore {
         )
     }
 
-    fn erode(&self, stream: &str, age_days: u32) -> Result<usize> {
+    fn erode(&self, stream: &str, age_days: u32) -> Result<ErodeReport> {
         VStore::erode(self, ErodeRequest::new(stream).at_age_days(age_days))
     }
 }

@@ -135,7 +135,10 @@ fn erosion_degrades_speed_but_preserves_results() {
     let removed = store
         .erode(ErodeRequest::new("tucson").at_age_days(1))
         .unwrap();
-    assert!(removed > 0, "expected some segments to be eroded");
+    assert!(
+        removed.segments_deleted > 0,
+        "expected some segments to be eroded"
+    );
 
     let after = store
         .query(QueryRequest::new("tucson", &query).segments(2))

@@ -140,7 +140,7 @@ fn served_responses_match_direct_handle_calls() {
         })
         .unwrap()
     {
-        ServeResponse::Erode(deleted) => assert_eq!(deleted, direct_deleted as u64),
+        ServeResponse::Erode(report) => assert_eq!(report, direct_deleted),
         other => panic!("unexpected {other:?}"),
     }
 

@@ -205,7 +205,8 @@ fn concurrent_erode_and_query_with_cache_never_serve_stale_bytes() {
     for age in 1..=ERODE_AGES {
         replay_deleted += uncached
             .erode(ErodeRequest::new("jackson").at_age_days(age))
-            .unwrap();
+            .unwrap()
+            .total_segments();
     }
     assert!(replay_deleted > 0, "the budget must force real erosion");
     assert_eq!(

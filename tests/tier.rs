@@ -1,0 +1,225 @@
+//! The tiered-cold-storage acceptance suite: with a cold backend
+//! configured, an `ErodeRequest` that previously deleted segments demotes
+//! them instead; a subsequent query returns byte-identical frames via
+//! read-through promotion, charges `ColdRead` (not `DiskRead`) for the
+//! cold fetch, and `stats_report` shows non-zero demotions/promotions.
+//! With no cold backend configured, behaviour is byte-identical to the
+//! untiered store (the parity suites lock that in separately).
+
+use std::collections::BTreeMap;
+use vstore::{
+    BackendOptions, Configuration, ErodeRequest, IngestRequest, QueryRequest, QuerySpec, VStore,
+    VStoreError, VStoreOptions,
+};
+use vstore_datasets::{Dataset, VideoSource};
+use vstore_sim::ResourceKind;
+use vstore_storage::TierOptions;
+use vstore_types::{ErosionStep, FormatId, Fraction};
+
+/// A configuration whose age-1 erosion step removes every non-golden
+/// segment, so one erode call moves a deterministic, non-empty set.
+fn erode_everything_config(store: &VStore, query: &QuerySpec) -> Configuration {
+    let mut config = (*store.configure(&query.consumers()).unwrap()).clone();
+    let deleted: BTreeMap<FormatId, Fraction> = config
+        .storage_formats
+        .keys()
+        .filter(|id| !id.is_golden())
+        .map(|id| (*id, Fraction::ONE))
+        .collect();
+    assert!(
+        !deleted.is_empty(),
+        "configuration has no non-golden formats to erode"
+    );
+    config.erosion.steps = vec![ErosionStep {
+        age_days: 1,
+        deleted,
+        overall_relative_speed: 0.5,
+    }];
+    config
+}
+
+fn tiered_store(tag: &str) -> VStore {
+    VStore::open_temp(
+        tag,
+        VStoreOptions::fast()
+            .with_backend(BackendOptions::Mem)
+            .with_cache(64 << 20, 64)
+            .with_cold_backend(BackendOptions::Mem),
+    )
+    .unwrap()
+}
+
+/// The acceptance criterion, end to end: erode → demote (not delete) →
+/// query → byte-identical results via promotion, ColdRead charged,
+/// stats_report shows the tier moving.
+#[test]
+fn erode_demotes_then_query_promotes_with_identical_results() {
+    let store = tiered_store("tier-roundtrip");
+    let query = QuerySpec::query_a(0.8);
+    let config = erode_everything_config(&store, &query);
+    store.install_configuration(config);
+
+    let source = VideoSource::new(Dataset::Jackson);
+    store
+        .ingest(IngestRequest::new(&source).segments(3))
+        .unwrap();
+    let fresh = store
+        .query(QueryRequest::new("jackson", &query).segments(3))
+        .unwrap();
+    let live_before = store.store_stats().live_segments;
+
+    let report = store
+        .erode(ErodeRequest::new("jackson").at_age_days(1))
+        .unwrap();
+    assert!(report.segments_demoted > 0, "{report}");
+    assert!(report.demoted_bytes.bytes() > 0);
+    assert_eq!(report.segments_deleted, 0, "tiered erosion must not delete");
+    assert_eq!(report.deleted_bytes.bytes(), 0);
+    assert_eq!(
+        store.store_stats().live_segments,
+        live_before - report.segments_demoted,
+        "demoted segments left the hot store"
+    );
+
+    // The demoted segments are still queryable: the read path falls through
+    // to the cold tier, promotes, and the results are byte-identical.
+    let cold_before = store.clock().usage().bytes(ResourceKind::ColdRead);
+    let aged = store
+        .query(QueryRequest::new("jackson", &query).segments(3))
+        .unwrap();
+    assert_eq!(fresh, aged, "cold-tier round trip changed query results");
+    assert_eq!(
+        aged.stages
+            .iter()
+            .map(|s| s.fallback_segments)
+            .sum::<usize>(),
+        0,
+        "promotion serves the subscribed format, not a fallback"
+    );
+    let usage = store.clock().usage();
+    assert!(
+        usage.bytes(ResourceKind::ColdRead) > cold_before,
+        "cold fetches must charge ColdRead"
+    );
+
+    // Promotion moved the segments back: the hot store is whole again and a
+    // re-run query reads nothing cold.
+    assert_eq!(store.store_stats().live_segments, live_before);
+    let cold_after = store.clock().usage().bytes(ResourceKind::ColdRead);
+    let warm = store
+        .query(QueryRequest::new("jackson", &query).segments(3))
+        .unwrap();
+    assert_eq!(fresh, warm);
+    assert_eq!(
+        store.clock().usage().bytes(ResourceKind::ColdRead),
+        cold_after,
+        "promoted segments are hot again; nothing reads cold"
+    );
+
+    let stats = store.tier_stats().expect("tier configured");
+    assert_eq!(stats.demotions as usize, report.segments_demoted);
+    assert!(stats.promotions > 0);
+    assert!(stats.cold_hits > 0);
+    assert_eq!(stats.cold_segments, 0, "everything promoted back");
+    assert!(stats.cold_hit_latency.count() > 0);
+    assert_eq!(stats.failed_demotions, 0);
+
+    let rendered = store.stats_report().to_string();
+    assert!(rendered.contains("tier:"), "{rendered}");
+    assert!(!rendered.contains("NaN"), "{rendered}");
+    std::fs::remove_dir_all(store.store_dir()).ok();
+}
+
+/// Golden-format invariant at the facade level: tiered erosion demotes
+/// non-golden formats only, and the golden format never leaves the hot
+/// tier (matching `erosion.rs`'s never-eroded root invariant).
+#[test]
+fn golden_format_never_leaves_the_hot_tier() {
+    let store = tiered_store("tier-golden");
+    let query = QuerySpec::query_a(0.8);
+    let config = erode_everything_config(&store, &query);
+    store.install_configuration(config);
+    let source = VideoSource::new(Dataset::Jackson);
+    const SEGMENTS: usize = 2;
+    store
+        .ingest(IngestRequest::new(&source).segments(SEGMENTS as u64))
+        .unwrap();
+    let total = store.store_stats().live_segments;
+
+    // The step erodes 100 % of every non-golden format, so afterwards the
+    // hot store holds exactly the golden segments — one per ingested
+    // segment — and the cold store holds everything else.
+    let report = store
+        .erode(ErodeRequest::new("jackson").at_age_days(1))
+        .unwrap();
+    assert_eq!(report.segments_demoted, total - SEGMENTS, "{report}");
+    assert_eq!(store.store_stats().live_segments, SEGMENTS);
+    let stats = store.tier_stats().unwrap();
+    assert_eq!(stats.cold_segments, total - SEGMENTS);
+    assert_eq!(
+        stats.demotions as usize,
+        total - SEGMENTS,
+        "the golden format never leaves the hot tier"
+    );
+    std::fs::remove_dir_all(store.store_dir()).ok();
+}
+
+/// Re-eroding after promotion keeps working: segments cycle hot → cold →
+/// hot → cold without loss, and every cycle is observable in the stats.
+#[test]
+fn demote_promote_demote_cycles_never_lose_segments() {
+    let store = tiered_store("tier-cycles");
+    let query = QuerySpec::query_a(0.8);
+    let config = erode_everything_config(&store, &query);
+    store.install_configuration(config);
+    let source = VideoSource::new(Dataset::Jackson);
+    store
+        .ingest(IngestRequest::new(&source).segments(2))
+        .unwrap();
+    let fresh = store
+        .query(QueryRequest::new("jackson", &query).segments(2))
+        .unwrap();
+    let live = store.store_stats().live_segments;
+
+    for round in 1..=3 {
+        let report = store
+            .erode(ErodeRequest::new("jackson").at_age_days(1))
+            .unwrap();
+        assert!(report.segments_demoted > 0, "round {round}: {report}");
+        let result = store
+            .query(QueryRequest::new("jackson", &query).segments(2))
+            .unwrap();
+        assert_eq!(fresh, result, "round {round} diverged");
+        assert_eq!(store.store_stats().live_segments, live, "round {round}");
+    }
+    let stats = store.tier_stats().unwrap();
+    assert!(stats.demotions >= 3);
+    assert!(stats.promotions >= 3);
+    std::fs::remove_dir_all(store.store_dir()).ok();
+}
+
+/// Tier options are validated at open, like RuntimeOptions.
+#[test]
+fn open_rejects_invalid_tier_options() {
+    let options = VStoreOptions::fast()
+        .with_backend(BackendOptions::Mem)
+        .with_tier(TierOptions::cold_mem().with_demote_queue(0, 8));
+    let err = VStore::open_temp("tier-bad-options", options).unwrap_err();
+    assert!(matches!(err, VStoreError::InvalidArgument(_)), "{err}");
+}
+
+/// Without a cold backend there is no tier section and no tier stats —
+/// the report shape of the untiered store is unchanged.
+#[test]
+fn untiered_store_reports_no_tier_section() {
+    let store = VStore::open_temp(
+        "tier-disabled",
+        VStoreOptions::fast().with_backend(BackendOptions::Mem),
+    )
+    .unwrap();
+    assert!(store.tier_stats().is_none());
+    let report = store.stats_report();
+    assert!(report.tier.is_none());
+    assert!(!report.to_string().contains("tier:"));
+    std::fs::remove_dir_all(store.store_dir()).ok();
+}
