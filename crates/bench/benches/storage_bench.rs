@@ -13,7 +13,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 use std::time::Instant;
 use vstore::{
-    BackendOptions, IngestRequest, QuerySpec, ServeRequest, ServeResponse, VStore, VStoreOptions,
+    BackendOptions, IngestRequest, QueryRequest, QuerySpec, ServeRequest, ServeResponse, VStore,
+    VStoreOptions,
 };
 use vstore_codec::frame::materialize_clip;
 use vstore_codec::{encode_segment, SegmentData};
@@ -468,6 +469,149 @@ fn measure_serve_throughput_cases() -> Vec<String> {
     rows
 }
 
+/// The planner decode-skip experiment: a skewed workload — the park stream
+/// is near-static with periodic bursts of activity — queried with the
+/// cascade planner off and on. With the planner off, the first cascade
+/// stage fetches and decodes every segment of the range; with it on,
+/// segments whose ingest-time metadata sidecar stays below the skip
+/// threshold are never fetched at all. The threshold sits between park's
+/// quiet-segment scores (~3–4.5 change units) and its activity bursts
+/// (>12), the tuning the README's planner table documents for skewed
+/// streams. Returns one JSON row recording the reduction in decoded
+/// segments per query.
+fn measure_planner_skip() -> String {
+    const SEGMENTS: u64 = 12;
+    const SKIP_THRESHOLD: f64 = 6.0;
+    let store = VStore::open_temp(
+        "bench-planner",
+        VStoreOptions::fast().with_backend(BackendOptions::Mem),
+    )
+    .unwrap();
+    let query = QuerySpec::query_a(0.8);
+    store.configure(&query.consumers()).unwrap();
+    store
+        .ingest(IngestRequest::new(&VideoSource::new(Dataset::Park)).segments(SEGMENTS))
+        .unwrap();
+
+    let exact = store
+        .query(
+            QueryRequest::new("park", &query)
+                .segments(SEGMENTS)
+                .with_planner(false),
+        )
+        .unwrap();
+    let planned = store
+        .query(
+            QueryRequest::new("park", &query)
+                .segments(SEGMENTS)
+                .with_planner(true)
+                .skip_threshold(SKIP_THRESHOLD),
+        )
+        .unwrap();
+    assert_eq!(exact.segments_skipped, 0, "exact mode never skips");
+    let decoded_off = exact.stages[0].segments_processed;
+    let decoded_on = planned.stages[0].segments_processed;
+    assert_eq!(
+        decoded_on + planned.segments_skipped,
+        decoded_off,
+        "every non-skipped segment reaches the first stage"
+    );
+    let decode_reduction = decoded_off as f64 / (decoded_on.max(1)) as f64;
+    println!(
+        "segment_store/planner skip: {decoded_off} segments decoded exact, \
+         {decoded_on} planned ({} skipped, {decode_reduction:.1}x reduction)",
+        planned.segments_skipped
+    );
+    format!(
+        "    {{ \"case\": \"planner_skip\", \"stream\": \"park\", \"segments\": {SEGMENTS}, \
+         \"skip_threshold\": {SKIP_THRESHOLD}, \"decoded_exact\": {decoded_off}, \
+         \"decoded_planned\": {decoded_on}, \"segments_skipped\": {}, \
+         \"decode_reduction\": {decode_reduction:.1} }}",
+        planned.segments_skipped
+    )
+}
+
+/// Deterministic CPU busy-work for the pool-scaling experiment: `iters`
+/// rounds of integer mixing the optimizer cannot elide.
+fn spin_work(iters: u64) -> u64 {
+    let mut acc = 0x9E37_79B9_7F4A_7C15u64;
+    for i in 0..iters {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        acc ^= acc >> 29;
+    }
+    std::hint::black_box(acc)
+}
+
+/// One pass of the imbalanced map: run every item's busy-work through the
+/// chosen pool and return the **makespan in work units** — the busiest
+/// worker thread's total executed iterations. Unit makespan is what
+/// wall-clock is proportional to on an unloaded multi-core host, and
+/// unlike wall-clock (or per-item `Instant` spans, which preemption
+/// inflates) it stays meaningful on oversubscribed or single-core CI
+/// runners where all worker threads timeshare one core.
+fn imbalanced_makespan(stealing: bool, items: &[u64], workers: usize) -> u64 {
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+    let done: Mutex<HashMap<std::thread::ThreadId, u64>> = Mutex::new(HashMap::new());
+    let work = |_: usize, iters: u64| {
+        let out = spin_work(iters);
+        *done
+            .lock()
+            .unwrap()
+            .entry(std::thread::current().id())
+            .or_default() += iters;
+        out
+    };
+    let out = if stealing {
+        vstore_sim::scoped_map(items.to_vec(), workers, work)
+    } else {
+        vstore_sim::scoped_map_static(items.to_vec(), workers, work)
+    };
+    assert_eq!(out.len(), items.len());
+    let done = done.into_inner().unwrap();
+    done.values().copied().max().unwrap_or(0)
+}
+
+/// The worker-pool scaling experiment: an imbalanced item mix — all the
+/// heavy items land in the first worker's seeded chunk — mapped with
+/// static contiguous chunking vs the work-stealing pool at the same worker
+/// count. Static chunking convoys on the worker that owns the heavy chunk
+/// (its makespan is the whole heavy block); the stealing pool spreads the
+/// heavy items across the idle workers. Returns one JSON row with the
+/// makespan speedup.
+fn measure_pool_scaling() -> String {
+    const WORKERS: usize = 4;
+    const ITEMS: usize = 32;
+    const HEAVY_ITERS: u64 = 4_000_000;
+    const LIGHT_ITERS: u64 = 40_000;
+    // Heavy items clustered in worker 0's seeded block [0, ITEMS/WORKERS).
+    let items: Vec<u64> = (0..ITEMS)
+        .map(|i| {
+            if i < ITEMS / WORKERS {
+                HEAVY_ITERS
+            } else {
+                LIGHT_ITERS
+            }
+        })
+        .collect();
+    // Warm-up pass, then the measured pass.
+    imbalanced_makespan(false, &items, WORKERS);
+    let static_units = imbalanced_makespan(false, &items, WORKERS);
+    imbalanced_makespan(true, &items, WORKERS);
+    let stealing_units = imbalanced_makespan(true, &items, WORKERS);
+    let steal_speedup = static_units as f64 / stealing_units.max(1) as f64;
+    println!(
+        "segment_store/pool workers={WORKERS}: makespan static {static_units} units, \
+         stealing {stealing_units} units ({steal_speedup:.1}x)"
+    );
+    format!(
+        "    {{ \"case\": \"imbalanced_chunk\", \"workers\": {WORKERS}, \"items\": {ITEMS}, \
+         \"static_makespan_units\": {static_units}, \
+         \"stealing_makespan_units\": {stealing_units}, \
+         \"steal_speedup\": {steal_speedup:.1} }}"
+    )
+}
+
 fn bench_shard_scaling(_c: &mut Criterion) {
     // A bare (non-flag, non-flag-value) CLI argument is a bench name filter:
     // such a run wants one of the criterion benches above, not a full scaling
@@ -543,6 +687,14 @@ fn bench_shard_scaling(_c: &mut Criterion) {
     // concurrent clients through the bounded queue + worker pool.
     let serve_rows = measure_serve_throughput_cases();
 
+    // The cascade planner: decoded-segments reduction from the metadata
+    // skip on a mostly-static stream.
+    let planner_row = measure_planner_skip();
+
+    // The worker pool: work-stealing vs static chunking on an imbalanced
+    // item mix.
+    let pool_row = measure_pool_scaling();
+
     // Record the baseline next to the workspace root so runs are comparable
     // across PRs. Override the destination with VSTORE_BENCH_JSON.
     let path = std::env::var("VSTORE_BENCH_JSON")
@@ -551,13 +703,16 @@ fn bench_shard_scaling(_c: &mut Criterion) {
         "{{\n  \"bench\": \"segment_store\",\n  \"host_cores\": {cores},\n  \
          \"shard_scaling\": [\n{}\n  ],\n  \"backend_get_put\": [\n{}\n  ],\n  \
          \"cache_hot_cold\": [\n{}\n  ],\n  \"tier_reads\": [\n{}\n  ],\n  \
-         \"demote_throughput\": [\n{}\n  ],\n  \"serve_throughput\": [\n{}\n  ]\n}}\n",
+         \"demote_throughput\": [\n{}\n  ],\n  \"serve_throughput\": [\n{}\n  ],\n  \
+         \"planner_skip\": [\n{}\n  ],\n  \"pool_scaling\": [\n{}\n  ]\n}}\n",
         scaling_rows.join(",\n"),
         backend_rows.join(",\n"),
         cache_rows.join(",\n"),
         tier_rows.join(",\n"),
         demote_row,
-        serve_rows.join(",\n")
+        serve_rows.join(",\n"),
+        planner_row,
+        pool_row
     );
     if let Err(e) = std::fs::write(&path, &json) {
         eprintln!("could not write {path}: {e}");

@@ -24,6 +24,8 @@ const HIGHER_BETTER: &[&str] = &[
     "get_mib_per_sec",
     "requests_per_sec",
     "speedup",
+    "decode_reduction",
+    "steal_speedup",
 ];
 
 /// Metrics where lower is better (latency-shaped).

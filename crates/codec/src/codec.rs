@@ -109,8 +109,10 @@ fn rle_encode(data: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Decode an RLE payload produced by [`rle_encode`].
-fn rle_decode(data: &[u8], expected_len: usize) -> Result<Vec<u8>> {
+/// Decode an RLE payload produced by [`rle_encode`]. Also used by the
+/// metadata sidecar (`meta`) to score frames straight from the compressed
+/// payload without building full `VideoFrame`s.
+pub(crate) fn rle_decode(data: &[u8], expected_len: usize) -> Result<Vec<u8>> {
     if !data.len().is_multiple_of(2) {
         return Err(VStoreError::corruption("RLE payload has odd length"));
     }

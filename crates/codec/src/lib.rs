@@ -30,10 +30,12 @@
 pub mod codec;
 pub mod container;
 pub mod frame;
+pub mod meta;
 pub mod transcode;
 pub mod wire;
 
 pub use codec::{decode_segment, decode_segment_sampled, encode_segment, EncodedSegment};
 pub use container::SegmentData;
 pub use frame::VideoFrame;
+pub use meta::SegmentMeta;
 pub use transcode::{TranscodeOutput, Transcoder};

@@ -1,0 +1,419 @@
+//! Compressed-domain segment metadata: per-frame change scores computed at
+//! ingest and persisted as a small versioned sidecar next to the segment.
+//!
+//! The query planner (EKO-style, see `PAPERS.md`) consults these scores to
+//! skip fetching and decoding segments whose content is static enough that
+//! the first cascade stage would discard almost everything anyway. The
+//! scores are derived directly from the stored representation — for encoded
+//! segments the RLE payloads are expanded but **no `VideoFrame` is ever
+//! materialised** — so computing a sidecar is much cheaper than a decode.
+//!
+//! ## Scoring
+//!
+//! Every stored frame with a predecessor gets one score: the mean, over all
+//! block samples, of the *wrapped* byte distance `min(d, 256 - d)` between
+//! the frame and its predecessor. For delta frames the deltas already *are*
+//! `cur.wrapping_sub(prev)`, so the score falls straight out of the payload.
+//! The wrapped distance is a metric on `Z/256`, which gives the planner a
+//! triangle inequality: the change between two *sampled* frames several
+//! positions apart is bounded by the sum of the per-frame scores between
+//! them — that is exactly what [`SegmentMeta::max_sampled_change`] computes.
+//!
+//! The skip decision built on these scores is deliberately approximate (the
+//! wrapped distance lower-bounds the plain absolute difference, and the
+//! cascade's first stage flags the first frame of every clip regardless of
+//! content), so the planner exposes it as an opt-in with an exact-mode off
+//! switch. See the README's query-planner section.
+//!
+//! ## Wire format (`VSMETA`, version 1)
+//!
+//! ```text
+//! magic  b"VSMETA"           6 bytes
+//! version u8 = 1
+//! frame_count varint         stored frames in the segment
+//! first_index varint         source index of the first frame (if any)
+//! entry_count varint         frames with a predecessor (= frame_count - 1)
+//! entries: (source_index varint, score f32) × entry_count
+//! crc32 u32                  over every preceding byte
+//! ```
+
+use crate::codec::rle_decode;
+use crate::container::SegmentData;
+use crate::frame::sampling_selects;
+use crate::wire::{crc32, ByteReader, ByteWriter};
+use vstore_types::{FrameSampling, Result, VStoreError};
+
+/// Magic bytes prefixing every serialised sidecar.
+const MAGIC: &[u8; 6] = b"VSMETA";
+
+/// Current sidecar format version.
+pub const META_VERSION: u8 = 1;
+
+/// Score assigned when a frame cannot be compared to its predecessor
+/// (dimension change mid-segment): the maximum possible mean wrapped
+/// distance, so the planner never skips on its account.
+const INCOMPARABLE_SCORE: f32 = 128.0;
+
+/// Mean wrapped byte distance between two sample planes.
+fn mean_wrapped_distance(cur: &[u8], prev: &[u8]) -> f32 {
+    if cur.is_empty() || cur.len() != prev.len() {
+        return INCOMPARABLE_SCORE;
+    }
+    let sum: u64 = cur
+        .iter()
+        .zip(prev.iter())
+        .map(|(&c, &p)| {
+            let d = c.wrapping_sub(p);
+            u64::from(d.min(0u8.wrapping_sub(d)))
+        })
+        .sum();
+    (sum as f64 / cur.len() as f64) as f32
+}
+
+/// Mean wrapped magnitude of a delta payload (`cur.wrapping_sub(prev)` per
+/// sample), which equals the wrapped distance between the two frames.
+fn mean_delta_magnitude(deltas: &[u8]) -> f32 {
+    if deltas.is_empty() {
+        return 0.0;
+    }
+    let sum: u64 = deltas
+        .iter()
+        .map(|&d| u64::from(d.min(0u8.wrapping_sub(d))))
+        .sum();
+    (sum as f64 / deltas.len() as f64) as f32
+}
+
+/// Per-segment change metadata, computed at ingest from the stored
+/// representation and persisted as a sidecar through the storage backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentMeta {
+    /// Number of frames stored in the segment.
+    frame_count: u64,
+    /// Source index of the first stored frame (0 when the segment is empty).
+    first_index: u64,
+    /// `(source_index, change score)` for every frame with a predecessor,
+    /// in presentation order. The first frame of the segment has no
+    /// predecessor and therefore no entry.
+    entries: Vec<(u64, f32)>,
+}
+
+impl SegmentMeta {
+    /// Compute the sidecar for a stored segment.
+    ///
+    /// Encoded segments are scored from their compressed payloads (RLE
+    /// expansion only, no frame materialisation); RAW segments from their
+    /// sample planes directly. Both representations of the same content
+    /// yield identical scores.
+    pub fn from_segment(segment: &SegmentData) -> Result<SegmentMeta> {
+        match segment {
+            SegmentData::Raw(raw) => {
+                let mut entries = Vec::new();
+                for pair in raw.frames.windows(2) {
+                    entries.push((
+                        pair[1].source_index,
+                        mean_wrapped_distance(pair[1].plane.samples(), pair[0].plane.samples()),
+                    ));
+                }
+                Ok(SegmentMeta {
+                    frame_count: raw.frames.len() as u64,
+                    first_index: raw.frames.first().map(|f| f.source_index).unwrap_or(0),
+                    entries,
+                })
+            }
+            SegmentData::Encoded(seg) => {
+                let mut entries = Vec::new();
+                let mut prev: Option<Vec<u8>> = None;
+                let mut frame_count = 0u64;
+                let mut first_index = 0u64;
+                for chunk in &seg.chunks {
+                    for frame in &chunk.frames {
+                        let expected = (frame.width as usize) * (frame.height as usize);
+                        let samples = rle_decode(&frame.payload, expected)?;
+                        if frame_count == 0 {
+                            first_index = frame.source_index;
+                        }
+                        frame_count += 1;
+                        let cur = if frame.is_key {
+                            // A keyframe stores raw samples; score it against
+                            // the reconstructed predecessor (if any).
+                            if let Some(p) = &prev {
+                                entries
+                                    .push((frame.source_index, mean_wrapped_distance(&samples, p)));
+                            }
+                            samples
+                        } else {
+                            // A delta frame stores the wrapped differences —
+                            // its score is the payload's own mean magnitude.
+                            let p = prev.as_ref().ok_or_else(|| {
+                                VStoreError::corruption("delta frame without a predecessor")
+                            })?;
+                            if p.len() != samples.len() {
+                                return Err(VStoreError::corruption(
+                                    "predecessor dimensions mismatch",
+                                ));
+                            }
+                            entries.push((frame.source_index, mean_delta_magnitude(&samples)));
+                            samples
+                                .iter()
+                                .zip(p.iter())
+                                .map(|(&d, &pv)| pv.wrapping_add(d))
+                                .collect()
+                        };
+                        prev = Some(cur);
+                    }
+                }
+                Ok(SegmentMeta {
+                    frame_count,
+                    first_index,
+                    entries,
+                })
+            }
+        }
+    }
+
+    /// Number of frames stored in the segment this sidecar describes.
+    pub fn frame_count(&self) -> u64 {
+        self.frame_count
+    }
+
+    /// Number of scored frames (frames with a predecessor).
+    pub fn scored_frames(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The largest change any consumer sampling at `sampling` can observe
+    /// between two consecutive sampled frames of this segment.
+    ///
+    /// By the triangle inequality of the wrapped metric, the change between
+    /// two sampled frames is at most the sum of the per-frame scores across
+    /// the gap separating them; this returns the maximum such gap sum. A
+    /// segment whose value falls below the cascade's diff threshold is one
+    /// the first stage would discard (modulo its first-frame rule), so the
+    /// planner may skip fetching it entirely. Returns 0 when fewer than two
+    /// frames are sampled.
+    pub fn max_sampled_change(&self, sampling: FrameSampling) -> f64 {
+        let mut max = 0.0f64;
+        if self.frame_count == 0 {
+            return max;
+        }
+        let mut have_prev_sampled = sampling_selects(self.first_index, sampling);
+        let mut acc = 0.0f64;
+        for &(index, score) in &self.entries {
+            acc += f64::from(score);
+            if sampling_selects(index, sampling) {
+                if have_prev_sampled && acc > max {
+                    max = acc;
+                }
+                have_prev_sampled = true;
+                acc = 0.0;
+            }
+        }
+        max
+    }
+
+    /// Serialise to the `VSMETA` sidecar format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(16 + self.entries.len() * 6);
+        w.put_raw(MAGIC);
+        w.put_u8(META_VERSION);
+        w.put_varint(self.frame_count);
+        w.put_varint(self.first_index);
+        w.put_varint(self.entries.len() as u64);
+        for &(index, score) in &self.entries {
+            w.put_varint(index);
+            w.put_f32(score);
+        }
+        let mut bytes = w.into_bytes();
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        bytes
+    }
+
+    /// Parse a `VSMETA` sidecar. Any corruption (bad magic, unknown
+    /// version, CRC mismatch, truncation, trailing bytes) is reported as
+    /// [`VStoreError::Corruption`] so callers can degrade to a full decode.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SegmentMeta> {
+        if bytes.len() < MAGIC.len() + 1 + 4 {
+            return Err(VStoreError::corruption("sidecar too short"));
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+        if crc32(body) != stored {
+            return Err(VStoreError::corruption("sidecar CRC mismatch"));
+        }
+        let mut r = ByteReader::new(body);
+        if r.get_raw(MAGIC.len())? != MAGIC {
+            return Err(VStoreError::corruption("bad sidecar magic"));
+        }
+        let version = r.get_u8()?;
+        if version != META_VERSION {
+            return Err(VStoreError::corruption(format!(
+                "unknown sidecar version {version}"
+            )));
+        }
+        let frame_count = r.get_varint()?;
+        let first_index = r.get_varint()?;
+        let entry_count = r.get_varint()? as usize;
+        if entry_count > body.len() {
+            return Err(VStoreError::corruption("sidecar entry count implausible"));
+        }
+        let mut entries = Vec::with_capacity(entry_count);
+        for _ in 0..entry_count {
+            let index = r.get_varint()?;
+            let score = r.get_f32()?;
+            entries.push((index, score));
+        }
+        if !r.is_exhausted() {
+            return Err(VStoreError::corruption("trailing bytes after sidecar"));
+        }
+        Ok(SegmentMeta {
+            frame_count,
+            first_index,
+            entries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_segment;
+    use crate::container::RawSegment;
+    use crate::frame::materialize_clip;
+    use vstore_datasets::{Dataset, VideoSource};
+    use vstore_types::{
+        CropFactor, Fidelity, ImageQuality, KeyframeInterval, Resolution, SpeedStep,
+    };
+
+    fn fidelity() -> Fidelity {
+        Fidelity::new(
+            ImageQuality::Good,
+            CropFactor::C100,
+            Resolution::R360,
+            FrameSampling::Full,
+        )
+    }
+
+    fn segment(dataset: Dataset, n: u32) -> SegmentData {
+        let src = VideoSource::new(dataset);
+        let frames = materialize_clip(&src.clip(0, n), fidelity());
+        SegmentData::Encoded(
+            encode_segment(&frames, KeyframeInterval::K10, SpeedStep::Medium).unwrap(),
+        )
+    }
+
+    #[test]
+    fn serialisation_round_trips() {
+        let meta = SegmentMeta::from_segment(&segment(Dataset::Jackson, 60)).unwrap();
+        assert_eq!(meta.frame_count(), 60);
+        assert_eq!(meta.scored_frames(), 59);
+        let bytes = meta.to_bytes();
+        assert_eq!(SegmentMeta::from_bytes(&bytes).unwrap(), meta);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let meta = SegmentMeta::from_segment(&segment(Dataset::Jackson, 20)).unwrap();
+        let good = meta.to_bytes();
+        // Truncation.
+        assert!(SegmentMeta::from_bytes(&good[..good.len() - 1]).is_err());
+        assert!(SegmentMeta::from_bytes(&[]).is_err());
+        // A flipped byte anywhere trips the CRC.
+        for pos in [0, 6, 8, good.len() / 2, good.len() - 1] {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x40;
+            assert!(SegmentMeta::from_bytes(&bad).is_err(), "byte {pos}");
+        }
+        // Trailing bytes are rejected even with a fresh CRC.
+        let mut padded = good[..good.len() - 4].to_vec();
+        padded.push(0);
+        let crc = crc32(&padded);
+        padded.extend_from_slice(&crc.to_le_bytes());
+        assert!(SegmentMeta::from_bytes(&padded).is_err());
+    }
+
+    #[test]
+    fn encoded_and_raw_representations_score_identically() {
+        let src = VideoSource::new(Dataset::Dashcam);
+        let frames = materialize_clip(&src.clip(0, 40), fidelity());
+        let encoded = SegmentData::Encoded(
+            encode_segment(&frames, KeyframeInterval::K5, SpeedStep::Fast).unwrap(),
+        );
+        let raw = SegmentData::Raw(RawSegment {
+            fidelity: fidelity(),
+            frames,
+        });
+        let a = SegmentMeta::from_segment(&encoded).unwrap();
+        let b = SegmentMeta::from_segment(&raw).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn static_content_scores_below_busy_content() {
+        let park = SegmentMeta::from_segment(&segment(Dataset::Park, 90)).unwrap();
+        let dash = SegmentMeta::from_segment(&segment(Dataset::Dashcam, 90)).unwrap();
+        let p = park.max_sampled_change(FrameSampling::Full);
+        let d = dash.max_sampled_change(FrameSampling::Full);
+        assert!(
+            d > 2.0 * p,
+            "dashcam change {d} not clearly above park change {p}"
+        );
+    }
+
+    #[test]
+    fn sparse_sampling_accumulates_change_over_gaps() {
+        let meta = SegmentMeta::from_segment(&segment(Dataset::Jackson, 240)).unwrap();
+        let full = meta.max_sampled_change(FrameSampling::Full);
+        let sparse = meta.max_sampled_change(FrameSampling::S1_30);
+        // Thirty frames of drift accumulate to at least the largest single
+        // step (the bound is a sum over the gap).
+        assert!(sparse >= full, "sparse {sparse} < full {full}");
+    }
+
+    #[test]
+    fn sampled_change_upper_bounds_true_sampled_diffs() {
+        for dataset in [Dataset::Jackson, Dataset::Park, Dataset::Dashcam] {
+            let seg = segment(dataset, 120);
+            let meta = SegmentMeta::from_segment(&seg).unwrap();
+            for sampling in [
+                FrameSampling::Full,
+                FrameSampling::S1_6,
+                FrameSampling::S1_30,
+            ] {
+                let bound = meta.max_sampled_change(sampling);
+                let (frames, _) = seg.decode_sampled(sampling).unwrap();
+                for pair in frames.windows(2) {
+                    let actual =
+                        mean_wrapped_distance(pair[1].plane.samples(), pair[0].plane.samples());
+                    assert!(
+                        f64::from(actual) <= bound + 1e-3,
+                        "{dataset:?} {sampling:?}: actual {actual} exceeds bound {bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_segments_report_zero_change() {
+        let src = VideoSource::new(Dataset::Park);
+        let frames = materialize_clip(&src.clip(0, 1), fidelity());
+        let raw = SegmentData::Raw(RawSegment {
+            fidelity: fidelity(),
+            frames,
+        });
+        let meta = SegmentMeta::from_segment(&raw).unwrap();
+        assert_eq!(meta.frame_count(), 1);
+        assert_eq!(meta.scored_frames(), 0);
+        assert_eq!(meta.max_sampled_change(FrameSampling::Full), 0.0);
+
+        let empty = SegmentData::Raw(RawSegment {
+            fidelity: fidelity(),
+            frames: Vec::new(),
+        });
+        let meta = SegmentMeta::from_segment(&empty).unwrap();
+        assert_eq!(meta.max_sampled_change(FrameSampling::Full), 0.0);
+        // And the empty sidecar still round-trips.
+        assert_eq!(SegmentMeta::from_bytes(&meta.to_bytes()).unwrap(), meta);
+    }
+}

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use vstore_codec::Transcoder;
+use vstore_codec::{SegmentMeta, Transcoder};
 use vstore_datasets::{SceneFrame, VideoSource};
 use vstore_sim::{scoped_map, ResourceKind, VirtualClock};
 use vstore_storage::{SegmentKey, SegmentReader, SegmentStore};
@@ -300,6 +300,13 @@ impl IngestionPipeline {
                 let bytes = out.data.to_bytes();
                 let key = SegmentKey::new(stream, task.id, task.segment);
                 self.reader.put(&key, &bytes)?;
+                // Persist the compressed-domain change scores next to the
+                // segment so the query planner can skip static segments
+                // without fetching them (see `vstore_codec::meta`).
+                let meta = SegmentMeta::from_segment(&out.data)?;
+                self.reader
+                    .store()
+                    .put_segment_meta(&key, &meta.to_bytes())?;
                 Ok(TaskOutput {
                     id: task.id,
                     encode_core_seconds: out.encode_core_seconds,
@@ -377,8 +384,11 @@ impl IngestionPipeline {
                     None => {
                         let bytes = self.store().value_len(key).unwrap_or(0);
                         // Through the reader: erosion must drop cached
-                        // entries too.
+                        // entries too. The sidecar dies with the segment
+                        // (demotion, by contrast, keeps it — the segment
+                        // still exists, just cold).
                         self.reader.delete(key)?;
+                        self.store().delete_segment_meta(key)?;
                         report.segments_deleted += 1;
                         report.deleted_bytes += ByteSize(bytes);
                     }

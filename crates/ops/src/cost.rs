@@ -70,6 +70,31 @@ impl OperatorCost {
     }
 }
 
+/// Expected fraction of processed segments an operator passes on to the
+/// next cascade stage, over typical surveillance content.
+///
+/// These are priors, not measurements: the query planner uses them together
+/// with [`ConsumptionCostModel::seconds_per_video_second`] to order cascade
+/// stages by cost × selectivity, and every stage report carries both the
+/// planned and the observed selectivity so drift is visible per query. The
+/// early filters (diff, motion, plate detection) are the most selective —
+/// that is why cascades exist (§2.1) — while verification-style operators
+/// (OCR over already-detected plates, the full NN over already-flagged
+/// segments) pass most of what reaches them.
+pub fn selectivity_prior(kind: OperatorKind) -> f64 {
+    match kind {
+        OperatorKind::Diff => 0.45,
+        OperatorKind::SpecializedNN => 0.35,
+        OperatorKind::FullNN => 0.50,
+        OperatorKind::Motion => 0.30,
+        OperatorKind::License => 0.25,
+        OperatorKind::Ocr => 0.60,
+        OperatorKind::OpticalFlow => 0.50,
+        OperatorKind::Color => 0.40,
+        OperatorKind::Contour => 0.50,
+    }
+}
+
 /// The consumption cost model, parameterised by the machine running the
 /// operators.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -307,6 +332,18 @@ mod tests {
         let diff = m.consumption_speed(OperatorKind::Diff, &diff_fid).factor();
         let nn = m.consumption_speed(OperatorKind::FullNN, &nn_fid).factor();
         assert!(diff / nn > 200.0, "diff {diff} nn {nn}");
+    }
+
+    #[test]
+    fn selectivity_priors_are_probabilities_and_favour_early_filters() {
+        for kind in OperatorKind::ALL {
+            let s = selectivity_prior(kind);
+            assert!(s > 0.0 && s < 1.0, "{kind:?} prior {s}");
+        }
+        // The cheap front-of-cascade filters discard more than the
+        // verification operators behind them.
+        assert!(selectivity_prior(OperatorKind::Motion) < selectivity_prior(OperatorKind::Ocr));
+        assert!(selectivity_prior(OperatorKind::Diff) < selectivity_prior(OperatorKind::FullNN));
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod operator;
 pub mod ops;
 pub mod scoring;
 
-pub use cost::ConsumptionCostModel;
+pub use cost::{selectivity_prior, ConsumptionCostModel};
 pub use library::OperatorLibrary;
 pub use operator::{Detection, FrameResult, Operator, OperatorOutput};
 pub use scoring::{expand_to_timeline, f1_score, ScoreReport};

@@ -1,10 +1,11 @@
 //! Query execution over the segment store.
 
 use crate::cascade::QuerySpec;
+use crate::planner::PlanOptions;
 use std::collections::BTreeSet;
 use std::sync::Arc;
-use vstore_codec::Transcoder;
-use vstore_ops::OperatorLibrary;
+use vstore_codec::{SegmentMeta, Transcoder};
+use vstore_ops::{selectivity_prior, OperatorLibrary};
 use vstore_sim::{scoped_map, ResourceKind, VirtualClock};
 use vstore_storage::{
     DecodedRead, DecodedSegment, ReadSource, SegmentKey, SegmentReader, SegmentStore,
@@ -30,6 +31,19 @@ pub struct StageReport {
     /// Segments whose data had to be served by a fallback (richer) format
     /// because the subscribed format's segment was eroded.
     pub fallback_segments: usize,
+    /// The selectivity the planner predicted for this stage
+    /// ([`vstore_ops::selectivity_prior`]); `None` when the query ran
+    /// unplanned.
+    pub planned_selectivity: Option<f64>,
+}
+
+impl StageReport {
+    /// The selectivity this stage actually observed: segments passed over
+    /// segments processed. `None` when the stage processed nothing (idle).
+    pub fn actual_selectivity(&self) -> Option<f64> {
+        (self.segments_processed > 0)
+            .then(|| self.segments_passed as f64 / self.segments_processed as f64)
+    }
 }
 
 /// The result of executing one query.
@@ -43,10 +57,15 @@ pub struct QueryResult {
     pub speed: Speed,
     /// Source frame indices the final cascade stage flagged as positive.
     pub positive_frames: Vec<u64>,
-    /// Per-stage statistics.
+    /// Per-stage statistics, in execution order (the planner may execute
+    /// stages out of declaration order; the declared final stage always
+    /// runs last).
     pub stages: Vec<StageReport>,
     /// Bytes read from the segment store.
     pub bytes_read: ByteSize,
+    /// Segments the planner skipped from metadata alone — never fetched,
+    /// never decoded, never charged. Always 0 when the query ran unplanned.
+    pub segments_skipped: usize,
 }
 
 impl QueryResult {
@@ -151,6 +170,9 @@ impl QueryEngine {
 
     /// Execute a query over a contiguous range of segments of one stream,
     /// using the consumption/storage formats of the given configuration.
+    ///
+    /// Equivalent to [`execute_planned`](Self::execute_planned) with the
+    /// default (disabled) [`PlanOptions`] — the exact scan.
     pub fn execute(
         &self,
         stream: &str,
@@ -159,6 +181,120 @@ impl QueryEngine {
         first_segment: u64,
         segment_count: u64,
     ) -> Result<QueryResult> {
+        self.execute_planned(
+            stream,
+            query,
+            config,
+            first_segment,
+            segment_count,
+            &PlanOptions::default(),
+        )
+    }
+
+    /// Pick the stage execution order. Unplanned queries (and single-stage
+    /// cascades) run in declaration order. Planned queries pin the declared
+    /// final stage last — its positives are the query's answer — and sort
+    /// the earlier filters ascending by expected cost × selectivity on the
+    /// operator library's cost model, so the cheapest, most selective
+    /// filters shrink the active set before expensive ones run. The sort is
+    /// stable: equal keys keep declaration order.
+    fn plan_stage_order(
+        &self,
+        query: &QuerySpec,
+        config: &Configuration,
+        plan: &PlanOptions,
+    ) -> Result<Vec<OperatorKind>> {
+        if !plan.enabled || query.cascade.len() <= 1 {
+            return Ok(query.cascade.clone());
+        }
+        let (last, head) = query.cascade.split_last().expect("cascade is non-empty");
+        let mut keyed: Vec<(f64, OperatorKind)> = Vec::with_capacity(head.len());
+        for &op in head {
+            let consumer = Consumer {
+                op,
+                accuracy: query.accuracy,
+            };
+            let sub = config.subscription(&consumer).ok_or_else(|| {
+                VStoreError::InvalidState(format!(
+                    "configuration has no subscription for {consumer}"
+                ))
+            })?;
+            let cost = self
+                .library
+                .cost_model()
+                .seconds_per_video_second(op, &sub.consumption.fidelity);
+            keyed.push((cost * selectivity_prior(op), op));
+        }
+        keyed.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut ordered: Vec<OperatorKind> = keyed.into_iter().map(|(_, op)| op).collect();
+        ordered.push(*last);
+        Ok(ordered)
+    }
+
+    /// The metadata skip pass: drop from `active` every segment whose
+    /// sidecar proves its content too static for the cascade's
+    /// change-driven stage to keep, **before** any prefetch — a skipped segment is never
+    /// fetched, never decoded and never charged to any resource. Sidecar
+    /// reads go straight to the store (never through the reader), so cache
+    /// hit/miss statistics are unaffected. A missing or corrupt sidecar
+    /// keeps the segment: the engine degrades to the full fetch + decode
+    /// path rather than ever inventing a skip.
+    fn apply_metadata_skip(
+        &self,
+        stream: &str,
+        query: &QuerySpec,
+        config: &Configuration,
+        change_op: OperatorKind,
+        plan: &PlanOptions,
+        active: &mut BTreeSet<u64>,
+    ) -> usize {
+        // Only the change-driven filters can justify a skip from change
+        // scores; a cascade without one keeps the exact scan.
+        if !matches!(change_op, OperatorKind::Diff | OperatorKind::Motion) {
+            return 0;
+        }
+        let consumer = Consumer {
+            op: change_op,
+            accuracy: query.accuracy,
+        };
+        let Some(sub) = config.subscription(&consumer) else {
+            return 0; // the stage loop reports the missing subscription
+        };
+        let sampling = sub.consumption.fidelity.sampling;
+        let store = self.reader.store();
+        let mut skipped = 0usize;
+        active.retain(|&segment| {
+            let key = SegmentKey::new(stream, sub.storage, segment);
+            let keep = match store.get_segment_meta(&key) {
+                Ok(Some(bytes)) => match SegmentMeta::from_bytes(&bytes) {
+                    Ok(meta) => meta.max_sampled_change(sampling) >= plan.skip_threshold,
+                    Err(_) => true, // corrupt sidecar → full decode
+                },
+                _ => true, // missing sidecar (or backend error) → full decode
+            };
+            if !keep {
+                skipped += 1;
+            }
+            keep
+        });
+        skipped
+    }
+
+    /// Execute a query with an explicit [`PlanOptions`]: optionally skip
+    /// fetching segments whose ingest-time metadata says the first stage
+    /// would discard them, and order cascade stages by cost × selectivity
+    /// instead of declaration order. With planning disabled this is
+    /// byte-identical to [`execute`](Self::execute).
+    pub fn execute_planned(
+        &self,
+        stream: &str,
+        query: &QuerySpec,
+        config: &Configuration,
+        first_segment: u64,
+        segment_count: u64,
+        plan: &PlanOptions,
+    ) -> Result<QueryResult> {
+        plan.validate()?;
         if stream.is_empty() {
             return Err(VStoreError::invalid_argument("query stream name is empty"));
         }
@@ -174,13 +310,30 @@ impl QueryEngine {
         // count; reject counts the platform cannot even address instead of
         // silently truncating them (or dying mid-allocation) further down.
         vstore_types::cast::usize_from_u64(segment_count, "query segment count")?;
+        let ordered = self.plan_stage_order(query, config, plan)?;
         let mut active: BTreeSet<u64> = (first_segment..first_segment + segment_count).collect();
-        let mut stages = Vec::with_capacity(query.cascade.len());
+        let segments_skipped = if plan.enabled {
+            // Key the skip off the earliest change-driven stage anywhere in
+            // the plan: cascade stages conjoin, so a segment that stage
+            // would discard contributes nothing no matter where the
+            // planner scheduled it — skipping it up front is equivalent.
+            match ordered
+                .iter()
+                .copied()
+                .find(|op| matches!(op, OperatorKind::Diff | OperatorKind::Motion))
+            {
+                Some(op) => self.apply_metadata_skip(stream, query, config, op, plan, &mut active),
+                None => 0,
+            }
+        } else {
+            0
+        };
+        let mut stages = Vec::with_capacity(ordered.len());
         let mut total_seconds = 0.0f64;
         let mut bytes_read = ByteSize::ZERO;
         let mut positive_frames = Vec::new();
 
-        for (stage_idx, &op) in query.cascade.iter().enumerate() {
+        for (stage_idx, &op) in ordered.iter().enumerate() {
             let consumer = Consumer {
                 op,
                 accuracy: query.accuracy,
@@ -198,6 +351,7 @@ impl QueryEngine {
                 frames_consumed: 0,
                 processing_seconds: 0.0,
                 fallback_segments: 0,
+                planned_selectivity: plan.enabled.then(|| selectivity_prior(op)),
             };
             let mut next_active = BTreeSet::new();
             let mut stage_positive_frames = Vec::new();
@@ -243,7 +397,7 @@ impl QueryEngine {
                         report.segments_passed += 1;
                         next_active.insert(segment);
                     }
-                    if stage_idx + 1 == query.cascade.len() {
+                    if stage_idx + 1 == ordered.len() {
                         stage_positive_frames.extend(output.positive_indices());
                     }
                     let compute = self.library.compute_seconds(
@@ -260,14 +414,14 @@ impl QueryEngine {
                 }
             }
             total_seconds += report.processing_seconds;
-            if stage_idx + 1 == query.cascade.len() {
+            if stage_idx + 1 == ordered.len() {
                 positive_frames = stage_positive_frames;
             }
             stages.push(report);
             active = next_active;
-            if active.is_empty() && stage_idx + 1 < query.cascade.len() {
+            if active.is_empty() && stage_idx + 1 < ordered.len() {
                 // Nothing left for later stages; record them as idle.
-                for &op in &query.cascade[stage_idx + 1..] {
+                for &op in &ordered[stage_idx + 1..] {
                     stages.push(StageReport {
                         op,
                         segments_processed: 0,
@@ -275,6 +429,7 @@ impl QueryEngine {
                         frames_consumed: 0,
                         processing_seconds: 0.0,
                         fallback_segments: 0,
+                        planned_selectivity: plan.enabled.then(|| selectivity_prior(op)),
                     });
                 }
                 break;
@@ -291,6 +446,7 @@ impl QueryEngine {
             positive_frames,
             stages,
             bytes_read,
+            segments_skipped,
         })
     }
 

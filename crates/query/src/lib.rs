@@ -20,6 +20,8 @@
 
 pub mod cascade;
 pub mod engine;
+pub mod planner;
 
 pub use cascade::{QuerySpec, STAGE_A, STAGE_B};
 pub use engine::{QueryEngine, QueryResult, StageReport};
+pub use planner::{PlanOptions, DEFAULT_SKIP_THRESHOLD};

@@ -564,6 +564,7 @@ mod tests {
                 positive_frames: vec![count],
                 stages: Vec::new(),
                 bytes_read: ByteSize(count * 10),
+                segments_skipped: 0,
             }
         }
     }

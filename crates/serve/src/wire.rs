@@ -564,8 +564,16 @@ fn put_query_result(w: &mut ByteWriter, result: &QueryResult) {
         w.put_varint(stage.frames_consumed as u64);
         w.put_f64(stage.processing_seconds);
         w.put_varint(stage.fallback_segments as u64);
+        match stage.planned_selectivity {
+            Some(s) => {
+                w.put_u8(1);
+                w.put_f64(s);
+            }
+            None => w.put_u8(0),
+        }
     }
     w.put_u64(result.bytes_read.bytes());
+    w.put_varint(result.segments_skipped as u64);
 }
 
 fn get_query_result(r: &mut ByteReader<'_>) -> Result<QueryResult> {
@@ -580,16 +588,33 @@ fn get_query_result(r: &mut ByteReader<'_>) -> Result<QueryResult> {
     let stage_count = get_count(r, "query result stage count")?;
     let mut stages = Vec::with_capacity(stage_count.min(64));
     for _ in 0..stage_count {
+        let op = get_op(r)?;
+        let segments_processed = get_count(r, "stage segments processed")?;
+        let segments_passed = get_count(r, "stage segments passed")?;
+        let frames_consumed = get_count(r, "stage frames consumed")?;
+        let processing_seconds = r.get_f64()?;
+        let fallback_segments = get_count(r, "stage fallback segments")?;
+        let planned_selectivity = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_f64()?),
+            other => {
+                return Err(VStoreError::corruption(format!(
+                    "bad planned-selectivity tag {other}"
+                )))
+            }
+        };
         stages.push(StageReport {
-            op: get_op(r)?,
-            segments_processed: get_count(r, "stage segments processed")?,
-            segments_passed: get_count(r, "stage segments passed")?,
-            frames_consumed: get_count(r, "stage frames consumed")?,
-            processing_seconds: r.get_f64()?,
-            fallback_segments: get_count(r, "stage fallback segments")?,
+            op,
+            segments_processed,
+            segments_passed,
+            frames_consumed,
+            processing_seconds,
+            fallback_segments,
+            planned_selectivity,
         });
     }
     let bytes_read = ByteSize(r.get_u64()?);
+    let segments_skipped = get_count(r, "query segments skipped")?;
     Ok(QueryResult {
         query,
         video,
@@ -597,6 +622,7 @@ fn get_query_result(r: &mut ByteReader<'_>) -> Result<QueryResult> {
         positive_frames,
         stages,
         bytes_read,
+        segments_skipped,
     })
 }
 
@@ -619,6 +645,7 @@ mod tests {
                     frames_consumed: 480,
                     processing_seconds: 0.125,
                     fallback_segments: 0,
+                    planned_selectivity: Some(0.45),
                 },
                 StageReport {
                     op: OperatorKind::FullNN,
@@ -627,9 +654,11 @@ mod tests {
                     frames_consumed: 240,
                     processing_seconds: 1.5,
                     fallback_segments: 1,
+                    planned_selectivity: None,
                 },
             ],
             bytes_read: ByteSize(123_456),
+            segments_skipped: 3,
         }
     }
 

@@ -31,5 +31,5 @@ pub mod resources;
 pub use coding_cost::CodingCostModel;
 pub use hash::DeterministicHasher;
 pub use machine::MachineSpec;
-pub use pool::{catch_panic, panic_message, scoped_map, PanicPayload};
+pub use pool::{catch_panic, panic_message, scoped_map, scoped_map_static, PanicPayload};
 pub use resources::{ResourceKind, ResourceUsage, VirtualClock};

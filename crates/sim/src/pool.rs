@@ -22,7 +22,7 @@
 //! into an error response instead of a dead worker.
 
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::VecDeque;
 
 /// The payload of a caught panic, as produced by
 /// [`std::panic::catch_unwind`].
@@ -87,29 +87,112 @@ where
         }
         return results;
     }
-    // Work-stealing by atomic cursor: each worker claims the next unclaimed
-    // index, so long and short items balance across threads.
+    // Work-stealing deque pool: every worker owns a deque seeded with a
+    // contiguous block of indices. Owners pop their own front (cache-warm,
+    // in-order, no contention on a shared cursor); a worker whose deque
+    // runs dry steals from the *back* of a peer's deque, so long and short
+    // items balance across threads instead of convoying on the slowest
+    // chunk. The task set is fixed — tasks never spawn tasks — so
+    // every-deque-empty means the batch is fully claimed and a worker that
+    // finds no work anywhere can exit.
     let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w * n / workers..(w + 1) * n / workers).collect()))
+        .collect();
     // First panic payload caught by any worker; the workers themselves never
     // unwind, so the scope always joins cleanly and every non-panicking item
     // is processed exactly once.
     let first_panic: Mutex<Option<PanicPayload>> = Mutex::new(None);
+    // The next index for worker `w`: its own front, else a steal from the
+    // back of the first non-empty peer deque (scanned round-robin from
+    // `w + 1` to spread steal pressure).
+    let next_task = |w: usize| -> Option<usize> {
+        if let Some(i) = queues[w].lock().pop_front() {
+            return Some(i);
+        }
+        for offset in 1..workers {
+            if let Some(i) = queues[(w + offset) % workers].lock().pop_back() {
+                return Some(i);
+            }
+        }
+        None
+    };
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+        for w in 0..workers {
+            let next_task = &next_task;
+            let tasks = &tasks;
+            let results = &results;
+            let first_panic = &first_panic;
+            let f = &f;
+            scope.spawn(move || {
+                while let Some(i) = next_task(w) {
+                    let item = tasks[i].lock().take().expect("task claimed twice");
+                    match catch_panic(|| f(i, item)) {
+                        Ok(result) => *results[i].lock() = Some(result),
+                        Err(payload) => {
+                            let mut slot = first_panic.lock();
+                            if slot.is_none() {
+                                *slot = Some(payload);
+                            }
+                        }
+                    }
                 }
-                let item = tasks[i].lock().take().expect("task claimed twice");
-                match catch_panic(|| f(i, item)) {
-                    Ok(result) => *results[i].lock() = Some(result),
-                    Err(payload) => {
-                        let mut slot = first_panic.lock();
-                        if slot.is_none() {
-                            *slot = Some(payload);
+            });
+        }
+    });
+    if let Some(payload) = first_panic.into_inner() {
+        std::panic::resume_unwind(payload);
+    }
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("worker died before finishing task")
+        })
+        .collect()
+}
+
+/// [`scoped_map`] with **static contiguous chunking** and no stealing:
+/// worker `w` processes exactly the items `[w·n/W, (w+1)·n/W)` to
+/// completion, however imbalanced their costs turn out to be.
+///
+/// This is the classic parallel-map layout `scoped_map` used to reduce to
+/// under perfectly uniform items — kept as the baseline the pool-scaling
+/// benchmark compares the work-stealing pool against (an imbalanced item
+/// mix convoys on the slowest chunk here, while `scoped_map` redistributes
+/// it). Same contracts as `scoped_map`: input-order results, identical
+/// results at every worker count, and drain-then-unwind panic propagation.
+pub fn scoped_map_static<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.min(n).max(1);
+    if workers <= 1 || n <= 1 {
+        return scoped_map(items, 1, f);
+    }
+    let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let first_panic: Mutex<Option<PanicPayload>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let tasks = &tasks;
+            let results = &results;
+            let first_panic = &first_panic;
+            let f = &f;
+            scope.spawn(move || {
+                for i in w * n / workers..(w + 1) * n / workers {
+                    let item = tasks[i].lock().take().expect("task claimed twice");
+                    match catch_panic(|| f(i, item)) {
+                        Ok(result) => *results[i].lock() = Some(result),
+                        Err(payload) => {
+                            let mut slot = first_panic.lock();
+                            if slot.is_none() {
+                                *slot = Some(payload);
+                            }
                         }
                     }
                 }
@@ -131,7 +214,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn preserves_input_order() {
@@ -239,5 +322,67 @@ mod tests {
     fn index_is_passed_through() {
         let out = scoped_map(vec!["a", "b", "c"], 2, |i, s| format!("{i}{s}"));
         assert_eq!(out, vec!["0a", "1b", "2c"]);
+    }
+
+    /// The static baseline obeys the same contracts as the stealing pool:
+    /// input-order results, every item exactly once, identical output at
+    /// every worker count.
+    #[test]
+    fn static_chunking_matches_stealing_pool() {
+        let items: Vec<u64> = (0..97).collect();
+        let stealing = scoped_map(items.clone(), 4, |i, x| x.wrapping_mul(31) ^ i as u64);
+        for workers in [1, 3, 4, 16] {
+            let calls = AtomicUsize::new(0);
+            let chunked = scoped_map_static(items.clone(), workers, |i, x| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                x.wrapping_mul(31) ^ i as u64
+            });
+            assert_eq!(chunked, stealing, "workers={workers}");
+            assert_eq!(calls.load(Ordering::Relaxed), items.len());
+        }
+    }
+
+    /// Drain-then-unwind extends to the static baseline too.
+    #[test]
+    fn static_chunking_drains_on_panic() {
+        let processed = AtomicUsize::new(0);
+        let outcome = catch_panic(|| {
+            scoped_map_static((0..16).collect::<Vec<usize>>(), 4, |_, x| {
+                if x == 9 {
+                    panic!("boom at {x}");
+                }
+                processed.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+        });
+        let payload = outcome.expect_err("the batch panic must propagate");
+        assert_eq!(panic_message(&payload), "boom at 9");
+        assert_eq!(processed.load(Ordering::Relaxed), 15);
+    }
+
+    /// Work stealing actually redistributes an imbalanced batch: when one
+    /// worker's seeded block is blocked on a single long task, its
+    /// remaining items must be stolen and finished by the other workers —
+    /// the batch never waits for the slow worker to drain its own chunk.
+    #[test]
+    fn imbalanced_items_are_stolen_from_the_busy_worker() {
+        use std::sync::atomic::AtomicBool;
+        const ITEMS: usize = 16;
+        const WORKERS: usize = 4;
+        // Worker 0 owns indices 0..4. Item 0 spins until every *other* item
+        // of worker 0's block (1..4) has been completed by someone. Under
+        // static chunking this deadlocks (worker 0 would have to finish
+        // item 0 before touching 1..4); with stealing, peers drain them.
+        let done: Vec<AtomicBool> = (0..ITEMS).map(|_| AtomicBool::new(false)).collect();
+        let results = scoped_map((0..ITEMS).collect::<Vec<usize>>(), WORKERS, |i, x| {
+            if i == 0 {
+                while !(1..ITEMS / WORKERS).all(|j| done[j].load(Ordering::Acquire)) {
+                    std::thread::yield_now();
+                }
+            }
+            done[i].store(true, Ordering::Release);
+            x * 10
+        });
+        assert_eq!(results, (0..ITEMS).map(|x| x * 10).collect::<Vec<_>>());
     }
 }

@@ -291,6 +291,45 @@ impl SegmentStore {
         self.shard_of(key).delete(key)
     }
 
+    /// Backend name of a segment's metadata sidecar: a `meta/` namespace
+    /// outside every shard directory (the orphan check at open only rejects
+    /// `shard-NNN` entries and legacy root logs, so a reopen is safe), keyed
+    /// by the hex of the encoded segment key so arbitrary stream names stay
+    /// path-safe on every backend.
+    fn meta_name(key: &SegmentKey) -> String {
+        use std::fmt::Write as _;
+        let encoded = key.encode();
+        let mut name = String::with_capacity(5 + encoded.len() * 2);
+        name.push_str("meta/");
+        for byte in encoded {
+            let _ = write!(name, "{byte:02x}");
+        }
+        name
+    }
+
+    /// Store a segment's metadata sidecar, replacing any previous sidecar
+    /// under the same key. Sidecars live outside the shards — they do not
+    /// count towards [`len`](Self::len), statistics or capacity planning —
+    /// but go through the same [`StorageBackend`] as segment data, so they
+    /// survive reopen and follow the store across backends. On a tiered
+    /// backend sidecars are meta files and therefore always land hot, which
+    /// keeps them readable while their segment is demoted to cold.
+    pub fn put_segment_meta(&self, key: &SegmentKey, bytes: &[u8]) -> Result<()> {
+        self.backend.write_all(&Self::meta_name(key), bytes)
+    }
+
+    /// Fetch a segment's metadata sidecar. Returns `Ok(None)` when no
+    /// sidecar exists for the key.
+    pub fn get_segment_meta(&self, key: &SegmentKey) -> Result<Option<Vec<u8>>> {
+        self.backend.read_all(&Self::meta_name(key))
+    }
+
+    /// Delete a segment's metadata sidecar. Deleting a missing sidecar is a
+    /// no-op on every backend.
+    pub fn delete_segment_meta(&self, key: &SegmentKey) -> Result<()> {
+        self.backend.remove(&Self::meta_name(key))
+    }
+
     /// All keys for one `(stream, format)` pair, in segment order, merged
     /// across shards.
     pub fn segments_of(&self, stream: &str, format: FormatId) -> Vec<SegmentKey> {
@@ -423,6 +462,37 @@ mod tests {
         // Deleting again is fine.
         s.delete(&k).unwrap();
         cleanup(&s);
+    }
+
+    #[test]
+    fn segment_meta_round_trip_and_reopen() {
+        let s = store("meta-crud");
+        let dir = s.dir();
+        let k = key("jackson stream/with:odd chars", 1, 7);
+        assert_eq!(s.get_segment_meta(&k).unwrap(), None);
+        s.put(&k, b"segment-bytes").unwrap();
+        s.put_segment_meta(&k, b"sidecar-v1").unwrap();
+        assert_eq!(s.get_segment_meta(&k).unwrap().unwrap(), b"sidecar-v1");
+        // Sidecars never count as segments.
+        assert_eq!(s.len(), 1);
+        // Overwrite.
+        s.put_segment_meta(&k, b"sidecar-v2").unwrap();
+        assert_eq!(s.get_segment_meta(&k).unwrap().unwrap(), b"sidecar-v2");
+        s.sync().unwrap();
+        drop(s);
+
+        // The sidecar survives a reopen and does not trip the orphan check.
+        let reopened = SegmentStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 1);
+        assert_eq!(
+            reopened.get_segment_meta(&k).unwrap().unwrap(),
+            b"sidecar-v2"
+        );
+        reopened.delete_segment_meta(&k).unwrap();
+        assert_eq!(reopened.get_segment_meta(&k).unwrap(), None);
+        // Deleting a missing sidecar is a no-op.
+        reopened.delete_segment_meta(&k).unwrap();
+        fs::remove_dir_all(dir).ok();
     }
 
     #[test]

@@ -39,6 +39,13 @@ pub struct RuntimeOptions {
     /// skip `decode_sampled` entirely. Split across shards like
     /// `cache_bytes`. `0` disables the tier.
     pub decoded_cache_entries: usize,
+    /// Session default for the query planner: when `true`, queries consult
+    /// the ingest-time metadata sidecars to skip fetching/decoding segments
+    /// the first cascade stage would discard, and order cascade stages by
+    /// cost × selectivity. `false` (the default) keeps every query an exact
+    /// scan, byte-identical to the pre-planner engine. Individual requests
+    /// can override this per query.
+    pub query_planner: bool,
 }
 
 /// Default shard count: enough to spread MB-sized segment appends across
@@ -71,6 +78,7 @@ impl RuntimeOptions {
             query_prefetch: 1,
             cache_bytes: 0,
             decoded_cache_entries: 0,
+            query_planner: false,
         }
     }
 
@@ -83,6 +91,7 @@ impl RuntimeOptions {
             query_prefetch: self.query_prefetch.max(1),
             cache_bytes: self.cache_bytes,
             decoded_cache_entries: self.decoded_cache_entries,
+            query_planner: self.query_planner,
         }
     }
 
@@ -92,6 +101,13 @@ impl RuntimeOptions {
     pub fn with_cache(mut self, cache_bytes: u64, decoded_entries: usize) -> Self {
         self.cache_bytes = cache_bytes;
         self.decoded_cache_entries = decoded_entries;
+        self
+    }
+
+    /// Enable (or disable) the query planner for every query of the
+    /// session. Requests can still override this per query.
+    pub fn with_query_planner(mut self, enabled: bool) -> Self {
+        self.query_planner = enabled;
         self
     }
 
@@ -139,6 +155,9 @@ impl Default for RuntimeOptions {
             // to the seed runtime (every get pays disk + CRC + decode).
             cache_bytes: 0,
             decoded_cache_entries: 0,
+            // The planner's metadata skip is approximate, so it is opt-in
+            // too: default queries are exact scans.
+            query_planner: false,
         }
     }
 }
@@ -165,6 +184,7 @@ mod tests {
                 query_prefetch: 1,
                 cache_bytes: 0,
                 decoded_cache_entries: 0,
+                query_planner: false,
             }
         );
     }
@@ -243,9 +263,21 @@ mod tests {
             query_prefetch: 0,
             cache_bytes: 0,
             decoded_cache_entries: 0,
+            query_planner: false,
         }
         .normalized();
         assert_eq!(opts, RuntimeOptions::sequential());
+    }
+
+    #[test]
+    fn query_planner_defaults_off_and_toggles() {
+        assert!(!RuntimeOptions::default().query_planner);
+        assert!(!RuntimeOptions::sequential().query_planner);
+        let opts = RuntimeOptions::default().with_query_planner(true);
+        assert!(opts.query_planner);
+        assert!(opts.validate().is_ok());
+        // Normalisation never flips the planner switch.
+        assert!(opts.normalized().query_planner);
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub use vstore_types as types;
 pub use requests::{ErodeRequest, IngestRequest, QueryRequest};
 pub use vstore_core::{Alternative, ConfigurationEngine, EngineOptions};
 pub use vstore_ingest::ErodeReport;
-pub use vstore_query::{QueryResult, QuerySpec};
+pub use vstore_query::{PlanOptions, QueryResult, QuerySpec, StageReport};
 pub use vstore_serve::{
     Connection, RemoteError, RequestKind, ServeRequest, ServeResponse, ServeStats, ServerHandle,
     VideoService,
@@ -272,6 +272,9 @@ struct VStoreInner {
     tier: Option<Arc<TierEngine>>,
     ingest: IngestionPipeline,
     queries: QueryEngine,
+    /// Session default for the query planner; individual requests override
+    /// it with [`QueryRequest::with_planner`].
+    query_planner: bool,
     active: RwLock<ConfigSlot>,
     clock: VirtualClock,
     /// Serving front ends started through [`VStore::serve`];
@@ -447,6 +450,7 @@ impl VStore {
                 tier,
                 ingest,
                 queries,
+                query_planner: runtime.query_planner,
                 active: RwLock::new(ConfigSlot::default()),
                 clock,
                 serving: RwLock::new(ServeRegistry::default()),
@@ -584,16 +588,25 @@ impl VStore {
         )
     }
 
-    /// Execute a query over stored segments of a stream.
+    /// Execute a query over stored segments of a stream. The query planner
+    /// runs when the request asks for it ([`QueryRequest::with_planner`]) or,
+    /// absent a per-request override, when the session's
+    /// `RuntimeOptions::query_planner` default is on; otherwise the query is
+    /// an exact scan.
     pub fn query(&self, request: QueryRequest) -> Result<QueryResult> {
         request.validate()?;
         let config = self.active()?;
-        self.inner.queries.execute(
+        let plan = vstore_query::PlanOptions {
+            enabled: request.planner.unwrap_or(self.inner.query_planner),
+            skip_threshold: request.skip_threshold,
+        };
+        self.inner.queries.execute_planned(
             &request.stream,
             &request.spec,
             &config,
             request.first_segment,
             request.count,
+            &plan,
         )
     }
 

@@ -91,6 +91,11 @@ pub struct QueryRequest {
     pub(crate) spec: QuerySpec,
     pub(crate) first_segment: u64,
     pub(crate) count: u64,
+    /// Per-request planner override: `None` follows the session's
+    /// `RuntimeOptions::query_planner` default.
+    pub(crate) planner: Option<bool>,
+    /// Metadata-skip threshold used when the planner runs this query.
+    pub(crate) skip_threshold: f64,
 }
 
 impl QueryRequest {
@@ -103,6 +108,8 @@ impl QueryRequest {
             spec: spec.clone(),
             first_segment: 0,
             count: 1,
+            planner: None,
+            skip_threshold: vstore_query::DEFAULT_SKIP_THRESHOLD,
         }
     }
 
@@ -118,12 +125,36 @@ impl QueryRequest {
         self
     }
 
+    /// Force the query planner on (`true`) or off (`false`) for this query,
+    /// overriding the session's `RuntimeOptions::query_planner` default.
+    /// With the planner off the query is an exact scan. See the README's
+    /// query-planner section for the accuracy trade.
+    pub fn with_planner(mut self, enabled: bool) -> Self {
+        self.planner = Some(enabled);
+        self
+    }
+
+    /// Metadata-skip threshold for planned execution (default: the diff
+    /// operator's change threshold). Segments whose recorded change stays
+    /// below it are skipped without being fetched; `0.0` skips only
+    /// perfectly static segments. Ignored when the planner is off.
+    pub fn skip_threshold(mut self, threshold: f64) -> Self {
+        self.skip_threshold = threshold;
+        self
+    }
+
     /// Check the request before it touches the runtime.
     pub fn validate(&self) -> Result<()> {
         if self.stream.is_empty() {
             return Err(VStoreError::invalid_argument(
                 "query request has an empty stream name",
             ));
+        }
+        if !self.skip_threshold.is_finite() || self.skip_threshold < 0.0 {
+            return Err(VStoreError::invalid_argument(format!(
+                "query request skip threshold must be finite and >= 0, got {}",
+                self.skip_threshold
+            )));
         }
         validate_range("query request", self.first_segment, self.count)
     }
@@ -217,6 +248,34 @@ mod tests {
             .segments(1)
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn query_request_planner_knobs() {
+        let spec = QuerySpec::query_a(0.9);
+        let req = QueryRequest::new("jackson", &spec);
+        assert_eq!(req.planner, None);
+        assert_eq!(req.skip_threshold, vstore_query::DEFAULT_SKIP_THRESHOLD);
+
+        let req = QueryRequest::new("jackson", &spec)
+            .with_planner(true)
+            .skip_threshold(0.25);
+        assert_eq!(req.planner, Some(true));
+        assert!(req.validate().is_ok());
+        assert!(QueryRequest::new("jackson", &spec)
+            .with_planner(false)
+            .validate()
+            .is_ok());
+
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            assert!(
+                QueryRequest::new("jackson", &spec)
+                    .skip_threshold(bad)
+                    .validate()
+                    .is_err(),
+                "{bad} accepted"
+            );
+        }
     }
 
     #[test]
