@@ -24,8 +24,8 @@ use vstore_storage::{
     TierEngine, TierOptions,
 };
 use vstore_types::{
-    CropFactor, Fidelity, FormatId, FrameSampling, ImageQuality, KeyframeInterval, QueueFullPolicy,
-    Resolution, ServeOptions, SpeedStep,
+    CropFactor, Fidelity, FormatId, FrameSampling, ImageQuality, KeyframeInterval,
+    LiveIngestOptions, QueueFullPolicy, Resolution, ServeOptions, SpeedStep,
 };
 
 /// 256 KiB values: the size class of one encoded 8-second segment.
@@ -612,6 +612,70 @@ fn measure_pool_scaling() -> String {
     )
 }
 
+/// The live-ingest sustained-overload experiment: a burst of segments
+/// offered back to back — far faster than the single transcode worker can
+/// drain — through the back-pressured live ingestor with a tight lag
+/// budget, so the degradation ladder engages. The row records the offered
+/// rate vs the sustained (transcoded) rate, the p99 queue lag, and the
+/// degradation dwell (how many segments were transcoded below full
+/// fidelity before the ladder stepped back up). `sustained_segments_per_sec`
+/// is the gated throughput key. Returns one JSON row.
+fn measure_live_overload() -> String {
+    const SEGMENTS: u64 = 12;
+    let store = VStore::open_temp(
+        "bench-live",
+        VStoreOptions::fast().with_backend(BackendOptions::Mem),
+    )
+    .unwrap();
+    let query = QuerySpec::query_a(0.8);
+    store.configure(&query.consumers()).unwrap();
+    let options = LiveIngestOptions::default()
+        .with_workers(1)
+        .with_queue_depth(32)
+        .with_on_full(QueueFullPolicy::Reject)
+        .with_max_lag_segments(2);
+    let camera = || VideoSource::new(Dataset::Jackson);
+
+    // Warm-up pass (codec + store paths), then the measured pass with a
+    // fresh ingestor so its counters cover exactly the measured burst.
+    let warm = store.live_ingest(camera(), options).unwrap();
+    warm.offer_range(0..2).unwrap();
+    warm.shutdown();
+
+    let ingestor = store.live_ingest(camera(), options).unwrap();
+    let start = Instant::now();
+    let outcome = ingestor.offer_range(0..SEGMENTS).unwrap();
+    let offer_seconds = start.elapsed().as_secs_f64();
+    ingestor.wait_idle();
+    let seconds = start.elapsed().as_secs_f64();
+    let stats = ingestor.shutdown();
+    assert_eq!(
+        outcome.accepted, SEGMENTS,
+        "queue_depth 32 absorbs the burst"
+    );
+    assert_eq!(stats.completed, SEGMENTS);
+    assert_eq!(stats.failed, 0);
+
+    let offered_per_sec = SEGMENTS as f64 / offer_seconds.max(1e-9);
+    let sustained_per_sec = stats.completed as f64 / seconds;
+    let p99_lag_us = stats.lag.quantile_us(0.99);
+    println!(
+        "segment_store/live overload: offered {offered_per_sec:>9.0} seg/s, sustained \
+         {sustained_per_sec:>5.1} seg/s (p99 lag <{p99_lag_us} µs, {} degraded, \
+         {} down / {} up)",
+        stats.degraded_segments, stats.step_downs, stats.step_ups
+    );
+    format!(
+        "    {{ \"case\": \"sustained_overload\", \"segments\": {SEGMENTS}, \"workers\": 1, \
+         \"queue_depth\": 32, \"max_lag_segments\": 2, \"seconds\": {seconds:.6}, \
+         \"offered_segments_per_sec\": {offered_per_sec:.1}, \
+         \"sustained_segments_per_sec\": {sustained_per_sec:.3}, \
+         \"p99_lag_us\": {p99_lag_us}, \"shed\": {}, \"degraded_segments\": {}, \
+         \"step_downs\": {}, \"step_ups\": {} }}",
+        stats.shed, stats.degraded_segments, stats.step_downs, stats.step_ups
+    )
+}
+
 fn bench_shard_scaling(_c: &mut Criterion) {
     // A bare (non-flag, non-flag-value) CLI argument is a bench name filter:
     // such a run wants one of the criterion benches above, not a full scaling
@@ -695,6 +759,10 @@ fn bench_shard_scaling(_c: &mut Criterion) {
     // item mix.
     let pool_row = measure_pool_scaling();
 
+    // The live ingestor: sustained overload against one transcode worker —
+    // offered vs sustained rate, p99 lag, degradation dwell.
+    let live_row = measure_live_overload();
+
     // Record the baseline next to the workspace root so runs are comparable
     // across PRs. Override the destination with VSTORE_BENCH_JSON.
     let path = std::env::var("VSTORE_BENCH_JSON")
@@ -704,7 +772,8 @@ fn bench_shard_scaling(_c: &mut Criterion) {
          \"shard_scaling\": [\n{}\n  ],\n  \"backend_get_put\": [\n{}\n  ],\n  \
          \"cache_hot_cold\": [\n{}\n  ],\n  \"tier_reads\": [\n{}\n  ],\n  \
          \"demote_throughput\": [\n{}\n  ],\n  \"serve_throughput\": [\n{}\n  ],\n  \
-         \"planner_skip\": [\n{}\n  ],\n  \"pool_scaling\": [\n{}\n  ]\n}}\n",
+         \"planner_skip\": [\n{}\n  ],\n  \"pool_scaling\": [\n{}\n  ],\n  \
+         \"live_overload\": [\n{}\n  ]\n}}\n",
         scaling_rows.join(",\n"),
         backend_rows.join(",\n"),
         cache_rows.join(",\n"),
@@ -712,7 +781,8 @@ fn bench_shard_scaling(_c: &mut Criterion) {
         demote_row,
         serve_rows.join(",\n"),
         planner_row,
-        pool_row
+        pool_row,
+        live_row
     );
     if let Err(e) = std::fs::write(&path, &json) {
         eprintln!("could not write {path}: {e}");

@@ -26,6 +26,7 @@ const HIGHER_BETTER: &[&str] = &[
     "speedup",
     "decode_reduction",
     "steal_speedup",
+    "sustained_segments_per_sec",
 ];
 
 /// Metrics where lower is better (latency-shaped).

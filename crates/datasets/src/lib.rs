@@ -26,12 +26,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod live;
 pub mod plane;
 pub mod profile;
 pub mod scene;
 pub mod source;
 
+pub use live::{LiveSource, LoadProfile};
 pub use plane::BlockPlane;
 pub use profile::{Dataset, DatasetProfile};
 pub use scene::{BoundingBox, ObjectClass, ObjectColor, PlateText, SceneFrame, SceneObject};
-pub use source::{VideoSource, FRAME_RATE, SEGMENT_FRAMES, SEGMENT_SECONDS};
+pub use source::{FrameCursor, VideoSource, FRAME_RATE, SEGMENT_FRAMES, SEGMENT_SECONDS};

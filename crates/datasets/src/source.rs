@@ -154,16 +154,23 @@ impl VideoSource {
         (base + texture_amp * (noise - 0.5) * 2.0).clamp(0.0, 255.0) as u8
     }
 
-    fn render_plane(&self, frame_index: u64, objects: &[SceneObject]) -> BlockPlane {
+    /// Render the frame's plane into `plane`, reusing its sample buffer —
+    /// the allocation-free path behind [`render_plane`](Self::frame). A
+    /// wrongly-sized plane is replaced (one allocation, then reused
+    /// forever).
+    fn render_plane_into(&self, frame_index: u64, objects: &[SceneObject], plane: &mut BlockPlane) {
         let (w, h) = BlockPlane::dimensions_for(Resolution::R720);
-        let mut samples = Vec::with_capacity((w * h) as usize);
+        if plane.width() != w || plane.height() != h {
+            *plane = BlockPlane::filled(w, h, 0);
+        }
+        let samples = plane.samples_mut();
+        let mut i = 0usize;
         for y in 0..h {
             for x in 0..w {
-                samples.push(self.background_value(x, y, frame_index));
+                samples[i] = self.background_value(x, y, frame_index);
+                i += 1;
             }
         }
-        let mut plane = BlockPlane::from_samples(w, h, samples)
-            .expect("sample count matches dimensions by construction");
         // Rasterise objects over the background.
         for obj in objects {
             let luma = obj.color.luma();
@@ -184,39 +191,79 @@ impl VideoSource {
                 }
             }
         }
-        plane
     }
 
     // ------------------------------------------------------------------
     // Public frame access
     // ------------------------------------------------------------------
 
-    /// Generate the frame at the given index (30 fps).
-    pub fn frame(&self, index: u64) -> SceneFrame {
-        let mut objects = Vec::new();
+    /// An empty frame shell for [`frame_into`](Self::frame_into) to fill.
+    fn blank_frame() -> SceneFrame {
+        let (w, h) = BlockPlane::dimensions_for(Resolution::R720);
+        SceneFrame {
+            index: 0,
+            plane: BlockPlane::filled(w, h, 0),
+            objects: Vec::new(),
+            global_motion: 0.0,
+        }
+    }
+
+    /// Generate the frame at the given index (30 fps) into `out`, reusing
+    /// its object list and plane buffer. Value-identical to
+    /// [`frame`](Self::frame) — this is the allocation-free path unbounded
+    /// live streams run on.
+    pub fn frame_into(&self, index: u64, out: &mut SceneFrame) {
+        out.index = index;
+        out.objects.clear();
         for slot in 0..self.profile.object_slots() {
             if let Some(obj) = self.object_for_slot(slot, index) {
-                objects.push(obj);
+                out.objects.push(obj);
             }
         }
-        let plane = self.render_plane(index, &objects);
+        self.render_plane_into(index, &out.objects, &mut out.plane);
         let jitter = DeterministicHasher::new(self.profile.seed)
             .mix(0x90710)
             .mix(index)
             .uniform(-0.05, 0.05);
-        SceneFrame {
-            index,
-            plane,
-            objects,
-            global_motion: (self.profile.motion_intensity + jitter).clamp(0.0, 1.0) as f32,
+        out.global_motion = (self.profile.motion_intensity + jitter).clamp(0.0, 1.0) as f32;
+    }
+
+    /// Generate the frame at the given index (30 fps).
+    pub fn frame(&self, index: u64) -> SceneFrame {
+        let mut out = Self::blank_frame();
+        self.frame_into(index, &mut out);
+        out
+    }
+
+    /// Generate a contiguous clip of frames into `out`, reusing its frames'
+    /// buffers — value-identical to [`clip`](Self::clip) without the
+    /// per-call allocations once `out` has warmed up.
+    pub fn clip_into(&self, start_frame: u64, num_frames: u32, out: &mut Vec<SceneFrame>) {
+        let num_frames = num_frames as usize;
+        out.truncate(num_frames);
+        while out.len() < num_frames {
+            out.push(Self::blank_frame());
+        }
+        for (offset, frame) in out.iter_mut().enumerate() {
+            self.frame_into(start_frame + offset as u64, frame);
         }
     }
 
     /// Generate a contiguous clip of frames.
     pub fn clip(&self, start_frame: u64, num_frames: u32) -> Vec<SceneFrame> {
-        (start_frame..start_frame + u64::from(num_frames))
-            .map(|i| self.frame(i))
-            .collect()
+        let mut out = Vec::new();
+        self.clip_into(start_frame, num_frames, &mut out);
+        out
+    }
+
+    /// Generate all frames of the `segment_index`-th 8-second segment into
+    /// `out`, reusing its buffers (see [`clip_into`](Self::clip_into)).
+    pub fn segment_into(&self, segment_index: u64, out: &mut Vec<SceneFrame>) {
+        self.clip_into(
+            segment_index * u64::from(SEGMENT_FRAMES),
+            SEGMENT_FRAMES,
+            out,
+        );
     }
 
     /// Generate all frames of the `segment_index`-th 8-second segment.
@@ -226,7 +273,45 @@ impl VideoSource {
 
     /// An iterator over frames starting at `start_frame`.
     pub fn frames_from(&self, start_frame: u64) -> impl Iterator<Item = SceneFrame> + '_ {
-        (start_frame..).map(move |i| self.frame(i))
+        let mut cursor = self.frame_cursor(start_frame);
+        std::iter::from_fn(move || Some(cursor.next_frame().clone()))
+    }
+
+    /// A streaming cursor over the frames from `start_frame` on: each
+    /// [`next_frame`](FrameCursor::next_frame) renders into one internal
+    /// frame buffer, so an unbounded stream touches the heap only while the
+    /// buffer warms up. The allocating [`frames_from`](Self::frames_from)
+    /// clones out of the same cursor.
+    pub fn frame_cursor(&self, start_frame: u64) -> FrameCursor<'_> {
+        FrameCursor {
+            source: self,
+            next_index: start_frame,
+            frame: Self::blank_frame(),
+        }
+    }
+}
+
+/// A streaming frame generator that reuses one frame buffer; see
+/// [`VideoSource::frame_cursor`].
+#[derive(Debug, Clone)]
+pub struct FrameCursor<'a> {
+    source: &'a VideoSource,
+    next_index: u64,
+    frame: SceneFrame,
+}
+
+impl FrameCursor<'_> {
+    /// The index the next [`next_frame`](Self::next_frame) call will render.
+    #[must_use]
+    pub fn next_index(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Render the next frame into the internal buffer and return it.
+    pub fn next_frame(&mut self) -> &SceneFrame {
+        self.source.frame_into(self.next_index, &mut self.frame);
+        self.next_index += 1;
+        &self.frame
     }
 }
 
@@ -340,5 +425,33 @@ mod tests {
         let mut it = src.frames_from(5);
         assert_eq!(it.next().unwrap(), src.frame(5));
         assert_eq!(it.next().unwrap(), src.frame(6));
+    }
+
+    /// The allocation-free paths are value-identical to the allocating
+    /// ones, including when a buffer is reused across distant indices.
+    #[test]
+    fn into_variants_match_allocating_variants() {
+        let src = VideoSource::new(Dataset::Jackson);
+        let mut frame = VideoSource::blank_frame();
+        for index in [0u64, 123, 9999] {
+            src.frame_into(index, &mut frame);
+            assert_eq!(frame, src.frame(index), "frame {index} diverged");
+        }
+        let mut clip = Vec::new();
+        src.clip_into(40, 12, &mut clip);
+        assert_eq!(clip, src.clip(40, 12));
+        // Reuse the same (now longer-lived) buffer for a different segment.
+        src.segment_into(3, &mut clip);
+        assert_eq!(clip, src.segment(3));
+    }
+
+    #[test]
+    fn cursor_streams_the_same_frames_without_fresh_buffers() {
+        let src = VideoSource::new(Dataset::Airport);
+        let mut cursor = src.frame_cursor(7);
+        assert_eq!(cursor.next_index(), 7);
+        assert_eq!(*cursor.next_frame(), src.frame(7));
+        assert_eq!(*cursor.next_frame(), src.frame(8));
+        assert_eq!(cursor.next_index(), 9);
     }
 }

@@ -8,10 +8,19 @@
 //! charged to a [`VirtualClock`](vstore_sim::VirtualClock) so experiments can
 //! report the paper's per-stream figures (cores of transcoding, GB/day of
 //! new video) regardless of the host machine.
+//!
+//! The [`live`] module layers a live streaming ingestor on top: a bounded,
+//! back-pressured queue of camera segments drained by background transcode
+//! workers, degrading fidelity along a declared ladder when transcoding
+//! cannot keep up instead of stalling the camera.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod live;
 pub mod pipeline;
 
+pub use live::{
+    DegradationLadder, LiveIngestHandle, LiveIngestor, LiveProbe, LiveStats, OfferOutcome,
+};
 pub use pipeline::{ErodeReport, IngestReport, IngestionPipeline};

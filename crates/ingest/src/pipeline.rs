@@ -405,16 +405,18 @@ impl IngestionPipeline {
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
+pub(crate) mod tests_support {
+    //! Fixtures shared by the pipeline and live-ingest unit tests.
     use std::collections::BTreeMap as Map;
-    use vstore_datasets::Dataset;
     use vstore_types::{
-        CodingOption, Consumer, ConsumptionFormat, ErosionPlan, ErosionStep, Fidelity, Fraction,
-        OperatorKind, Speed, Subscription,
+        CodingOption, Configuration, Consumer, ConsumptionFormat, ErosionPlan, Fidelity, FormatId,
+        OperatorKind, Speed, StorageFormat, Subscription,
     };
 
-    fn two_format_config() -> Configuration {
+    /// A golden (smallest-coded ingestion fidelity) format plus one raw
+    /// 200p full-sampling format, with a single FullNN subscription and no
+    /// erosion — the canonical two-format ingest configuration.
+    pub(crate) fn two_format_config() -> Configuration {
         let golden = StorageFormat::new(Fidelity::INGESTION, CodingOption::SMALLEST);
         let raw = StorageFormat::new(
             Fidelity::new(
@@ -445,6 +447,15 @@ mod tests {
             erosion: ErosionPlan::no_erosion(10, 0.1),
         }
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::two_format_config;
+    use super::*;
+    use std::collections::BTreeMap as Map;
+    use vstore_datasets::Dataset;
+    use vstore_types::{ErosionPlan, ErosionStep, Fraction};
 
     fn pipeline(tag: &str) -> IngestionPipeline {
         IngestionPipeline::new(

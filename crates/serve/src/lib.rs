@@ -35,6 +35,9 @@ mod wire;
 
 pub use server::{Connection, ServeProbe, Server, ServerHandle, VideoService};
 pub use stats::{LatencyHistogram, ServeStats};
+// Re-exported so wire-level clients can name the live-stats payload without
+// depending on the ingest crate directly.
+pub use vstore_ingest::LiveStats;
 pub use wire::{
     ErrorCode, RemoteError, RequestKind, ServeRequest, ServeResponse, REQUEST_MAGIC,
     RESPONSE_MAGIC, WIRE_VERSION,

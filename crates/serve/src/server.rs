@@ -26,16 +26,16 @@
 
 use crate::stats::{LatencyHistogram, ServeStats};
 use crate::wire::{RemoteError, RequestKind, ServeRequest, ServeResponse};
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use vstore_datasets::VideoSource;
-use vstore_ingest::{ErodeReport, IngestReport};
+use vstore_ingest::{ErodeReport, IngestReport, LiveStats};
 use vstore_query::{QueryResult, QuerySpec};
-use vstore_sim::{catch_panic, panic_message};
-use vstore_types::{QueueFullPolicy, Result, ServeOptions, VStoreError};
+use vstore_sim::{catch_panic, panic_message, BoundedQueue, PushError};
+use vstore_types::{Result, ServeOptions, VStoreError};
 
 /// The store-side interface the front end drives: the three runtime
 /// operations of a `VStore` service handle. Implemented by `VStore` itself
@@ -55,6 +55,12 @@ pub trait VideoService: Send + Sync + 'static {
     /// Apply the active erosion plan to `stream` at `age_days`. Reports
     /// what the step deleted and what it demoted to the cold tier.
     fn erode(&self, stream: &str, age_days: u32) -> Result<ErodeReport>;
+    /// The store's aggregate live-ingest statistics. Defaults to an idle
+    /// report for services with no live ingest subsystem (mocks, replayers);
+    /// `VStore` overrides it with its live-ingestor registry aggregate.
+    fn live_stats(&self) -> Result<LiveStats> {
+        Ok(LiveStats::default())
+    }
 }
 
 /// One queued request: what to run and where to send the answer.
@@ -65,14 +71,10 @@ struct Job {
     enqueued: Instant,
 }
 
-/// Queue + statistics, behind one short-held mutex. Execution never happens
-/// under this lock — workers pop, release, then run the request.
+/// Statistics behind one short-held mutex. The queue itself lives in the
+/// shared [`BoundedQueue`]; execution never happens under either lock —
+/// workers pop, release, then run the request.
 struct ServerState {
-    jobs: VecDeque<Job>,
-    /// `false` once shutdown begins: submissions are refused, workers exit
-    /// when the queue drains.
-    open: bool,
-    peak_queue_depth: usize,
     submitted: u64,
     completed: u64,
     rejected_busy: u64,
@@ -80,16 +82,13 @@ struct ServerState {
     panics: u64,
     disconnects: u64,
     queue_wait: LatencyHistogram,
-    latency: [LatencyHistogram; 3],
+    latency: [LatencyHistogram; RequestKind::ALL.len()],
 }
 
 struct Shared {
+    /// The bounded request queue: closing it is what shutdown means.
+    queue: BoundedQueue<Job>,
     state: Mutex<ServerState>,
-    /// Signalled when a job is pushed (workers wait) or shutdown begins.
-    not_empty: Condvar,
-    /// Signalled when a job is popped (blocked submitters wait) or shutdown
-    /// begins.
-    not_full: Condvar,
     options: ServeOptions,
     next_id: AtomicU64,
 }
@@ -100,8 +99,8 @@ impl Shared {
         ServeStats {
             workers: self.options.workers,
             queue_capacity: self.options.queue_depth,
-            queue_depth: state.jobs.len(),
-            peak_queue_depth: state.peak_queue_depth,
+            queue_depth: self.queue.len(),
+            peak_queue_depth: self.queue.peak_depth(),
             submitted: state.submitted,
             completed: state.completed,
             rejected_busy: state.rejected_busy,
@@ -112,6 +111,7 @@ impl Shared {
             ingest_latency: state.latency[RequestKind::Ingest as usize].clone(),
             query_latency: state.latency[RequestKind::Query as usize].clone(),
             erode_latency: state.latency[RequestKind::Erode as usize].clone(),
+            live_stats_latency: state.latency[RequestKind::LiveStats as usize].clone(),
         }
     }
 }
@@ -130,10 +130,8 @@ impl Server {
     {
         options.validate()?;
         let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(options.queue_depth),
             state: Mutex::new(ServerState {
-                jobs: VecDeque::with_capacity(options.queue_depth),
-                open: true,
-                peak_queue_depth: 0,
                 submitted: 0,
                 completed: 0,
                 rejected_busy: 0,
@@ -141,14 +139,8 @@ impl Server {
                 panics: 0,
                 disconnects: 0,
                 queue_wait: LatencyHistogram::default(),
-                latency: [
-                    LatencyHistogram::default(),
-                    LatencyHistogram::default(),
-                    LatencyHistogram::default(),
-                ],
+                latency: std::array::from_fn(|_| LatencyHistogram::default()),
             }),
-            not_empty: Condvar::new(),
-            not_full: Condvar::new(),
             options,
             next_id: AtomicU64::new(0),
         });
@@ -164,8 +156,7 @@ impl Server {
                 Err(e) => {
                     // Wind down the workers already spawned instead of
                     // leaking them parked on the queue forever.
-                    shared.state.lock().expect("serve state poisoned").open = false;
-                    shared.not_empty.notify_all();
+                    shared.queue.close();
                     for worker in workers {
                         let _ = worker.join();
                     }
@@ -227,12 +218,7 @@ impl ServerHandle {
     /// Requests currently waiting in the queue.
     #[must_use]
     pub fn queue_depth(&self) -> usize {
-        self.shared
-            .state
-            .lock()
-            .expect("serve state poisoned")
-            .jobs
-            .len()
+        self.shared.queue.len()
     }
 
     /// Graceful shutdown: refuse new submissions, drain every request
@@ -243,14 +229,9 @@ impl ServerHandle {
     }
 
     fn shutdown_inner(&mut self) {
-        {
-            let mut state = self.shared.state.lock().expect("serve state poisoned");
-            state.open = false;
-        }
-        // Wake idle workers (to observe the close) and blocked submitters
-        // (to fail with InvalidState).
-        self.shared.not_empty.notify_all();
-        self.shared.not_full.notify_all();
+        // Closing the queue wakes idle workers (to observe the close) and
+        // blocked submitters (to fail with InvalidState).
+        self.shared.queue.close();
         for worker in self.workers.drain(..) {
             // Workers never unwind (requests run under catch_panic), so the
             // join only fails if the runtime killed the thread.
@@ -284,7 +265,7 @@ impl ServeProbe {
     /// workers and queue capacity forever.
     #[must_use]
     pub fn is_live(&self) -> bool {
-        self.shared.state.lock().expect("serve state poisoned").open
+        self.shared.queue.is_open()
     }
 }
 
@@ -321,41 +302,35 @@ impl Connection {
             enqueued: Instant::now(),
         };
         let capacity = self.shared.options.queue_depth;
-        let mut state = self.shared.state.lock().expect("serve state poisoned");
-        if !state.open {
-            return Err(VStoreError::InvalidState(
-                "serve front end is shutting down".into(),
-            ));
-        }
-        if state.jobs.len() >= capacity {
-            match self.shared.options.on_full {
-                QueueFullPolicy::Reject => {
-                    state.rejected_busy = state.rejected_busy.saturating_add(1);
-                    return Err(VStoreError::busy(format!(
-                        "serve queue full (depth {capacity})"
-                    )));
-                }
-                QueueFullPolicy::Block => {
-                    while state.jobs.len() >= capacity && state.open {
-                        state = self
-                            .shared
-                            .not_full
-                            .wait(state)
-                            .expect("serve state poisoned");
-                    }
-                    if !state.open {
-                        return Err(VStoreError::InvalidState(
-                            "serve front end shut down while awaiting a queue slot".into(),
-                        ));
-                    }
-                }
+        match self.shared.queue.push(job, self.shared.options.on_full) {
+            Ok(()) => {}
+            Err(PushError::Full(_)) => {
+                let mut state = self.shared.state.lock().expect("serve state poisoned");
+                state.rejected_busy = state.rejected_busy.saturating_add(1);
+                return Err(VStoreError::busy(format!(
+                    "serve queue full (depth {capacity})"
+                )));
+            }
+            Err(PushError::Closed {
+                while_waiting: false,
+                ..
+            }) => {
+                return Err(VStoreError::InvalidState(
+                    "serve front end is shutting down".into(),
+                ));
+            }
+            Err(PushError::Closed {
+                while_waiting: true,
+                ..
+            }) => {
+                return Err(VStoreError::InvalidState(
+                    "serve front end shut down while awaiting a queue slot".into(),
+                ));
             }
         }
-        state.jobs.push_back(job);
+        let mut state = self.shared.state.lock().expect("serve state poisoned");
         state.submitted = state.submitted.saturating_add(1);
-        state.peak_queue_depth = state.peak_queue_depth.max(state.jobs.len());
         drop(state);
-        self.shared.not_empty.notify_one();
         self.outstanding += 1;
         Ok(id)
     }
@@ -450,25 +425,20 @@ fn execute<S: VideoService>(service: &S, request: &ServeRequest) -> Result<Serve
         ServeRequest::Erode { stream, age_days } => {
             service.erode(stream, *age_days).map(ServeResponse::Erode)
         }
+        ServeRequest::LiveStats => service
+            .live_stats()
+            .map(|stats| ServeResponse::LiveStats(Box::new(stats))),
     }
 }
 
 /// The executor loop of one worker thread.
 fn worker_loop<S: VideoService>(service: &S, shared: &Shared) {
     loop {
-        let job = {
-            let mut state = shared.state.lock().expect("serve state poisoned");
-            loop {
-                if let Some(job) = state.jobs.pop_front() {
-                    break job;
-                }
-                if !state.open {
-                    return; // closed and drained: graceful exit
-                }
-                state = shared.not_empty.wait(state).expect("serve state poisoned");
-            }
+        // `pop` blocks while the queue is open and returns `None` only once
+        // it is closed and drained: the graceful exit.
+        let Some(job) = shared.queue.pop() else {
+            return;
         };
-        shared.not_full.notify_one();
 
         let wait_us = u64::try_from(job.enqueued.elapsed().as_micros()).unwrap_or(u64::MAX);
         let kind = job.request.kind();
@@ -517,8 +487,9 @@ mod tests {
     use super::*;
     use crate::wire::ErrorCode;
     use std::sync::atomic::AtomicUsize;
+    use std::sync::Condvar;
     use vstore_datasets::Dataset;
-    use vstore_types::{ByteSize, Speed, VideoSeconds};
+    use vstore_types::{ByteSize, QueueFullPolicy, Speed, VideoSeconds};
 
     /// A deterministic in-memory service: canned responses, an optional
     /// gate that parks handlers until opened, and a panic trigger on the

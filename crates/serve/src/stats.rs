@@ -44,6 +44,8 @@ pub struct ServeStats {
     pub query_latency: LatencyHistogram,
     /// Execution latency of erode requests.
     pub erode_latency: LatencyHistogram,
+    /// Execution latency of live-stats requests.
+    pub live_stats_latency: LatencyHistogram,
 }
 
 impl ServeStats {
@@ -88,6 +90,8 @@ impl ServeStats {
         self.ingest_latency.accumulate(&other.ingest_latency);
         self.query_latency.accumulate(&other.query_latency);
         self.erode_latency.accumulate(&other.erode_latency);
+        self.live_stats_latency
+            .accumulate(&other.live_stats_latency);
     }
 }
 
@@ -113,7 +117,11 @@ impl fmt::Display for ServeStats {
         writeln!(f, "  queue wait: {}", self.queue_wait)?;
         writeln!(f, "  ingest:     {}", self.ingest_latency)?;
         writeln!(f, "  query:      {}", self.query_latency)?;
-        write!(f, "  erode:      {}", self.erode_latency)
+        write!(f, "  erode:      {}", self.erode_latency)?;
+        if !self.live_stats_latency.is_empty() {
+            write!(f, "\n  live-stats: {}", self.live_stats_latency)?;
+        }
+        Ok(())
     }
 }
 

@@ -11,12 +11,12 @@
 
 use vstore_codec::wire::{ByteReader, ByteWriter};
 use vstore_datasets::{DatasetProfile, VideoSource};
-use vstore_ingest::{ErodeReport, IngestReport};
+use vstore_ingest::{ErodeReport, IngestReport, LiveStats};
 use vstore_query::{QueryResult, QuerySpec, StageReport};
 use vstore_types::cast::usize_from_u64;
 use vstore_types::{
-    AccuracyLevel, ByteSize, CoreSeconds, FormatId, OperatorKind, Result, Speed, VStoreError,
-    VideoSeconds,
+    AccuracyLevel, ByteSize, CoreSeconds, FormatId, LatencyHistogram, OperatorKind, Result, Speed,
+    VStoreError, VideoSeconds, HISTOGRAM_BUCKETS,
 };
 
 /// Magic of a serialized request frame ("VSRQ").
@@ -25,8 +25,10 @@ pub const REQUEST_MAGIC: u32 = 0x5653_5251;
 pub const RESPONSE_MAGIC: u32 = 0x5653_5253;
 /// Wire protocol version. v2 widened the erode response from a bare
 /// deleted-segment count to the full [`ErodeReport`] (deleted vs demoted,
-/// segments and bytes — the tiered-cold-storage erosion outcome).
-pub const WIRE_VERSION: u8 = 2;
+/// segments and bytes — the tiered-cold-storage erosion outcome). v3 added
+/// the live-stats request/response pair carrying [`LiveStats`] — the live
+/// ingest backlog, lag histogram and degradation-ladder state.
+pub const WIRE_VERSION: u8 = 3;
 
 /// The kind of a serve request (used for routing and per-kind latency
 /// accounting).
@@ -38,11 +40,18 @@ pub enum RequestKind {
     Query,
     /// Apply the erosion plan to a stream at an age.
     Erode,
+    /// Fetch the aggregate live-ingest statistics.
+    LiveStats,
 }
 
 impl RequestKind {
     /// All kinds, indexed by their wire tag.
-    pub const ALL: [RequestKind; 3] = [RequestKind::Ingest, RequestKind::Query, RequestKind::Erode];
+    pub const ALL: [RequestKind; 4] = [
+        RequestKind::Ingest,
+        RequestKind::Query,
+        RequestKind::Erode,
+        RequestKind::LiveStats,
+    ];
 
     /// Short display name.
     pub fn name(&self) -> &'static str {
@@ -50,6 +59,7 @@ impl RequestKind {
             RequestKind::Ingest => "ingest",
             RequestKind::Query => "query",
             RequestKind::Erode => "erode",
+            RequestKind::LiveStats => "live-stats",
         }
     }
 }
@@ -86,6 +96,9 @@ pub enum ServeRequest {
         /// The video age whose erosion step applies.
         age_days: u32,
     },
+    /// Fetch the aggregate live-ingest statistics of the store (an idle
+    /// default when no live ingestor has been started).
+    LiveStats,
 }
 
 /// One typed response produced by the serving front end.
@@ -99,6 +112,9 @@ pub enum ServeResponse {
     Erode(ErodeReport),
     /// The request failed; the error crossed the wire as a [`RemoteError`].
     Error(RemoteError),
+    /// The store's aggregate live-ingest statistics (boxed: the lag
+    /// histogram makes this by far the largest variant).
+    LiveStats(Box<LiveStats>),
 }
 
 impl ServeResponse {
@@ -209,6 +225,7 @@ impl ServeRequest {
             ServeRequest::Ingest { .. } => RequestKind::Ingest,
             ServeRequest::Query { .. } => RequestKind::Query,
             ServeRequest::Erode { .. } => RequestKind::Erode,
+            ServeRequest::LiveStats => RequestKind::LiveStats,
         }
     }
 
@@ -256,6 +273,7 @@ impl ServeRequest {
                 }
                 Ok(())
             }
+            ServeRequest::LiveStats => Ok(()),
         }
     }
 
@@ -292,6 +310,9 @@ impl ServeRequest {
                 w.put_bytes(stream.as_bytes());
                 w.put_u32(*age_days);
             }
+            ServeRequest::LiveStats => {
+                w.put_u8(3);
+            }
         }
         w.into_bytes()
     }
@@ -316,6 +337,7 @@ impl ServeRequest {
                 stream: get_string(&mut r)?,
                 age_days: r.get_u32()?,
             },
+            3 => ServeRequest::LiveStats,
             tag => {
                 return Err(VStoreError::corruption(format!(
                     "unknown serve request tag {tag}"
@@ -355,6 +377,10 @@ impl ServeResponse {
                 w.put_u8(err.code as u8);
                 w.put_bytes(err.message.as_bytes());
             }
+            ServeResponse::LiveStats(stats) => {
+                w.put_u8(4);
+                put_live_stats(&mut w, stats);
+            }
         }
         w.into_bytes()
     }
@@ -383,6 +409,7 @@ impl ServeResponse {
                     message: get_string(&mut r)?,
                 })
             }
+            4 => ServeResponse::LiveStats(Box::new(get_live_stats(&mut r)?)),
             tag => {
                 return Err(VStoreError::corruption(format!(
                     "unknown serve response tag {tag}"
@@ -548,6 +575,101 @@ fn get_ingest_report(r: &mut ByteReader<'_>) -> Result<IngestReport> {
     })
 }
 
+fn put_histogram(w: &mut ByteWriter, histogram: &LatencyHistogram) {
+    let (buckets, count, total_us, max_us) = histogram.to_parts();
+    for bucket in buckets {
+        w.put_u64(bucket);
+    }
+    w.put_u64(count);
+    w.put_u64(total_us);
+    w.put_u64(max_us);
+}
+
+fn get_histogram(r: &mut ByteReader<'_>) -> Result<LatencyHistogram> {
+    let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+    for bucket in buckets.iter_mut() {
+        *bucket = r.get_u64()?;
+    }
+    let count = r.get_u64()?;
+    let total_us = r.get_u64()?;
+    let max_us = r.get_u64()?;
+    Ok(LatencyHistogram::from_parts(
+        buckets, count, total_us, max_us,
+    ))
+}
+
+fn put_live_stats(w: &mut ByteWriter, stats: &LiveStats) {
+    w.put_u64(stats.workers as u64);
+    w.put_u64(stats.queue_capacity as u64);
+    w.put_u64(stats.queue_depth as u64);
+    w.put_u64(stats.peak_queue_depth as u64);
+    w.put_u64(stats.offered);
+    w.put_u64(stats.accepted);
+    w.put_u64(stats.shed);
+    w.put_u64(stats.completed);
+    w.put_u64(stats.failed);
+    w.put_u64(stats.panics);
+    w.put_u64(stats.current_level as u64);
+    w.put_u64(stats.max_level as u64);
+    w.put_u64(stats.step_downs);
+    w.put_u64(stats.step_ups);
+    w.put_u64(stats.degraded_segments);
+    w.put_f64(stats.video.seconds());
+    put_histogram(w, &stats.lag);
+    w.put_varint(stats.per_source.len() as u64);
+    for (source, count) in &stats.per_source {
+        w.put_bytes(source.as_bytes());
+        w.put_u64(*count);
+    }
+}
+
+fn get_live_stats(r: &mut ByteReader<'_>) -> Result<LiveStats> {
+    let workers = usize_from_u64(r.get_u64()?, "live stats workers")?;
+    let queue_capacity = usize_from_u64(r.get_u64()?, "live stats queue capacity")?;
+    let queue_depth = usize_from_u64(r.get_u64()?, "live stats queue depth")?;
+    let peak_queue_depth = usize_from_u64(r.get_u64()?, "live stats peak queue depth")?;
+    let offered = r.get_u64()?;
+    let accepted = r.get_u64()?;
+    let shed = r.get_u64()?;
+    let completed = r.get_u64()?;
+    let failed = r.get_u64()?;
+    let panics = r.get_u64()?;
+    let current_level = usize_from_u64(r.get_u64()?, "live stats current level")?;
+    let max_level = usize_from_u64(r.get_u64()?, "live stats max level")?;
+    let step_downs = r.get_u64()?;
+    let step_ups = r.get_u64()?;
+    let degraded_segments = r.get_u64()?;
+    let video = VideoSeconds(r.get_f64()?);
+    let lag = get_histogram(r)?;
+    let sources = get_count(r, "live stats source count")?;
+    let mut per_source = std::collections::BTreeMap::new();
+    for _ in 0..sources {
+        let source = get_string(r)?;
+        let count = r.get_u64()?;
+        per_source.insert(source, count);
+    }
+    Ok(LiveStats {
+        workers,
+        queue_capacity,
+        queue_depth,
+        peak_queue_depth,
+        offered,
+        accepted,
+        shed,
+        completed,
+        failed,
+        panics,
+        current_level,
+        max_level,
+        step_downs,
+        step_ups,
+        degraded_segments,
+        video,
+        lag,
+        per_source,
+    })
+}
+
 fn put_query_result(w: &mut ByteWriter, result: &QueryResult) {
     put_spec(w, &result.query);
     w.put_f64(result.video.seconds());
@@ -662,6 +784,36 @@ mod tests {
         }
     }
 
+    fn sample_live_stats() -> LiveStats {
+        let mut lag = LatencyHistogram::default();
+        for us in [12u64, 900, 44_000, 2_000_000] {
+            lag.record(us);
+        }
+        let mut per_source = std::collections::BTreeMap::new();
+        per_source.insert("jackson".to_owned(), 41u64);
+        per_source.insert("park".to_owned(), u64::MAX);
+        LiveStats {
+            workers: 3,
+            queue_capacity: 64,
+            queue_depth: 5,
+            peak_queue_depth: 63,
+            offered: 120,
+            accepted: 110,
+            shed: 10,
+            completed: 100,
+            failed: 5,
+            panics: 1,
+            current_level: 2,
+            max_level: 5,
+            step_downs: 9,
+            step_ups: 7,
+            degraded_segments: 33,
+            video: VideoSeconds(800.0),
+            lag,
+            per_source,
+        }
+    }
+
     #[test]
     fn requests_round_trip() {
         let requests = vec![
@@ -680,6 +832,7 @@ mod tests {
                 stream: "park".into(),
                 age_days: 9,
             },
+            ServeRequest::LiveStats,
         ];
         for request in requests {
             let bytes = request.to_wire();
@@ -716,6 +869,8 @@ mod tests {
                 message: "busy: serve queue full".into(),
             }),
             ServeResponse::Error(RemoteError::from_panic("boom")),
+            ServeResponse::LiveStats(Box::new(sample_live_stats())),
+            ServeResponse::LiveStats(Box::default()),
         ];
         for response in responses {
             let bytes = response.to_wire();

@@ -14,7 +14,10 @@
 //!   codec, shaped on Figure 3 and Table 3(b) of the paper;
 //! * [`pool`] — a scoped worker pool (order-preserving parallel map) backing
 //!   the sharded store's compaction, the ingest fan-out and the query
-//!   prefetch stage.
+//!   prefetch stage;
+//! * [`queue`] — the bounded, closeable job queue behind every
+//!   back-pressured subsystem (serve requests, tier migrations, live
+//!   ingest).
 //!
 //! See `DESIGN.md` ("Substitutions") for why each model exists and how it was
 //! calibrated.
@@ -26,10 +29,12 @@ pub mod coding_cost;
 pub mod hash;
 pub mod machine;
 pub mod pool;
+pub mod queue;
 pub mod resources;
 
 pub use coding_cost::CodingCostModel;
 pub use hash::DeterministicHasher;
 pub use machine::MachineSpec;
 pub use pool::{catch_panic, panic_message, scoped_map, scoped_map_static, PanicPayload};
+pub use queue::{BoundedQueue, PushError};
 pub use resources::{ResourceKind, ResourceUsage, VirtualClock};

@@ -31,11 +31,10 @@ use crate::key::SegmentKey;
 use crate::reader::SegmentReader;
 use crate::store::SegmentStore;
 use crate::tier::TierOptions;
-use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
-use vstore_sim::{catch_panic, panic_message};
-use vstore_types::{ByteSize, LatencyHistogram, Result, VStoreError};
+use vstore_sim::{catch_panic, panic_message, BoundedQueue};
+use vstore_types::{ByteSize, LatencyHistogram, QueueFullPolicy, Result, VStoreError};
 
 /// One snapshot of the tiering subsystem's statistics, folded into
 /// `VStore::stats_report`.
@@ -150,12 +149,9 @@ struct BatchProgress {
     first_error: Option<VStoreError>,
 }
 
-/// Queue + counters, behind one short-held mutex (migration I/O never runs
-/// under it).
+/// Counters behind one short-held mutex (migration I/O never runs under
+/// it); the migration queue itself is the shared [`BoundedQueue`].
 struct EngineState {
-    jobs: VecDeque<DemoteJob>,
-    open: bool,
-    peak_queue_depth: usize,
     demotions: u64,
     demoted_bytes: u64,
     promotions: u64,
@@ -167,11 +163,9 @@ struct EngineState {
 }
 
 struct EngineShared {
+    /// The bounded migration queue: closing it is what shutdown means.
+    queue: BoundedQueue<DemoteJob>,
     state: Mutex<EngineState>,
-    /// Signalled when a job is pushed (workers wait) or shutdown begins.
-    not_empty: Condvar,
-    /// Signalled when a job is popped (blocked submitters wait).
-    not_full: Condvar,
     options: TierOptions,
     reader: Arc<SegmentReader>,
     cold: Arc<SegmentStore>,
@@ -230,10 +224,7 @@ impl std::fmt::Debug for TierEngine {
         f.debug_struct("TierEngine")
             .field("cold", &self.shared.cold.dir())
             .field("workers", &self.shared.options.demote_workers)
-            .field(
-                "queue_depth",
-                &self.shared.state.lock().expect("tier state").jobs.len(),
-            )
+            .field("queue_depth", &self.shared.queue.len())
             .finish()
     }
 }
@@ -255,10 +246,8 @@ impl TierEngine {
             ));
         }
         let shared = Arc::new(EngineShared {
+            queue: BoundedQueue::new(options.demote_queue_depth),
             state: Mutex::new(EngineState {
-                jobs: VecDeque::with_capacity(options.demote_queue_depth),
-                open: true,
-                peak_queue_depth: 0,
                 demotions: 0,
                 demoted_bytes: 0,
                 promotions: 0,
@@ -268,8 +257,6 @@ impl TierEngine {
                 failed_demotions: 0,
                 cold_hit_latency: LatencyHistogram::default(),
             }),
-            not_empty: Condvar::new(),
-            not_full: Condvar::new(),
             options,
             reader,
             cold,
@@ -284,8 +271,7 @@ impl TierEngine {
             match spawned {
                 Ok(handle) => workers.push(handle),
                 Err(e) => {
-                    shared.state.lock().expect("tier state").open = false;
-                    shared.not_empty.notify_all();
+                    shared.queue.close();
                     for worker in workers {
                         let _ = worker.join();
                     }
@@ -338,25 +324,19 @@ impl TierEngine {
             }),
             done: Condvar::new(),
         });
-        let capacity = self.shared.options.demote_queue_depth;
         for key in keys {
-            let mut state = self.shared.state.lock().expect("tier state");
-            while state.jobs.len() >= capacity && state.open {
-                state = self.shared.not_full.wait(state).expect("tier state");
-            }
-            if !state.open {
+            let job = DemoteJob {
+                key,
+                batch: Arc::clone(&batch),
+            };
+            // Block while the queue is full: the migration backlog can never
+            // grow without bound. Any close (before or during the wait)
+            // refuses the rest of the batch.
+            if self.shared.queue.push(job, QueueFullPolicy::Block).is_err() {
                 return Err(VStoreError::InvalidState(
                     "tier engine shut down while awaiting a queue slot".into(),
                 ));
             }
-            state.jobs.push_back(DemoteJob {
-                key,
-                batch: Arc::clone(&batch),
-            });
-            let depth = state.jobs.len();
-            state.peak_queue_depth = state.peak_queue_depth.max(depth);
-            drop(state);
-            self.shared.not_empty.notify_one();
         }
         let mut progress = batch.progress.lock().expect("tier batch");
         while progress.remaining > 0 {
@@ -449,8 +429,8 @@ impl TierEngine {
             cold_hits: state.cold_hits,
             cold_misses: state.cold_misses,
             failed_demotions: state.failed_demotions,
-            queue_depth: state.jobs.len(),
-            peak_queue_depth: state.peak_queue_depth,
+            queue_depth: self.shared.queue.len(),
+            peak_queue_depth: self.shared.queue.peak_depth(),
             cold_hit_latency: state.cold_hit_latency.clone(),
         }
     }
@@ -458,12 +438,7 @@ impl TierEngine {
 
 impl Drop for TierEngine {
     fn drop(&mut self) {
-        {
-            let mut state = self.shared.state.lock().expect("tier state");
-            state.open = false;
-        }
-        self.shared.not_empty.notify_all();
-        self.shared.not_full.notify_all();
+        self.shared.queue.close();
         for worker in self.workers.lock().expect("tier workers").drain(..) {
             let _ = worker.join();
         }
@@ -493,19 +468,11 @@ fn demote_one(shared: &EngineShared, key: &SegmentKey) -> Result<Option<u64>> {
 fn worker_loop(shared: &EngineShared) {
     let budget = shared.options.demote_budget_bytes_per_sec;
     loop {
-        let job = {
-            let mut state = shared.state.lock().expect("tier state");
-            loop {
-                if let Some(job) = state.jobs.pop_front() {
-                    break job;
-                }
-                if !state.open {
-                    return; // closed and drained: graceful exit
-                }
-                state = shared.not_empty.wait(state).expect("tier state");
-            }
+        // `pop` blocks while the queue is open and returns `None` only once
+        // it is closed and drained: the graceful exit.
+        let Some(job) = shared.queue.pop() else {
+            return;
         };
-        shared.not_full.notify_one();
 
         // Panic isolation: a panicking migration fails one segment, not the
         // engine — the worker survives to drain the rest of the queue.
@@ -556,7 +523,7 @@ fn worker_loop(shared: &EngineShared) {
             if let Some(bytes) = moved_bytes {
                 let mut owed = bytes as f64 / budget as f64;
                 while owed > 0.0 {
-                    if !shared.state.lock().expect("tier state").open {
+                    if !shared.queue.is_open() {
                         break;
                     }
                     let slice = owed.min(0.1);

@@ -12,7 +12,8 @@ use std::fmt;
 /// Number of power-of-two latency buckets: bucket `i` counts samples with
 /// `latency_us < 2^i`, the last bucket collects everything larger
 /// (≈ 35 minutes and up).
-const BUCKETS: usize = 32;
+pub const HISTOGRAM_BUCKETS: usize = 32;
+const BUCKETS: usize = HISTOGRAM_BUCKETS;
 
 /// A fixed-size power-of-two latency histogram over microseconds.
 ///
@@ -96,6 +97,30 @@ impl LatencyHistogram {
         self.max_us
     }
 
+    /// The raw parts `(buckets, count, total_us, max_us)` — what a wire
+    /// codec serialises. Reassemble with [`from_parts`](Self::from_parts).
+    #[must_use]
+    pub fn to_parts(&self) -> ([u64; HISTOGRAM_BUCKETS], u64, u64, u64) {
+        (self.buckets, self.count, self.total_us, self.max_us)
+    }
+
+    /// Rebuild a histogram from the raw parts produced by
+    /// [`to_parts`](Self::to_parts).
+    #[must_use]
+    pub fn from_parts(
+        buckets: [u64; HISTOGRAM_BUCKETS],
+        count: u64,
+        total_us: u64,
+        max_us: u64,
+    ) -> Self {
+        LatencyHistogram {
+            buckets,
+            count,
+            total_us,
+            max_us,
+        }
+    }
+
     /// Merge another histogram into this one (element-wise, saturating).
     pub fn accumulate(&mut self, other: &LatencyHistogram) {
         for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -155,6 +180,16 @@ mod tests {
         a.accumulate(&b);
         assert_eq!(a.count, u64::MAX);
         assert_eq!(a.max_us(), 1000);
+    }
+
+    #[test]
+    fn raw_parts_round_trip() {
+        let mut h = LatencyHistogram::default();
+        for us in [0u64, 7, 4096, u64::MAX] {
+            h.record(us);
+        }
+        let (buckets, count, total, max) = h.to_parts();
+        assert_eq!(LatencyHistogram::from_parts(buckets, count, total, max), h);
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod fidelity;
 pub mod format;
 pub mod hist;
 pub mod knobs;
+pub mod live;
 pub mod runtime;
 pub mod serve;
 pub mod space;
@@ -45,8 +46,9 @@ pub use consumer::{AccuracyLevel, Consumer, OperatorKind, DEFAULT_ACCURACY_LEVEL
 pub use error::{Result, VStoreError};
 pub use fidelity::{Fidelity, Richness};
 pub use format::{CodingOption, ConsumptionFormat, FormatId, StorageFormat};
-pub use hist::LatencyHistogram;
+pub use hist::{LatencyHistogram, HISTOGRAM_BUCKETS};
 pub use knobs::{CropFactor, FrameSampling, ImageQuality, KeyframeInterval, Resolution, SpeedStep};
+pub use live::{LiveIngestOptions, DEFAULT_MAX_LAG_SEGMENTS};
 pub use runtime::{available_workers, RuntimeOptions, DEFAULT_SHARDS, MIN_CACHE_BYTES_PER_SHARD};
 pub use serve::{QueueFullPolicy, ServeOptions, DEFAULT_QUEUE_DEPTH};
 pub use space::{CodingSpace, FidelitySpace};

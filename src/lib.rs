@@ -65,7 +65,10 @@ pub use vstore_types as types;
 
 pub use requests::{ErodeRequest, IngestRequest, QueryRequest};
 pub use vstore_core::{Alternative, ConfigurationEngine, EngineOptions};
-pub use vstore_ingest::ErodeReport;
+pub use vstore_datasets::{LiveSource, LoadProfile};
+pub use vstore_ingest::{
+    DegradationLadder, ErodeReport, LiveIngestHandle, LiveProbe, LiveStats, OfferOutcome,
+};
 pub use vstore_query::{PlanOptions, QueryResult, QuerySpec, StageReport};
 pub use vstore_serve::{
     Connection, RemoteError, RequestKind, ServeRequest, ServeResponse, ServeStats, ServerHandle,
@@ -76,15 +79,15 @@ pub use vstore_storage::{
     StorageBackend, TierEngine, TierOptions, TierStats, TieredBackend,
 };
 pub use vstore_types::{
-    Configuration, Consumer, OperatorKind, QueueFullPolicy, Result, RuntimeOptions, ServeOptions,
-    VStoreError,
+    Configuration, Consumer, LiveIngestOptions, OperatorKind, QueueFullPolicy, Result,
+    RuntimeOptions, ServeOptions, VStoreError,
 };
 
 use parking_lot::RwLock;
 use std::path::Path;
 use std::sync::Arc;
 use vstore_codec::Transcoder;
-use vstore_ingest::{IngestReport, IngestionPipeline};
+use vstore_ingest::{IngestReport, IngestionPipeline, LiveIngestor};
 use vstore_ops::OperatorLibrary;
 use vstore_profiler::{Profiler, ProfilerConfig};
 use vstore_query::QueryEngine;
@@ -198,6 +201,9 @@ pub struct StatsReport {
     /// Aggregate serving-layer statistics across every front end started
     /// with [`VStore::serve`] (`None` when none has been started).
     pub serve: Option<ServeStats>,
+    /// Aggregate live-ingest statistics across every ingestor started with
+    /// [`VStore::live_ingest`] (`None` when none has been started).
+    pub live: Option<LiveStats>,
 }
 
 impl std::fmt::Display for StatsReport {
@@ -223,6 +229,9 @@ impl std::fmt::Display for StatsReport {
         }
         if let Some(serve) = &self.serve {
             writeln!(f, "{serve}")?;
+        }
+        if let Some(live) = &self.live {
+            writeln!(f, "{live}")?;
         }
         for (i, shard) in self.shards.iter().enumerate() {
             write!(
@@ -270,7 +279,9 @@ struct VStoreInner {
     /// through the shared reader. Dropping the inner drains and joins the
     /// migration workers.
     tier: Option<Arc<TierEngine>>,
-    ingest: IngestionPipeline,
+    /// Shared with live-ingest worker threads, which outlive any one
+    /// `&self` borrow.
+    ingest: Arc<IngestionPipeline>,
     queries: QueryEngine,
     /// Session default for the query planner; individual requests override
     /// it with [`QueryRequest::with_planner`].
@@ -280,6 +291,9 @@ struct VStoreInner {
     /// Serving front ends started through [`VStore::serve`];
     /// [`VStore::stats_report`] folds them in.
     serving: RwLock<ServeRegistry>,
+    /// Live ingestors started through [`VStore::live_ingest`];
+    /// [`VStore::stats_report`] folds them in.
+    live: RwLock<LiveRegistry>,
 }
 
 /// The store's view of its serving front ends: live probes plus the folded
@@ -309,6 +323,46 @@ impl ServeRegistry {
             finals.queue_depth = 0;
             self.retired
                 .get_or_insert_with(ServeStats::default)
+                .accumulate(&finals);
+            false
+        });
+        if self.probes.is_empty() && self.retired.is_none() {
+            return None;
+        }
+        let mut total = self.retired.clone().unwrap_or_default();
+        for probe in &self.probes {
+            total.accumulate(&probe.stats());
+        }
+        Some(total)
+    }
+}
+
+/// The store's view of its live ingestors, mirroring [`ServeRegistry`]:
+/// live probes plus the folded final counters of ingestors that have shut
+/// down. A retired ingestor's provisioned capacity (workers, queue) and
+/// in-force degradation level are zeroed — only its history accumulates.
+#[derive(Default)]
+struct LiveRegistry {
+    probes: Vec<LiveProbe>,
+    retired: Option<LiveStats>,
+}
+
+impl LiveRegistry {
+    /// Fold every live probe plus the retired history into one aggregate
+    /// (`None` before the first `live_ingest`), dropping probes of
+    /// ingestors that have shut down.
+    fn aggregate(&mut self) -> Option<LiveStats> {
+        self.probes.retain(|probe| {
+            if probe.is_live() {
+                return true;
+            }
+            let mut finals = probe.stats();
+            finals.workers = 0;
+            finals.queue_capacity = 0;
+            finals.queue_depth = 0;
+            finals.current_level = 0;
+            self.retired
+                .get_or_insert_with(LiveStats::default)
                 .accumulate(&finals);
             false
         });
@@ -427,11 +481,12 @@ impl VStore {
             }
             None => None,
         };
-        let ingest =
+        let ingest = Arc::new(
             IngestionPipeline::new(Arc::clone(&store), Transcoder::new(coding), clock.clone())
                 .with_workers(runtime.ingest_workers)
                 .with_ingest_budget(options.engine.ingest_budget_cores)
-                .with_reader(Arc::clone(&reader));
+                .with_reader(Arc::clone(&reader)),
+        );
         let engine = ConfigurationEngine::new(Arc::clone(&profiler), options.engine);
         let queries = QueryEngine::new(
             Arc::clone(&store),
@@ -454,6 +509,7 @@ impl VStore {
                 active: RwLock::new(ConfigSlot::default()),
                 clock,
                 serving: RwLock::new(ServeRegistry::default()),
+                live: RwLock::new(LiveRegistry::default()),
             }),
         })
     }
@@ -511,6 +567,7 @@ impl VStore {
     #[must_use]
     pub fn stats_report(&self) -> StatsReport {
         let serve = self.inner.serving.write().aggregate();
+        let live = self.inner.live.write().aggregate();
         StatsReport {
             store: self.store_stats(),
             cache: self.cache_stats(),
@@ -518,7 +575,17 @@ impl VStore {
             shard_caches: self.shard_cache_stats(),
             tier: self.tier_stats(),
             serve,
+            live,
         }
+    }
+
+    /// Aggregate live-ingest statistics across every ingestor started with
+    /// [`live_ingest`](Self::live_ingest) (`None` when none has been
+    /// started). The same aggregate appears in
+    /// [`stats_report`](Self::stats_report) and over the serve wire.
+    #[must_use]
+    pub fn live_stats(&self) -> Option<LiveStats> {
+        self.inner.live.write().aggregate()
     }
 
     /// The root directory of the segment store (`<mem>` for the in-memory
@@ -649,6 +716,54 @@ impl VStore {
         self.inner.serving.write().probes.push(server.probe());
         Ok(server)
     }
+
+    /// Start a live ingestor for `source` under the active configuration: a
+    /// bounded, back-pressured queue of camera segments drained by
+    /// background transcode workers through the shared ingestion pipeline.
+    ///
+    /// When transcoding cannot keep up, the ingestor **degrades instead of
+    /// stalling**: a lag controller steps fidelity/coverage down a declared
+    /// [`DegradationLadder`] (coarser frame sampling on non-golden formats,
+    /// then golden-only) as the backlog grows, and steps back up as it
+    /// drains. Offers beyond the queue depth are shed
+    /// ([`QueueFullPolicy::Reject`]) or block the caller
+    /// ([`QueueFullPolicy::Block`]), per [`LiveIngestOptions::on_full`] —
+    /// the store itself never stalls. The ingestor's [`LiveStats`] fold
+    /// into [`stats_report`](Self::stats_report) for as long as the store
+    /// lives; dropping (or [`shutdown`](LiveIngestHandle::shutdown)-ing)
+    /// the handle drains every accepted segment first.
+    ///
+    /// The ladder is built from the configuration active **now**; a later
+    /// [`configure`](Self::configure) does not retroactively change a
+    /// running ingestor.
+    ///
+    /// ```no_run
+    /// # use vstore::{LiveIngestOptions, QuerySpec, VStore, VStoreOptions};
+    /// # use vstore::datasets::{Dataset, LiveSource, LoadProfile, VideoSource};
+    /// # let store = VStore::open_temp("live", VStoreOptions::default()).unwrap();
+    /// # store.configure(&QuerySpec::query_a(0.9).consumers()).unwrap();
+    /// let mut camera = LiveSource::new(
+    ///     VideoSource::new(Dataset::Jackson),
+    ///     LoadProfile::Steady { segments_per_sec: 0.5 },
+    /// ).unwrap();
+    /// let live = store.live_ingest(
+    ///     camera.source().clone(),
+    ///     LiveIngestOptions::default(),
+    /// ).unwrap();
+    /// live.offer_range(camera.poll(8.0)).unwrap();
+    /// let stats = live.shutdown();
+    /// println!("{stats}");
+    /// ```
+    pub fn live_ingest(
+        &self,
+        source: datasets::VideoSource,
+        options: LiveIngestOptions,
+    ) -> Result<LiveIngestHandle> {
+        let config = self.active()?;
+        let handle = LiveIngestor::start(Arc::clone(&self.inner.ingest), source, &config, options)?;
+        self.inner.live.write().probes.push(handle.probe());
+        Ok(handle)
+    }
 }
 
 /// The serving front end drives `VStore` through this impl: each wire
@@ -687,6 +802,10 @@ impl VideoService for VStore {
 
     fn erode(&self, stream: &str, age_days: u32) -> Result<ErodeReport> {
         VStore::erode(self, ErodeRequest::new(stream).at_age_days(age_days))
+    }
+
+    fn live_stats(&self) -> Result<LiveStats> {
+        Ok(VStore::live_stats(self).unwrap_or_default())
     }
 }
 
