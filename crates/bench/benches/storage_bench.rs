@@ -13,8 +13,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 use std::time::Instant;
 use vstore::{
-    BackendOptions, IngestRequest, QueryRequest, QuerySpec, ServeRequest, ServeResponse, VStore,
-    VStoreOptions,
+    BackendOptions, IngestRequest, NetClient, NetOptions, QueryRequest, QuerySpec, ServeRequest,
+    ServeResponse, VStore, VStoreOptions,
 };
 use vstore_codec::frame::materialize_clip;
 use vstore_codec::{encode_segment, SegmentData};
@@ -469,6 +469,111 @@ fn measure_serve_throughput_cases() -> Vec<String> {
     rows
 }
 
+/// One socket-throughput measurement: `clients` TCP connections each
+/// issuing `requests` live-stats requests against a fresh socket front
+/// end. `window` is the pipelining depth — 32 keeps a batch's worth of
+/// requests in flight per connection; 1 degenerates to the naive
+/// one-request-per-write mode (submit, wait, repeat), which also defeats
+/// response batching since the pipeline is always empty.
+fn measure_net_throughput(
+    store: &VStore,
+    clients: usize,
+    requests: usize,
+    window: usize,
+) -> (f64, f64, u64, f64, f64) {
+    let server = store
+        .serve_net(
+            "127.0.0.1:0",
+            NetOptions::default(),
+            ServeOptions::default().with_queue_depth(4096),
+        )
+        .unwrap();
+    let addr = server.local_addr();
+    let latency = std::sync::Mutex::new(vstore_types::hist::LatencyHistogram::default());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            let latency = &latency;
+            scope.spawn(move || {
+                let mut client = NetClient::connect(addr).unwrap();
+                // Bursts of `window` requests: submit them all (one
+                // coalesced write on the wire), then drain the responses.
+                // A window of 1 is exactly the naive call: one request on
+                // the wire, one response back, repeat.
+                let mut remaining = requests;
+                while remaining > 0 {
+                    let burst = window.min(remaining);
+                    for _ in 0..burst {
+                        client.submit(&ServeRequest::LiveStats).unwrap();
+                    }
+                    for _ in 0..burst {
+                        let (_, response) = client.recv().unwrap();
+                        assert!(!response.is_error(), "{response:?}");
+                    }
+                    remaining -= burst;
+                }
+                latency.lock().unwrap().accumulate(client.latency());
+            });
+        }
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    let (net, _serve) = server.shutdown();
+    let total = (clients * requests) as u64;
+    assert_eq!(net.frames_out, total, "{net:?}");
+    let p99_e2e_us = latency.lock().unwrap().quantile_us(0.99);
+    (
+        seconds,
+        total as f64 / seconds,
+        p99_e2e_us,
+        net.mean_batch(),
+        net.writes_per_response(),
+    )
+}
+
+/// The socket-throughput rows: pipelined at 1/8/64 connections, then the
+/// naive one-request-per-write mode at 64 — the pipelining + batching
+/// speedup the acceptance gate watches.
+fn measure_net_throughput_cases() -> Vec<String> {
+    const REQUESTS_PER_CLIENT: usize = 128;
+    const WINDOW: usize = 32;
+    let store = VStore::open_temp(
+        "bench-net",
+        VStoreOptions::fast().with_backend(BackendOptions::Mem),
+    )
+    .unwrap();
+    let mut rows = Vec::new();
+    let mut rates = Vec::new();
+    for (mode, clients, window) in [
+        ("pipelined", 1usize, WINDOW),
+        ("pipelined", 8, WINDOW),
+        ("pipelined", 64, WINDOW),
+        ("naive", 64, 1),
+    ] {
+        // Warm-up pass, then the measured pass.
+        measure_net_throughput(&store, clients, 8, window);
+        let (seconds, req_per_sec, p99_e2e_us, mean_batch, writes_per_response) =
+            measure_net_throughput(&store, clients, REQUESTS_PER_CLIENT, window);
+        println!(
+            "segment_store/net {mode:>9} conns={clients:>2}: {req_per_sec:>8.0} req/s \
+             ({seconds:.3}s, p99 e2e <{p99_e2e_us} µs, mean batch {mean_batch:.1}, \
+             {writes_per_response:.2} writes/resp)"
+        );
+        rows.push(format!(
+            "    {{ \"mode\": \"{mode}\", \"clients\": {clients}, \
+             \"requests_per_client\": {REQUESTS_PER_CLIENT}, \"window\": {window}, \
+             \"seconds\": {seconds:.6}, \"net_requests_per_sec\": {req_per_sec:.1}, \
+             \"p99_e2e_us\": {p99_e2e_us}, \"mean_batch\": {mean_batch:.2}, \
+             \"writes_per_response\": {writes_per_response:.3} }}"
+        ));
+        rates.push(req_per_sec);
+    }
+    println!(
+        "segment_store/net pipelined+batched speedup at 64 conns: {:.1}x over naive",
+        rates[2] / rates[3]
+    );
+    rows
+}
+
 /// The planner decode-skip experiment: a skewed workload — the park stream
 /// is near-static with periodic bursts of activity — queried with the
 /// cascade planner off and on. With the planner off, the first cascade
@@ -751,6 +856,10 @@ fn bench_shard_scaling(_c: &mut Criterion) {
     // concurrent clients through the bounded queue + worker pool.
     let serve_rows = measure_serve_throughput_cases();
 
+    // The socket front end: pipelined+batched TCP throughput at 1/8/64
+    // connections vs the naive one-request-per-write mode.
+    let net_rows = measure_net_throughput_cases();
+
     // The cascade planner: decoded-segments reduction from the metadata
     // skip on a mostly-static stream.
     let planner_row = measure_planner_skip();
@@ -772,6 +881,7 @@ fn bench_shard_scaling(_c: &mut Criterion) {
          \"shard_scaling\": [\n{}\n  ],\n  \"backend_get_put\": [\n{}\n  ],\n  \
          \"cache_hot_cold\": [\n{}\n  ],\n  \"tier_reads\": [\n{}\n  ],\n  \
          \"demote_throughput\": [\n{}\n  ],\n  \"serve_throughput\": [\n{}\n  ],\n  \
+         \"net_throughput\": [\n{}\n  ],\n  \
          \"planner_skip\": [\n{}\n  ],\n  \"pool_scaling\": [\n{}\n  ],\n  \
          \"live_overload\": [\n{}\n  ]\n}}\n",
         scaling_rows.join(",\n"),
@@ -780,6 +890,7 @@ fn bench_shard_scaling(_c: &mut Criterion) {
         tier_rows.join(",\n"),
         demote_row,
         serve_rows.join(",\n"),
+        net_rows.join(",\n"),
         planner_row,
         pool_row,
         live_row

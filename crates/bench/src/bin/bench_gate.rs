@@ -23,6 +23,7 @@ const HIGHER_BETTER: &[&str] = &[
     "put_mib_per_sec",
     "get_mib_per_sec",
     "requests_per_sec",
+    "net_requests_per_sec",
     "speedup",
     "decode_reduction",
     "steal_speedup",

@@ -27,9 +27,29 @@ impl ByteWriter {
         }
     }
 
+    /// New writer over a recycled buffer: the buffer is cleared but its
+    /// capacity is kept, so a pooled buffer encodes frame after frame
+    /// without reallocating once it has grown to its steady-state size.
+    pub fn from_vec(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        ByteWriter { buf }
+    }
+
     /// Consume the writer and return the bytes.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
+    }
+
+    /// Overwrite 4 already-written bytes at `pos` with a little-endian u32
+    /// — how a length prefix is back-patched once the frame body is
+    /// encoded and its length known.
+    ///
+    /// # Panics
+    /// Panics if `pos + 4` exceeds what has been written; the caller
+    /// patches a slot it reserved earlier, so an out-of-range `pos` is a
+    /// programming error, not a data error.
+    pub fn patch_u32(&mut self, pos: usize, v: u32) {
+        self.buf[pos..pos + 4].copy_from_slice(&v.to_le_bytes());
     }
 
     /// Current length in bytes.
@@ -235,6 +255,27 @@ mod tests {
         assert_eq!(r.get_f32().unwrap(), 1.5);
         assert_eq!(r.get_f64().unwrap(), -2.25);
         assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn from_vec_recycles_capacity_and_patch_overwrites_in_place() {
+        let mut w = ByteWriter::new();
+        w.put_u32(0); // length slot, patched below
+        w.put_u64(42);
+        w.patch_u32(0, 8);
+        let bytes = w.into_bytes();
+        let capacity = bytes.capacity();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u32().unwrap(), 8);
+        assert_eq!(r.get_u64().unwrap(), 42);
+
+        // Recycling clears the contents but keeps the allocation.
+        let mut w = ByteWriter::from_vec(bytes);
+        assert!(w.is_empty());
+        w.put_u8(9);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![9]);
+        assert_eq!(bytes.capacity(), capacity);
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! A synchronous, pipelining TCP client for the socket front end.
+//!
+//! [`NetClient`] speaks the wire-v4 transport envelope (see
+//! [`crate::conn`]): submit any number of requests without waiting, then
+//! collect responses in whatever order the server finishes them — each
+//! response carries the correlation id of the request it answers. Submits
+//! coalesce into one outgoing buffer that is pushed to the socket by
+//! [`NetClient::flush`] (or automatically, by `recv` before it blocks and
+//! whenever the buffer crosses a size threshold), so a pipelined burst
+//! costs one write syscall, not one per request. All buffers (encode,
+//! outbox, read scratch, inbox) are owned by the client and reused, so a
+//! steady request/response loop allocates nothing per call.
+
+use crate::conn::{encode_frame, parse_frame, FrameError, FrameStep};
+use crate::wire::{ServeRequest, ServeResponse};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Instant;
+use vstore_types::hist::LatencyHistogram;
+use vstore_types::{Result, VStoreError, DEFAULT_MAX_FRAME_BYTES};
+
+/// Coalesced submits are pushed to the socket once the outbox grows past
+/// this, even without an explicit [`NetClient::flush`].
+const OUTBOX_FLUSH_BYTES: usize = 64 * 1024;
+
+/// One blocking, pipelined connection to a [`crate::NetServer`].
+pub struct NetClient {
+    stream: TcpStream,
+    next_corr: u64,
+    /// Submission instants of requests not yet answered, by correlation id.
+    sent_at: HashMap<u64, Instant>,
+    /// Responses received while waiting for a different correlation id.
+    buffered: HashMap<u64, ServeResponse>,
+    /// Encoded frames not yet pushed to the socket.
+    outbox: Vec<u8>,
+    /// Unparsed response bytes.
+    inbox: Vec<u8>,
+    scratch: Vec<u8>,
+    encode_buf: Vec<u8>,
+    /// End-to-end latency (submit to response decoded) of every answered
+    /// request.
+    latency: LatencyHistogram,
+    max_frame_bytes: usize,
+}
+
+impl std::fmt::Debug for NetClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetClient")
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+impl NetClient {
+    /// Connect to a serving address. The socket is blocking with Nagle
+    /// disabled — a flushed burst reaches the server immediately; the
+    /// client does its own coalescing instead of leaning on the kernel's.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        let stream = TcpStream::connect(addr).map_err(VStoreError::Io)?;
+        stream.set_nodelay(true).map_err(VStoreError::Io)?;
+        Ok(NetClient {
+            stream,
+            next_corr: 0,
+            sent_at: HashMap::new(),
+            buffered: HashMap::new(),
+            outbox: Vec::new(),
+            inbox: Vec::new(),
+            scratch: vec![0u8; 16 * 1024],
+            encode_buf: Vec::new(),
+            latency: LatencyHistogram::default(),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        })
+    }
+
+    /// Queue a request without waiting; returns its correlation id. The
+    /// encoded frame coalesces with other pending submits and reaches the
+    /// wire on the next [`flush`](Self::flush) (`recv` flushes before it
+    /// blocks; a full outbox flushes on its own).
+    pub fn submit(&mut self, request: &ServeRequest) -> Result<u64> {
+        request.validate()?;
+        let corr_id = self.next_corr;
+        self.next_corr += 1;
+        let buf = std::mem::take(&mut self.encode_buf);
+        let buf = encode_frame(buf, corr_id, |w| request.write_wire(w));
+        self.outbox.extend_from_slice(&buf);
+        self.encode_buf = buf;
+        self.sent_at.insert(corr_id, Instant::now());
+        if self.outbox.len() >= OUTBOX_FLUSH_BYTES {
+            self.flush()?;
+        }
+        Ok(corr_id)
+    }
+
+    /// Push every coalesced submit onto the wire in one write. Call this
+    /// when the server must see the requests before you are ready to
+    /// `recv` — e.g. fire-and-forget bursts, or tests that watch
+    /// server-side counters.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.outbox.is_empty() {
+            return Ok(());
+        }
+        let outcome = self.stream.write_all(&self.outbox).map_err(VStoreError::Io);
+        self.outbox.clear();
+        outcome
+    }
+
+    /// Block until the next response arrives (any correlation id).
+    pub fn recv(&mut self) -> Result<(u64, ServeResponse)> {
+        if let Some(&corr_id) = self.buffered.keys().next() {
+            let response = self.buffered.remove(&corr_id).expect("key just seen");
+            return Ok((corr_id, response));
+        }
+        if self.sent_at.is_empty() {
+            return Err(VStoreError::InvalidState("no requests outstanding".into()));
+        }
+        self.flush()?;
+        loop {
+            match parse_frame(&self.inbox, self.max_frame_bytes) {
+                Ok(FrameStep::Frame {
+                    corr_id,
+                    payload,
+                    spans,
+                }) => {
+                    let response = ServeResponse::from_wire(&self.inbox[payload])?;
+                    self.inbox.drain(..spans);
+                    if let Some(sent) = self.sent_at.remove(&corr_id) {
+                        self.latency.record(sent.elapsed().as_micros() as u64);
+                    }
+                    return Ok((corr_id, response));
+                }
+                Ok(FrameStep::Incomplete) => {}
+                Err(FrameError::Oversized { declared }) => {
+                    return Err(VStoreError::corruption(format!(
+                        "response frame declares {declared} bytes, over the {} cap",
+                        self.max_frame_bytes
+                    )));
+                }
+                Err(FrameError::Malformed { declared }) => {
+                    return Err(VStoreError::corruption(format!(
+                        "response frame declares {declared} bytes, below the envelope minimum"
+                    )));
+                }
+            }
+            let n = loop {
+                match self.stream.read(&mut self.scratch) {
+                    Ok(n) => break n,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(VStoreError::Io(e)),
+                }
+            };
+            if n == 0 {
+                return Err(VStoreError::InvalidState(format!(
+                    "server closed the connection with {} responses outstanding",
+                    self.sent_at.len()
+                )));
+            }
+            self.inbox.extend_from_slice(&self.scratch[..n]);
+        }
+    }
+
+    /// Block until the response for `corr_id` arrives, buffering any
+    /// other responses that land first.
+    pub fn recv_response(&mut self, corr_id: u64) -> Result<ServeResponse> {
+        if let Some(response) = self.buffered.remove(&corr_id) {
+            return Ok(response);
+        }
+        loop {
+            let (got, response) = self.recv()?;
+            if got == corr_id {
+                return Ok(response);
+            }
+            self.buffered.insert(got, response);
+        }
+    }
+
+    /// Submit one request and wait for its response (no pipelining).
+    pub fn call(&mut self, request: &ServeRequest) -> Result<ServeResponse> {
+        let corr_id = self.submit(request)?;
+        self.recv_response(corr_id)
+    }
+
+    /// Requests submitted but not yet returned by `recv`/`recv_response`
+    /// (including responses already buffered internally).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.sent_at.len() + self.buffered.len()
+    }
+
+    /// End-to-end latency of every answered request on this connection.
+    #[must_use]
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+}

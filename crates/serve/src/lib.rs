@@ -23,22 +23,35 @@
 //!   then join) and report [`ServeStats`] — queue depth, lag and per-kind
 //!   latency histograms — which `VStore::stats_report` folds in.
 //!
+//! * **A pipelined TCP front end** ([`NetServer`], [`NetClient`]): a real
+//!   socket listener feeding event-loop threads that multiplex
+//!   non-blocking connections over the same bounded queue — length-prefixed
+//!   frames with per-frame correlation ids (wire v4), adaptive response
+//!   batching into vectored writes, and pooled buffers so the steady-state
+//!   request path allocates nothing. [`NetStats`] reports connection,
+//!   frame, batching and pool behaviour.
+//!
 //! The front end is generic over [`VideoService`], implemented by `VStore`
 //! in the facade crate; tests drive it with deterministic mocks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod client;
+mod conn;
+mod net;
 mod server;
 mod stats;
 mod wire;
 
-pub use server::{Connection, ServeProbe, Server, ServerHandle, VideoService};
-pub use stats::{LatencyHistogram, ServeStats};
+pub use client::NetClient;
+pub use net::{NetProbe, NetServer, NetServerHandle};
+pub use server::{Connection, Connector, ServeProbe, Server, ServerHandle, VideoService};
+pub use stats::{LatencyHistogram, NetStats, ServeStats};
 // Re-exported so wire-level clients can name the live-stats payload without
 // depending on the ingest crate directly.
 pub use vstore_ingest::LiveStats;
 pub use wire::{
-    ErrorCode, RemoteError, RequestKind, ServeRequest, ServeResponse, REQUEST_MAGIC,
-    RESPONSE_MAGIC, WIRE_VERSION,
+    ErrorCode, RemoteError, RequestKind, ServeRequest, ServeResponse, MIN_WIRE_VERSION,
+    REQUEST_MAGIC, RESPONSE_MAGIC, WIRE_VERSION,
 };

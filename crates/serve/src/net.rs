@@ -1,0 +1,437 @@
+//! The socket front end: a TCP listener feeding N event-loop threads that
+//! multiplex non-blocking connections over the in-process [`Server`]'s
+//! bounded queue.
+//!
+//! ```text
+//!             accept        round-robin            bounded queue
+//!  clients ──► listener ──► event loop 0 ─┐ submit ┌─► worker 0
+//!    (TCP)     thread   ──► event loop 1 ─┼────────┼─► worker 1
+//!                       ──► event loop …  ─┘        └─► worker …
+//!                            ▲   │ try_recv   reply channels │
+//!                            └───┴────────────────◄──────────┘
+//!                         batched vectored writes
+//! ```
+//!
+//! Each event loop owns its connections outright (no per-connection
+//! locking): one pass reads whatever the kernel has, decodes complete
+//! frames, stamps them **at decode time** (so queue-wait histograms are
+//! comparable with the in-process path), submits them non-blockingly
+//! (shedding turns into a `Busy` error *response*, never a stalled loop),
+//! drains finished responses, and flushes them with adaptive batching —
+//! immediate when the pipeline is empty, coalesced into few large vectored
+//! writes when responses are streaming.
+//!
+//! Shutdown is a drain: the acceptor stops, the loops stop reading, every
+//! request already accepted is answered and flushed, then sockets close —
+//! bounded by a hard deadline so a dead peer cannot wedge the drain.
+
+use crate::conn::{BufferPool, CloseReason, NetConn, PumpOutcome};
+use crate::server::{Connector, ServeProbe, Server, ServerHandle, VideoService};
+use crate::stats::{NetStats, ServeStats};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use vstore_sim::catch_panic;
+use vstore_types::hist::LatencyHistogram;
+use vstore_types::{NetOptions, Result, ServeOptions, VStoreError};
+
+/// Read scratch per event loop; sized to drain a full default socket
+/// buffer in one syscall.
+const READ_SCRATCH_BYTES: usize = 64 * 1024;
+/// Idle buffers the pool retains across all loops.
+const POOL_CAPACITY: usize = 256;
+/// Acceptor poll interval while the listen backlog is empty.
+const ACCEPT_POLL: Duration = Duration::from_micros(500);
+/// Hard bound on the graceful drain once shutdown begins.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Counters the event loops and acceptor update; one mutex, short holds.
+#[derive(Default)]
+pub(crate) struct NetState {
+    accepted: u64,
+    refused: u64,
+    active_connections: usize,
+    frames_in: u64,
+    frames_out: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+    corrupt_frames: u64,
+    oversized_frames: u64,
+    disconnects: u64,
+    write_syscalls: u64,
+    batch_sizes: LatencyHistogram,
+    backlog_peaks: LatencyHistogram,
+}
+
+/// State shared between the acceptor, the event loops and every handle.
+pub(crate) struct NetShared {
+    pub(crate) options: NetOptions,
+    state: Mutex<NetState>,
+    pub(crate) pool: BufferPool,
+    stop: AtomicBool,
+}
+
+impl NetShared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, NetState> {
+        self.state.lock().expect("net state poisoned")
+    }
+
+    pub(crate) fn add_bytes_in(&self, n: u64) {
+        self.lock().bytes_in += n;
+    }
+
+    pub(crate) fn add_frames_in(&self, n: u64) {
+        self.lock().frames_in += n;
+    }
+
+    pub(crate) fn count_corrupt_frame(&self) {
+        self.lock().corrupt_frames += 1;
+    }
+
+    pub(crate) fn count_oversized_frame(&self) {
+        self.lock().oversized_frames += 1;
+    }
+
+    /// One successful vectored write: `bytes` moved, `completed` whole
+    /// response frames finished (recorded as the batch size).
+    pub(crate) fn record_write(&self, bytes: u64, completed: u64) {
+        let mut state = self.lock();
+        state.write_syscalls += 1;
+        state.bytes_out += bytes;
+        state.frames_out += completed;
+        if completed > 0 {
+            state.batch_sizes.record(completed);
+        }
+    }
+
+    /// A connection left its event loop.
+    pub(crate) fn close_connection(&self, reason: CloseReason, peak_backlog: u64, abandoned: bool) {
+        let mut state = self.lock();
+        state.active_connections = state.active_connections.saturating_sub(1);
+        if peak_backlog > 0 {
+            state.backlog_peaks.record(peak_backlog);
+        }
+        if abandoned || matches!(reason, CloseReason::Disconnect) {
+            state.disconnects += 1;
+        }
+    }
+
+    fn snapshot(&self) -> NetStats {
+        let state = self.lock();
+        NetStats {
+            event_loops: self.options.event_loops,
+            accepted: state.accepted,
+            refused: state.refused,
+            active_connections: state.active_connections,
+            frames_in: state.frames_in,
+            frames_out: state.frames_out,
+            bytes_in: state.bytes_in,
+            bytes_out: state.bytes_out,
+            corrupt_frames: state.corrupt_frames,
+            oversized_frames: state.oversized_frames,
+            disconnects: state.disconnects,
+            write_syscalls: state.write_syscalls,
+            pool_hits: self.pool.hit_count(),
+            pool_misses: self.pool.miss_count(),
+            batch_sizes: state.batch_sizes.clone(),
+            backlog_peaks: state.backlog_peaks.clone(),
+        }
+    }
+}
+
+/// Sockets accepted but not yet adopted by their event loop.
+type Intake = Arc<Mutex<Vec<TcpStream>>>;
+
+/// Namespace for starting the socket front end; see [`NetServer::start`].
+pub struct NetServer;
+
+impl NetServer {
+    /// Bind `addr`, start an in-process [`Server`] over `service` with
+    /// `serve` options, and drive it from `net.event_loops` event-loop
+    /// threads plus one acceptor. Bind to port 0 to let the OS choose
+    /// (see [`NetServerHandle::local_addr`]).
+    pub fn start<S>(
+        service: S,
+        addr: impl ToSocketAddrs,
+        net: NetOptions,
+        serve: ServeOptions,
+    ) -> Result<NetServerHandle>
+    where
+        S: VideoService + Clone,
+    {
+        net.validate()?;
+        let inner = Server::start(service, serve)?;
+        let listener = TcpListener::bind(addr).map_err(VStoreError::Io)?;
+        listener.set_nonblocking(true).map_err(VStoreError::Io)?;
+        let local_addr = listener.local_addr().map_err(VStoreError::Io)?;
+
+        let shared = Arc::new(NetShared {
+            options: net,
+            state: Mutex::new(NetState::default()),
+            pool: BufferPool::new(POOL_CAPACITY),
+            stop: AtomicBool::new(false),
+        });
+
+        let mut intakes: Vec<Intake> = Vec::with_capacity(net.event_loops);
+        let mut loops = Vec::with_capacity(net.event_loops);
+        let mut spawn_failure = None;
+        for i in 0..net.event_loops {
+            let intake: Intake = Arc::new(Mutex::new(Vec::new()));
+            let loop_shared = Arc::clone(&shared);
+            let loop_intake = Arc::clone(&intake);
+            let connector = inner.connector();
+            let spawned = std::thread::Builder::new()
+                .name(format!("vstore-net-loop-{i}"))
+                .spawn(move || event_loop(&loop_shared, &loop_intake, &connector));
+            match spawned {
+                Ok(handle) => {
+                    intakes.push(intake);
+                    loops.push(handle);
+                }
+                Err(e) => {
+                    spawn_failure = Some(e);
+                    break;
+                }
+            }
+        }
+        let acceptor = if spawn_failure.is_none() {
+            let accept_shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("vstore-net-accept".into())
+                .spawn(move || acceptor_loop(&listener, &accept_shared, &intakes))
+                .map_err(|e| spawn_failure = Some(e))
+                .ok()
+        } else {
+            None
+        };
+        if let Some(e) = spawn_failure {
+            // Wind down whatever did spawn instead of leaking it.
+            shared.stop.store(true, Ordering::Release);
+            for handle in loops {
+                let _ = handle.join();
+            }
+            inner.shutdown();
+            return Err(VStoreError::Io(e));
+        }
+
+        Ok(NetServerHandle {
+            inner: Some(inner),
+            shared,
+            local_addr,
+            acceptor,
+            loops,
+        })
+    }
+}
+
+/// A running socket front end. Dropping the handle drains and shuts it
+/// down; call [`shutdown`](Self::shutdown) to do the same explicitly and
+/// receive the final statistics.
+pub struct NetServerHandle {
+    inner: Option<ServerHandle>,
+    shared: Arc<NetShared>,
+    local_addr: SocketAddr,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    loops: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for NetServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServerHandle")
+            .field("local_addr", &self.local_addr)
+            .field("event_loops", &self.shared.options.event_loops)
+            .finish()
+    }
+}
+
+impl NetServerHandle {
+    /// The bound address — the real port when started on port 0.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A network-layer statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> NetStats {
+        self.shared.snapshot()
+    }
+
+    /// A request-layer statistics snapshot from the inner server.
+    #[must_use]
+    pub fn serve_stats(&self) -> ServeStats {
+        self.inner
+            .as_ref()
+            .expect("inner server lives until shutdown")
+            .stats()
+    }
+
+    /// A cheap probe of the network statistics.
+    pub fn probe(&self) -> NetProbe {
+        NetProbe {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// A probe of the inner server's request statistics.
+    pub fn serve_probe(&self) -> ServeProbe {
+        self.inner
+            .as_ref()
+            .expect("inner server lives until shutdown")
+            .probe()
+    }
+
+    /// Graceful drain: stop accepting, answer and flush every request
+    /// already read (bounded by a 5 s deadline), close the sockets, then
+    /// shut the inner server down. Returns both final statistics.
+    pub fn shutdown(mut self) -> (NetStats, ServeStats) {
+        self.shutdown_net();
+        let serve = self
+            .inner
+            .take()
+            .expect("inner server lives until shutdown")
+            .shutdown();
+        (self.shared.snapshot(), serve)
+    }
+
+    fn shutdown_net(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for handle in self.loops.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServerHandle {
+    fn drop(&mut self) {
+        // The loops need the inner server's workers alive to drain, so
+        // stop the network side first; the inner handle's own Drop then
+        // shuts the workers down.
+        self.shutdown_net();
+    }
+}
+
+/// A cloneable, read-only probe of the socket front end's statistics.
+#[derive(Clone)]
+pub struct NetProbe {
+    shared: Arc<NetShared>,
+}
+
+impl NetProbe {
+    /// A statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> NetStats {
+        self.shared.snapshot()
+    }
+
+    /// `true` until shutdown begins; registries retire dead front ends so
+    /// reports stop counting their event loops as provisioned capacity.
+    #[must_use]
+    pub fn is_live(&self) -> bool {
+        !self.shared.stop.load(Ordering::Acquire)
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &NetShared, intakes: &[Intake]) {
+    let mut next = 0usize;
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                {
+                    let mut state = shared.lock();
+                    if state.active_connections >= shared.options.max_connections {
+                        state.refused += 1;
+                        continue; // dropping the stream closes it
+                    }
+                    state.accepted += 1;
+                    state.active_connections += 1;
+                }
+                // Both halves of the protocol are latency-sensitive and
+                // self-batching, so Nagle only adds stalls; non-blocking
+                // is what the event loop's multiplexing assumes.
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    let mut state = shared.lock();
+                    state.active_connections -= 1;
+                    state.refused += 1;
+                    continue;
+                }
+                intakes[next % intakes.len()]
+                    .lock()
+                    .expect("intake poisoned")
+                    .push(stream);
+                next += 1;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+fn event_loop(shared: &NetShared, intake: &Intake, connector: &Connector) {
+    let mut conns: Vec<NetConn> = Vec::new();
+    let mut scratch = vec![0u8; READ_SCRATCH_BYTES];
+    let mut drain_deadline: Option<Instant> = None;
+    loop {
+        let draining = shared.stop.load(Ordering::Acquire);
+        if draining && drain_deadline.is_none() {
+            drain_deadline = Some(Instant::now() + DRAIN_DEADLINE);
+        }
+
+        // Adopt newly accepted sockets. During a drain late arrivals are
+        // turned away (the acceptor already counted them active).
+        for stream in intake.lock().expect("intake poisoned").drain(..) {
+            if draining {
+                let mut state = shared.lock();
+                state.active_connections -= 1;
+                state.refused += 1;
+            } else {
+                conns.push(NetConn::new(stream, connector.connect(), shared));
+            }
+        }
+
+        let mut progress = false;
+        let mut i = 0;
+        while i < conns.len() {
+            let conn = &mut conns[i];
+            match catch_panic(|| conn.pump(shared, &mut scratch, draining)) {
+                Ok(PumpOutcome::Continue { progress: moved }) => {
+                    progress |= moved;
+                    i += 1;
+                }
+                Ok(PumpOutcome::Close(reason)) => {
+                    conns.swap_remove(i).finish(shared, reason);
+                    progress = true;
+                }
+                // A pump panic poisons only its own connection; every
+                // other connection (and the loop) keeps serving.
+                Err(_panic) => {
+                    conns.swap_remove(i).finish(shared, CloseReason::Disconnect);
+                    progress = true;
+                }
+            }
+        }
+
+        if draining {
+            if conns.is_empty() {
+                break;
+            }
+            if drain_deadline.is_some_and(|d| Instant::now() >= d) {
+                // Peers that would not take their responses in time.
+                for conn in conns.drain(..) {
+                    conn.finish(shared, CloseReason::Disconnect);
+                }
+                break;
+            }
+        }
+        if !progress {
+            std::thread::sleep(Duration::from_micros(shared.options.poll_wait_us));
+        }
+    }
+}

@@ -24,7 +24,7 @@
 //!   disturbs the server: responses to a vanished client are counted and
 //!   discarded.
 
-use crate::stats::{LatencyHistogram, ServeStats};
+use crate::stats::{LatencyHistogram, NetStats, ServeStats};
 use crate::wire::{RemoteError, RequestKind, ServeRequest, ServeResponse};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -60,6 +60,12 @@ pub trait VideoService: Send + Sync + 'static {
     /// `VStore` overrides it with its live-ingestor registry aggregate.
     fn live_stats(&self) -> Result<LiveStats> {
         Ok(LiveStats::default())
+    }
+    /// The store's aggregate socket front-end statistics. Defaults to an
+    /// idle report for services with no socket front end; `VStore`
+    /// overrides it with its net-server registry aggregate.
+    fn net_stats(&self) -> Result<NetStats> {
+        Ok(NetStats::default())
     }
 }
 
@@ -112,6 +118,7 @@ impl Shared {
             query_latency: state.latency[RequestKind::Query as usize].clone(),
             erode_latency: state.latency[RequestKind::Erode as usize].clone(),
             live_stats_latency: state.latency[RequestKind::LiveStats as usize].clone(),
+            net_stats_latency: state.latency[RequestKind::NetStats as usize].clone(),
         }
     }
 }
@@ -201,6 +208,14 @@ impl ServerHandle {
         }
     }
 
+    /// A cheap, cloneable connection factory for threads that outlive
+    /// their borrow of the handle (the socket front end's event loops).
+    pub fn connector(&self) -> Connector {
+        Connector {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
     /// A cheap, cloneable probe reading this server's statistics (what
     /// `VStore::stats_report` folds in).
     pub fn probe(&self) -> ServeProbe {
@@ -269,6 +284,28 @@ impl ServeProbe {
     }
 }
 
+/// A cheap, cloneable handle for opening [`Connection`]s from other
+/// threads — how the socket front end's event loops attach each accepted
+/// socket to the shared request queue.
+#[derive(Clone)]
+pub struct Connector {
+    shared: Arc<Shared>,
+}
+
+impl Connector {
+    /// Open a connection; identical to [`ServerHandle::connect`].
+    pub fn connect(&self) -> Connection {
+        let (tx, rx) = mpsc::channel();
+        Connection {
+            shared: Arc::clone(&self.shared),
+            reply_tx: tx,
+            reply_rx: rx,
+            outstanding: 0,
+            buffered: HashMap::new(),
+        }
+    }
+}
+
 /// One client's connection to the server: submit typed (or wire-encoded)
 /// requests, receive responses on a private channel, possibly pipelined and
 /// out of submission order.
@@ -293,16 +330,38 @@ impl Connection {
     /// Under [`QueueFullPolicy::Block`] a full queue blocks the caller
     /// instead of shedding.
     pub fn submit(&mut self, request: ServeRequest) -> Result<u64> {
+        let on_full = self.shared.options.on_full;
+        self.submit_inner(request, Instant::now(), on_full)
+    }
+
+    /// [`submit`](Self::submit) with a caller-supplied queue-lag stamp —
+    /// the socket front end's path. The event loop stamps each frame **at
+    /// decode time**, so the queue-wait histogram measures the same thing
+    /// for socket clients as for in-process callers (time from the request
+    /// materialising to a worker popping it), and a full queue always
+    /// sheds non-blockingly regardless of `ServeOptions::on_full`: an
+    /// event loop that blocked on one connection's submission would stall
+    /// every other connection it multiplexes.
+    pub fn submit_stamped(&mut self, request: ServeRequest, enqueued: Instant) -> Result<u64> {
+        self.submit_inner(request, enqueued, vstore_types::QueueFullPolicy::Reject)
+    }
+
+    fn submit_inner(
+        &mut self,
+        request: ServeRequest,
+        enqueued: Instant,
+        on_full: vstore_types::QueueFullPolicy,
+    ) -> Result<u64> {
         request.validate()?;
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
         let job = Job {
             id,
             request,
             reply: self.reply_tx.clone(),
-            enqueued: Instant::now(),
+            enqueued,
         };
         let capacity = self.shared.options.queue_depth;
-        match self.shared.queue.push(job, self.shared.options.on_full) {
+        match self.shared.queue.push(job, on_full) {
             Ok(()) => {}
             Err(PushError::Full(_)) => {
                 let mut state = self.shared.state.lock().expect("serve state poisoned");
@@ -340,6 +399,24 @@ impl Connection {
     #[must_use]
     pub fn pending(&self) -> usize {
         self.outstanding + self.buffered.len()
+    }
+
+    /// Receive the next response without blocking: `None` when nothing has
+    /// completed yet (or nothing is outstanding). The socket front end's
+    /// event loops drain completions with this between socket reads —
+    /// they can never afford to park on the channel.
+    pub fn try_recv(&mut self) -> Option<(u64, ServeResponse)> {
+        if let Some(&id) = self.buffered.keys().next() {
+            let response = self.buffered.remove(&id).expect("key just seen");
+            return Some((id, response));
+        }
+        match self.reply_rx.try_recv() {
+            Ok((id, response)) => {
+                self.outstanding -= 1;
+                Some((id, response))
+            }
+            Err(_) => None,
+        }
     }
 
     /// Receive the next response (any request id, completion order).
@@ -428,6 +505,9 @@ fn execute<S: VideoService>(service: &S, request: &ServeRequest) -> Result<Serve
         ServeRequest::LiveStats => service
             .live_stats()
             .map(|stats| ServeResponse::LiveStats(Box::new(stats))),
+        ServeRequest::NetStats => service
+            .net_stats()
+            .map(|stats| ServeResponse::NetStats(Box::new(stats))),
     }
 }
 
@@ -838,6 +918,108 @@ mod tests {
         }
         assert_eq!(conn.pending(), 0);
         assert!(conn.recv().is_err(), "nothing outstanding");
+    }
+
+    /// Queue-lag regression: `submit_stamped` honours the caller's stamp,
+    /// so a socket frame stamped at decode time records its true lag —
+    /// while the in-process path keeps stamping at submission. Before the
+    /// fix, network frames could only be stamped at submit, making the two
+    /// paths' queue-wait histograms incomparable.
+    #[test]
+    fn queue_wait_is_measured_from_the_callers_stamp() {
+        let server = Server::start(
+            MockService::new(),
+            ServeOptions::default().with_workers(1).with_queue_depth(8),
+        )
+        .unwrap();
+        let mut conn = server.connect();
+        // A frame "decoded" 80 ms ago: the histogram must see >= 80 ms of
+        // lag even though the worker pops it immediately.
+        let decoded_at = Instant::now() - std::time::Duration::from_millis(80);
+        let id = conn
+            .submit_stamped(query_request("jackson", 1), decoded_at)
+            .unwrap();
+        assert!(!conn.recv_response(id).unwrap().is_error());
+        let stamped = server.stats();
+        assert!(
+            stamped.queue_wait.max_us() >= 80_000,
+            "decode-time stamp ignored: max wait {} µs",
+            stamped.queue_wait.max_us()
+        );
+        // The in-process path on an idle server stays far below that.
+        let id = conn.submit(query_request("jackson", 1)).unwrap();
+        assert!(!conn.recv_response(id).unwrap().is_error());
+        let stats = server.shutdown();
+        assert_eq!(stats.queue_wait.count(), 2);
+    }
+
+    /// `submit_stamped` sheds a full queue non-blockingly even when the
+    /// server's policy is Block: event loops must never park on submit.
+    #[test]
+    fn submit_stamped_sheds_instead_of_blocking() {
+        let service = MockService::gated();
+        let server = Server::start(
+            service.clone(),
+            ServeOptions::sequential().with_on_full(QueueFullPolicy::Block),
+        )
+        .unwrap();
+        let mut conn = server.connect();
+        let first = conn
+            .submit_stamped(query_request("jackson", 1), Instant::now())
+            .unwrap();
+        while server.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        let second = conn
+            .submit_stamped(query_request("jackson", 2), Instant::now())
+            .unwrap();
+        let err = conn
+            .submit_stamped(query_request("jackson", 3), Instant::now())
+            .unwrap_err();
+        assert!(err.is_busy(), "{err}");
+        service.open_gate();
+        assert!(!conn.recv_response(first).unwrap().is_error());
+        assert!(!conn.recv_response(second).unwrap().is_error());
+    }
+
+    /// `try_recv` never blocks and drains completions plus the buffer.
+    #[test]
+    fn try_recv_is_non_blocking() {
+        let service = MockService::gated();
+        let server = Server::start(
+            service.clone(),
+            ServeOptions::default().with_workers(1).with_queue_depth(8),
+        )
+        .unwrap();
+        let mut conn = server.connect();
+        assert!(conn.try_recv().is_none(), "idle connection");
+        let a = conn.submit(query_request("jackson", 1)).unwrap();
+        let b = conn.submit(query_request("jackson", 2)).unwrap();
+        assert!(conn.try_recv().is_none(), "gate still closed");
+        service.open_gate();
+        let mut got = std::collections::HashMap::new();
+        while got.len() < 2 {
+            if let Some((id, response)) = conn.try_recv() {
+                got.insert(id, response);
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        assert!(!got[&a].is_error() && !got[&b].is_error());
+        assert_eq!(conn.pending(), 0);
+    }
+
+    /// The default net-stats handler answers idle; mocks need no override.
+    #[test]
+    fn net_stats_requests_round_trip_with_the_default_handler() {
+        let server = Server::start(MockService::new(), ServeOptions::default()).unwrap();
+        let mut conn = server.connect();
+        match conn.call(ServeRequest::NetStats).unwrap() {
+            ServeResponse::NetStats(stats) => assert_eq!(*stats, NetStats::default()),
+            other => panic!("unexpected {other:?}"),
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.net_stats_latency.count(), 1);
     }
 
     /// The wire-level API serves encoded frames end to end.

@@ -46,6 +46,8 @@ pub struct ServeStats {
     pub erode_latency: LatencyHistogram,
     /// Execution latency of live-stats requests.
     pub live_stats_latency: LatencyHistogram,
+    /// Execution latency of net-stats requests.
+    pub net_stats_latency: LatencyHistogram,
 }
 
 impl ServeStats {
@@ -92,6 +94,7 @@ impl ServeStats {
         self.erode_latency.accumulate(&other.erode_latency);
         self.live_stats_latency
             .accumulate(&other.live_stats_latency);
+        self.net_stats_latency.accumulate(&other.net_stats_latency);
     }
 }
 
@@ -120,6 +123,160 @@ impl fmt::Display for ServeStats {
         write!(f, "  erode:      {}", self.erode_latency)?;
         if !self.live_stats_latency.is_empty() {
             write!(f, "\n  live-stats: {}", self.live_stats_latency)?;
+        }
+        if !self.net_stats_latency.is_empty() {
+            write!(f, "\n  net-stats:  {}", self.net_stats_latency)?;
+        }
+        Ok(())
+    }
+}
+
+/// One snapshot of a socket front end's statistics, as returned by
+/// `NetServerHandle::stats` and folded into `VStore::stats_report`.
+///
+/// The two histograms abuse [`LatencyHistogram`]'s power-of-two buckets
+/// for dimensionless counts: `batch_sizes` records **responses per
+/// vectored write** (the batching win — mean ≫ 1 means syscalls are being
+/// amortised) and `backlog_peaks` records each closed connection's peak
+/// in-flight request count (how deeply clients actually pipelined).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NetStats {
+    /// Event-loop threads multiplexing the connections.
+    pub event_loops: usize,
+    /// Connections accepted over the listener's lifetime.
+    pub accepted: u64,
+    /// Connections refused because `NetOptions::max_connections` was
+    /// reached (closed immediately, nothing served).
+    pub refused: u64,
+    /// Connections currently being served.
+    pub active_connections: usize,
+    /// Request frames decoded off sockets.
+    pub frames_in: u64,
+    /// Response frames fully written back (batched or not).
+    pub frames_out: u64,
+    /// Payload bytes read off sockets (frame envelopes included).
+    pub bytes_in: u64,
+    /// Bytes written back to sockets.
+    pub bytes_out: u64,
+    /// Frames rejected as undecodable (bad magic, bad payload, trailing
+    /// garbage). Each one costs its connection — the peer is answered with
+    /// a corruption error where possible, then isolated.
+    pub corrupt_frames: u64,
+    /// Frames rejected at header-parse time for declaring a length beyond
+    /// `NetOptions::max_frame_bytes` — before any allocation.
+    pub oversized_frames: u64,
+    /// Connections that vanished (EOF or socket error) with work still in
+    /// flight or responses still queued.
+    pub disconnects: u64,
+    /// Successful `writev` calls issued (one per response batch).
+    pub write_syscalls: u64,
+    /// Buffer-pool takes served from the pool (no allocation).
+    pub pool_hits: u64,
+    /// Buffer-pool takes that had to allocate a fresh buffer.
+    pub pool_misses: u64,
+    /// Responses coalesced per vectored write.
+    pub batch_sizes: LatencyHistogram,
+    /// Peak in-flight requests per connection, recorded at close.
+    pub backlog_peaks: LatencyHistogram,
+}
+
+impl NetStats {
+    /// Fraction of buffer takes served from the pool without allocating
+    /// (0.0 when idle — never NaN). The steady-state read/write path keeps
+    /// this near 1.0: the pool is the proof that serving a request
+    /// allocates nothing per-request.
+    #[must_use]
+    pub fn pool_hit_rate(&self) -> f64 {
+        let takes = self.pool_hits.saturating_add(self.pool_misses);
+        if takes == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / takes as f64
+        }
+    }
+
+    /// Mean responses per vectored write (0.0 when idle — never NaN).
+    #[must_use]
+    pub fn mean_batch(&self) -> f64 {
+        self.batch_sizes.mean_us()
+    }
+
+    /// Write syscalls per response frame (0.0 when idle — never NaN).
+    /// Batching pushes this below 1.0; a naive one-write-per-response loop
+    /// sits at 1.0.
+    #[must_use]
+    pub fn writes_per_response(&self) -> f64 {
+        if self.frames_out == 0 {
+            0.0
+        } else {
+            self.write_syscalls as f64 / self.frames_out as f64
+        }
+    }
+
+    /// Merge another front end's snapshot into this one (multi-server
+    /// aggregate for `VStore::stats_report`). Capacities add; histograms
+    /// merge.
+    pub fn accumulate(&mut self, other: &NetStats) {
+        self.event_loops = self.event_loops.saturating_add(other.event_loops);
+        self.accepted = self.accepted.saturating_add(other.accepted);
+        self.refused = self.refused.saturating_add(other.refused);
+        self.active_connections = self
+            .active_connections
+            .saturating_add(other.active_connections);
+        self.frames_in = self.frames_in.saturating_add(other.frames_in);
+        self.frames_out = self.frames_out.saturating_add(other.frames_out);
+        self.bytes_in = self.bytes_in.saturating_add(other.bytes_in);
+        self.bytes_out = self.bytes_out.saturating_add(other.bytes_out);
+        self.corrupt_frames = self.corrupt_frames.saturating_add(other.corrupt_frames);
+        self.oversized_frames = self.oversized_frames.saturating_add(other.oversized_frames);
+        self.disconnects = self.disconnects.saturating_add(other.disconnects);
+        self.write_syscalls = self.write_syscalls.saturating_add(other.write_syscalls);
+        self.pool_hits = self.pool_hits.saturating_add(other.pool_hits);
+        self.pool_misses = self.pool_misses.saturating_add(other.pool_misses);
+        self.batch_sizes.accumulate(&other.batch_sizes);
+        self.backlog_peaks.accumulate(&other.backlog_peaks);
+    }
+}
+
+impl fmt::Display for NetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "net: {} event loops, {} active conns ({} accepted, {} refused, {} disconnects), \
+             {} frames in / {} out, {} in / {} out",
+            self.event_loops,
+            self.active_connections,
+            self.accepted,
+            self.refused,
+            self.disconnects,
+            self.frames_in,
+            self.frames_out,
+            vstore_types::ByteSize(self.bytes_in),
+            vstore_types::ByteSize(self.bytes_out),
+        )?;
+        writeln!(
+            f,
+            "  frames: {} corrupt, {} oversized | pool hit rate {:.0}% ({} hits, {} misses)",
+            self.corrupt_frames,
+            self.oversized_frames,
+            self.pool_hit_rate() * 100.0,
+            self.pool_hits,
+            self.pool_misses,
+        )?;
+        write!(
+            f,
+            "  writes: {} syscalls ({:.2} per response), mean batch {:.1}",
+            self.write_syscalls,
+            self.writes_per_response(),
+            self.mean_batch(),
+        )?;
+        if !self.backlog_peaks.is_empty() {
+            write!(
+                f,
+                " | conn backlog peak p50 <{}, max {}",
+                self.backlog_peaks.quantile_us(0.50),
+                self.backlog_peaks.max_us(),
+            )?;
         }
         Ok(())
     }
@@ -154,6 +311,42 @@ mod tests {
         let other = saturated.clone();
         saturated.accumulate(&other);
         assert_eq!(saturated.submitted, u64::MAX, "accumulate must saturate");
+    }
+
+    #[test]
+    fn net_stats_rates_never_nan_and_accumulate_merges() {
+        let idle = NetStats::default();
+        assert_eq!(idle.pool_hit_rate(), 0.0);
+        assert_eq!(idle.mean_batch(), 0.0);
+        assert_eq!(idle.writes_per_response(), 0.0);
+        let rendered = idle.to_string();
+        assert!(!rendered.contains("NaN"), "{rendered}");
+
+        let mut a = NetStats {
+            event_loops: 2,
+            accepted: 10,
+            frames_out: 100,
+            write_syscalls: 25,
+            pool_hits: 90,
+            pool_misses: 10,
+            ..NetStats::default()
+        };
+        a.batch_sizes.record(4);
+        assert!((a.writes_per_response() - 0.25).abs() < 1e-9);
+        assert!((a.pool_hit_rate() - 0.9).abs() < 1e-9);
+        assert!((a.mean_batch() - 4.0).abs() < 1e-9);
+        let b = a.clone();
+        a.accumulate(&b);
+        assert_eq!(a.event_loops, 4);
+        assert_eq!(a.accepted, 20);
+        assert_eq!(a.batch_sizes.count(), 2);
+        // Saturation instead of wraparound.
+        let mut pinned = NetStats {
+            frames_in: u64::MAX,
+            ..NetStats::default()
+        };
+        pinned.accumulate(&b);
+        assert_eq!(pinned.frames_in, u64::MAX);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! builders, so a request rejected at the handle is rejected identically at
 //! the wire.
 
+use crate::stats::NetStats;
 use vstore_codec::wire::{ByteReader, ByteWriter};
 use vstore_datasets::{DatasetProfile, VideoSource};
 use vstore_ingest::{ErodeReport, IngestReport, LiveStats};
@@ -27,8 +28,25 @@ pub const RESPONSE_MAGIC: u32 = 0x5653_5253;
 /// deleted-segment count to the full [`ErodeReport`] (deleted vs demoted,
 /// segments and bytes — the tiered-cold-storage erosion outcome). v3 added
 /// the live-stats request/response pair carrying [`LiveStats`] — the live
-/// ingest backlog, lag histogram and degradation-ladder state.
-pub const WIRE_VERSION: u8 = 3;
+/// ingest backlog, lag histogram and degradation-ladder state. v4 is the
+/// socket protocol bump: frames now travel inside a length-prefixed
+/// transport envelope carrying a per-frame **correlation id** (so many
+/// requests can be pipelined on one connection and answered out of order),
+/// and adds the net-stats request/response pair carrying [`NetStats`].
+pub const WIRE_VERSION: u8 = 4;
+
+/// Oldest version a v4 decoder still accepts.
+///
+/// **Compatibility rule:** v4 changed no payload layout — every message
+/// that existed in v3 encodes byte-for-byte identically under v4 (only the
+/// version byte differs), and the messages new in v4 (net-stats) use tags
+/// v3 never emitted. A v4 server therefore accept-decodes v3 frames
+/// unchanged; encoders always emit [`WIRE_VERSION`]. Frames outside
+/// `[MIN_WIRE_VERSION, WIRE_VERSION]` are rejected with the typed
+/// [`VStoreError::UnsupportedVersion`] — distinguishable from corruption,
+/// so a client talking to a newer server can say so instead of reporting
+/// damaged bytes.
+pub const MIN_WIRE_VERSION: u8 = 3;
 
 /// The kind of a serve request (used for routing and per-kind latency
 /// accounting).
@@ -42,15 +60,18 @@ pub enum RequestKind {
     Erode,
     /// Fetch the aggregate live-ingest statistics.
     LiveStats,
+    /// Fetch the aggregate socket front-end statistics.
+    NetStats,
 }
 
 impl RequestKind {
     /// All kinds, indexed by their wire tag.
-    pub const ALL: [RequestKind; 4] = [
+    pub const ALL: [RequestKind; 5] = [
         RequestKind::Ingest,
         RequestKind::Query,
         RequestKind::Erode,
         RequestKind::LiveStats,
+        RequestKind::NetStats,
     ];
 
     /// Short display name.
@@ -60,6 +81,7 @@ impl RequestKind {
             RequestKind::Query => "query",
             RequestKind::Erode => "erode",
             RequestKind::LiveStats => "live-stats",
+            RequestKind::NetStats => "net-stats",
         }
     }
 }
@@ -99,6 +121,10 @@ pub enum ServeRequest {
     /// Fetch the aggregate live-ingest statistics of the store (an idle
     /// default when no live ingestor has been started).
     LiveStats,
+    /// Fetch the aggregate socket front-end statistics of the store (an
+    /// idle default when no socket front end has been started). New in
+    /// wire v4.
+    NetStats,
 }
 
 /// One typed response produced by the serving front end.
@@ -115,6 +141,9 @@ pub enum ServeResponse {
     /// The store's aggregate live-ingest statistics (boxed: the lag
     /// histogram makes this by far the largest variant).
     LiveStats(Box<LiveStats>),
+    /// The store's aggregate socket front-end statistics (boxed for the
+    /// same reason: two histograms). New in wire v4.
+    NetStats(Box<NetStats>),
 }
 
 impl ServeResponse {
@@ -183,6 +212,10 @@ impl RemoteError {
             VStoreError::InvalidArgument(_) => ErrorCode::InvalidArgument,
             VStoreError::InvalidState(_) => ErrorCode::InvalidState,
             VStoreError::Busy(_) => ErrorCode::Busy,
+            // A version mismatch reaching request execution means the
+            // frame's bytes cannot be interpreted — corruption-class on
+            // the wire, with the version detail kept in the message.
+            VStoreError::UnsupportedVersion { .. } => ErrorCode::Corruption,
         };
         RemoteError {
             code,
@@ -226,6 +259,7 @@ impl ServeRequest {
             ServeRequest::Query { .. } => RequestKind::Query,
             ServeRequest::Erode { .. } => RequestKind::Erode,
             ServeRequest::LiveStats => RequestKind::LiveStats,
+            ServeRequest::NetStats => RequestKind::NetStats,
         }
     }
 
@@ -273,13 +307,21 @@ impl ServeRequest {
                 }
                 Ok(())
             }
-            ServeRequest::LiveStats => Ok(()),
+            ServeRequest::LiveStats | ServeRequest::NetStats => Ok(()),
         }
     }
 
     /// Serialize the request to wire bytes.
     pub fn to_wire(&self) -> Vec<u8> {
         let mut w = ByteWriter::with_capacity(64);
+        self.write_wire(&mut w);
+        w.into_bytes()
+    }
+
+    /// Serialize the request into a caller-supplied writer — the pooled
+    /// (zero-allocation) encode path of the socket front end. Byte-for-byte
+    /// identical to [`to_wire`](Self::to_wire).
+    pub fn write_wire(&self, w: &mut ByteWriter) {
         w.put_u32(REQUEST_MAGIC);
         w.put_u8(WIRE_VERSION);
         match self {
@@ -289,7 +331,7 @@ impl ServeRequest {
                 count,
             } => {
                 w.put_u8(0);
-                put_source(&mut w, source);
+                put_source(w, source);
                 w.put_u64(*first_segment);
                 w.put_u64(*count);
             }
@@ -301,7 +343,7 @@ impl ServeRequest {
             } => {
                 w.put_u8(1);
                 w.put_bytes(stream.as_bytes());
-                put_spec(&mut w, spec);
+                put_spec(w, spec);
                 w.put_u64(*first_segment);
                 w.put_u64(*count);
             }
@@ -313,8 +355,10 @@ impl ServeRequest {
             ServeRequest::LiveStats => {
                 w.put_u8(3);
             }
+            ServeRequest::NetStats => {
+                w.put_u8(4);
+            }
         }
-        w.into_bytes()
     }
 
     /// Deserialize a request from wire bytes.
@@ -338,6 +382,7 @@ impl ServeRequest {
                 age_days: r.get_u32()?,
             },
             3 => ServeRequest::LiveStats,
+            4 => ServeRequest::NetStats,
             tag => {
                 return Err(VStoreError::corruption(format!(
                     "unknown serve request tag {tag}"
@@ -353,16 +398,24 @@ impl ServeResponse {
     /// Serialize the response to wire bytes.
     pub fn to_wire(&self) -> Vec<u8> {
         let mut w = ByteWriter::with_capacity(64);
+        self.write_wire(&mut w);
+        w.into_bytes()
+    }
+
+    /// Serialize the response into a caller-supplied writer — the pooled
+    /// (zero-allocation) encode path of the socket front end. Byte-for-byte
+    /// identical to [`to_wire`](Self::to_wire).
+    pub fn write_wire(&self, w: &mut ByteWriter) {
         w.put_u32(RESPONSE_MAGIC);
         w.put_u8(WIRE_VERSION);
         match self {
             ServeResponse::Ingest(report) => {
                 w.put_u8(0);
-                put_ingest_report(&mut w, report);
+                put_ingest_report(w, report);
             }
             ServeResponse::Query(result) => {
                 w.put_u8(1);
-                put_query_result(&mut w, result);
+                put_query_result(w, result);
             }
             ServeResponse::Erode(report) => {
                 w.put_u8(2);
@@ -379,10 +432,13 @@ impl ServeResponse {
             }
             ServeResponse::LiveStats(stats) => {
                 w.put_u8(4);
-                put_live_stats(&mut w, stats);
+                put_live_stats(w, stats);
+            }
+            ServeResponse::NetStats(stats) => {
+                w.put_u8(5);
+                put_net_stats(w, stats);
             }
         }
-        w.into_bytes()
     }
 
     /// Deserialize a response from wire bytes.
@@ -410,6 +466,7 @@ impl ServeResponse {
                 })
             }
             4 => ServeResponse::LiveStats(Box::new(get_live_stats(&mut r)?)),
+            5 => ServeResponse::NetStats(Box::new(get_net_stats(&mut r)?)),
             tag => {
                 return Err(VStoreError::corruption(format!(
                     "unknown serve response tag {tag}"
@@ -432,11 +489,14 @@ fn check_frame(r: &mut ByteReader<'_>, magic: u32, what: &str) -> Result<()> {
             "bad serve {what} magic {found:#x}"
         )));
     }
+    // Accept the whole supported range (see the compat rule on
+    // `MIN_WIRE_VERSION`): v3 payload layouts are unchanged under v4, so a
+    // v4 decoder reads v3 frames as-is. Anything else is the typed
+    // version-mismatch error, not corruption — the frame may be perfectly
+    // well-formed, just newer (or older) than this build.
     let version = r.get_u8()?;
-    if version != WIRE_VERSION {
-        return Err(VStoreError::corruption(format!(
-            "unsupported serve {what} version {version} (expected {WIRE_VERSION})"
-        )));
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
+        return Err(VStoreError::unsupported_version(version, WIRE_VERSION));
     }
     Ok(())
 }
@@ -670,6 +730,46 @@ fn get_live_stats(r: &mut ByteReader<'_>) -> Result<LiveStats> {
     })
 }
 
+fn put_net_stats(w: &mut ByteWriter, stats: &NetStats) {
+    w.put_u64(stats.event_loops as u64);
+    w.put_u64(stats.accepted);
+    w.put_u64(stats.refused);
+    w.put_u64(stats.active_connections as u64);
+    w.put_u64(stats.frames_in);
+    w.put_u64(stats.frames_out);
+    w.put_u64(stats.bytes_in);
+    w.put_u64(stats.bytes_out);
+    w.put_u64(stats.corrupt_frames);
+    w.put_u64(stats.oversized_frames);
+    w.put_u64(stats.disconnects);
+    w.put_u64(stats.write_syscalls);
+    w.put_u64(stats.pool_hits);
+    w.put_u64(stats.pool_misses);
+    put_histogram(w, &stats.batch_sizes);
+    put_histogram(w, &stats.backlog_peaks);
+}
+
+fn get_net_stats(r: &mut ByteReader<'_>) -> Result<NetStats> {
+    Ok(NetStats {
+        event_loops: usize_from_u64(r.get_u64()?, "net stats event loops")?,
+        accepted: r.get_u64()?,
+        refused: r.get_u64()?,
+        active_connections: usize_from_u64(r.get_u64()?, "net stats active connections")?,
+        frames_in: r.get_u64()?,
+        frames_out: r.get_u64()?,
+        bytes_in: r.get_u64()?,
+        bytes_out: r.get_u64()?,
+        corrupt_frames: r.get_u64()?,
+        oversized_frames: r.get_u64()?,
+        disconnects: r.get_u64()?,
+        write_syscalls: r.get_u64()?,
+        pool_hits: r.get_u64()?,
+        pool_misses: r.get_u64()?,
+        batch_sizes: get_histogram(r)?,
+        backlog_peaks: get_histogram(r)?,
+    })
+}
+
 fn put_query_result(w: &mut ByteWriter, result: &QueryResult) {
     put_spec(w, &result.query);
     w.put_f64(result.video.seconds());
@@ -814,6 +914,64 @@ mod tests {
         }
     }
 
+    fn sample_net_stats() -> NetStats {
+        let mut batch_sizes = LatencyHistogram::default();
+        let mut backlog_peaks = LatencyHistogram::default();
+        for v in [1u64, 4, 16, 64] {
+            batch_sizes.record(v);
+            backlog_peaks.record(v * 2);
+        }
+        NetStats {
+            event_loops: 2,
+            accepted: 100,
+            refused: 3,
+            active_connections: 7,
+            frames_in: 5000,
+            frames_out: 4990,
+            bytes_in: 1 << 20,
+            bytes_out: 1 << 22,
+            corrupt_frames: 2,
+            oversized_frames: 1,
+            disconnects: 4,
+            write_syscalls: 800,
+            pool_hits: 4900,
+            pool_misses: 100,
+            batch_sizes,
+            backlog_peaks,
+        }
+    }
+
+    /// The v3→v4 compat rule: a frame whose payload layout existed in v3
+    /// decodes identically when its version byte says 3.
+    #[test]
+    fn v3_frames_decode_on_the_v4_path() {
+        let request = ServeRequest::Query {
+            stream: "jackson".into(),
+            spec: QuerySpec::query_a(0.8),
+            first_segment: 2,
+            count: 4,
+        };
+        let mut bytes = request.to_wire();
+        assert_eq!(bytes[4], WIRE_VERSION);
+        bytes[4] = MIN_WIRE_VERSION;
+        assert_eq!(ServeRequest::from_wire(&bytes).unwrap(), request);
+
+        let response = ServeResponse::LiveStats(Box::new(sample_live_stats()));
+        let mut bytes = response.to_wire();
+        bytes[4] = MIN_WIRE_VERSION;
+        assert_eq!(ServeResponse::from_wire(&bytes).unwrap(), response);
+    }
+
+    /// `write_wire` into a recycled buffer is byte-identical to `to_wire`.
+    #[test]
+    fn write_wire_matches_to_wire_on_a_recycled_buffer() {
+        use vstore_codec::wire::ByteWriter;
+        let response = ServeResponse::NetStats(Box::new(sample_net_stats()));
+        let mut w = ByteWriter::from_vec(vec![0xAA; 256]);
+        response.write_wire(&mut w);
+        assert_eq!(w.into_bytes(), response.to_wire());
+    }
+
     #[test]
     fn requests_round_trip() {
         let requests = vec![
@@ -833,6 +991,7 @@ mod tests {
                 age_days: 9,
             },
             ServeRequest::LiveStats,
+            ServeRequest::NetStats,
         ];
         for request in requests {
             let bytes = request.to_wire();
@@ -871,6 +1030,8 @@ mod tests {
             ServeResponse::Error(RemoteError::from_panic("boom")),
             ServeResponse::LiveStats(Box::new(sample_live_stats())),
             ServeResponse::LiveStats(Box::default()),
+            ServeResponse::NetStats(Box::new(sample_net_stats())),
+            ServeResponse::NetStats(Box::default()),
         ];
         for response in responses {
             let bytes = response.to_wire();
@@ -894,13 +1055,23 @@ mod tests {
             ServeRequest::from_wire(&bad),
             Err(VStoreError::Corruption(_))
         ));
-        // Bad version.
+        // Unsupported version: typed, carrying what was found and what this
+        // build speaks — not lumped in with corruption.
         let mut bad = good.clone();
         bad[4] = 99;
         assert!(matches!(
             ServeRequest::from_wire(&bad),
-            Err(VStoreError::Corruption(_))
+            Err(VStoreError::UnsupportedVersion {
+                got: 99,
+                expected: WIRE_VERSION
+            })
         ));
+        // Below the compat floor is equally typed.
+        let mut bad = good.clone();
+        bad[4] = MIN_WIRE_VERSION - 1;
+        assert!(ServeRequest::from_wire(&bad)
+            .unwrap_err()
+            .is_unsupported_version());
         // Truncated.
         assert!(matches!(
             ServeRequest::from_wire(&good[..good.len() - 1]),

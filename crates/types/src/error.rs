@@ -32,6 +32,15 @@ pub enum VStoreError {
     /// (back-pressure). The request was not executed; retrying later is
     /// safe.
     Busy(String),
+    /// A wire frame declared a protocol version this build does not speak.
+    /// Distinguished from [`Corruption`](VStoreError::Corruption) so peers
+    /// can tell a well-formed-but-newer frame from a damaged one.
+    UnsupportedVersion {
+        /// The version byte found in the frame.
+        got: u8,
+        /// The newest version this build understands.
+        expected: u8,
+    },
 }
 
 impl VStoreError {
@@ -65,6 +74,16 @@ impl VStoreError {
     pub fn is_busy(&self) -> bool {
         matches!(self, VStoreError::Busy(_))
     }
+
+    /// Build an [`VStoreError::UnsupportedVersion`].
+    pub fn unsupported_version(got: u8, expected: u8) -> Self {
+        VStoreError::UnsupportedVersion { got, expected }
+    }
+
+    /// `true` if the error is a wire-protocol version mismatch.
+    pub fn is_unsupported_version(&self) -> bool {
+        matches!(self, VStoreError::UnsupportedVersion { .. })
+    }
 }
 
 impl fmt::Display for VStoreError {
@@ -79,6 +98,9 @@ impl fmt::Display for VStoreError {
             VStoreError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             VStoreError::InvalidState(m) => write!(f, "invalid state: {m}"),
             VStoreError::Busy(m) => write!(f, "busy: {m}"),
+            VStoreError::UnsupportedVersion { got, expected } => {
+                write!(f, "unsupported wire version {got} (expected {expected})")
+            }
         }
     }
 }
@@ -119,6 +141,22 @@ mod tests {
         assert!(!e.is_not_found());
         assert_eq!(e.to_string(), "busy: serve queue full (depth 256)");
         assert!(!VStoreError::invalid_argument("x").is_busy());
+    }
+
+    #[test]
+    fn unsupported_version_carries_both_versions() {
+        let e = VStoreError::unsupported_version(7, 4);
+        assert!(e.is_unsupported_version());
+        assert!(!e.is_busy());
+        assert_eq!(e.to_string(), "unsupported wire version 7 (expected 4)");
+        assert!(matches!(
+            e,
+            VStoreError::UnsupportedVersion {
+                got: 7,
+                expected: 4
+            }
+        ));
+        assert!(!VStoreError::corruption("bad crc").is_unsupported_version());
     }
 
     #[test]

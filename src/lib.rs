@@ -71,15 +71,15 @@ pub use vstore_ingest::{
 };
 pub use vstore_query::{PlanOptions, QueryResult, QuerySpec, StageReport};
 pub use vstore_serve::{
-    Connection, RemoteError, RequestKind, ServeRequest, ServeResponse, ServeStats, ServerHandle,
-    VideoService,
+    Connection, NetClient, NetProbe, NetServer, NetServerHandle, NetStats, RemoteError,
+    RequestKind, ServeRequest, ServeResponse, ServeStats, ServerHandle, VideoService,
 };
 pub use vstore_storage::{
     BackendOptions, CacheStats, ColdBackend, FsBackend, MemBackend, ReadSource, SegmentReader,
     StorageBackend, TierEngine, TierOptions, TierStats, TieredBackend,
 };
 pub use vstore_types::{
-    Configuration, Consumer, LiveIngestOptions, OperatorKind, QueueFullPolicy, Result,
+    Configuration, Consumer, LiveIngestOptions, NetOptions, OperatorKind, QueueFullPolicy, Result,
     RuntimeOptions, ServeOptions, VStoreError,
 };
 
@@ -199,8 +199,13 @@ pub struct StatsReport {
     /// cold-hit latency (`None` when no cold tier is configured).
     pub tier: Option<TierStats>,
     /// Aggregate serving-layer statistics across every front end started
-    /// with [`VStore::serve`] (`None` when none has been started).
+    /// with [`VStore::serve`] or [`VStore::serve_net`] (`None` when none
+    /// has been started).
     pub serve: Option<ServeStats>,
+    /// Aggregate network-layer statistics across every socket front end
+    /// started with [`VStore::serve_net`] (`None` when none has been
+    /// started).
+    pub net: Option<NetStats>,
     /// Aggregate live-ingest statistics across every ingestor started with
     /// [`VStore::live_ingest`] (`None` when none has been started).
     pub live: Option<LiveStats>,
@@ -229,6 +234,9 @@ impl std::fmt::Display for StatsReport {
         }
         if let Some(serve) = &self.serve {
             writeln!(f, "{serve}")?;
+        }
+        if let Some(net) = &self.net {
+            writeln!(f, "{net}")?;
         }
         if let Some(live) = &self.live {
             writeln!(f, "{live}")?;
@@ -294,6 +302,10 @@ struct VStoreInner {
     /// Live ingestors started through [`VStore::live_ingest`];
     /// [`VStore::stats_report`] folds them in.
     live: RwLock<LiveRegistry>,
+    /// Socket front ends started through [`VStore::serve_net`];
+    /// [`VStore::stats_report`] folds them in (the inner request-layer
+    /// probes live in `serving`).
+    net: RwLock<NetRegistry>,
 }
 
 /// The store's view of its serving front ends: live probes plus the folded
@@ -363,6 +375,44 @@ impl LiveRegistry {
             finals.current_level = 0;
             self.retired
                 .get_or_insert_with(LiveStats::default)
+                .accumulate(&finals);
+            false
+        });
+        if self.probes.is_empty() && self.retired.is_none() {
+            return None;
+        }
+        let mut total = self.retired.clone().unwrap_or_default();
+        for probe in &self.probes {
+            total.accumulate(&probe.stats());
+        }
+        Some(total)
+    }
+}
+
+/// The store's view of its socket front ends, mirroring [`ServeRegistry`]:
+/// live probes plus the folded final counters of front ends that have shut
+/// down. A retired front end's provisioned capacity (event loops, active
+/// connections) is zeroed — only its traffic history accumulates.
+#[derive(Default)]
+struct NetRegistry {
+    probes: Vec<NetProbe>,
+    retired: Option<NetStats>,
+}
+
+impl NetRegistry {
+    /// Fold every live probe plus the retired history into one aggregate
+    /// (`None` before the first `serve_net`), dropping probes of front
+    /// ends that have shut down.
+    fn aggregate(&mut self) -> Option<NetStats> {
+        self.probes.retain(|probe| {
+            if probe.is_live() {
+                return true;
+            }
+            let mut finals = probe.stats();
+            finals.event_loops = 0;
+            finals.active_connections = 0;
+            self.retired
+                .get_or_insert_with(NetStats::default)
                 .accumulate(&finals);
             false
         });
@@ -510,6 +560,7 @@ impl VStore {
                 clock,
                 serving: RwLock::new(ServeRegistry::default()),
                 live: RwLock::new(LiveRegistry::default()),
+                net: RwLock::new(NetRegistry::default()),
             }),
         })
     }
@@ -568,6 +619,7 @@ impl VStore {
     pub fn stats_report(&self) -> StatsReport {
         let serve = self.inner.serving.write().aggregate();
         let live = self.inner.live.write().aggregate();
+        let net = self.inner.net.write().aggregate();
         StatsReport {
             store: self.store_stats(),
             cache: self.cache_stats(),
@@ -575,8 +627,19 @@ impl VStore {
             shard_caches: self.shard_cache_stats(),
             tier: self.tier_stats(),
             serve,
+            net,
             live,
         }
+    }
+
+    /// Aggregate network-layer statistics across every socket front end
+    /// started with [`serve_net`](Self::serve_net) (`None` when none has
+    /// been started). The same aggregate appears in
+    /// [`stats_report`](Self::stats_report) and over the serve wire
+    /// ([`ServeRequest::NetStats`]).
+    #[must_use]
+    pub fn net_stats(&self) -> Option<NetStats> {
+        self.inner.net.write().aggregate()
     }
 
     /// Aggregate live-ingest statistics across every ingestor started with
@@ -717,6 +780,40 @@ impl VStore {
         Ok(server)
     }
 
+    /// Start a **socket** front end over this store: a TCP listener whose
+    /// event loops multiplex pipelined, length-prefixed wire-v4 frames
+    /// (per-frame correlation ids) over the same bounded queue and worker
+    /// pool as [`serve`](Self::serve), with adaptive response batching
+    /// into vectored writes and pooled per-connection buffers. Bind to
+    /// port 0 to let the OS pick ([`NetServerHandle::local_addr`]).
+    ///
+    /// Both layers fold into [`stats_report`](Self::stats_report): the
+    /// request-layer [`ServeStats`] alongside in-process servers, and the
+    /// network-layer [`NetStats`] (connections, frames, batch sizes,
+    /// write syscalls, buffer-pool hit rate) in its own section.
+    ///
+    /// ```no_run
+    /// # use vstore::{NetClient, NetOptions, ServeOptions, ServeRequest, VStore, VStoreOptions};
+    /// # let store = VStore::open_temp("serve-net", VStoreOptions::default()).unwrap();
+    /// let server = store
+    ///     .serve_net("127.0.0.1:0", NetOptions::default(), ServeOptions::default())
+    ///     .unwrap();
+    /// let mut client = NetClient::connect(server.local_addr()).unwrap();
+    /// let response = client.call(&ServeRequest::LiveStats).unwrap();
+    /// println!("{response:?}\n{}", store.stats_report());
+    /// ```
+    pub fn serve_net(
+        &self,
+        addr: impl std::net::ToSocketAddrs,
+        net: NetOptions,
+        serve: ServeOptions,
+    ) -> Result<NetServerHandle> {
+        let server = NetServer::start(self.clone(), addr, net, serve)?;
+        self.inner.serving.write().probes.push(server.serve_probe());
+        self.inner.net.write().probes.push(server.probe());
+        Ok(server)
+    }
+
     /// Start a live ingestor for `source` under the active configuration: a
     /// bounded, back-pressured queue of camera segments drained by
     /// background transcode workers through the shared ingestion pipeline.
@@ -806,6 +903,10 @@ impl VideoService for VStore {
 
     fn live_stats(&self) -> Result<LiveStats> {
         Ok(VStore::live_stats(self).unwrap_or_default())
+    }
+
+    fn net_stats(&self) -> Result<NetStats> {
+        Ok(VStore::net_stats(self).unwrap_or_default())
     }
 }
 
