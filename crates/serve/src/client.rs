@@ -34,6 +34,9 @@ pub struct NetClient {
     buffered: HashMap<u64, ServeResponse>,
     /// Encoded frames not yet pushed to the socket.
     outbox: Vec<u8>,
+    /// Correlation ids of the frames in the outbox, in order. On a failed
+    /// flush these are un-tracked from `sent_at` — they never hit the wire.
+    outbox_ids: Vec<u64>,
     /// Unparsed response bytes.
     inbox: Vec<u8>,
     scratch: Vec<u8>,
@@ -65,12 +68,23 @@ impl NetClient {
             sent_at: HashMap::new(),
             buffered: HashMap::new(),
             outbox: Vec::new(),
+            outbox_ids: Vec::new(),
             inbox: Vec::new(),
             scratch: vec![0u8; 16 * 1024],
             encode_buf: Vec::new(),
             latency: LatencyHistogram::default(),
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
         })
+    }
+
+    /// Raise (or lower) the response-frame size this client accepts.
+    /// Must match the server's `NetOptions::max_frame_bytes` when that is
+    /// configured above the default — otherwise a legitimate large
+    /// response is rejected as corruption.
+    #[must_use]
+    pub fn with_max_frame_bytes(mut self, max_frame_bytes: usize) -> Self {
+        self.max_frame_bytes = max_frame_bytes;
+        self
     }
 
     /// Queue a request without waiting; returns its correlation id. The
@@ -85,6 +99,7 @@ impl NetClient {
         let buf = encode_frame(buf, corr_id, |w| request.write_wire(w));
         self.outbox.extend_from_slice(&buf);
         self.encode_buf = buf;
+        self.outbox_ids.push(corr_id);
         self.sent_at.insert(corr_id, Instant::now());
         if self.outbox.len() >= OUTBOX_FLUSH_BYTES {
             self.flush()?;
@@ -96,12 +111,23 @@ impl NetClient {
     /// when the server must see the requests before you are ready to
     /// `recv` — e.g. fire-and-forget bursts, or tests that watch
     /// server-side counters.
+    ///
+    /// On a write error the undelivered requests are dropped from the
+    /// outstanding set (a partial write leaves the stream mid-frame, so
+    /// they can never be answered) and the error is returned.
     pub fn flush(&mut self) -> Result<()> {
         if self.outbox.is_empty() {
             return Ok(());
         }
         let outcome = self.stream.write_all(&self.outbox).map_err(VStoreError::Io);
         self.outbox.clear();
+        if outcome.is_err() {
+            for corr_id in self.outbox_ids.drain(..) {
+                self.sent_at.remove(&corr_id);
+            }
+        } else {
+            self.outbox_ids.clear();
+        }
         outcome
     }
 
@@ -111,6 +137,13 @@ impl NetClient {
             let response = self.buffered.remove(&corr_id).expect("key just seen");
             return Ok((corr_id, response));
         }
+        self.recv_from_wire()
+    }
+
+    /// Block until the next response arrives **off the socket**, ignoring
+    /// the `buffered` set. `recv_response` loops on this so a buffered
+    /// non-matching response can never starve the socket read.
+    fn recv_from_wire(&mut self) -> Result<(u64, ServeResponse)> {
         if self.sent_at.is_empty() {
             return Err(VStoreError::InvalidState("no requests outstanding".into()));
         }
@@ -166,7 +199,7 @@ impl NetClient {
             return Ok(response);
         }
         loop {
-            let (got, response) = self.recv()?;
+            let (got, response) = self.recv_from_wire()?;
             if got == corr_id {
                 return Ok(response);
             }

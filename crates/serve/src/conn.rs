@@ -130,16 +130,22 @@ pub(crate) fn parse_frame(
 pub(crate) struct BufferPool {
     bufs: Mutex<Vec<Vec<u8>>>,
     capacity: usize,
+    /// Buffers grown past this capacity are dropped instead of pooled, so
+    /// a burst of jumbo responses cannot pin `capacity` ×
+    /// `max_frame_bytes` of memory indefinitely.
+    retain_bytes: usize,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl BufferPool {
-    /// A pool retaining at most `capacity` idle buffers.
-    pub(crate) fn new(capacity: usize) -> Self {
+    /// A pool retaining at most `capacity` idle buffers, each of at most
+    /// `retain_bytes` capacity.
+    pub(crate) fn new(capacity: usize, retain_bytes: usize) -> Self {
         BufferPool {
             bufs: Mutex::new(Vec::new()),
             capacity,
+            retain_bytes,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -161,8 +167,12 @@ impl BufferPool {
         }
     }
 
-    /// Return a buffer for recycling (dropped if the pool is full).
+    /// Return a buffer for recycling (dropped if the pool is full or the
+    /// buffer has grown past the retention threshold).
     pub(crate) fn give(&self, buf: Vec<u8>) {
+        if buf.capacity() > self.retain_bytes {
+            return;
+        }
         let mut bufs = self.bufs.lock().expect("buffer pool poisoned");
         if bufs.len() < self.capacity {
             bufs.push(buf);
@@ -457,11 +467,12 @@ impl NetConn {
             }
         }
         self.pending_bytes -= written;
-        self.oldest_pending = if self.pending.is_empty() {
-            None
-        } else {
-            Some(Instant::now())
-        };
+        // After a partial flush the remaining frames have already waited;
+        // keeping the timestamp preserves the batch_max_delay_us bound
+        // under sustained partial writes.
+        if self.pending.is_empty() {
+            self.oldest_pending = None;
+        }
         shared.record_write(written as u64, completed);
         Ok(true)
     }
@@ -535,7 +546,7 @@ mod tests {
 
     #[test]
     fn buffer_pool_recycles_and_counts() {
-        let pool = BufferPool::new(2);
+        let pool = BufferPool::new(2, 1024);
         let a = pool.take();
         assert_eq!(pool.miss_count(), 1);
         pool.give(a);
@@ -545,5 +556,14 @@ mod tests {
         pool.give(Vec::new());
         pool.give(Vec::new()); // beyond capacity: dropped silently
         assert_eq!(pool.bufs.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn buffer_pool_drops_jumbo_buffers() {
+        let pool = BufferPool::new(8, 1024);
+        pool.give(Vec::with_capacity(4096)); // over retention: not pooled
+        assert_eq!(pool.bufs.lock().unwrap().len(), 0);
+        pool.give(Vec::with_capacity(512));
+        assert_eq!(pool.bufs.lock().unwrap().len(), 1);
     }
 }

@@ -41,6 +41,9 @@ use vstore_types::{NetOptions, Result, ServeOptions, VStoreError};
 const READ_SCRATCH_BYTES: usize = 64 * 1024;
 /// Idle buffers the pool retains across all loops.
 const POOL_CAPACITY: usize = 256;
+/// Buffers grown past this are dropped rather than pooled, bounding the
+/// pool's resident memory after a burst of jumbo frames.
+const POOL_RETAIN_BYTES: usize = 256 * 1024;
 /// Acceptor poll interval while the listen backlog is empty.
 const ACCEPT_POLL: Duration = Duration::from_micros(500);
 /// Hard bound on the graceful drain once shutdown begins.
@@ -169,7 +172,7 @@ impl NetServer {
         let shared = Arc::new(NetShared {
             options: net,
             state: Mutex::new(NetState::default()),
-            pool: BufferPool::new(POOL_CAPACITY),
+            pool: BufferPool::new(POOL_CAPACITY, POOL_RETAIN_BYTES),
             stop: AtomicBool::new(false),
         });
 

@@ -489,3 +489,40 @@ fn graceful_drain_flushes_queued_responses_before_closing() {
     let err = client.recv().unwrap_err();
     assert!(matches!(err, VStoreError::InvalidState(_)), "{err}");
 }
+
+/// **Out-of-order collection.** `recv_response` must keep reading the
+/// socket even while non-matching responses sit in the client's buffered
+/// set — the pipelined server answers in completion order, so waiting on a
+/// specific correlation id with other responses already collected must
+/// drain the wire, not spin on the buffer.
+#[test]
+fn recv_response_reads_the_wire_past_buffered_responses() {
+    let server = slow_server(1, 64);
+    let addr = server.local_addr();
+    // Hang-proof: drive the client on a worker thread and fail fast if it
+    // never finishes (the old code looped forever here).
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let mut client = NetClient::connect(addr).unwrap();
+        let a = client.submit(&ServeRequest::LiveStats).unwrap();
+        let b = client.submit(&ServeRequest::LiveStats).unwrap();
+        let c = client.submit(&ServeRequest::LiveStats).unwrap();
+        // Collect the last first: the sequential server answers a and b
+        // before c, so both land in the client's buffered set.
+        client.recv_response(c).unwrap();
+        assert_eq!(client.pending(), 2, "a and b buffered");
+        // A fourth request while two non-matching responses are buffered:
+        // recv_response must read the socket past them.
+        let d = client.submit(&ServeRequest::LiveStats).unwrap();
+        client.recv_response(d).unwrap();
+        // The buffered responses are still collectable, in any order.
+        client.recv_response(b).unwrap();
+        client.recv_response(a).unwrap();
+        assert_eq!(client.pending(), 0);
+        done_tx.send(()).unwrap();
+    });
+    done_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("recv_response hung with buffered non-matching responses");
+    let _ = server.shutdown();
+}
