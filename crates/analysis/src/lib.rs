@@ -1,0 +1,108 @@
+//! `vstore-analysis` — project-invariant static analysis for the VStore
+//! workspace, exposed in CI as the `analysis_gate` binary.
+//!
+//! PRs 1–8 grew VStore into a sharded, cached, tiered, network-served
+//! store whose correctness rests on a handful of cross-cutting invariants:
+//!
+//! - all disk I/O flows through the `StorageBackend` seam
+//!   ([`rules::BACKEND_SEAM`]),
+//! - integer narrowing on storage/codec/serve paths goes through
+//!   `vstore_types::cast` ([`rules::CHECKED_CAST`]),
+//! - core library code returns typed errors instead of panicking
+//!   ([`rules::NO_UNWRAP`]),
+//! - every queue is a `vstore_sim::BoundedQueue` ([`rules::BOUNDED_QUEUE`]),
+//! - the serve wire codec's encode/decode arms and version range stay in
+//!   lockstep ([`rules::WIRE_COMPAT`]),
+//! - and locks across the shard/cache/tier/net layers are acquired in a
+//!   consistent global order ([`rules::LOCK_ORDER`] — the headline
+//!   analysis: per-function lock-acquisition sequences feed a global lock
+//!   graph whose cycles are potential deadlocks).
+//!
+//! The pass is a small line/token scanner ([`scan`]) — module-structure
+//! and `#[cfg(test)]`/`mod tests` aware, so test code is scoped correctly
+//! — feeding the rules ([`rules`]). Findings ([`report`]) are suppressible
+//! per site with `// vstore-lint: allow(rule)` comments and per repo via a
+//! checked-in baseline (`analysis_baseline.json`), so the gate lands
+//! strict without blocking on a full cleanup. Like `bench_gate`, the crate
+//! is std-only and dependency-free: it must build before — and regardless
+//! of — everything it checks.
+
+pub mod lockgraph;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+use report::Finding;
+use scan::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// The default baseline file name, resolved against the workspace root.
+pub const BASELINE_FILE: &str = "analysis_baseline.json";
+
+/// Collect the workspace's library sources: `src/` of the facade and
+/// `crates/*/src/` of every member crate, sorted for determinism.
+/// `third_party/` stubs, `target/`, tests, benches, and fixtures are out
+/// of scope by construction (they are not under a scanned root).
+pub fn collect_workspace_sources(root: &Path) -> Result<Vec<(String, String)>, String> {
+    let mut files = Vec::new();
+    let facade = root.join("src");
+    if facade.is_dir() {
+        collect_rs(&facade, root, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates)
+            .map_err(|e| format!("cannot list {}: {e}", crates.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .collect();
+        members.sort();
+        for member in members {
+            let src = member.join("src");
+            if src.is_dir() {
+                collect_rs(&src, root, &mut files)?;
+            }
+        }
+    }
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<(String, String)>) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot list {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            out.push((rel, text));
+        }
+    }
+    Ok(())
+}
+
+/// Parse the given `(path, contents)` pairs and run every rule.
+pub fn analyze_sources(sources: &[(String, String)]) -> Vec<Finding> {
+    let files: Vec<SourceFile> = sources
+        .iter()
+        .map(|(path, text)| SourceFile::parse(path, text))
+        .collect();
+    rules::run_all(&files)
+}
+
+/// Analyze the workspace rooted at `root`.
+pub fn analyze_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let sources = collect_workspace_sources(root)?;
+    Ok(analyze_sources(&sources))
+}

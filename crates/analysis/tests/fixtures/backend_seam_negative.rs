@@ -1,0 +1,14 @@
+// True negative: std::fs confined to a test module, where scratch
+// directories are fair game.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    bytes.iter().map(|&b| u64::from(b)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_files_are_fine_in_tests() {
+        let dir = std::env::temp_dir();
+        let _ = std::fs::read_dir(dir);
+    }
+}

@@ -1,0 +1,13 @@
+// True negative: a Mutex around a Vec (a pool, not a queue) does not
+// trip the rule; neither does naming the bounded queue type.
+use std::sync::Mutex;
+
+pub struct BufferPool {
+    bufs: Mutex<Vec<Vec<u8>>>,
+}
+
+impl BufferPool {
+    pub fn give(&self, buf: Vec<u8>) {
+        self.bufs.lock().unwrap_or_else(|e| e.into_inner()).push(buf);
+    }
+}

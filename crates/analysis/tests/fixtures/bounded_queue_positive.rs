@@ -1,0 +1,13 @@
+// True positive: a hand-rolled unbounded queue behind a Mutex.
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+pub struct Backlog {
+    items: Mutex<VecDeque<u64>>,
+}
+
+impl Backlog {
+    pub fn push(&self, item: u64) {
+        self.items.lock().unwrap_or_else(|e| e.into_inner()).push_back(item);
+    }
+}

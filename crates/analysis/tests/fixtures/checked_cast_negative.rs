@@ -1,0 +1,18 @@
+// True negative: widening casts, an allowed site, and a narrowing cast in
+// test code are all fine.
+pub fn widen(len: u32) -> u64 {
+    len as u64
+}
+
+pub fn masked_tag(v: u64) -> u8 {
+    (v & 0x7F) as u8 // vstore-lint: allow(checked-cast) — masked to 7 bits
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn narrowing_in_tests_is_fine() {
+        let big: u64 = 300;
+        assert_eq!(big as u8, 44);
+    }
+}

@@ -1,0 +1,4 @@
+// True positive: a narrowing `as` cast on a codec path.
+pub fn truncate_length(len: u64) -> u32 {
+    len as u32
+}

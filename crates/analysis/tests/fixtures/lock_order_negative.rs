@@ -1,0 +1,32 @@
+// True negative: both paths acquire alpha before beta — a consistent
+// global order, so the graph has edges but no cycle. `disjoint` drops its
+// first guard before taking the second, contributing no edge at all.
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn sum(&self) -> u32 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        *a + *b
+    }
+
+    pub fn difference(&self) -> u32 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        *a - *b
+    }
+
+    pub fn disjoint(&self) -> u32 {
+        let first = {
+            let b = self.beta.lock();
+            *b
+        };
+        let a = self.alpha.lock();
+        *a + first
+    }
+}

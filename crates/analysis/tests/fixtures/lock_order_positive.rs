@@ -1,0 +1,22 @@
+// True positive: `forward` acquires alpha then beta, `backward` acquires
+// beta then alpha — a 2-cycle in the lock graph.
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u32 {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        *a - *b
+    }
+}

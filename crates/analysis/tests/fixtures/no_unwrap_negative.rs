@@ -1,0 +1,17 @@
+// True negative: typed errors in library code, an allowed invariant
+// expect, and unwraps confined to tests.
+pub fn first_byte(bytes: &[u8]) -> Option<u8> {
+    bytes.first().copied()
+}
+
+pub fn always_first(bytes: &[u8]) -> u8 {
+    *bytes.first().expect("caller checked non-empty") // vstore-lint: allow(no-unwrap)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::first_byte(&[7]).unwrap(), 7);
+    }
+}

@@ -1,0 +1,4 @@
+// True positive: unwrap in non-test library code of a core crate.
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    *bytes.first().unwrap()
+}

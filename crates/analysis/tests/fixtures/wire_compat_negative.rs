@@ -1,0 +1,29 @@
+// True negative: every variant has an encode and a decode arm, and the
+// decoder accepts the whole supported version range.
+pub const WIRE_VERSION: u8 = 2;
+pub const MIN_WIRE_VERSION: u8 = 1;
+
+pub enum ServeRequest {
+    Ping,
+    Status,
+}
+
+impl ServeRequest {
+    pub fn write_wire(&self, out: &mut Vec<u8>) {
+        match self {
+            ServeRequest::Ping => out.push(0),
+            ServeRequest::Status => out.push(1),
+        }
+    }
+
+    pub fn from_wire(version: u8, bytes: &[u8]) -> Option<ServeRequest> {
+        if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
+            return None;
+        }
+        match bytes.first()? {
+            0 => Some(ServeRequest::Ping),
+            1 => Some(ServeRequest::Status),
+            _ => None,
+        }
+    }
+}

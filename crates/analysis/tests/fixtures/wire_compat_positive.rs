@@ -1,0 +1,22 @@
+// True positive: `Status` has an encode arm but no decode arm, and the
+// decoder never checks the supported version range.
+pub enum ServeRequest {
+    Ping,
+    Status,
+}
+
+impl ServeRequest {
+    pub fn write_wire(&self, out: &mut Vec<u8>) {
+        match self {
+            ServeRequest::Ping => out.push(0),
+            ServeRequest::Status => out.push(1),
+        }
+    }
+
+    pub fn from_wire(bytes: &[u8]) -> Option<ServeRequest> {
+        match bytes.first()? {
+            0 => Some(ServeRequest::Ping),
+            _ => None,
+        }
+    }
+}

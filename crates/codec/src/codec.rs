@@ -10,7 +10,9 @@
 use crate::frame::{sampling_selects, VideoFrame};
 use serde::{Deserialize, Serialize};
 use vstore_datasets::{BlockPlane, SceneObject};
-use vstore_types::{Fidelity, FrameSampling, KeyframeInterval, Result, SpeedStep, VStoreError};
+use vstore_types::{
+    cast, Fidelity, FrameSampling, KeyframeInterval, Result, SpeedStep, VStoreError,
+};
 
 /// One encoded frame (keyframe or delta frame).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -98,12 +100,14 @@ fn rle_encode(data: &[u8]) -> Vec<u8> {
         if b == current && run < 255 {
             run += 1;
         } else {
+            // vstore-lint: allow(checked-cast) — run <= 255 by the loop guard above
             out.push(run as u8);
             out.push(current);
             current = b;
             run = 1;
         }
     }
+    // vstore-lint: allow(checked-cast) — run <= 255 by the loop guard above
     out.push(run as u8);
     out.push(current);
     out
@@ -118,7 +122,7 @@ pub(crate) fn rle_decode(data: &[u8], expected_len: usize) -> Result<Vec<u8>> {
     }
     let mut out = Vec::with_capacity(expected_len);
     for pair in data.chunks_exact(2) {
-        let run = pair[0] as usize;
+        let run = usize::from(pair[0]);
         let value = pair[1];
         if run == 0 {
             return Err(VStoreError::corruption("RLE run of zero"));
@@ -155,7 +159,7 @@ pub fn encode_segment(
             "all frames of a segment must share one fidelity",
         ));
     }
-    let gop = keyframe_interval.frames() as usize;
+    let gop = cast::usize_from_u32(keyframe_interval.frames());
     let mut chunks = Vec::with_capacity(frames.len() / gop + 1);
     for group in frames.chunks(gop) {
         let mut encoded_frames = Vec::with_capacity(group.len());
@@ -208,7 +212,7 @@ pub fn encode_segment(
 // ---------------------------------------------------------------------------
 
 fn decode_frame(encoded: &EncodedFrame, prev_plane: Option<&BlockPlane>) -> Result<VideoFrame> {
-    let expected = (encoded.width as usize) * (encoded.height as usize);
+    let expected = cast::usize_from_u32(encoded.width) * cast::usize_from_u32(encoded.height);
     let samples = rle_decode(&encoded.payload, expected)?;
     let plane = if encoded.is_key {
         BlockPlane::from_samples(encoded.width, encoded.height, samples)

@@ -10,8 +10,8 @@ use crate::wire::{ByteReader, ByteWriter};
 use serde::{Deserialize, Serialize};
 use vstore_datasets::{BlockPlane, BoundingBox, ObjectClass, ObjectColor, PlateText, SceneObject};
 use vstore_types::{
-    CodingOption, CropFactor, Fidelity, FrameSampling, ImageQuality, KeyframeInterval, Resolution,
-    Result, SpeedStep, StorageFormat, VStoreError,
+    cast, CodingOption, CropFactor, Fidelity, FrameSampling, ImageQuality, KeyframeInterval,
+    Resolution, Result, SpeedStep, StorageFormat, VStoreError,
 };
 
 /// Magic bytes prefixing every serialised segment.
@@ -136,7 +136,9 @@ impl SegmentData {
             SegmentData::Encoded(seg) => {
                 w.put_u8(1);
                 write_fidelity(&mut w, &seg.fidelity);
+                // vstore-lint: allow(checked-cast) — ranks index <=6-entry knob ladders
                 w.put_u8(seg.keyframe_interval.rank() as u8);
+                // vstore-lint: allow(checked-cast) — ranks index <=6-entry knob ladders
                 w.put_u8(seg.speed.rank() as u8);
                 w.put_varint(seg.chunks.len() as u64);
                 for chunk in &seg.chunks {
@@ -170,7 +172,7 @@ impl SegmentData {
         match kind {
             0 => {
                 let fidelity = read_fidelity(&mut r)?;
-                let count = r.get_varint()? as usize;
+                let count = cast::usize_from_u64(r.get_varint()?, "raw frame count")?;
                 let mut frames = Vec::with_capacity(count);
                 for _ in 0..count {
                     let (source_index, width, height, retention) = read_frame_header(&mut r)?;
@@ -192,18 +194,18 @@ impl SegmentData {
             }
             1 => {
                 let fidelity = read_fidelity(&mut r)?;
-                let ki_rank = r.get_u8()? as usize;
-                let sp_rank = r.get_u8()? as usize;
+                let ki_rank = usize::from(r.get_u8()?);
+                let sp_rank = usize::from(r.get_u8()?);
                 let keyframe_interval = *KeyframeInterval::ALL
                     .get(ki_rank)
                     .ok_or_else(|| VStoreError::corruption("bad keyframe interval"))?;
                 let speed = *SpeedStep::ALL
                     .get(sp_rank)
                     .ok_or_else(|| VStoreError::corruption("bad speed step"))?;
-                let chunk_count = r.get_varint()? as usize;
+                let chunk_count = cast::usize_from_u64(r.get_varint()?, "chunk count")?;
                 let mut chunks = Vec::with_capacity(chunk_count);
                 for _ in 0..chunk_count {
-                    let frame_count = r.get_varint()? as usize;
+                    let frame_count = cast::usize_from_u64(r.get_varint()?, "frame count")?;
                     let mut frames = Vec::with_capacity(frame_count);
                     for _ in 0..frame_count {
                         let (source_index, width, height, retention) = read_frame_header(&mut r)?;
@@ -237,17 +239,23 @@ impl SegmentData {
 }
 
 fn write_fidelity(w: &mut ByteWriter, f: &Fidelity) {
+    // The four fidelity ranks index knob ladders of at most six entries,
+    // so each fits a byte by construction.
+    // vstore-lint: allow(checked-cast)
     w.put_u8(f.quality.rank() as u8);
+    // vstore-lint: allow(checked-cast)
     w.put_u8(f.crop.rank() as u8);
+    // vstore-lint: allow(checked-cast)
     w.put_u8(f.resolution.rank() as u8);
+    // vstore-lint: allow(checked-cast)
     w.put_u8(f.sampling.rank() as u8);
 }
 
 fn read_fidelity(r: &mut ByteReader<'_>) -> Result<Fidelity> {
-    let q = r.get_u8()? as usize;
-    let c = r.get_u8()? as usize;
-    let res = r.get_u8()? as usize;
-    let s = r.get_u8()? as usize;
+    let q = usize::from(r.get_u8()?);
+    let c = usize::from(r.get_u8()?);
+    let res = usize::from(r.get_u8()?);
+    let s = usize::from(r.get_u8()?);
     Ok(Fidelity {
         quality: *ImageQuality::ALL
             .get(q)
@@ -266,7 +274,11 @@ fn read_fidelity(r: &mut ByteReader<'_>) -> Result<Fidelity> {
 
 fn write_frame_header(w: &mut ByteWriter, index: u64, width: u32, height: u32, retention: f64) {
     w.put_varint(index);
+    // Plane dimensions are block counts derived from the Resolution knob
+    // ladder (<= 1080p), far inside u16.
+    // vstore-lint: allow(checked-cast)
     w.put_u16(width as u16);
+    // vstore-lint: allow(checked-cast)
     w.put_u16(height as u16);
     w.put_f64(retention);
 }
@@ -301,7 +313,7 @@ fn write_objects(w: &mut ByteWriter, objects: &[SceneObject]) {
         let color_code = ObjectColor::ALL
             .iter()
             .position(|c| *c == o.color)
-            .unwrap_or(0) as u8;
+            .unwrap_or(0) as u8; // vstore-lint: allow(checked-cast) — position in an 8-entry array
         w.put_u8(color_code);
         match &o.plate {
             Some(p) => {
@@ -316,7 +328,7 @@ fn write_objects(w: &mut ByteWriter, objects: &[SceneObject]) {
 }
 
 fn read_objects(r: &mut ByteReader<'_>) -> Result<Vec<SceneObject>> {
-    let count = r.get_varint()? as usize;
+    let count = cast::usize_from_u64(r.get_varint()?, "object count")?;
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
         let id = r.get_u64()?;
@@ -339,7 +351,7 @@ fn read_objects(r: &mut ByteReader<'_>) -> Result<Vec<SceneObject>> {
         let y = r.get_f32()?;
         let w_ = r.get_f32()?;
         let h = r.get_f32()?;
-        let color_code = r.get_u8()? as usize;
+        let color_code = usize::from(r.get_u8()?);
         let color = *ObjectColor::ALL
             .get(color_code)
             .ok_or_else(|| VStoreError::corruption("bad color code"))?;

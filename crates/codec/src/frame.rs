@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 use vstore_datasets::{BlockPlane, SceneFrame, SceneObject};
-use vstore_types::{Fidelity, Result, VStoreError};
+use vstore_types::{cast, Fidelity, Result, VStoreError};
 
 /// A frame materialised at a specific fidelity.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -37,8 +37,10 @@ impl VideoFrame {
         // Cropping reduces the field of view, not the output resolution; the
         // cropped region is delivered at the target resolution scaled by the
         // crop's linear fraction.
-        let out_w = ((f64::from(w) * fidelity.crop.linear_fraction()).round() as u32).max(1);
-        let out_h = ((f64::from(h) * fidelity.crop.linear_fraction()).round() as u32).max(1);
+        let out_w =
+            cast::u32_saturating_from_f64(f64::from(w) * fidelity.crop.linear_fraction()).max(1);
+        let out_h =
+            cast::u32_saturating_from_f64(f64::from(h) * fidelity.crop.linear_fraction()).max(1);
         let resized = cropped.resize(out_w, out_h);
         let retention = fidelity.quality.signal_retention();
         let plane = resized.quantize(retention);
@@ -79,24 +81,29 @@ impl VideoFrame {
         // Additional crop relative to what has already been applied.
         let crop_ratio = target.crop.linear_fraction() / self.fidelity.crop.linear_fraction();
         let cropped = if crop_ratio < 0.999 {
-            let new_w = ((f64::from(self.plane.width()) * crop_ratio).round() as u32).max(1);
-            let new_h = ((f64::from(self.plane.height()) * crop_ratio).round() as u32).max(1);
+            let new_w =
+                cast::u32_saturating_from_f64(f64::from(self.plane.width()) * crop_ratio).max(1);
+            let new_h =
+                cast::u32_saturating_from_f64(f64::from(self.plane.height()) * crop_ratio).max(1);
             let x0 = (self.plane.width() - new_w) / 2;
             let y0 = (self.plane.height() - new_h) / 2;
-            let mut samples = Vec::with_capacity((new_w * new_h) as usize);
+            let mut samples =
+                Vec::with_capacity(cast::usize_from_u32(new_w) * cast::usize_from_u32(new_h));
             for y in y0..y0 + new_h {
                 for x in x0..x0 + new_w {
                     samples.push(self.plane.get(x, y));
                 }
             }
             BlockPlane::from_samples(new_w, new_h, samples)
-                .expect("crop sample count matches dimensions")
+                .expect("crop sample count matches dimensions") // vstore-lint: allow(no-unwrap)
         } else {
             self.plane.clone()
         };
         let (w, h) = BlockPlane::dimensions_for(target.resolution);
-        let out_w = ((f64::from(w) * target.crop.linear_fraction()).round() as u32).max(1);
-        let out_h = ((f64::from(h) * target.crop.linear_fraction()).round() as u32).max(1);
+        let out_w =
+            cast::u32_saturating_from_f64(f64::from(w) * target.crop.linear_fraction()).max(1);
+        let out_h =
+            cast::u32_saturating_from_f64(f64::from(h) * target.crop.linear_fraction()).max(1);
         let resized = cropped.resize(out_w, out_h);
         // Re-quantise only if the target quality is poorer than what the
         // frame already went through.

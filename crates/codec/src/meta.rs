@@ -41,7 +41,7 @@ use crate::codec::rle_decode;
 use crate::container::SegmentData;
 use crate::frame::sampling_selects;
 use crate::wire::{crc32, ByteReader, ByteWriter};
-use vstore_types::{FrameSampling, Result, VStoreError};
+use vstore_types::{cast, FrameSampling, Result, VStoreError};
 
 /// Magic bytes prefixing every serialised sidecar.
 const MAGIC: &[u8; 6] = b"VSMETA";
@@ -127,7 +127,8 @@ impl SegmentMeta {
                 let mut first_index = 0u64;
                 for chunk in &seg.chunks {
                     for frame in &chunk.frames {
-                        let expected = (frame.width as usize) * (frame.height as usize);
+                        let expected =
+                            cast::usize_from_u32(frame.width) * cast::usize_from_u32(frame.height);
                         let samples = rle_decode(&frame.payload, expected)?;
                         if frame_count == 0 {
                             first_index = frame.source_index;
@@ -253,7 +254,7 @@ impl SegmentMeta {
         }
         let frame_count = r.get_varint()?;
         let first_index = r.get_varint()?;
-        let entry_count = r.get_varint()? as usize;
+        let entry_count = cast::usize_from_u64(r.get_varint()?, "sidecar entry count")?;
         if entry_count > body.len() {
             return Err(VStoreError::corruption("sidecar entry count implausible"));
         }

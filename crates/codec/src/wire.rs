@@ -6,7 +6,7 @@
 //! panicking so corrupt on-disk data surfaces as
 //! [`VStoreError::Corruption`].
 
-use vstore_types::{Result, VStoreError};
+use vstore_types::{cast, Result, VStoreError};
 
 /// An append-only byte writer.
 #[derive(Debug, Default, Clone)]
@@ -95,7 +95,7 @@ impl ByteWriter {
     /// Write a LEB128-style variable-length unsigned integer.
     pub fn put_varint(&mut self, mut v: u64) {
         loop {
-            let byte = (v & 0x7F) as u8;
+            let byte = (v & 0x7F) as u8; // vstore-lint: allow(checked-cast) — masked to 7 bits
             v >>= 7;
             if v == 0 {
                 self.buf.push(byte);
@@ -210,7 +210,7 @@ impl<'a> ByteReader<'a> {
 
     /// Read a length-prefixed byte slice.
     pub fn get_bytes(&mut self) -> Result<&'a [u8]> {
-        let len = self.get_varint()? as usize;
+        let len = cast::usize_from_u64(self.get_varint()?, "byte-slice length")?;
         self.take(len)
     }
 

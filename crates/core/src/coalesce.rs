@@ -226,7 +226,7 @@ impl<'a> Coalescer<'a> {
         }
         // Golden fidelity: knob-wise maximum over all CFs.
         let golden_fidelity =
-            Fidelity::join_all(cfs.iter().map(|cf| &cf.fidelity)).expect("non-empty CF list");
+            Fidelity::join_all(cfs.iter().map(|cf| &cf.fidelity)).expect("non-empty CF list"); // vstore-lint: allow(no-unwrap) — emptiness rejected above
 
         // Initial SF set: golden + one SF per unique CF fidelity.
         let mut formats: Vec<DerivedSf> = Vec::new();

@@ -36,6 +36,7 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use vstore_datasets::VideoSource;
+use vstore_sim::sync::lock_unpoisoned;
 use vstore_sim::{catch_panic, panic_message, BoundedQueue, PushError};
 use vstore_types::{
     Configuration, FrameSampling, LatencyHistogram, LiveIngestOptions, Result, VStoreError,
@@ -66,7 +67,7 @@ impl DegradationLadder {
     pub fn from_config(config: &Configuration) -> Self {
         let mut levels = vec![config.clone()];
         loop {
-            let prev = levels.last().expect("ladder starts non-empty");
+            let prev = levels.last().expect("ladder starts non-empty"); // vstore-lint: allow(no-unwrap)
             let mut next = prev.clone();
             let mut changed = false;
             for (id, format) in next.storage_formats.iter_mut() {
@@ -86,7 +87,7 @@ impl DegradationLadder {
         }
         // Top rung: drop the non-golden formats entirely (when there are
         // any and a golden format exists to fall back to).
-        let last = levels.last().expect("ladder starts non-empty");
+        let last = levels.last().expect("ladder starts non-empty"); // vstore-lint: allow(no-unwrap)
         let has_golden = last.storage_formats.keys().any(|id| id.is_golden());
         let has_other = last.storage_formats.keys().any(|id| !id.is_golden());
         if has_golden && has_other {
@@ -293,7 +294,7 @@ struct LiveShared {
 
 impl LiveShared {
     fn snapshot(&self) -> LiveStats {
-        let state = self.state.lock().expect("live state poisoned");
+        let state = lock_unpoisoned(&self.state);
         LiveStats {
             workers: self.options.workers,
             queue_capacity: self.options.queue_depth,
@@ -320,7 +321,7 @@ impl LiveShared {
     /// record any transition. Returns the level this segment ingests at.
     fn controlled_level(&self, queue_depth: usize) -> usize {
         let target = (queue_depth / self.options.max_lag_segments).min(self.ladder.max_level());
-        let mut state = self.state.lock().expect("live state poisoned");
+        let mut state = lock_unpoisoned(&self.state);
         let current = state.current_level;
         if target > current {
             state.step_downs = state.step_downs.saturating_add((target - current) as u64);
@@ -435,7 +436,7 @@ impl LiveIngestHandle {
     /// shedding — the offering thread stalls, the store never does.
     pub fn offer(&self, segment_index: u64) -> Result<bool> {
         {
-            let mut state = self.shared.state.lock().expect("live state poisoned");
+            let mut state = lock_unpoisoned(&self.shared.state);
             state.offered = state.offered.saturating_add(1);
         }
         let job = LiveJob {
@@ -445,7 +446,7 @@ impl LiveIngestHandle {
         match self.shared.queue.push(job, self.shared.options.on_full) {
             Ok(()) => {
                 let depth = self.shared.queue.len();
-                let mut state = self.shared.state.lock().expect("live state poisoned");
+                let mut state = lock_unpoisoned(&self.shared.state);
                 state.accepted = state.accepted.saturating_add(1);
                 drop(state);
                 // Step the ladder down as soon as the backlog crosses a
@@ -454,7 +455,7 @@ impl LiveIngestHandle {
                 Ok(true)
             }
             Err(PushError::Full(_)) => {
-                let mut state = self.shared.state.lock().expect("live state poisoned");
+                let mut state = lock_unpoisoned(&self.shared.state);
                 state.shed = state.shed.saturating_add(1);
                 Ok(false)
             }
@@ -489,14 +490,7 @@ impl LiveIngestHandle {
     /// accepted segment has been fully processed.
     #[must_use]
     pub fn is_idle(&self) -> bool {
-        self.shared.queue.is_empty()
-            && self
-                .shared
-                .state
-                .lock()
-                .expect("live state poisoned")
-                .in_flight
-                == 0
+        self.shared.queue.is_empty() && lock_unpoisoned(&self.shared.state).in_flight == 0
     }
 
     /// Block until [`is_idle`](Self::is_idle) — the backlog is fully
@@ -586,7 +580,7 @@ fn worker_loop(shared: &LiveShared) {
         let level = shared.controlled_level(shared.queue.len());
         let config = shared.ladder.level(level);
         {
-            let mut state = shared.state.lock().expect("live state poisoned");
+            let mut state = lock_unpoisoned(&shared.state);
             state.in_flight += 1;
             state.lag.record(lag_us);
         }
@@ -607,7 +601,7 @@ fn worker_loop(shared: &LiveShared) {
         let was_panic = matches!(&outcome, Err(VStoreError::InvalidState(msg))
             if msg.starts_with("live ingest worker panicked"));
 
-        let mut state = shared.state.lock().expect("live state poisoned");
+        let mut state = lock_unpoisoned(&shared.state);
         state.in_flight -= 1;
         match outcome {
             Ok(report) => {

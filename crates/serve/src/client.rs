@@ -134,7 +134,7 @@ impl NetClient {
     /// Block until the next response arrives (any correlation id).
     pub fn recv(&mut self) -> Result<(u64, ServeResponse)> {
         if let Some(&corr_id) = self.buffered.keys().next() {
-            let response = self.buffered.remove(&corr_id).expect("key just seen");
+            let response = self.buffered.remove(&corr_id).expect("key just seen"); // vstore-lint: allow(no-unwrap)
             return Ok((corr_id, response));
         }
         self.recv_from_wire()

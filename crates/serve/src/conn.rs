@@ -41,6 +41,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use vstore_codec::wire::ByteWriter;
+use vstore_sim::sync::lock_unpoisoned;
+use vstore_types::cast::usize_from_u32;
 
 /// Bytes of the transport header: u32 length + u64 correlation id.
 pub(crate) const FRAME_HEADER_BYTES: usize = 12;
@@ -60,7 +62,7 @@ pub(crate) fn encode_frame(
     w.put_u32(0);
     w.put_u64(corr_id);
     encode(&mut w);
-    let len = u32::try_from(w.len() - 4).expect("frame length fits u32 by max_frame_bytes");
+    let len = u32::try_from(w.len() - 4).expect("frame length fits u32 by max_frame_bytes"); // vstore-lint: allow(no-unwrap)
     w.patch_u32(0, len);
     w.into_bytes()
 }
@@ -104,7 +106,8 @@ pub(crate) fn parse_frame(
     if buf.len() < 4 {
         return Ok(FrameStep::Incomplete);
     }
-    let declared = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+    // vstore-lint: allow(no-unwrap, checked-cast) — length checked above; u32 widens to usize
+    let declared = usize_from_u32(u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")));
     if declared < CORR_ID_BYTES {
         return Err(FrameError::Malformed { declared });
     }
@@ -115,7 +118,7 @@ pub(crate) fn parse_frame(
     if buf.len() < spans {
         return Ok(FrameStep::Incomplete);
     }
-    let corr_id = u64::from_le_bytes(buf[4..12].try_into().expect("8 bytes"));
+    let corr_id = u64::from_le_bytes(buf[4..12].try_into().expect("8 bytes")); // vstore-lint: allow(no-unwrap) — declared >= CORR_ID_BYTES checked above
     Ok(FrameStep::Frame {
         corr_id,
         payload: FRAME_HEADER_BYTES..spans,
@@ -153,7 +156,7 @@ impl BufferPool {
 
     /// Take a cleared buffer, recycling one if available.
     pub(crate) fn take(&self) -> Vec<u8> {
-        let recycled = self.bufs.lock().expect("buffer pool poisoned").pop();
+        let recycled = lock_unpoisoned(&self.bufs).pop();
         match recycled {
             Some(mut buf) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -173,7 +176,7 @@ impl BufferPool {
         if buf.capacity() > self.retain_bytes {
             return;
         }
-        let mut bufs = self.bufs.lock().expect("buffer pool poisoned");
+        let mut bufs = lock_unpoisoned(&self.bufs);
         if bufs.len() < self.capacity {
             bufs.push(buf);
         }
@@ -451,15 +454,17 @@ impl NetConn {
         let mut remaining = written;
         let mut completed = 0u64;
         while remaining > 0 {
+            // remaining > 0 means the writev above consumed bytes from a
+            // frame still queued here.
             let front = self
                 .pending
                 .front_mut()
-                .expect("written bytes imply pending frames");
+                .expect("written bytes imply pending frames"); // vstore-lint: allow(no-unwrap)
             let left = front.buf.len() - front.pos;
             if remaining >= left {
                 remaining -= left;
                 completed += 1;
-                let done = self.pending.pop_front().expect("front exists");
+                let done = self.pending.pop_front().expect("front exists"); // vstore-lint: allow(no-unwrap)
                 shared.pool.give(done.buf);
             } else {
                 front.pos += remaining;

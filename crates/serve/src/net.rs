@@ -33,6 +33,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use vstore_sim::catch_panic;
+use vstore_sim::sync::lock_unpoisoned;
 use vstore_types::hist::LatencyHistogram;
 use vstore_types::{NetOptions, Result, ServeOptions, VStoreError};
 
@@ -77,7 +78,7 @@ pub(crate) struct NetShared {
 
 impl NetShared {
     fn lock(&self) -> std::sync::MutexGuard<'_, NetState> {
-        self.state.lock().expect("net state poisoned")
+        lock_unpoisoned(&self.state)
     }
 
     pub(crate) fn add_bytes_in(&self, n: u64) {
@@ -264,9 +265,10 @@ impl NetServerHandle {
     /// A request-layer statistics snapshot from the inner server.
     #[must_use]
     pub fn serve_stats(&self) -> ServeStats {
+        // `inner` is Some from construction until shutdown() consumes self.
         self.inner
             .as_ref()
-            .expect("inner server lives until shutdown")
+            .expect("inner server lives until shutdown") // vstore-lint: allow(no-unwrap)
             .stats()
     }
 
@@ -279,9 +281,10 @@ impl NetServerHandle {
 
     /// A probe of the inner server's request statistics.
     pub fn serve_probe(&self) -> ServeProbe {
+        // `inner` is Some from construction until shutdown() consumes self.
         self.inner
             .as_ref()
-            .expect("inner server lives until shutdown")
+            .expect("inner server lives until shutdown") // vstore-lint: allow(no-unwrap)
             .probe()
     }
 
@@ -293,7 +296,7 @@ impl NetServerHandle {
         let serve = self
             .inner
             .take()
-            .expect("inner server lives until shutdown")
+            .expect("inner server lives until shutdown") // vstore-lint: allow(no-unwrap)
             .shutdown();
         (self.shared.snapshot(), serve)
     }
@@ -363,10 +366,7 @@ fn acceptor_loop(listener: &TcpListener, shared: &NetShared, intakes: &[Intake])
                     state.refused += 1;
                     continue;
                 }
-                intakes[next % intakes.len()]
-                    .lock()
-                    .expect("intake poisoned")
-                    .push(stream);
+                lock_unpoisoned(&intakes[next % intakes.len()]).push(stream);
                 next += 1;
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -389,7 +389,7 @@ fn event_loop(shared: &NetShared, intake: &Intake, connector: &Connector) {
 
         // Adopt newly accepted sockets. During a drain late arrivals are
         // turned away (the acceptor already counted them active).
-        for stream in intake.lock().expect("intake poisoned").drain(..) {
+        for stream in lock_unpoisoned(intake).drain(..) {
             if draining {
                 let mut state = shared.lock();
                 state.active_connections -= 1;

@@ -34,6 +34,7 @@ use std::time::Instant;
 use vstore_datasets::VideoSource;
 use vstore_ingest::{ErodeReport, IngestReport, LiveStats};
 use vstore_query::{QueryResult, QuerySpec};
+use vstore_sim::sync::lock_unpoisoned;
 use vstore_sim::{catch_panic, panic_message, BoundedQueue, PushError};
 use vstore_types::{Result, ServeOptions, VStoreError};
 
@@ -101,7 +102,7 @@ struct Shared {
 
 impl Shared {
     fn snapshot(&self) -> ServeStats {
-        let state = self.state.lock().expect("serve state poisoned");
+        let state = lock_unpoisoned(&self.state);
         ServeStats {
             workers: self.options.workers,
             queue_capacity: self.options.queue_depth,
@@ -114,11 +115,11 @@ impl Shared {
             panics: state.panics,
             disconnects: state.disconnects,
             queue_wait: state.queue_wait.clone(),
-            ingest_latency: state.latency[RequestKind::Ingest as usize].clone(),
-            query_latency: state.latency[RequestKind::Query as usize].clone(),
-            erode_latency: state.latency[RequestKind::Erode as usize].clone(),
-            live_stats_latency: state.latency[RequestKind::LiveStats as usize].clone(),
-            net_stats_latency: state.latency[RequestKind::NetStats as usize].clone(),
+            ingest_latency: state.latency[RequestKind::Ingest.index()].clone(),
+            query_latency: state.latency[RequestKind::Query.index()].clone(),
+            erode_latency: state.latency[RequestKind::Erode.index()].clone(),
+            live_stats_latency: state.latency[RequestKind::LiveStats.index()].clone(),
+            net_stats_latency: state.latency[RequestKind::NetStats.index()].clone(),
         }
     }
 }
@@ -364,7 +365,7 @@ impl Connection {
         match self.shared.queue.push(job, on_full) {
             Ok(()) => {}
             Err(PushError::Full(_)) => {
-                let mut state = self.shared.state.lock().expect("serve state poisoned");
+                let mut state = lock_unpoisoned(&self.shared.state);
                 state.rejected_busy = state.rejected_busy.saturating_add(1);
                 return Err(VStoreError::busy(format!(
                     "serve queue full (depth {capacity})"
@@ -387,7 +388,7 @@ impl Connection {
                 ));
             }
         }
-        let mut state = self.shared.state.lock().expect("serve state poisoned");
+        let mut state = lock_unpoisoned(&self.shared.state);
         state.submitted = state.submitted.saturating_add(1);
         drop(state);
         self.outstanding += 1;
@@ -407,7 +408,7 @@ impl Connection {
     /// they can never afford to park on the channel.
     pub fn try_recv(&mut self) -> Option<(u64, ServeResponse)> {
         if let Some(&id) = self.buffered.keys().next() {
-            let response = self.buffered.remove(&id).expect("key just seen");
+            let response = self.buffered.remove(&id).expect("key just seen"); // vstore-lint: allow(no-unwrap)
             return Some((id, response));
         }
         match self.reply_rx.try_recv() {
@@ -427,7 +428,7 @@ impl Connection {
     /// answered (workers drain the queue even during shutdown).
     pub fn recv(&mut self) -> Result<(u64, ServeResponse)> {
         if let Some(&id) = self.buffered.keys().next() {
-            let response = self.buffered.remove(&id).expect("key just seen");
+            let response = self.buffered.remove(&id).expect("key just seen"); // vstore-lint: allow(no-unwrap)
             return Ok((id, response));
         }
         if self.outstanding == 0 {
@@ -544,7 +545,7 @@ fn worker_loop<S: VideoService>(service: &S, shared: &Shared) {
         // Count the completion BEFORE delivering the response: a client
         // that has its answer must see it reflected in the statistics.
         {
-            let mut state = shared.state.lock().expect("serve state poisoned");
+            let mut state = lock_unpoisoned(&shared.state);
             state.completed = state.completed.saturating_add(1);
             if was_error {
                 state.failed = state.failed.saturating_add(1);
@@ -553,10 +554,10 @@ fn worker_loop<S: VideoService>(service: &S, shared: &Shared) {
                 state.panics = state.panics.saturating_add(1);
             }
             state.queue_wait.record(wait_us);
-            state.latency[kind as usize].record(elapsed_us);
+            state.latency[kind.index()].record(elapsed_us);
         }
         if job.reply.send((job.id, response)).is_err() {
-            let mut state = shared.state.lock().expect("serve state poisoned");
+            let mut state = lock_unpoisoned(&shared.state);
             state.disconnects = state.disconnects.saturating_add(1);
         }
     }

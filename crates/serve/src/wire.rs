@@ -74,6 +74,12 @@ impl RequestKind {
         RequestKind::NetStats,
     ];
 
+    /// This kind's position in [`Self::ALL`] — its wire tag, and the
+    /// index of its latency histogram in the server state.
+    pub fn index(self) -> usize {
+        self as usize // vstore-lint: allow(checked-cast) — discriminant of a 5-variant enum
+    }
+
     /// Short display name.
     pub fn name(&self) -> &'static str {
         match self {
@@ -174,6 +180,11 @@ pub enum ErrorCode {
 }
 
 impl ErrorCode {
+    /// This code's wire tag — its position in [`Self::ALL`].
+    pub fn wire_tag(self) -> u8 {
+        self as u8 // vstore-lint: allow(checked-cast) — discriminant of a 10-variant enum
+    }
+
     /// All codes, indexed by their wire tag.
     pub const ALL: [ErrorCode; 10] = [
         ErrorCode::Io,
@@ -427,7 +438,7 @@ impl ServeResponse {
             }
             ServeResponse::Error(err) => {
                 w.put_u8(3);
-                w.put_u8(err.code as u8);
+                w.put_u8(err.code.wire_tag());
                 w.put_bytes(err.message.as_bytes());
             }
             ServeResponse::LiveStats(stats) => {
@@ -457,7 +468,7 @@ impl ServeResponse {
             }),
             3 => {
                 let tag = r.get_u8()?;
-                let code = *ErrorCode::ALL.get(tag as usize).ok_or_else(|| {
+                let code = *ErrorCode::ALL.get(usize::from(tag)).ok_or_else(|| {
                     VStoreError::corruption(format!("unknown serve error code {tag}"))
                 })?;
                 ServeResponse::Error(RemoteError {
@@ -564,14 +575,14 @@ fn put_op(w: &mut ByteWriter, op: OperatorKind) {
     let tag = OperatorKind::ALL
         .iter()
         .position(|&o| o == op)
-        .expect("OperatorKind::ALL is exhaustive");
-    w.put_u8(tag as u8);
+        .expect("OperatorKind::ALL is exhaustive"); // vstore-lint: allow(no-unwrap)
+    w.put_u8(tag as u8); // vstore-lint: allow(checked-cast) — position in a <=255-entry array
 }
 
 fn get_op(r: &mut ByteReader<'_>) -> Result<OperatorKind> {
     let tag = r.get_u8()?;
     OperatorKind::ALL
-        .get(tag as usize)
+        .get(usize::from(tag))
         .copied()
         .ok_or_else(|| VStoreError::corruption(format!("unknown operator tag {tag}")))
 }

@@ -31,6 +31,7 @@ pub mod machine;
 pub mod pool;
 pub mod queue;
 pub mod resources;
+pub mod sync;
 
 pub use coding_cost::CodingCostModel;
 pub use hash::DeterministicHasher;

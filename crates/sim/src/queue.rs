@@ -17,6 +17,7 @@
 //! returning items until the queue is both closed *and* empty, and only then
 //! returns `None` — the graceful worker exit.
 
+use crate::sync::{lock_unpoisoned, wait_unpoisoned};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use vstore_types::QueueFullPolicy;
@@ -104,7 +105,7 @@ impl<T> BoundedQueue<T> {
     /// one waiting popper is woken; on failure the item is returned inside
     /// the [`PushError`].
     pub fn push(&self, item: T, policy: QueueFullPolicy) -> Result<(), PushError<T>> {
-        let mut state = self.state.lock().expect("bounded queue poisoned");
+        let mut state = lock_unpoisoned(&self.state);
         if !state.open {
             return Err(PushError::Closed {
                 item,
@@ -116,7 +117,7 @@ impl<T> BoundedQueue<T> {
                 QueueFullPolicy::Reject => return Err(PushError::Full(item)),
                 QueueFullPolicy::Block => {
                     while state.items.len() >= self.capacity && state.open {
-                        state = self.not_full.wait(state).expect("bounded queue poisoned");
+                        state = wait_unpoisoned(&self.not_full, state);
                     }
                     if !state.open {
                         return Err(PushError::Closed {
@@ -140,7 +141,7 @@ impl<T> BoundedQueue<T> {
     /// pusher blocked on a full queue.
     pub fn pop(&self) -> Option<T> {
         let item = {
-            let mut state = self.state.lock().expect("bounded queue poisoned");
+            let mut state = lock_unpoisoned(&self.state);
             loop {
                 if let Some(item) = state.items.pop_front() {
                     break item;
@@ -148,7 +149,7 @@ impl<T> BoundedQueue<T> {
                 if !state.open {
                     return None; // closed and drained
                 }
-                state = self.not_empty.wait(state).expect("bounded queue poisoned");
+                state = wait_unpoisoned(&self.not_empty, state);
             }
         };
         self.not_full.notify_one();
@@ -160,7 +161,7 @@ impl<T> BoundedQueue<T> {
     /// let poppers drain what was already accepted.
     pub fn close(&self) {
         {
-            let mut state = self.state.lock().expect("bounded queue poisoned");
+            let mut state = lock_unpoisoned(&self.state);
             state.open = false;
         }
         self.not_empty.notify_all();
@@ -170,17 +171,13 @@ impl<T> BoundedQueue<T> {
     /// `true` until [`close`](Self::close) runs.
     #[must_use]
     pub fn is_open(&self) -> bool {
-        self.state.lock().expect("bounded queue poisoned").open
+        lock_unpoisoned(&self.state).open
     }
 
     /// Items currently waiting in the queue.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.state
-            .lock()
-            .expect("bounded queue poisoned")
-            .items
-            .len()
+        lock_unpoisoned(&self.state).items.len()
     }
 
     /// `true` when no items are waiting.
@@ -192,10 +189,7 @@ impl<T> BoundedQueue<T> {
     /// The deepest the queue has ever been.
     #[must_use]
     pub fn peak_depth(&self) -> usize {
-        self.state
-            .lock()
-            .expect("bounded queue poisoned")
-            .peak_depth
+        lock_unpoisoned(&self.state).peak_depth
     }
 }
 

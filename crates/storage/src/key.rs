@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use vstore_types::{FormatId, Result, VStoreError};
+use vstore_types::{cast, FormatId, Result, VStoreError};
 
 /// The key of one stored segment.
 ///
@@ -34,6 +34,7 @@ impl SegmentKey {
     pub fn encode(&self) -> Vec<u8> {
         let stream_bytes = self.stream.as_bytes();
         let mut out = Vec::with_capacity(stream_bytes.len() + 16);
+        // vstore-lint: allow(checked-cast) — stream names are far inside u32; decode re-checks
         out.extend_from_slice(&(stream_bytes.len() as u32).to_le_bytes());
         out.extend_from_slice(stream_bytes);
         out.extend_from_slice(&self.format.0.to_le_bytes());
@@ -57,8 +58,7 @@ impl SegmentKey {
                 expected
             )));
         }
-        // The whole key is resident in `bytes`, so the length fits a usize.
-        let stream_len = stream_len_u32 as usize;
+        let stream_len = cast::usize_from_u32(stream_len_u32);
         let stream = std::str::from_utf8(&bytes[4..4 + stream_len])
             .map_err(|_| VStoreError::corruption("segment key stream is not UTF-8"))?
             .to_owned();

@@ -260,6 +260,7 @@ fn parse_record(buf: &[u8], offset: u64) -> Result<Option<LogRecord>> {
     let to_len =
         |v: u64, what| usize_from_u64(v, what).map_err(|e| VStoreError::corruption(e.to_string()));
     let total = to_len(total, "log record length")?;
+    let (klen_wire, vlen_wire) = (klen, vlen);
     let klen = to_len(u64::from(klen), "log record key length")?;
     let vlen = to_len(u64::from(vlen), "log record value length")?;
     let key = buf[HEADER..HEADER + klen].to_vec();
@@ -270,7 +271,7 @@ fn parse_record(buf: &[u8], offset: u64) -> Result<Option<LogRecord>> {
         buf[total - 2],
         buf[total - 1],
     ]);
-    if stored_crc != record_crc(flags, klen as u32, vlen as u32, &key, &value) {
+    if stored_crc != record_crc(flags, klen_wire, vlen_wire, &key, &value) {
         // A CRC mismatch on the last record is a torn write; report it as a
         // torn tail rather than corruption so recovery keeps earlier data.
         return Ok(None);

@@ -257,9 +257,11 @@ impl<K: Eq + Hash + Ord + Clone, V: Clone> LruCache<K, V> {
         self.remove(&key);
         let mut evicted = 0;
         while self.used + weight > self.capacity {
-            let (&oldest_tick, _) = self.order.iter().next().expect("used > 0 implies entries");
-            let oldest_key = self.order.remove(&oldest_tick).expect("tick just seen");
-            let old = self.map.remove(&oldest_key).expect("order and map agree");
+            // The loop guard proves used > 0, so both maps are non-empty
+            // and agree on membership: eviction cannot miss.
+            let (&oldest_tick, _) = self.order.iter().next().expect("used > 0 implies entries"); // vstore-lint: allow(no-unwrap)
+            let oldest_key = self.order.remove(&oldest_tick).expect("tick just seen"); // vstore-lint: allow(no-unwrap)
+            let old = self.map.remove(&oldest_key).expect("order and map agree"); // vstore-lint: allow(no-unwrap)
             self.used -= old.weight;
             evicted += 1;
         }

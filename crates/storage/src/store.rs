@@ -262,6 +262,7 @@ impl SegmentStore {
             .mix(u64::from(key.format.0))
             .mix(key.segment_index)
             .value();
+        // vstore-lint: allow(checked-cast) — the remainder is < shards.len(), a usize
         (hash % self.shards.len() as u64) as usize
     }
 

@@ -30,7 +30,7 @@ use crate::backend::{LogHandle, StorageBackend};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
-use vstore_types::cast::usize_from_u64;
+use vstore_types::cast::{usize_from_u32, usize_from_u64};
 use vstore_types::{Result, VStoreError};
 
 /// Device name of the persisted manifest.
@@ -74,10 +74,13 @@ impl Manifest {
         out.push(MANIFEST_VERSION);
         out.extend_from_slice(&self.next_object.to_le_bytes());
         out.extend_from_slice(&self.garbage_bytes.to_le_bytes());
+        // vstore-lint: allow(checked-cast) — one manifest entry per log, far inside u32
         out.extend_from_slice(&(self.logs.len() as u32).to_le_bytes());
         for (name, chunks) in &self.logs {
+            // vstore-lint: allow(checked-cast) — log names are short by construction
             out.extend_from_slice(&(name.len() as u32).to_le_bytes());
             out.extend_from_slice(name.as_bytes());
+            // vstore-lint: allow(checked-cast) — chunk counts are bounded by log size
             out.extend_from_slice(&(chunks.len() as u32).to_le_bytes());
             for chunk in chunks {
                 out.extend_from_slice(&chunk.object.to_le_bytes());
@@ -108,7 +111,7 @@ impl Manifest {
             let name = String::from_utf8(r.take(name_len)?.to_vec())
                 .map_err(|_| VStoreError::corruption("cold manifest name is not UTF-8"))?;
             let chunk_count = r.u32()?;
-            let mut chunks = Vec::with_capacity(chunk_count as usize);
+            let mut chunks = Vec::with_capacity(usize_from_u32(chunk_count));
             for _ in 0..chunk_count {
                 chunks.push(ChunkRef {
                     object: r.u64()?,

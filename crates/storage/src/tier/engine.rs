@@ -33,6 +33,7 @@ use crate::store::SegmentStore;
 use crate::tier::TierOptions;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+use vstore_sim::sync::{lock_unpoisoned, wait_unpoisoned};
 use vstore_sim::{catch_panic, panic_message, BoundedQueue};
 use vstore_types::{ByteSize, LatencyHistogram, QueueFullPolicy, Result, VStoreError};
 
@@ -184,9 +185,9 @@ struct KeyLocks {
 
 impl KeyLocks {
     fn lock(&self, key: &SegmentKey) -> KeyGuard<'_> {
-        let mut held = self.held.lock().expect("tier key locks");
+        let mut held = lock_unpoisoned(&self.held);
         while held.contains(key) {
-            held = self.released.wait(held).expect("tier key locks");
+            held = wait_unpoisoned(&self.released, held);
         }
         held.insert(key.clone());
         KeyGuard {
@@ -203,11 +204,7 @@ struct KeyGuard<'a> {
 
 impl Drop for KeyGuard<'_> {
     fn drop(&mut self) {
-        self.locks
-            .held
-            .lock()
-            .expect("tier key locks")
-            .remove(&self.key);
+        lock_unpoisoned(&self.locks.held).remove(&self.key);
         self.locks.released.notify_all();
     }
 }
@@ -338,9 +335,9 @@ impl TierEngine {
                 ));
             }
         }
-        let mut progress = batch.progress.lock().expect("tier batch");
+        let mut progress = lock_unpoisoned(&batch.progress);
         while progress.remaining > 0 {
-            progress = batch.done.wait(progress).expect("tier batch");
+            progress = wait_unpoisoned(&batch.done, progress);
         }
         if let Some(e) = progress.first_error.take() {
             // A failed migration leaves its segment hot (nothing was
@@ -387,7 +384,7 @@ impl TierEngine {
                 let rescued = self.shared.reader.store().get(key)?;
                 drop(guard);
                 if rescued.is_none() {
-                    self.shared.state.lock().expect("tier state").cold_misses += 1;
+                    lock_unpoisoned(&self.shared.state).cold_misses += 1;
                 }
                 return Ok(rescued);
             }
@@ -401,7 +398,7 @@ impl TierEngine {
         };
         drop(guard);
         let elapsed_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-        let mut state = self.shared.state.lock().expect("tier state");
+        let mut state = lock_unpoisoned(&self.shared.state);
         state.cold_hits += 1;
         state.cold_hit_latency.record(elapsed_us);
         if promoted {
@@ -417,7 +414,7 @@ impl TierEngine {
     pub fn stats(&self) -> TierStats {
         let hot = self.shared.reader.store().stats();
         let cold = self.shared.cold.stats();
-        let state = self.shared.state.lock().expect("tier state");
+        let state = lock_unpoisoned(&self.shared.state);
         TierStats {
             hot_resident_bytes: hot.live_bytes,
             cold_resident_bytes: cold.live_bytes,
@@ -439,7 +436,7 @@ impl TierEngine {
 impl Drop for TierEngine {
     fn drop(&mut self) {
         self.shared.queue.close();
-        for worker in self.workers.lock().expect("tier workers").drain(..) {
+        for worker in lock_unpoisoned(&self.workers).drain(..) {
             let _ = worker.join();
         }
     }
@@ -485,7 +482,7 @@ fn worker_loop(shared: &EngineShared) {
         };
         let mut moved_bytes = None;
         {
-            let mut state = shared.state.lock().expect("tier state");
+            let mut state = lock_unpoisoned(&shared.state);
             match &outcome {
                 Ok(Some(bytes)) => {
                     state.demotions += 1;
@@ -497,7 +494,7 @@ fn worker_loop(shared: &EngineShared) {
             }
         }
         {
-            let mut progress = job.batch.progress.lock().expect("tier batch");
+            let mut progress = lock_unpoisoned(&job.batch.progress);
             match outcome {
                 Ok(Some(bytes)) => {
                     progress.segments += 1;

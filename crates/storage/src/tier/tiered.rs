@@ -59,8 +59,10 @@ impl Placement {
         let mut out = Vec::new();
         out.extend_from_slice(PLACEMENT_MAGIC);
         out.push(PLACEMENT_VERSION);
+        // vstore-lint: allow(checked-cast) — placement holds segment names, far inside u32
         out.extend_from_slice(&(self.cold.len() as u32).to_le_bytes());
         for name in &self.cold {
+            // vstore-lint: allow(checked-cast) — segment names are short by construction
             out.extend_from_slice(&(name.len() as u32).to_le_bytes());
             out.extend_from_slice(name.as_bytes());
         }

@@ -191,7 +191,7 @@ impl Resolution {
         Resolution::ALL
             .iter()
             .position(|r| *r == self)
-            .expect("resolution present in ALL")
+            .expect("resolution present in ALL") // vstore-lint: allow(no-unwrap) — ALL enumerates every variant
     }
 
     /// Frame width in pixels.
