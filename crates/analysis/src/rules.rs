@@ -22,6 +22,8 @@ pub const NO_UNWRAP: &str = "no-unwrap";
 pub const BOUNDED_QUEUE: &str = "bounded-queue";
 /// Rule name: wire codec enum/arm/version-range consistency.
 pub const WIRE_COMPAT: &str = "wire-compat";
+/// Rule name: trace span guards bound to `_` (dropped immediately).
+pub const SPAN_GUARD: &str = "span-guard";
 
 /// All rule names, for CLI help and docs.
 pub const ALL_RULES: &[&str] = &[
@@ -31,6 +33,7 @@ pub const ALL_RULES: &[&str] = &[
     NO_UNWRAP,
     BOUNDED_QUEUE,
     WIRE_COMPAT,
+    SPAN_GUARD,
 ];
 
 /// The core library crates whose non-test code must not panic.
@@ -40,6 +43,7 @@ const NO_UNWRAP_SCOPE: &[&str] = &[
     "crates/codec/src/",
     "crates/core/src/",
     "crates/ingest/src/",
+    "crates/obs/src/",
     "crates/query/src/",
     "crates/serve/src/",
     "crates/sim/src/",
@@ -62,6 +66,7 @@ const BACKEND_SEAM_SCOPE: &[&str] = &[
     "crates/codec/src/",
     "crates/core/src/",
     "crates/ingest/src/",
+    "crates/obs/src/",
     "crates/query/src/",
     "crates/serve/src/",
     "crates/sim/src/",
@@ -86,6 +91,7 @@ pub fn run_all(files: &[SourceFile]) -> Vec<Finding> {
     findings.extend(no_unwrap(files));
     findings.extend(bounded_queue(files));
     findings.extend(wire_compat(files));
+    findings.extend(span_guard(files));
     findings
 }
 
@@ -403,6 +409,48 @@ fn fn_body(file: &SourceFile, impl_name: &str, fn_name: &str) -> String {
         }
     }
     body
+}
+
+// ---------------------------------------------------------------------
+// span-guard
+// ---------------------------------------------------------------------
+
+/// A trace span guard bound to `_` is dropped on the same statement: the
+/// span records a zero-length interval and the region it was meant to time
+/// is not measured at all. Bind it to a named guard (`let _span = …`) so
+/// the RAII drop happens at the end of the region.
+pub fn span_guard(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        if file.rel_path.starts_with("crates/analysis/src/") {
+            continue;
+        }
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            let packed: String = line.code.chars().filter(|c| !c.is_whitespace()).collect();
+            if !packed.contains("let_=")
+                || !(packed.contains(".span(") || packed.contains(".span_with("))
+            {
+                continue;
+            }
+            if file.is_allowed(idx, SPAN_GUARD) {
+                continue;
+            }
+            findings.push(Finding::new(
+                SPAN_GUARD,
+                &file.rel_path,
+                idx + 1,
+                line.fn_ctx.as_deref().unwrap_or(""),
+                "span guard bound to `_` drops immediately and times nothing; bind it \
+                 to a named guard (`let _span = …`) for the region it should cover"
+                    .to_owned(),
+                line.code.trim(),
+            ));
+        }
+    }
+    findings
 }
 
 // ---------------------------------------------------------------------

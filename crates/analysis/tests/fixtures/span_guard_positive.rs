@@ -1,0 +1,12 @@
+// True positive: binding the span guard to `_` drops it on the same
+// statement, so the span records a zero-length interval instead of the
+// region it was meant to time.
+pub fn traced_fetch(trace: &TraceContext) {
+    let _ = trace.span("read.disk");
+    fetch();
+}
+
+pub fn traced_stage(trace: &TraceContext) {
+    let _ = trace.span_with("query.stage", || "diff".to_owned());
+    run_stage();
+}

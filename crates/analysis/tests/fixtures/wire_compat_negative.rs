@@ -1,11 +1,15 @@
 // True negative: every variant has an encode and a decode arm, and the
-// decoder accepts the whole supported version range.
-pub const WIRE_VERSION: u8 = 2;
-pub const MIN_WIRE_VERSION: u8 = 1;
+// decoder accepts the whole supported version range. Mirrors the real
+// wire's v5 shape: older tag-only variants plus newer payload-carrying
+// observability variants, all in lockstep.
+pub const WIRE_VERSION: u8 = 5;
+pub const MIN_WIRE_VERSION: u8 = 3;
 
 pub enum ServeRequest {
     Ping,
     Status,
+    MetricsSnapshot,
+    TraceDump { max_traces: u64 },
 }
 
 impl ServeRequest {
@@ -13,6 +17,11 @@ impl ServeRequest {
         match self {
             ServeRequest::Ping => out.push(0),
             ServeRequest::Status => out.push(1),
+            ServeRequest::MetricsSnapshot => out.push(2),
+            ServeRequest::TraceDump { max_traces } => {
+                out.push(3);
+                out.extend_from_slice(&max_traces.to_le_bytes());
+            }
         }
     }
 
@@ -23,6 +32,10 @@ impl ServeRequest {
         match bytes.first()? {
             0 => Some(ServeRequest::Ping),
             1 => Some(ServeRequest::Status),
+            2 => Some(ServeRequest::MetricsSnapshot),
+            3 => Some(ServeRequest::TraceDump {
+                max_traces: u64::from_le_bytes(bytes.get(1..9)?.try_into().ok()?),
+            }),
             _ => None,
         }
     }

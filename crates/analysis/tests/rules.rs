@@ -151,6 +151,23 @@ fn wire_compat_is_silent_on_lockstep_arms() {
 }
 
 #[test]
+fn span_guard_fires_on_immediately_dropped_guards() {
+    let findings = findings_for(
+        "crates/query/src/fixture.rs",
+        include_str!("fixtures/span_guard_positive.rs"),
+    );
+    assert_eq!(rules_fired(&findings), [rules::SPAN_GUARD]);
+    // Both the `.span(` and `.span_with(` forms are caught.
+    assert_eq!(findings.len(), 2, "{findings:?}");
+}
+
+#[test]
+fn span_guard_is_silent_on_named_guards_allows_and_tests() {
+    let fixture = include_str!("fixtures/span_guard_negative.rs");
+    assert!(findings_for("crates/query/src/fixture.rs", fixture).is_empty());
+}
+
+#[test]
 fn the_workspace_itself_is_clean() {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("..")

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use vstore::{
     BackendOptions, IngestRequest, NetClient, NetOptions, QueryRequest, QuerySpec, ServeRequest,
-    ServeResponse, VStore, VStoreOptions,
+    ServeResponse, TraceOptions, VStore, VStoreOptions,
 };
 use vstore_codec::frame::materialize_clip;
 use vstore_codec::{encode_segment, SegmentData};
@@ -574,6 +574,63 @@ fn measure_net_throughput_cases() -> Vec<String> {
     rows
 }
 
+/// The tracing-overhead experiment: the pipelined socket workload from the
+/// net-throughput cases, once with the request tracer disabled (the
+/// default — every span site is one relaxed atomic load) and once
+/// head-sampling 1 trace per 1000 requests (the recommended production
+/// setting). The disabled row is the acceptance bar: it must stay within
+/// noise of the plain `net_throughput` pipelined rows, since a store that
+/// never enabled tracing should not pay for it. One JSON row per mode;
+/// the sampled row carries the measured overhead percentage.
+fn measure_trace_overhead() -> Vec<String> {
+    const CLIENTS: usize = 8;
+    const REQUESTS_PER_CLIENT: usize = 128;
+    const WINDOW: usize = 32;
+    let mut measured = Vec::new();
+    for (mode, trace) in [
+        ("off", TraceOptions::default()),
+        (
+            "sampled_1_per_1k",
+            TraceOptions::enabled().with_sample_per_1k(1),
+        ),
+    ] {
+        let store = VStore::open_temp(
+            &format!("bench-trace-{mode}"),
+            VStoreOptions::fast()
+                .with_backend(BackendOptions::Mem)
+                .with_trace(trace),
+        )
+        .unwrap();
+        // Warm-up pass, then the measured pass.
+        measure_net_throughput(&store, CLIENTS, 8, WINDOW);
+        let (seconds, req_per_sec, p99_e2e_us, _, _) =
+            measure_net_throughput(&store, CLIENTS, REQUESTS_PER_CLIENT, WINDOW);
+        measured.push((mode, seconds, req_per_sec, p99_e2e_us));
+    }
+    let (off_rate, sampled_rate) = (measured[0].2, measured[1].2);
+    let overhead_pct = (off_rate / sampled_rate - 1.0) * 100.0;
+    let mut rows = Vec::new();
+    for (mode, seconds, req_per_sec, p99_e2e_us) in measured {
+        println!(
+            "segment_store/trace {mode:>16}: {req_per_sec:>8.0} req/s \
+             ({seconds:.3}s, p99 e2e <{p99_e2e_us} µs)"
+        );
+        let overhead = if mode == "off" {
+            String::new()
+        } else {
+            format!(", \"overhead_pct\": {overhead_pct:.2}")
+        };
+        rows.push(format!(
+            "    {{ \"tracing\": \"{mode}\", \"clients\": {CLIENTS}, \
+             \"requests_per_client\": {REQUESTS_PER_CLIENT}, \"window\": {WINDOW}, \
+             \"seconds\": {seconds:.6}, \"net_requests_per_sec\": {req_per_sec:.1}, \
+             \"p99_e2e_us\": {p99_e2e_us}{overhead} }}"
+        ));
+    }
+    println!("segment_store/trace sampling 1/1k costs {overhead_pct:.1}% vs tracing off");
+    rows
+}
+
 /// The planner decode-skip experiment: a skewed workload — the park stream
 /// is near-static with periodic bursts of activity — queried with the
 /// cascade planner off and on. With the planner off, the first cascade
@@ -860,6 +917,10 @@ fn bench_shard_scaling(_c: &mut Criterion) {
     // connections vs the naive one-request-per-write mode.
     let net_rows = measure_net_throughput_cases();
 
+    // Request tracing: the same socket workload with the tracer disabled
+    // vs head-sampling 1/1k — the observability tax, or lack of one.
+    let trace_rows = measure_trace_overhead();
+
     // The cascade planner: decoded-segments reduction from the metadata
     // skip on a mostly-static stream.
     let planner_row = measure_planner_skip();
@@ -881,7 +942,7 @@ fn bench_shard_scaling(_c: &mut Criterion) {
          \"shard_scaling\": [\n{}\n  ],\n  \"backend_get_put\": [\n{}\n  ],\n  \
          \"cache_hot_cold\": [\n{}\n  ],\n  \"tier_reads\": [\n{}\n  ],\n  \
          \"demote_throughput\": [\n{}\n  ],\n  \"serve_throughput\": [\n{}\n  ],\n  \
-         \"net_throughput\": [\n{}\n  ],\n  \
+         \"net_throughput\": [\n{}\n  ],\n  \"trace_overhead\": [\n{}\n  ],\n  \
          \"planner_skip\": [\n{}\n  ],\n  \"pool_scaling\": [\n{}\n  ],\n  \
          \"live_overload\": [\n{}\n  ]\n}}\n",
         scaling_rows.join(",\n"),
@@ -891,6 +952,7 @@ fn bench_shard_scaling(_c: &mut Criterion) {
         demote_row,
         serve_rows.join(",\n"),
         net_rows.join(",\n"),
+        trace_rows.join(",\n"),
         planner_row,
         pool_row,
         live_row

@@ -290,13 +290,18 @@ impl IngestionPipeline {
             modeled_bytes: ByteSize,
             actual_bytes: ByteSize,
         }
+        // Captured explicitly: the pool threads below have their own TLS,
+        // so the caller's installed trace context does not propagate.
+        let trace = vstore_obs::current();
         let outputs = scoped_map(
             window,
             self.effective_workers(),
             |_, task| -> Result<TaskOutput> {
+                let transcode_started = std::time::Instant::now();
                 let out = self
                     .transcoder
                     .transcode_segment(&task.scenes, &task.format, motion)?;
+                trace.record_since("ingest.transcode", transcode_started);
                 let bytes = out.data.to_bytes();
                 let key = SegmentKey::new(stream, task.id, task.segment);
                 self.reader.put(&key, &bytes)?;

@@ -4,6 +4,7 @@ use crate::cascade::QuerySpec;
 use crate::planner::PlanOptions;
 use std::collections::BTreeSet;
 use std::sync::Arc;
+use std::time::Instant;
 use vstore_codec::{SegmentMeta, Transcoder};
 use vstore_ops::{selectivity_prior, OperatorLibrary};
 use vstore_sim::{scoped_map, ResourceKind, VirtualClock};
@@ -105,6 +106,17 @@ pub struct QueryEngine {
     transcoder: Transcoder,
     clock: VirtualClock,
     prefetch: usize,
+}
+
+/// The span name a segment fetch records under, by where the bytes came
+/// from — the cache-tier hit/miss story of a traced request.
+fn read_span_name(source: ReadSource) -> &'static str {
+    match source {
+        ReadSource::DecodedCache => "read.decoded_cache",
+        ReadSource::RawCache => "read.raw_cache",
+        ReadSource::Disk => "read.disk",
+        ReadSource::Cold => "read.cold",
+    }
 }
 
 /// One segment's data after the prefetch/decode stage.
@@ -332,8 +344,12 @@ impl QueryEngine {
         let mut total_seconds = 0.0f64;
         let mut bytes_read = ByteSize::ZERO;
         let mut positive_frames = Vec::new();
+        // The caller's trace context (installed by the facade or a serve
+        // worker); inert when tracing is off or the request unsampled.
+        let trace = vstore_obs::current();
 
         for (stage_idx, &op) in ordered.iter().enumerate() {
+            let _stage_span = trace.span_with("query.stage", || op.to_string());
             let consumer = Consumer {
                 op,
                 accuracy: query.accuracy,
@@ -471,10 +487,14 @@ impl QueryEngine {
         sub: &vstore_types::Subscription,
         window: &[u64],
     ) -> Result<Vec<PrefetchedSegment>> {
+        // Captured explicitly: the pool threads below have their own TLS,
+        // so the caller's installed trace context does not propagate.
+        let trace = vstore_obs::current();
         let fetched = scoped_map(
             window.to_vec(),
             self.prefetch,
             |_, segment| -> Result<Option<PrefetchedSegment>> {
+                let fetch_started = Instant::now();
                 let (read, used_fallback) = match self.fetch_decoded(
                     stream,
                     config,
@@ -489,6 +509,7 @@ impl QueryEngine {
                     segment: decoded,
                     source,
                 } = read;
+                trace.record_since(read_span_name(source), fetch_started);
                 let frames = self
                     .transcoder
                     .convert_for_consumption(&decoded.frames, &sub.consumption)?;

@@ -38,9 +38,11 @@ use std::io::{ErrorKind, IoSlice, Read, Write};
 use std::net::TcpStream;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use vstore_codec::wire::ByteWriter;
+use vstore_obs::Tracer;
 use vstore_sim::sync::lock_unpoisoned;
 use vstore_types::cast::usize_from_u32;
 
@@ -230,6 +232,9 @@ pub(crate) enum PumpOutcome {
 pub(crate) struct NetConn {
     stream: TcpStream,
     conn: Connection,
+    /// The service's request tracer: each decoded frame begins its trace
+    /// here, at the socket boundary.
+    tracer: Arc<Tracer>,
     /// Queue job id → transport correlation id of each in-flight request.
     in_flight: HashMap<u64, u64>,
     /// Unparsed bytes read off the socket (pooled).
@@ -250,6 +255,7 @@ impl NetConn {
     pub(crate) fn new(stream: TcpStream, conn: Connection, shared: &NetShared) -> Self {
         NetConn {
             stream,
+            tracer: conn.tracer(),
             conn,
             in_flight: HashMap::new(),
             inbox: shared.pool.take(),
@@ -316,10 +322,17 @@ impl NetConn {
                     frames_in += 1;
                     progress = true;
                     let decoded_at = Instant::now();
+                    // The trace begins here, at the socket boundary: the
+                    // decode below is its first span, and the context rides
+                    // the job through queue, worker and engines.
+                    let trace = self.tracer.begin("request");
+                    let decode_span = trace.span("net.decode");
                     let bytes = &self.inbox[consumed + payload.start..consumed + payload.end];
                     match ServeRequest::from_wire(bytes) {
                         Ok(request) => {
-                            match self.conn.submit_stamped(request, decoded_at) {
+                            drop(decode_span);
+                            trace.set_root(request.kind().name());
+                            match self.conn.submit_traced(request, decoded_at, trace) {
                                 Ok(job_id) => {
                                     self.in_flight.insert(job_id, corr_id);
                                     self.peak_backlog =

@@ -51,6 +51,8 @@ pub use stats::{LatencyHistogram, NetStats, ServeStats};
 // Re-exported so wire-level clients can name the live-stats payload without
 // depending on the ingest crate directly.
 pub use vstore_ingest::LiveStats;
+// Same for the observability payloads (wire v5).
+pub use vstore_obs::{MetricsSnapshot, TraceDump};
 pub use wire::{
     ErrorCode, RemoteError, RequestKind, ServeRequest, ServeResponse, MIN_WIRE_VERSION,
     REQUEST_MAGIC, RESPONSE_MAGIC, WIRE_VERSION,

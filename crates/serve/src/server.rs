@@ -33,6 +33,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use vstore_datasets::VideoSource;
 use vstore_ingest::{ErodeReport, IngestReport, LiveStats};
+use vstore_obs::{MetricsSnapshot, TraceContext, TraceDump, Tracer};
 use vstore_query::{QueryResult, QuerySpec};
 use vstore_sim::sync::lock_unpoisoned;
 use vstore_sim::{catch_panic, panic_message, BoundedQueue, PushError};
@@ -68,6 +69,26 @@ pub trait VideoService: Send + Sync + 'static {
     fn net_stats(&self) -> Result<NetStats> {
         Ok(NetStats::default())
     }
+    /// The store's unified metrics snapshot. Defaults to an empty snapshot
+    /// for services with no metrics registry; `VStore` overrides it with
+    /// its registry's materialized rows.
+    fn metrics(&self) -> Result<MetricsSnapshot> {
+        Ok(MetricsSnapshot::default())
+    }
+    /// Drain the store's request-trace rings (the newest `max_traces`
+    /// committed traces; 0 = all). Defaults to an empty dump for services
+    /// with no tracer.
+    fn trace_dump(&self, max_traces: u64) -> Result<TraceDump> {
+        let _ = max_traces;
+        Ok(TraceDump::default())
+    }
+    /// The store's request tracer, adopted by the front end at
+    /// [`Server::start`] so queue wait and worker execution are spanned
+    /// under the same traces the engines record into. Defaults to a
+    /// disabled tracer (every span site on it is inert).
+    fn tracer(&self) -> Arc<Tracer> {
+        Tracer::off()
+    }
 }
 
 /// One queued request: what to run and where to send the answer.
@@ -76,6 +97,10 @@ struct Job {
     request: ServeRequest,
     reply: mpsc::Sender<(u64, ServeResponse)>,
     enqueued: Instant,
+    /// The request's trace context (inert unless tracing is enabled and
+    /// the boundary began a trace). Dropping the job's clone at the end of
+    /// the worker iteration is what lets a fully-answered request commit.
+    trace: TraceContext,
 }
 
 /// Statistics behind one short-held mutex. The queue itself lives in the
@@ -98,6 +123,8 @@ struct Shared {
     state: Mutex<ServerState>,
     options: ServeOptions,
     next_id: AtomicU64,
+    /// The service's request tracer (disabled for services without one).
+    tracer: Arc<Tracer>,
 }
 
 impl Shared {
@@ -120,6 +147,8 @@ impl Shared {
             erode_latency: state.latency[RequestKind::Erode.index()].clone(),
             live_stats_latency: state.latency[RequestKind::LiveStats.index()].clone(),
             net_stats_latency: state.latency[RequestKind::NetStats.index()].clone(),
+            metrics_latency: state.latency[RequestKind::MetricsSnapshot.index()].clone(),
+            trace_latency: state.latency[RequestKind::TraceDump.index()].clone(),
         }
     }
 }
@@ -151,6 +180,7 @@ impl Server {
             }),
             options,
             next_id: AtomicU64::new(0),
+            tracer: service.tracer(),
         });
         let mut workers = Vec::with_capacity(options.workers);
         for i in 0..options.workers {
@@ -332,7 +362,9 @@ impl Connection {
     /// instead of shedding.
     pub fn submit(&mut self, request: ServeRequest) -> Result<u64> {
         let on_full = self.shared.options.on_full;
-        self.submit_inner(request, Instant::now(), on_full)
+        // In-process callers inherit whatever trace the calling thread has
+        // installed (inert when tracing is off or no trace is active).
+        self.submit_inner(request, Instant::now(), vstore_obs::current(), on_full)
     }
 
     /// [`submit`](Self::submit) with a caller-supplied queue-lag stamp —
@@ -344,13 +376,39 @@ impl Connection {
     /// event loop that blocked on one connection's submission would stall
     /// every other connection it multiplexes.
     pub fn submit_stamped(&mut self, request: ServeRequest, enqueued: Instant) -> Result<u64> {
-        self.submit_inner(request, enqueued, vstore_types::QueueFullPolicy::Reject)
+        self.submit_traced(request, enqueued, TraceContext::disabled())
+    }
+
+    /// [`submit_stamped`](Self::submit_stamped) carrying an explicit trace
+    /// context — the socket front end begins a trace at frame-decode time
+    /// and hands it in here, so queue wait and worker execution land in
+    /// the same trace as the decode span.
+    pub fn submit_traced(
+        &mut self,
+        request: ServeRequest,
+        enqueued: Instant,
+        trace: TraceContext,
+    ) -> Result<u64> {
+        self.submit_inner(
+            request,
+            enqueued,
+            trace,
+            vstore_types::QueueFullPolicy::Reject,
+        )
+    }
+
+    /// The server's request tracer (the service's, adopted at start) —
+    /// how the socket front end begins traces at the frame boundary.
+    #[must_use]
+    pub fn tracer(&self) -> Arc<Tracer> {
+        Arc::clone(&self.shared.tracer)
     }
 
     fn submit_inner(
         &mut self,
         request: ServeRequest,
         enqueued: Instant,
+        trace: TraceContext,
         on_full: vstore_types::QueueFullPolicy,
     ) -> Result<u64> {
         request.validate()?;
@@ -360,6 +418,7 @@ impl Connection {
             request,
             reply: self.reply_tx.clone(),
             enqueued,
+            trace,
         };
         let capacity = self.shared.options.queue_depth;
         match self.shared.queue.push(job, on_full) {
@@ -509,6 +568,10 @@ fn execute<S: VideoService>(service: &S, request: &ServeRequest) -> Result<Serve
         ServeRequest::NetStats => service
             .net_stats()
             .map(|stats| ServeResponse::NetStats(Box::new(stats))),
+        ServeRequest::MetricsSnapshot => service.metrics().map(ServeResponse::Metrics),
+        ServeRequest::TraceDump { max_traces } => service
+            .trace_dump(*max_traces)
+            .map(|dump| ServeResponse::TraceDump(Box::new(dump))),
     }
 }
 
@@ -523,11 +586,19 @@ fn worker_loop<S: VideoService>(service: &S, shared: &Shared) {
 
         let wait_us = u64::try_from(job.enqueued.elapsed().as_micros()).unwrap_or(u64::MAX);
         let kind = job.request.kind();
+        // Span the queue wait and install the request's trace for the
+        // execution: layers below (engines, storage reads) pick it up via
+        // `vstore_obs::current()` on this thread.
+        job.trace.record_since("queue.wait", job.enqueued);
+        let installed = vstore_obs::install(&job.trace);
+        let exec_span = job.trace.span("worker.execute");
         let started = Instant::now();
         // Panic isolation: a panicking handler answers this request with an
         // error; the worker survives to serve the next one.
         let outcome = catch_panic(|| execute(service, &job.request));
         let elapsed_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        drop(exec_span);
+        drop(installed);
 
         let (response, was_error, was_panic) = match outcome {
             Ok(Ok(response)) => (response, false, false),

@@ -48,6 +48,10 @@ pub struct ServeStats {
     pub live_stats_latency: LatencyHistogram,
     /// Execution latency of net-stats requests.
     pub net_stats_latency: LatencyHistogram,
+    /// Execution latency of metrics-snapshot requests.
+    pub metrics_latency: LatencyHistogram,
+    /// Execution latency of trace-dump requests.
+    pub trace_latency: LatencyHistogram,
 }
 
 impl ServeStats {
@@ -95,6 +99,8 @@ impl ServeStats {
         self.live_stats_latency
             .accumulate(&other.live_stats_latency);
         self.net_stats_latency.accumulate(&other.net_stats_latency);
+        self.metrics_latency.accumulate(&other.metrics_latency);
+        self.trace_latency.accumulate(&other.trace_latency);
     }
 }
 
@@ -126,6 +132,12 @@ impl fmt::Display for ServeStats {
         }
         if !self.net_stats_latency.is_empty() {
             write!(f, "\n  net-stats:  {}", self.net_stats_latency)?;
+        }
+        if !self.metrics_latency.is_empty() {
+            write!(f, "\n  metrics:    {}", self.metrics_latency)?;
+        }
+        if !self.trace_latency.is_empty() {
+            write!(f, "\n  trace-dump: {}", self.trace_latency)?;
         }
         Ok(())
     }

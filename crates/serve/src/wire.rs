@@ -13,6 +13,8 @@ use crate::stats::NetStats;
 use vstore_codec::wire::{ByteReader, ByteWriter};
 use vstore_datasets::{DatasetProfile, VideoSource};
 use vstore_ingest::{ErodeReport, IngestReport, LiveStats};
+use vstore_obs::metrics::{HistogramSnapshot, Metric, MetricValue, MetricsSnapshot};
+use vstore_obs::trace::{TraceDump, TraceRecord, TraceSpan};
 use vstore_query::{QueryResult, QuerySpec, StageReport};
 use vstore_types::cast::usize_from_u64;
 use vstore_types::{
@@ -32,15 +34,20 @@ pub const RESPONSE_MAGIC: u32 = 0x5653_5253;
 /// socket protocol bump: frames now travel inside a length-prefixed
 /// transport envelope carrying a per-frame **correlation id** (so many
 /// requests can be pipelined on one connection and answered out of order),
-/// and adds the net-stats request/response pair carrying [`NetStats`].
-pub const WIRE_VERSION: u8 = 4;
+/// and adds the net-stats request/response pair carrying [`NetStats`]. v5
+/// adds the observability pair: a metrics-snapshot request/response
+/// carrying the unified [`MetricsSnapshot`], and a trace-dump
+/// request/response carrying the request tracer's [`TraceDump`].
+pub const WIRE_VERSION: u8 = 5;
 
-/// Oldest version a v4 decoder still accepts.
+/// Oldest version a v5 decoder still accepts.
 ///
-/// **Compatibility rule:** v4 changed no payload layout — every message
-/// that existed in v3 encodes byte-for-byte identically under v4 (only the
-/// version byte differs), and the messages new in v4 (net-stats) use tags
-/// v3 never emitted. A v4 server therefore accept-decodes v3 frames
+/// **Compatibility rule:** new versions add new tags, never change
+/// existing payload layouts — every message that existed in v3 encodes
+/// byte-for-byte identically under v4 and v5 (only the version byte
+/// differs), and the messages new in each version (net-stats in v4,
+/// metrics/trace-dump in v5) use tags older versions never emitted. A v5
+/// server therefore accept-decodes v3 and v4 frames
 /// unchanged; encoders always emit [`WIRE_VERSION`]. Frames outside
 /// `[MIN_WIRE_VERSION, WIRE_VERSION]` are rejected with the typed
 /// [`VStoreError::UnsupportedVersion`] — distinguishable from corruption,
@@ -62,22 +69,28 @@ pub enum RequestKind {
     LiveStats,
     /// Fetch the aggregate socket front-end statistics.
     NetStats,
+    /// Fetch the unified metrics snapshot.
+    MetricsSnapshot,
+    /// Drain the request tracer's rings.
+    TraceDump,
 }
 
 impl RequestKind {
     /// All kinds, indexed by their wire tag.
-    pub const ALL: [RequestKind; 5] = [
+    pub const ALL: [RequestKind; 7] = [
         RequestKind::Ingest,
         RequestKind::Query,
         RequestKind::Erode,
         RequestKind::LiveStats,
         RequestKind::NetStats,
+        RequestKind::MetricsSnapshot,
+        RequestKind::TraceDump,
     ];
 
     /// This kind's position in [`Self::ALL`] — its wire tag, and the
     /// index of its latency histogram in the server state.
     pub fn index(self) -> usize {
-        self as usize // vstore-lint: allow(checked-cast) — discriminant of a 5-variant enum
+        self as usize // vstore-lint: allow(checked-cast) — discriminant of a 7-variant enum
     }
 
     /// Short display name.
@@ -88,6 +101,8 @@ impl RequestKind {
             RequestKind::Erode => "erode",
             RequestKind::LiveStats => "live-stats",
             RequestKind::NetStats => "net-stats",
+            RequestKind::MetricsSnapshot => "metrics",
+            RequestKind::TraceDump => "trace-dump",
         }
     }
 }
@@ -131,6 +146,15 @@ pub enum ServeRequest {
     /// idle default when no socket front end has been started). New in
     /// wire v4.
     NetStats,
+    /// Fetch the unified metrics snapshot: every registered stats source
+    /// rendered as typed counter/gauge/histogram rows. New in wire v5.
+    MetricsSnapshot,
+    /// Drain the request tracer's rings, newest `max_traces` committed
+    /// traces (0 = all). New in wire v5.
+    TraceDump {
+        /// Cap on returned traces; 0 returns everything in the rings.
+        max_traces: u64,
+    },
 }
 
 /// One typed response produced by the serving front end.
@@ -150,6 +174,10 @@ pub enum ServeResponse {
     /// The store's aggregate socket front-end statistics (boxed for the
     /// same reason: two histograms). New in wire v4.
     NetStats(Box<NetStats>),
+    /// The unified metrics snapshot. New in wire v5.
+    Metrics(MetricsSnapshot),
+    /// The request tracer's drained rings. New in wire v5.
+    TraceDump(Box<TraceDump>),
 }
 
 impl ServeResponse {
@@ -271,6 +299,8 @@ impl ServeRequest {
             ServeRequest::Erode { .. } => RequestKind::Erode,
             ServeRequest::LiveStats => RequestKind::LiveStats,
             ServeRequest::NetStats => RequestKind::NetStats,
+            ServeRequest::MetricsSnapshot => RequestKind::MetricsSnapshot,
+            ServeRequest::TraceDump { .. } => RequestKind::TraceDump,
         }
     }
 
@@ -318,7 +348,10 @@ impl ServeRequest {
                 }
                 Ok(())
             }
-            ServeRequest::LiveStats | ServeRequest::NetStats => Ok(()),
+            ServeRequest::LiveStats
+            | ServeRequest::NetStats
+            | ServeRequest::MetricsSnapshot
+            | ServeRequest::TraceDump { .. } => Ok(()),
         }
     }
 
@@ -369,6 +402,13 @@ impl ServeRequest {
             ServeRequest::NetStats => {
                 w.put_u8(4);
             }
+            ServeRequest::MetricsSnapshot => {
+                w.put_u8(5);
+            }
+            ServeRequest::TraceDump { max_traces } => {
+                w.put_u8(6);
+                w.put_u64(*max_traces);
+            }
         }
     }
 
@@ -394,6 +434,10 @@ impl ServeRequest {
             },
             3 => ServeRequest::LiveStats,
             4 => ServeRequest::NetStats,
+            5 => ServeRequest::MetricsSnapshot,
+            6 => ServeRequest::TraceDump {
+                max_traces: r.get_u64()?,
+            },
             tag => {
                 return Err(VStoreError::corruption(format!(
                     "unknown serve request tag {tag}"
@@ -449,6 +493,14 @@ impl ServeResponse {
                 w.put_u8(5);
                 put_net_stats(w, stats);
             }
+            ServeResponse::Metrics(snapshot) => {
+                w.put_u8(6);
+                put_metrics_snapshot(w, snapshot);
+            }
+            ServeResponse::TraceDump(dump) => {
+                w.put_u8(7);
+                put_trace_dump(w, dump);
+            }
         }
     }
 
@@ -478,6 +530,8 @@ impl ServeResponse {
             }
             4 => ServeResponse::LiveStats(Box::new(get_live_stats(&mut r)?)),
             5 => ServeResponse::NetStats(Box::new(get_net_stats(&mut r)?)),
+            6 => ServeResponse::Metrics(get_metrics_snapshot(&mut r)?),
+            7 => ServeResponse::TraceDump(Box::new(get_trace_dump(&mut r)?)),
             tag => {
                 return Err(VStoreError::corruption(format!(
                     "unknown serve response tag {tag}"
@@ -781,6 +835,155 @@ fn get_net_stats(r: &mut ByteReader<'_>) -> Result<NetStats> {
     })
 }
 
+fn put_metrics_snapshot(w: &mut ByteWriter, snapshot: &MetricsSnapshot) {
+    w.put_varint(snapshot.metrics.len() as u64);
+    for metric in &snapshot.metrics {
+        w.put_bytes(metric.name.as_bytes());
+        w.put_bytes(metric.help.as_bytes());
+        w.put_varint(metric.labels.len() as u64);
+        for (key, value) in &metric.labels {
+            w.put_bytes(key.as_bytes());
+            w.put_bytes(value.as_bytes());
+        }
+        match &metric.value {
+            MetricValue::Counter(v) => {
+                w.put_u8(0);
+                w.put_u64(*v);
+            }
+            MetricValue::Gauge(v) => {
+                w.put_u8(1);
+                w.put_f64(*v);
+            }
+            MetricValue::Histogram(hist) => {
+                w.put_u8(2);
+                w.put_varint(hist.bounds.len() as u64);
+                for (&bound, &count) in hist.bounds.iter().zip(&hist.counts) {
+                    w.put_u64(bound);
+                    w.put_u64(count);
+                }
+                w.put_u64(hist.count);
+                w.put_u64(hist.sum);
+                w.put_u64(hist.max);
+            }
+        }
+    }
+}
+
+fn get_metrics_snapshot(r: &mut ByteReader<'_>) -> Result<MetricsSnapshot> {
+    let rows = get_count(r, "metrics row count")?;
+    let mut metrics = Vec::with_capacity(rows.min(1 << 12));
+    for _ in 0..rows {
+        let name = get_string(r)?;
+        let help = get_string(r)?;
+        let label_count = get_count(r, "metric label count")?;
+        let mut labels = Vec::with_capacity(label_count.min(16));
+        for _ in 0..label_count {
+            let key = get_string(r)?;
+            let value = get_string(r)?;
+            labels.push((key, value));
+        }
+        let value = match r.get_u8()? {
+            0 => MetricValue::Counter(r.get_u64()?),
+            1 => MetricValue::Gauge(r.get_f64()?),
+            2 => {
+                let buckets = get_count(r, "metric bucket count")?;
+                let mut bounds = Vec::with_capacity(buckets.min(64));
+                let mut counts = Vec::with_capacity(buckets.min(64));
+                for _ in 0..buckets {
+                    bounds.push(r.get_u64()?);
+                    counts.push(r.get_u64()?);
+                }
+                MetricValue::Histogram(HistogramSnapshot {
+                    bounds,
+                    counts,
+                    count: r.get_u64()?,
+                    sum: r.get_u64()?,
+                    max: r.get_u64()?,
+                })
+            }
+            tag => {
+                return Err(VStoreError::corruption(format!(
+                    "unknown metric value tag {tag}"
+                )))
+            }
+        };
+        metrics.push(Metric {
+            name,
+            help,
+            labels,
+            value,
+        });
+    }
+    Ok(MetricsSnapshot { metrics })
+}
+
+fn get_bool(r: &mut ByteReader<'_>, what: &str) -> Result<bool> {
+    match r.get_u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        tag => Err(VStoreError::corruption(format!("bad {what} flag {tag}"))),
+    }
+}
+
+fn put_trace_dump(w: &mut ByteWriter, dump: &TraceDump) {
+    w.put_varint(dump.records.len() as u64);
+    for record in &dump.records {
+        w.put_u64(record.trace_id);
+        w.put_bytes(record.root.as_bytes());
+        w.put_u64(record.start_us);
+        w.put_u64(record.dur_us);
+        w.put_u8(u8::from(record.sampled));
+        w.put_u8(u8::from(record.slow));
+        w.put_varint(record.spans.len() as u64);
+        for span in &record.spans {
+            w.put_bytes(span.name.as_bytes());
+            w.put_bytes(span.detail.as_bytes());
+            w.put_u64(span.start_us);
+            w.put_u64(span.dur_us);
+            w.put_u64(span.tid);
+        }
+    }
+    w.put_u64(dump.dropped_spans);
+}
+
+fn get_trace_dump(r: &mut ByteReader<'_>) -> Result<TraceDump> {
+    let record_count = get_count(r, "trace record count")?;
+    let mut records = Vec::with_capacity(record_count.min(1 << 12));
+    for _ in 0..record_count {
+        let trace_id = r.get_u64()?;
+        let root = get_string(r)?;
+        let start_us = r.get_u64()?;
+        let dur_us = r.get_u64()?;
+        let sampled = get_bool(r, "trace sampled")?;
+        let slow = get_bool(r, "trace slow")?;
+        let span_count = get_count(r, "trace span count")?;
+        let mut spans = Vec::with_capacity(span_count.min(1 << 12));
+        for _ in 0..span_count {
+            spans.push(TraceSpan {
+                name: get_string(r)?,
+                detail: get_string(r)?,
+                start_us: r.get_u64()?,
+                dur_us: r.get_u64()?,
+                tid: r.get_u64()?,
+            });
+        }
+        records.push(TraceRecord {
+            trace_id,
+            root,
+            start_us,
+            dur_us,
+            sampled,
+            slow,
+            spans,
+        });
+    }
+    let dropped_spans = r.get_u64()?;
+    Ok(TraceDump {
+        records,
+        dropped_spans,
+    })
+}
+
 fn put_query_result(w: &mut ByteWriter, result: &QueryResult) {
     put_spec(w, &result.query);
     w.put_f64(result.video.seconds());
@@ -952,10 +1155,56 @@ mod tests {
         }
     }
 
-    /// The v3→v4 compat rule: a frame whose payload layout existed in v3
-    /// decodes identically when its version byte says 3.
+    fn sample_metrics_snapshot() -> MetricsSnapshot {
+        let mut hist = LatencyHistogram::default();
+        for us in [3u64, 90, 7_000] {
+            hist.record(us);
+        }
+        MetricsSnapshot {
+            metrics: vec![
+                vstore_obs::Metric::counter("vstore_serve_requests_total", "requests", 42),
+                vstore_obs::Metric::gauge("vstore_cache_fill", "cache fill ratio", 0.75)
+                    .with_label("tier", "raw"),
+                vstore_obs::Metric::latency("vstore_serve_e2e_us", "end to end", &hist),
+            ],
+        }
+    }
+
+    fn sample_trace_dump() -> TraceDump {
+        TraceDump {
+            records: vec![TraceRecord {
+                trace_id: 0xDEAD_BEEF,
+                root: "query".into(),
+                start_us: 1_000,
+                dur_us: 5_500,
+                sampled: true,
+                slow: false,
+                spans: vec![
+                    TraceSpan {
+                        name: "net.decode".into(),
+                        detail: String::new(),
+                        start_us: 0,
+                        dur_us: 12,
+                        tid: 1,
+                    },
+                    TraceSpan {
+                        name: "read.disk".into(),
+                        detail: "jackson/7".into(),
+                        start_us: 300,
+                        dur_us: 4_000,
+                        tid: 3,
+                    },
+                ],
+            }],
+            dropped_spans: 9,
+        }
+    }
+
+    /// The compat rule: a frame whose payload layout existed in an older
+    /// supported version decodes identically when its version byte says
+    /// so — v3 and v4 frames both decode on the v5 path.
     #[test]
-    fn v3_frames_decode_on_the_v4_path() {
+    fn old_version_frames_decode_on_the_v5_path() {
         let request = ServeRequest::Query {
             stream: "jackson".into(),
             spec: QuerySpec::query_a(0.8),
@@ -964,12 +1213,21 @@ mod tests {
         };
         let mut bytes = request.to_wire();
         assert_eq!(bytes[4], WIRE_VERSION);
-        bytes[4] = MIN_WIRE_VERSION;
-        assert_eq!(ServeRequest::from_wire(&bytes).unwrap(), request);
+        for version in MIN_WIRE_VERSION..WIRE_VERSION {
+            bytes[4] = version;
+            assert_eq!(ServeRequest::from_wire(&bytes).unwrap(), request);
+        }
 
+        // A v3-era payload under a v3 version byte.
         let response = ServeResponse::LiveStats(Box::new(sample_live_stats()));
         let mut bytes = response.to_wire();
         bytes[4] = MIN_WIRE_VERSION;
+        assert_eq!(ServeResponse::from_wire(&bytes).unwrap(), response);
+
+        // A v4-era payload (net-stats) under a v4 version byte.
+        let response = ServeResponse::NetStats(Box::new(sample_net_stats()));
+        let mut bytes = response.to_wire();
+        bytes[4] = 4;
         assert_eq!(ServeResponse::from_wire(&bytes).unwrap(), response);
     }
 
@@ -1003,6 +1261,9 @@ mod tests {
             },
             ServeRequest::LiveStats,
             ServeRequest::NetStats,
+            ServeRequest::MetricsSnapshot,
+            ServeRequest::TraceDump { max_traces: 0 },
+            ServeRequest::TraceDump { max_traces: 25 },
         ];
         for request in requests {
             let bytes = request.to_wire();
@@ -1043,6 +1304,10 @@ mod tests {
             ServeResponse::LiveStats(Box::default()),
             ServeResponse::NetStats(Box::new(sample_net_stats())),
             ServeResponse::NetStats(Box::default()),
+            ServeResponse::Metrics(sample_metrics_snapshot()),
+            ServeResponse::Metrics(MetricsSnapshot::default()),
+            ServeResponse::TraceDump(Box::new(sample_trace_dump())),
+            ServeResponse::TraceDump(Box::default()),
         ];
         for response in responses {
             let bytes = response.to_wire();

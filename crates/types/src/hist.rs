@@ -9,9 +9,16 @@
 
 use std::fmt;
 
-/// Number of power-of-two latency buckets: bucket `i` counts samples with
-/// `latency_us < 2^i`, the last bucket collects everything larger
-/// (≈ 35 minutes and up).
+/// Number of power-of-two latency buckets.
+///
+/// Bucket boundaries, precisely:
+///
+/// * bucket `0` holds only `0 µs` samples;
+/// * bucket `i` for `1 ≤ i ≤ 30` holds samples in `[2^(i-1), 2^i)` µs —
+///   so the bucket's reported upper bound `2^i` is exclusive;
+/// * bucket `31` collects everything `≥ 2^30 µs` (≈ 17.9 minutes), and
+///   its reported bound `2^31 µs` (≈ 35.8 minutes) understates samples
+///   beyond it — [`LatencyHistogram::max_us`] keeps the true maximum.
 pub const HISTOGRAM_BUCKETS: usize = 32;
 const BUCKETS: usize = HISTOGRAM_BUCKETS;
 
@@ -78,7 +85,14 @@ impl LatencyHistogram {
     }
 
     /// Upper bound (µs) of the bucket holding the `p`-quantile sample
-    /// (`p` in `[0, 1]`, clamped). 0 when empty.
+    /// (`p` in `[0, 1]`, values outside are clamped). 0 when empty.
+    ///
+    /// Edge cases, pinned by tests: `p = 0.0` ranks at the **first**
+    /// sample (the smallest bucket's bound — not 0 unless a 0 µs sample
+    /// exists); `p = 1.0` ranks at the last sample, answering the
+    /// largest populated bucket's bound (see [`HISTOGRAM_BUCKETS`] for
+    /// the exact boundaries). When every sample shares one bucket, all
+    /// quantiles answer that bucket's bound.
     #[must_use]
     pub fn quantile_us(&self, p: f64) -> u64 {
         if self.count == 0 {
@@ -190,6 +204,68 @@ mod tests {
         }
         let (buckets, count, total, max) = h.to_parts();
         assert_eq!(LatencyHistogram::from_parts(buckets, count, total, max), h);
+    }
+
+    /// The quantile edge cases the doc comment promises: p = 0.0 ranks at
+    /// the first sample, p = 1.0 at the last, both clamped from outside
+    /// `[0, 1]`, and an empty histogram answers 0 everywhere.
+    #[test]
+    fn quantile_extremes_rank_at_first_and_last_sample() {
+        let empty = LatencyHistogram::default();
+        assert_eq!(empty.quantile_us(0.0), 0);
+        assert_eq!(empty.quantile_us(1.0), 0);
+
+        let mut h = LatencyHistogram::default();
+        h.record(3); // bucket 2, bound 4
+        h.record(1000); // bucket 10, bound 1024
+                        // p = 0.0 clamps the rank to the first sample: the smallest
+                        // populated bucket's bound, not 0.
+        assert_eq!(h.quantile_us(0.0), 4);
+        assert_eq!(h.quantile_us(-1.0), 4);
+        // p = 1.0 ranks at the last sample: the largest populated bound.
+        assert_eq!(h.quantile_us(1.0), 1024);
+        assert_eq!(h.quantile_us(2.0), 1024);
+        // A recorded 0 µs sample makes the 0-quantile genuinely 0.
+        h.record(0);
+        assert_eq!(h.quantile_us(0.0), 0);
+    }
+
+    /// With every sample in one bucket, all quantiles collapse to that
+    /// bucket's (exclusive) upper bound.
+    #[test]
+    fn single_bucket_answers_every_quantile_with_its_bound() {
+        let mut h = LatencyHistogram::default();
+        for _ in 0..5 {
+            h.record(700); // bucket 10: [512, 1024)
+        }
+        for p in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_us(p), 1024, "p={p}");
+        }
+        assert_eq!(h.max_us(), 700);
+    }
+
+    /// Saturated accumulate: merging pinned counters and totals degrades
+    /// to the ceiling instead of wrapping, and quantiles stay answerable.
+    #[test]
+    fn saturated_accumulate_pins_without_wrapping() {
+        let mut a = LatencyHistogram::default();
+        a.record(u64::MAX); // pins total_us and lands in the top bucket
+        let mut b = LatencyHistogram::default();
+        b.record(u64::MAX);
+        b.record(1);
+        a.accumulate(&b);
+        let (_, count, total, max) = a.to_parts();
+        assert_eq!(count, 3);
+        assert_eq!(total, u64::MAX);
+        assert_eq!(max, u64::MAX);
+        // Two of three samples sit in the overflow bucket; p99 answers
+        // its bound, and repeated self-merges saturate bucket counts.
+        assert!(a.quantile_us(0.99) >= 1u64 << 31);
+        let clone = a.clone();
+        for _ in 0..3 {
+            a.accumulate(&clone.clone());
+        }
+        assert!(a.count() > 3);
     }
 
     #[test]

@@ -49,12 +49,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod metrics;
 mod requests;
 
 pub use vstore_codec as codec;
 pub use vstore_core as core;
 pub use vstore_datasets as datasets;
 pub use vstore_ingest as ingest;
+pub use vstore_obs as obs;
 pub use vstore_ops as ops;
 pub use vstore_profiler as profiler;
 pub use vstore_query as query;
@@ -68,6 +70,10 @@ pub use vstore_core::{Alternative, ConfigurationEngine, EngineOptions};
 pub use vstore_datasets::{LiveSource, LoadProfile};
 pub use vstore_ingest::{
     DegradationLadder, ErodeReport, LiveIngestHandle, LiveProbe, LiveStats, OfferOutcome,
+};
+pub use vstore_obs::{
+    Metric, MetricValue, MetricsRegistry, MetricsSnapshot, TraceContext, TraceDump, TraceOptions,
+    TraceStats, Tracer,
 };
 pub use vstore_query::{PlanOptions, QueryResult, QuerySpec, StageReport};
 pub use vstore_serve::{
@@ -114,6 +120,10 @@ pub struct VStoreOptions {
     /// erosion **demotes** segments to an object-store-style cold tier and
     /// queries promote them back on access. Validated at [`VStore::open`].
     pub tier: TierOptions,
+    /// Request tracing: off by default (one relaxed atomic load per span
+    /// site). [`TraceOptions::enabled`] turns on head-sampled tracing with
+    /// always-capture for slow requests. Validated at [`VStore::open`].
+    pub trace: TraceOptions,
 }
 
 impl Default for VStoreOptions {
@@ -124,6 +134,7 @@ impl Default for VStoreOptions {
             runtime: RuntimeOptions::default(),
             backend: BackendOptions::default(),
             tier: TierOptions::default(),
+            trace: TraceOptions::default(),
         }
     }
 }
@@ -141,6 +152,7 @@ impl VStoreOptions {
             runtime: RuntimeOptions::default(),
             backend: BackendOptions::default(),
             tier: TierOptions::default(),
+            trace: TraceOptions::default(),
         }
     }
 
@@ -176,6 +188,14 @@ impl VStoreOptions {
     /// knobs (shorthand for `with_tier(TierOptions::cold(backend))`).
     pub fn with_cold_backend(self, backend: BackendOptions) -> Self {
         self.with_tier(TierOptions::cold(backend))
+    }
+
+    /// Replace the tracing options (see [`TraceOptions`]);
+    /// `with_trace(TraceOptions::enabled())` turns request tracing on with
+    /// the default sampling knobs.
+    pub fn with_trace(mut self, trace: TraceOptions) -> Self {
+        self.trace = trace;
+        self
     }
 }
 
@@ -306,6 +326,15 @@ struct VStoreInner {
     /// [`VStore::stats_report`] folds them in (the inner request-layer
     /// probes live in `serving`).
     net: RwLock<NetRegistry>,
+    /// The request tracer: hands out trace contexts to serve front ends
+    /// and in-process request builders, and owns the bounded trace rings.
+    /// Off by default — `begin` is one relaxed atomic load.
+    tracer: Arc<Tracer>,
+    /// The unified metrics registry. Every stats source registers a
+    /// collector at assembly ([`crate::metrics::register_collectors`]);
+    /// snapshots travel over the serve wire as
+    /// [`ServeResponse::Metrics`].
+    metrics: MetricsRegistry,
 }
 
 /// The store's view of its serving front ends: live probes plus the folded
@@ -490,6 +519,8 @@ impl VStore {
 
     fn assemble(store: Arc<SegmentStore>, options: VStoreOptions) -> Result<VStore> {
         options.tier.validate()?;
+        options.trace.validate()?;
+        let tracer = Tracer::new(options.trace);
         let runtime = options.runtime;
         let clock = VirtualClock::new();
         let library = OperatorLibrary::paper_testbed();
@@ -546,7 +577,7 @@ impl VStore {
         )
         .with_prefetch(runtime.query_prefetch)
         .with_reader(Arc::clone(&reader));
-        Ok(VStore {
+        let handle = VStore {
             inner: Arc::new(VStoreInner {
                 profiler,
                 engine,
@@ -561,8 +592,12 @@ impl VStore {
                 serving: RwLock::new(ServeRegistry::default()),
                 live: RwLock::new(LiveRegistry::default()),
                 net: RwLock::new(NetRegistry::default()),
+                tracer,
+                metrics: MetricsRegistry::new(),
             }),
-        })
+        };
+        metrics::register_collectors(&handle);
+        Ok(handle)
     }
 
     /// The profiler (exposed for experiments that report profiling cost).
@@ -651,6 +686,52 @@ impl VStore {
         self.inner.live.write().aggregate()
     }
 
+    /// A snapshot of every registered metric family — store, cache, tier,
+    /// profiler, tracer, plus the serving/network/live aggregates once
+    /// those front ends exist. Render it with
+    /// [`MetricsSnapshot::to_prometheus`] or [`MetricsSnapshot::to_json`];
+    /// the same snapshot travels over the serve wire
+    /// ([`ServeRequest::MetricsSnapshot`]).
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// The metrics registry, for registering deployment-specific
+    /// collectors alongside the built-in ones.
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// The request tracer. Shared with every serve front end started from
+    /// this store; [`Tracer::stats`] reports sampling behaviour.
+    #[must_use]
+    pub fn tracer(&self) -> Arc<Tracer> {
+        Arc::clone(&self.inner.tracer)
+    }
+
+    /// Drain up to `max_traces` committed traces from the rings
+    /// (`0` = all), most recent first per shard. The dump renders as
+    /// Chrome trace-event JSON ([`TraceDump::to_chrome_json`]) or a
+    /// human span-tree report ([`TraceDump::report`]).
+    #[must_use]
+    pub fn trace_dump(&self, max_traces: usize) -> TraceDump {
+        self.inner.tracer.dump(max_traces)
+    }
+
+    /// The trace context for one facade-level request: the caller's
+    /// installed context when one is active (a serve worker installed the
+    /// trace begun at frame decode), else a fresh trace begun here — so
+    /// direct `store.query(..)` calls trace too.
+    fn request_trace(&self, root: &'static str) -> TraceContext {
+        let current = vstore_obs::current();
+        if current.is_active() {
+            current
+        } else {
+            self.inner.tracer.begin(root)
+        }
+    }
+
     /// The root directory of the segment store (`<mem>` for the in-memory
     /// backend).
     pub fn store_dir(&self) -> std::path::PathBuf {
@@ -710,6 +791,9 @@ impl VStore {
     pub fn ingest(&self, request: IngestRequest) -> Result<IngestReport> {
         request.validate()?;
         let config = self.active()?;
+        let trace = self.request_trace("ingest");
+        let _installed = vstore_obs::install(&trace);
+        let _span = trace.span("ingest.execute");
         self.inner.ingest.ingest_segments(
             &request.source,
             request.first_segment,
@@ -730,6 +814,9 @@ impl VStore {
             enabled: request.planner.unwrap_or(self.inner.query_planner),
             skip_threshold: request.skip_threshold,
         };
+        let trace = self.request_trace("query");
+        let _installed = vstore_obs::install(&trace);
+        let _span = trace.span("query.execute");
         self.inner.queries.execute_planned(
             &request.stream,
             &request.spec,
@@ -749,6 +836,9 @@ impl VStore {
     pub fn erode(&self, request: ErodeRequest) -> Result<ErodeReport> {
         request.validate()?;
         let config = self.active()?;
+        let trace = self.request_trace("erode");
+        let _installed = vstore_obs::install(&trace);
+        let _span = trace.span("erode.execute");
         self.inner
             .ingest
             .apply_erosion(&request.stream, &config, request.age_days)
@@ -907,6 +997,21 @@ impl VideoService for VStore {
 
     fn net_stats(&self) -> Result<NetStats> {
         Ok(VStore::net_stats(self).unwrap_or_default())
+    }
+
+    fn metrics(&self) -> Result<MetricsSnapshot> {
+        Ok(self.metrics_snapshot())
+    }
+
+    fn trace_dump(&self, max_traces: u64) -> Result<TraceDump> {
+        Ok(VStore::trace_dump(
+            self,
+            usize::try_from(max_traces).unwrap_or(usize::MAX),
+        ))
+    }
+
+    fn tracer(&self) -> Arc<Tracer> {
+        VStore::tracer(self)
     }
 }
 

@@ -1,0 +1,741 @@
+//! Facade-side observability wiring: the collectors that map every stats
+//! source into the store's [`MetricsRegistry`](vstore_obs::MetricsRegistry),
+//! and the stable machine-readable JSON rendering of [`StatsReport`].
+//!
+//! Ownership is deliberate. Component collectors (store, cache, tier,
+//! profiler, tracer) capture their component `Arc` directly: the registry
+//! lives *beside* those components in `VStoreInner` and none of them points
+//! back at the inner, so no reference cycle can form. The serving, network
+//! and live-ingest aggregates do live *inside* `VStoreInner`, so their
+//! collectors hold a [`Weak`] handle and collect nothing once the store is
+//! gone — a leaked boxed collector can never keep the store alive.
+
+use crate::{StatsReport, VStore, VStoreInner};
+use std::sync::{Arc, Weak};
+use vstore_obs::json;
+use vstore_obs::Metric;
+use vstore_serve::LatencyHistogram;
+use vstore_storage::CacheStats;
+
+/// Register every stats source of a freshly assembled store into its
+/// metrics registry. Called once from `VStore::assemble`, after the inner
+/// `Arc` exists (the aggregate collectors need a `Weak` of it).
+pub(crate) fn register_collectors(store: &VStore) {
+    let inner = &store.inner;
+    let registry = &inner.metrics;
+
+    let segments = Arc::clone(&inner.store);
+    registry.register(Box::new(move |out: &mut Vec<Metric>| {
+        let s = segments.stats();
+        out.push(Metric::gauge(
+            "vstore_store_live_segments",
+            "Live segments in the store",
+            s.live_segments as f64,
+        ));
+        out.push(Metric::gauge(
+            "vstore_store_live_bytes",
+            "Bytes of live segment values",
+            s.live_bytes as f64,
+        ));
+        out.push(Metric::gauge(
+            "vstore_store_disk_bytes",
+            "Bytes occupied on disk by all value logs (garbage included)",
+            s.disk_bytes as f64,
+        ));
+        out.push(Metric::gauge(
+            "vstore_store_log_files",
+            "Value log files",
+            s.log_files as f64,
+        ));
+        out.push(Metric::counter(
+            "vstore_store_writes_total",
+            "Records written since open (puts + deletes)",
+            s.writes,
+        ));
+        out.push(Metric::counter(
+            "vstore_store_reads_total",
+            "Reads served since open",
+            s.reads,
+        ));
+    }));
+
+    let reader = Arc::clone(&inner.reader);
+    registry.register(Box::new(move |out: &mut Vec<Metric>| {
+        collect_cache(&reader.cache_stats(), out);
+    }));
+
+    if let Some(tier) = &inner.tier {
+        let tier = Arc::clone(tier);
+        registry.register(Box::new(move |out: &mut Vec<Metric>| {
+            let t = tier.stats();
+            out.push(Metric::gauge(
+                "vstore_tier_hot_resident_bytes",
+                "Live bytes resident in the hot store",
+                t.hot_resident_bytes as f64,
+            ));
+            out.push(Metric::gauge(
+                "vstore_tier_cold_resident_bytes",
+                "Live bytes resident in the cold store",
+                t.cold_resident_bytes as f64,
+            ));
+            out.push(Metric::gauge(
+                "vstore_tier_cold_segments",
+                "Segments held by the cold store",
+                t.cold_segments as f64,
+            ));
+            out.push(Metric::counter(
+                "vstore_tier_demotions_total",
+                "Segments demoted hot to cold since open",
+                t.demotions,
+            ));
+            out.push(Metric::counter(
+                "vstore_tier_promotions_total",
+                "Segments promoted cold to hot since open",
+                t.promotions,
+            ));
+            out.push(Metric::counter(
+                "vstore_tier_cold_hits_total",
+                "Reads served by the cold tier",
+                t.cold_hits,
+            ));
+            out.push(Metric::counter(
+                "vstore_tier_cold_misses_total",
+                "Hot misses that missed the cold tier too",
+                t.cold_misses,
+            ));
+            out.push(Metric::counter(
+                "vstore_tier_failed_demotions_total",
+                "Demotions that failed (segment stayed hot)",
+                t.failed_demotions,
+            ));
+            out.push(Metric::gauge(
+                "vstore_tier_queue_depth",
+                "Migration jobs waiting at snapshot time",
+                t.queue_depth as f64,
+            ));
+            out.push(Metric::latency(
+                "vstore_tier_cold_hit_latency_us",
+                "Latency of cold-tier fetches (read + checksum + promote)",
+                &t.cold_hit_latency,
+            ));
+        }));
+    }
+
+    let profiler = Arc::clone(&inner.profiler);
+    registry.register(Box::new(move |out: &mut Vec<Metric>| {
+        let p = profiler.stats();
+        out.push(Metric::counter(
+            "vstore_profiler_operator_runs_total",
+            "Operator profiling runs executed (memo misses)",
+            p.operator_runs as u64,
+        ));
+        out.push(Metric::counter(
+            "vstore_profiler_operator_cache_hits_total",
+            "Operator profiling requests served from the memo table",
+            p.operator_cache_hits as u64,
+        ));
+        out.push(Metric::counter(
+            "vstore_profiler_storage_runs_total",
+            "Storage-format profiling runs executed (memo misses)",
+            p.storage_runs as u64,
+        ));
+        out.push(Metric::counter(
+            "vstore_profiler_storage_cache_hits_total",
+            "Storage-format profiling requests served from the memo table",
+            p.storage_cache_hits as u64,
+        ));
+        out.push(Metric::gauge(
+            "vstore_profiler_modeled_seconds",
+            "Modelled testbed wall-clock seconds spent profiling",
+            p.modeled_seconds,
+        ));
+    }));
+
+    let tracer = Arc::clone(&inner.tracer);
+    registry.register(Box::new(move |out: &mut Vec<Metric>| {
+        let t = tracer.stats();
+        out.push(Metric::gauge(
+            "vstore_trace_enabled",
+            "Whether request tracing is enabled (1) or off (0)",
+            if tracer.enabled() { 1.0 } else { 0.0 },
+        ));
+        out.push(Metric::counter(
+            "vstore_trace_begun_total",
+            "Traces begun (requests seen while tracing was enabled)",
+            t.begun,
+        ));
+        out.push(Metric::counter(
+            "vstore_trace_sampled_total",
+            "Traces elected by head-sampling",
+            t.sampled,
+        ));
+        out.push(Metric::counter(
+            "vstore_trace_committed_total",
+            "Traces committed to the rings (sampled or slow)",
+            t.committed,
+        ));
+        out.push(Metric::counter(
+            "vstore_trace_slow_total",
+            "Committed traces that crossed the slow threshold",
+            t.slow,
+        ));
+        out.push(Metric::counter(
+            "vstore_trace_dropped_spans_total",
+            "Spans evicted from the rings by capacity pressure",
+            t.dropped_spans,
+        ));
+    }));
+
+    let weak = Arc::downgrade(inner);
+    registry.register(Box::new(move |out: &mut Vec<Metric>| {
+        collect_aggregates(&weak, out);
+    }));
+}
+
+/// The shared-cache rows (two tiers, aggregated across shards).
+fn collect_cache(c: &CacheStats, out: &mut Vec<Metric>) {
+    out.push(Metric::counter(
+        "vstore_cache_raw_hits_total",
+        "Tier-1 reads served from the raw-bytes cache",
+        c.raw_hits,
+    ));
+    out.push(Metric::counter(
+        "vstore_cache_raw_misses_total",
+        "Tier-1 reads that went to the store",
+        c.raw_misses,
+    ));
+    out.push(Metric::counter(
+        "vstore_cache_raw_evictions_total",
+        "Tier-1 entries evicted to make room",
+        c.raw_evictions,
+    ));
+    out.push(Metric::gauge(
+        "vstore_cache_raw_resident_bytes",
+        "Bytes resident in the raw-bytes cache",
+        c.raw_resident_bytes as f64,
+    ));
+    out.push(Metric::counter(
+        "vstore_cache_decoded_hits_total",
+        "Tier-2 reads served from the decoded-frames cache",
+        c.decoded_hits,
+    ));
+    out.push(Metric::counter(
+        "vstore_cache_decoded_misses_total",
+        "Tier-2 reads that had to decode",
+        c.decoded_misses,
+    ));
+    out.push(Metric::counter(
+        "vstore_cache_decoded_evictions_total",
+        "Tier-2 entries evicted to make room",
+        c.decoded_evictions,
+    ));
+    out.push(Metric::gauge(
+        "vstore_cache_decoded_entries",
+        "Entries resident in the decoded-frames cache",
+        c.decoded_entries as f64,
+    ));
+    out.push(Metric::counter(
+        "vstore_cache_invalidations_total",
+        "Cached entries dropped by writes (put / delete / erosion)",
+        c.invalidations,
+    ));
+}
+
+/// The serving / network / live-ingest aggregate rows. These registries
+/// live inside `VStoreInner`, so the collector holds a `Weak` and goes
+/// quiet once the store is dropped.
+fn collect_aggregates(weak: &Weak<VStoreInner>, out: &mut Vec<Metric>) {
+    let Some(inner) = weak.upgrade() else {
+        return;
+    };
+    if let Some(s) = inner.serving.write().aggregate() {
+        out.push(Metric::gauge(
+            "vstore_serve_workers",
+            "Worker threads draining the request queue",
+            s.workers as f64,
+        ));
+        out.push(Metric::gauge(
+            "vstore_serve_queue_depth",
+            "Requests waiting in the queue at snapshot time",
+            s.queue_depth as f64,
+        ));
+        out.push(Metric::gauge(
+            "vstore_serve_queue_capacity",
+            "Capacity of the bounded request queue",
+            s.queue_capacity as f64,
+        ));
+        out.push(Metric::counter(
+            "vstore_serve_submitted_total",
+            "Requests accepted onto the queue",
+            s.submitted,
+        ));
+        out.push(Metric::counter(
+            "vstore_serve_completed_total",
+            "Requests fully executed (success or error response)",
+            s.completed,
+        ));
+        out.push(Metric::counter(
+            "vstore_serve_rejected_busy_total",
+            "Requests shed with Busy because the queue was full",
+            s.rejected_busy,
+        ));
+        out.push(Metric::counter(
+            "vstore_serve_failed_total",
+            "Completed requests whose response was an error",
+            s.failed,
+        ));
+        out.push(Metric::counter(
+            "vstore_serve_panics_total",
+            "Worker panics converted into error responses",
+            s.panics,
+        ));
+        out.push(Metric::latency(
+            "vstore_serve_queue_wait_us",
+            "Time requests spent waiting in the queue",
+            &s.queue_wait,
+        ));
+        for (kind, hist) in [
+            ("ingest", &s.ingest_latency),
+            ("query", &s.query_latency),
+            ("erode", &s.erode_latency),
+            ("live-stats", &s.live_stats_latency),
+            ("net-stats", &s.net_stats_latency),
+            ("metrics", &s.metrics_latency),
+            ("trace-dump", &s.trace_latency),
+        ] {
+            if hist.count() > 0 {
+                out.push(
+                    Metric::latency(
+                        "vstore_serve_latency_us",
+                        "Execution latency by request kind",
+                        hist,
+                    )
+                    .with_label("kind", kind),
+                );
+            }
+        }
+    }
+    if let Some(n) = inner.net.write().aggregate() {
+        out.push(Metric::gauge(
+            "vstore_net_active_connections",
+            "Connections currently being served",
+            n.active_connections as f64,
+        ));
+        out.push(Metric::counter(
+            "vstore_net_accepted_total",
+            "Connections accepted over the listener's lifetime",
+            n.accepted,
+        ));
+        out.push(Metric::counter(
+            "vstore_net_refused_total",
+            "Connections refused at the max-connections cap",
+            n.refused,
+        ));
+        out.push(Metric::counter(
+            "vstore_net_frames_in_total",
+            "Request frames decoded off sockets",
+            n.frames_in,
+        ));
+        out.push(Metric::counter(
+            "vstore_net_frames_out_total",
+            "Response frames fully written back",
+            n.frames_out,
+        ));
+        out.push(Metric::counter(
+            "vstore_net_bytes_in_total",
+            "Bytes read off sockets",
+            n.bytes_in,
+        ));
+        out.push(Metric::counter(
+            "vstore_net_bytes_out_total",
+            "Bytes written back to sockets",
+            n.bytes_out,
+        ));
+        out.push(Metric::counter(
+            "vstore_net_corrupt_frames_total",
+            "Frames rejected as undecodable",
+            n.corrupt_frames,
+        ));
+        out.push(Metric::counter(
+            "vstore_net_disconnects_total",
+            "Connections that vanished with work in flight",
+            n.disconnects,
+        ));
+        out.push(Metric::counter(
+            "vstore_net_write_syscalls_total",
+            "Vectored writes issued (one per response batch)",
+            n.write_syscalls,
+        ));
+        out.push(Metric::counter(
+            "vstore_net_pool_hits_total",
+            "Buffer-pool takes served without allocating",
+            n.pool_hits,
+        ));
+        out.push(Metric::counter(
+            "vstore_net_pool_misses_total",
+            "Buffer-pool takes that allocated a fresh buffer",
+            n.pool_misses,
+        ));
+        out.push(Metric::latency(
+            "vstore_net_batch_sizes",
+            "Responses coalesced per vectored write",
+            &n.batch_sizes,
+        ));
+    }
+    let live = inner.live.write().aggregate();
+    if let Some(l) = live {
+        out.push(Metric::gauge(
+            "vstore_live_queue_depth",
+            "Camera segments waiting in the live queue",
+            l.queue_depth as f64,
+        ));
+        out.push(Metric::gauge(
+            "vstore_live_current_level",
+            "Degradation level in force (0 = full fidelity)",
+            l.current_level as f64,
+        ));
+        out.push(Metric::counter(
+            "vstore_live_offered_total",
+            "Segments the cameras offered",
+            l.offered,
+        ));
+        out.push(Metric::counter(
+            "vstore_live_accepted_total",
+            "Segments accepted onto the live queue",
+            l.accepted,
+        ));
+        out.push(Metric::counter(
+            "vstore_live_shed_total",
+            "Segments shed by a full queue",
+            l.shed,
+        ));
+        out.push(Metric::counter(
+            "vstore_live_completed_total",
+            "Segments fully transcoded and persisted",
+            l.completed,
+        ));
+        out.push(Metric::counter(
+            "vstore_live_degraded_segments_total",
+            "Segments ingested at a degraded level",
+            l.degraded_segments,
+        ));
+        out.push(Metric::latency(
+            "vstore_live_lag_us",
+            "Queue lag per segment (offer to transcode start)",
+            &l.lag,
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------
+// StatsReport JSON
+// ---------------------------------------------------------------------
+
+/// Append `"key": <uint>` with comma management.
+fn field_u64(out: &mut String, first: &mut bool, key: &str, value: u64) {
+    sep(out, first);
+    json::push_key(out, key);
+    out.push_str(&value.to_string());
+}
+
+/// Append `"key": <float>` with comma management.
+fn field_f64(out: &mut String, first: &mut bool, key: &str, value: f64) {
+    sep(out, first);
+    json::push_key(out, key);
+    json::push_f64(out, value);
+}
+
+/// Append the separator between object fields.
+fn sep(out: &mut String, first: &mut bool) {
+    if !*first {
+        out.push_str(", ");
+    }
+    *first = false;
+}
+
+/// Append a latency histogram as a compact summary object.
+fn field_hist(out: &mut String, first: &mut bool, key: &str, hist: &LatencyHistogram) {
+    sep(out, first);
+    json::push_key(out, key);
+    let (_, count, total_us, max_us) = hist.to_parts();
+    out.push('{');
+    let mut f = true;
+    field_u64(out, &mut f, "count", count);
+    field_u64(out, &mut f, "total_us", total_us);
+    field_u64(out, &mut f, "max_us", max_us);
+    field_u64(out, &mut f, "p50_us", hist.quantile_us(0.5));
+    field_u64(out, &mut f, "p99_us", hist.quantile_us(0.99));
+    out.push('}');
+}
+
+/// Append one StoreStats object (no key).
+fn push_store(out: &mut String, s: &crate::StoreStats) {
+    out.push('{');
+    let mut f = true;
+    field_u64(out, &mut f, "live_segments", s.live_segments as u64);
+    field_u64(out, &mut f, "live_bytes", s.live_bytes);
+    field_u64(out, &mut f, "disk_bytes", s.disk_bytes);
+    field_u64(out, &mut f, "log_files", s.log_files as u64);
+    field_u64(out, &mut f, "writes", s.writes);
+    field_u64(out, &mut f, "reads", s.reads);
+    out.push('}');
+}
+
+/// Append one CacheStats object (no key).
+fn push_cache(out: &mut String, c: &CacheStats) {
+    out.push('{');
+    let mut f = true;
+    field_u64(out, &mut f, "raw_hits", c.raw_hits);
+    field_u64(out, &mut f, "raw_misses", c.raw_misses);
+    field_u64(out, &mut f, "raw_evictions", c.raw_evictions);
+    field_u64(out, &mut f, "raw_resident_bytes", c.raw_resident_bytes);
+    field_u64(out, &mut f, "decoded_hits", c.decoded_hits);
+    field_u64(out, &mut f, "decoded_misses", c.decoded_misses);
+    field_u64(out, &mut f, "decoded_evictions", c.decoded_evictions);
+    field_u64(out, &mut f, "decoded_entries", c.decoded_entries);
+    field_u64(out, &mut f, "invalidations", c.invalidations);
+    out.push('}');
+}
+
+impl StatsReport {
+    /// Render the report as one stable JSON object — the machine-readable
+    /// sibling of its `Display` form, built on the same minimal JSON
+    /// helpers as the metrics endpoint. Optional sections render as
+    /// `null`; field order is fixed, so goldens can match substrings.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let mut first = true;
+        sep(&mut out, &mut first);
+        json::push_key(&mut out, "store");
+        push_store(&mut out, &self.store);
+        sep(&mut out, &mut first);
+        json::push_key(&mut out, "cache");
+        push_cache(&mut out, &self.cache);
+        sep(&mut out, &mut first);
+        json::push_key(&mut out, "shards");
+        out.push('[');
+        for (i, shard) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            push_store(&mut out, shard);
+        }
+        out.push(']');
+        sep(&mut out, &mut first);
+        json::push_key(&mut out, "shard_caches");
+        out.push('[');
+        for (i, cache) in self.shard_caches.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            push_cache(&mut out, cache);
+        }
+        out.push(']');
+
+        sep(&mut out, &mut first);
+        json::push_key(&mut out, "tier");
+        match &self.tier {
+            None => out.push_str("null"),
+            Some(t) => {
+                out.push('{');
+                let mut f = true;
+                field_u64(&mut out, &mut f, "hot_resident_bytes", t.hot_resident_bytes);
+                field_u64(
+                    &mut out,
+                    &mut f,
+                    "cold_resident_bytes",
+                    t.cold_resident_bytes,
+                );
+                field_u64(&mut out, &mut f, "cold_segments", t.cold_segments as u64);
+                field_u64(&mut out, &mut f, "demotions", t.demotions);
+                field_u64(&mut out, &mut f, "demoted_bytes", t.demoted_bytes);
+                field_u64(&mut out, &mut f, "promotions", t.promotions);
+                field_u64(&mut out, &mut f, "promoted_bytes", t.promoted_bytes);
+                field_u64(&mut out, &mut f, "cold_hits", t.cold_hits);
+                field_u64(&mut out, &mut f, "cold_misses", t.cold_misses);
+                field_u64(&mut out, &mut f, "failed_demotions", t.failed_demotions);
+                field_u64(&mut out, &mut f, "queue_depth", t.queue_depth as u64);
+                field_hist(&mut out, &mut f, "cold_hit_latency", &t.cold_hit_latency);
+                out.push('}');
+            }
+        }
+
+        sep(&mut out, &mut first);
+        json::push_key(&mut out, "serve");
+        match &self.serve {
+            None => out.push_str("null"),
+            Some(s) => {
+                out.push('{');
+                let mut f = true;
+                field_u64(&mut out, &mut f, "workers", s.workers as u64);
+                field_u64(&mut out, &mut f, "queue_capacity", s.queue_capacity as u64);
+                field_u64(&mut out, &mut f, "queue_depth", s.queue_depth as u64);
+                field_u64(
+                    &mut out,
+                    &mut f,
+                    "peak_queue_depth",
+                    s.peak_queue_depth as u64,
+                );
+                field_u64(&mut out, &mut f, "submitted", s.submitted);
+                field_u64(&mut out, &mut f, "completed", s.completed);
+                field_u64(&mut out, &mut f, "rejected_busy", s.rejected_busy);
+                field_u64(&mut out, &mut f, "failed", s.failed);
+                field_u64(&mut out, &mut f, "panics", s.panics);
+                field_u64(&mut out, &mut f, "disconnects", s.disconnects);
+                field_hist(&mut out, &mut f, "queue_wait", &s.queue_wait);
+                field_hist(&mut out, &mut f, "ingest_latency", &s.ingest_latency);
+                field_hist(&mut out, &mut f, "query_latency", &s.query_latency);
+                field_hist(&mut out, &mut f, "erode_latency", &s.erode_latency);
+                field_hist(&mut out, &mut f, "metrics_latency", &s.metrics_latency);
+                field_hist(&mut out, &mut f, "trace_latency", &s.trace_latency);
+                out.push('}');
+            }
+        }
+
+        sep(&mut out, &mut first);
+        json::push_key(&mut out, "net");
+        match &self.net {
+            None => out.push_str("null"),
+            Some(n) => {
+                out.push('{');
+                let mut f = true;
+                field_u64(&mut out, &mut f, "event_loops", n.event_loops as u64);
+                field_u64(&mut out, &mut f, "accepted", n.accepted);
+                field_u64(&mut out, &mut f, "refused", n.refused);
+                field_u64(
+                    &mut out,
+                    &mut f,
+                    "active_connections",
+                    n.active_connections as u64,
+                );
+                field_u64(&mut out, &mut f, "frames_in", n.frames_in);
+                field_u64(&mut out, &mut f, "frames_out", n.frames_out);
+                field_u64(&mut out, &mut f, "bytes_in", n.bytes_in);
+                field_u64(&mut out, &mut f, "bytes_out", n.bytes_out);
+                field_u64(&mut out, &mut f, "corrupt_frames", n.corrupt_frames);
+                field_u64(&mut out, &mut f, "oversized_frames", n.oversized_frames);
+                field_u64(&mut out, &mut f, "disconnects", n.disconnects);
+                field_u64(&mut out, &mut f, "write_syscalls", n.write_syscalls);
+                field_u64(&mut out, &mut f, "pool_hits", n.pool_hits);
+                field_u64(&mut out, &mut f, "pool_misses", n.pool_misses);
+                field_hist(&mut out, &mut f, "batch_sizes", &n.batch_sizes);
+                out.push('}');
+            }
+        }
+
+        sep(&mut out, &mut first);
+        json::push_key(&mut out, "live");
+        match &self.live {
+            None => out.push_str("null"),
+            Some(l) => {
+                out.push('{');
+                let mut f = true;
+                field_u64(&mut out, &mut f, "workers", l.workers as u64);
+                field_u64(&mut out, &mut f, "queue_capacity", l.queue_capacity as u64);
+                field_u64(&mut out, &mut f, "queue_depth", l.queue_depth as u64);
+                field_u64(&mut out, &mut f, "offered", l.offered);
+                field_u64(&mut out, &mut f, "accepted", l.accepted);
+                field_u64(&mut out, &mut f, "shed", l.shed);
+                field_u64(&mut out, &mut f, "completed", l.completed);
+                field_u64(&mut out, &mut f, "failed", l.failed);
+                field_u64(&mut out, &mut f, "current_level", l.current_level as u64);
+                field_u64(&mut out, &mut f, "degraded_segments", l.degraded_segments);
+                field_f64(&mut out, &mut f, "video_seconds", l.video.0);
+                field_hist(&mut out, &mut f, "lag", &l.lag);
+                out.push('}');
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{BackendOptions, RuntimeOptions, ServeStats, StatsReport, VStore, VStoreOptions};
+    use vstore_obs::json;
+
+    fn empty_report() -> StatsReport {
+        let store = VStore::open_temp(
+            "json-report",
+            VStoreOptions::fast()
+                .with_backend(BackendOptions::Mem)
+                .with_runtime(RuntimeOptions::sequential()),
+        )
+        .unwrap();
+        store.stats_report()
+    }
+
+    /// Golden: the JSON of a fresh single-shard store is byte-stable —
+    /// the machine-readable contract clients may substring-match or diff.
+    #[test]
+    fn stats_report_json_golden() {
+        let report = empty_report();
+        let json = report.to_json();
+        assert_eq!(json::validate(&json), Ok(()), "{json}");
+        let golden = concat!(
+            "{\"store\": {\"live_segments\": 0, \"live_bytes\": 0, \"disk_bytes\": 0, ",
+            "\"log_files\": 1, \"writes\": 0, \"reads\": 0}, ",
+            "\"cache\": {\"raw_hits\": 0, \"raw_misses\": 0, \"raw_evictions\": 0, ",
+            "\"raw_resident_bytes\": 0, \"decoded_hits\": 0, \"decoded_misses\": 0, ",
+            "\"decoded_evictions\": 0, \"decoded_entries\": 0, \"invalidations\": 0}, ",
+            "\"shards\": [{\"live_segments\": 0, \"live_bytes\": 0, \"disk_bytes\": 0, ",
+            "\"log_files\": 1, \"writes\": 0, \"reads\": 0}], ",
+            "\"shard_caches\": [], ",
+            "\"tier\": null, \"serve\": null, \"net\": null, \"live\": null}",
+        );
+        assert_eq!(json, golden);
+        // Round trip: rendering the same report twice is byte-identical.
+        assert_eq!(json, report.to_json());
+    }
+
+    /// Optional sections render as objects once present, and histograms
+    /// carry the summary fields; the result still validates.
+    #[test]
+    fn stats_report_json_renders_optional_sections() {
+        let mut report = empty_report();
+        let mut serve = ServeStats {
+            workers: 4,
+            submitted: 7,
+            completed: 6,
+            ..ServeStats::default()
+        };
+        serve.query_latency.record(1500);
+        report.serve = Some(serve);
+        let json = report.to_json();
+        assert_eq!(json::validate(&json), Ok(()), "{json}");
+        assert!(json.contains("\"serve\": {\"workers\": 4"), "{json}");
+        assert!(json.contains("\"submitted\": 7"), "{json}");
+        assert!(json.contains("\"query_latency\": {\"count\": 1"), "{json}");
+        assert!(json.contains("\"max_us\": 1500"), "{json}");
+    }
+
+    /// The metrics endpoint shares the report's sources: a fresh store's
+    /// snapshot carries the store/cache/profiler/tracer families and both
+    /// renderings are well-formed.
+    #[test]
+    fn metrics_snapshot_covers_component_families() {
+        let store = VStore::open_temp(
+            "metrics-families",
+            VStoreOptions::fast()
+                .with_backend(BackendOptions::Mem)
+                .with_runtime(RuntimeOptions::sequential()),
+        )
+        .unwrap();
+        let snapshot = store.metrics_snapshot();
+        for family in [
+            "vstore_store_live_segments",
+            "vstore_store_writes_total",
+            "vstore_cache_raw_hits_total",
+            "vstore_profiler_operator_runs_total",
+            "vstore_trace_enabled",
+        ] {
+            assert!(snapshot.get(family).is_some(), "missing {family}");
+        }
+        assert_eq!(json::validate(&snapshot.to_json()), Ok(()));
+        assert!(snapshot
+            .to_prometheus()
+            .contains("# TYPE vstore_store_writes_total counter"));
+    }
+}
